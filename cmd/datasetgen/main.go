@@ -1,0 +1,64 @@
+// Command datasetgen runs the exhaustive Table I sweep for one machine and
+// dumps the measurement grid as CSV: one row per (region, cap, config)
+// with time, package energy, DRAM energy, frequency, and oracle flags.
+//
+// Usage:
+//
+//	datasetgen -machine haswell > haswell.csv
+//	datasetgen -machine skylake -labels   # oracle labels only
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/hw"
+)
+
+func main() {
+	machine := flag.String("machine", "haswell", "machine model: haswell or skylake")
+	labelsOnly := flag.Bool("labels", false, "emit only per-region oracle labels")
+	flag.Parse()
+
+	m, err := hw.ByName(*machine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datasetgen: %v\n", err)
+		os.Exit(1)
+	}
+	d, err := dataset.Build(m)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datasetgen: %v\n", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if *labelsOnly {
+		fmt.Fprintln(w, "region,cap_w,best_time_config,best_edp_joint")
+		for _, rd := range d.Regions {
+			for ci, capW := range d.Space.Caps() {
+				fmt.Fprintf(w, "%s,%g,%s,%d\n", rd.Region.ID, capW,
+					d.Space.Configs[rd.BestTimeCfg[ci]], rd.BestEDPJoint)
+			}
+		}
+		return
+	}
+
+	fmt.Fprintln(w, "region,app,cap_w,threads,schedule,chunk,time_s,pkg_energy_j,dram_energy_j,freq_ghz,throttled,is_best_time,is_best_edp")
+	for _, rd := range d.Regions {
+		for ci, capW := range d.Space.Caps() {
+			for ki, cfg := range d.Space.Configs {
+				r := rd.Results[ci][ki]
+				fmt.Fprintf(w, "%s,%s,%g,%d,%s,%d,%.9g,%.6g,%.6g,%.3f,%v,%v,%v\n",
+					rd.Region.ID, rd.Region.App, capW,
+					cfg.Threads, cfg.Sched, cfg.Chunk,
+					r.TimeSec, r.PkgEnergyJ, r.DRAMEnergyJ, r.FreqGHz, r.Throttled,
+					ki == rd.BestTimeCfg[ci],
+					d.Space.JointIndex(ci, ki) == rd.BestEDPJoint)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command pnpgraph dumps the flow-aware program graph of a corpus region
+// (or of a source file supplied on stdin) in DOT or JSON form, for
+// inspection and plotting.
+//
+// Usage:
+//
+//	pnpgraph -region gemm.kernel_gemm#0 -format dot | dot -Tsvg > gemm.svg
+//	pnpgraph -region LULESH.EvalEOSForElems#0 -format json
+//	pnpgraph -list                      # list region IDs
+//	pnpgraph -stdin -format dot < my_kernel.c
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pnptuner/internal/frontend"
+	"pnptuner/internal/kernels"
+	"pnptuner/internal/programl"
+)
+
+func main() {
+	region := flag.String("region", "", "corpus region ID (see -list)")
+	format := flag.String("format", "dot", "output format: dot or json")
+	list := flag.Bool("list", false, "list corpus region IDs and exit")
+	stdin := flag.Bool("stdin", false, "compile a mini-C source from stdin instead")
+	flag.Parse()
+
+	if *list {
+		c := kernels.MustCompile()
+		for _, id := range c.RegionIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var g *programl.Graph
+	switch {
+	case *stdin:
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		prog, low, err := frontend.Compile("stdin", string(src))
+		if err != nil {
+			fatal(err)
+		}
+		if len(prog.Regions) == 0 {
+			fatal(fmt.Errorf("no parallel regions in input"))
+		}
+		g, err = programl.FromFunction(prog.Regions[0].ID, low.RegionFunc[prog.Regions[0].ID])
+		if err != nil {
+			fatal(err)
+		}
+	case *region != "":
+		c := kernels.MustCompile()
+		r := c.Region(*region)
+		if r == nil {
+			fatal(fmt.Errorf("unknown region %q (try -list)", *region))
+		}
+		g = r.Graph
+	default:
+		fatal(fmt.Errorf("one of -region, -stdin, or -list is required"))
+	}
+
+	switch *format {
+	case "dot":
+		fmt.Print(g.DOT())
+	case "json":
+		data, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pnpgraph: %v\n", err)
+	os.Exit(1)
+}

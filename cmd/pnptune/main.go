@@ -1,0 +1,114 @@
+// Command pnptune is the end-to-end PnP tuner CLI: it trains the GNN on
+// every corpus application except the target (leave-one-out, as the paper
+// evaluates) and prints the recommended OpenMP configuration for each
+// region of the target application — without executing the target.
+//
+// Usage:
+//
+//	pnptune -machine haswell -app LULESH -cap 40
+//	pnptune -machine skylake -app gemm -objective edp
+//	pnptune -list                      # list corpus applications
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pnptuner/internal/core"
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/hw"
+	"pnptuner/internal/kernels"
+	"pnptuner/internal/metrics"
+)
+
+func main() {
+	machine := flag.String("machine", "haswell", "machine model: haswell or skylake")
+	app := flag.String("app", "", "target application (see -list)")
+	capW := flag.Float64("cap", 0, "power cap in watts (0 = all Table I caps)")
+	objective := flag.String("objective", "time", "tuning objective: time or edp")
+	epochs := flag.Int("epochs", 0, "override training epochs")
+	list := flag.Bool("list", false, "list corpus applications and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range kernels.AppNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *app == "" {
+		fmt.Fprintln(os.Stderr, "pnptune: -app is required (try -list)")
+		os.Exit(2)
+	}
+
+	m, err := hw.ByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := dataset.Build(m)
+	if err != nil {
+		fatal(err)
+	}
+	var fold dataset.Fold
+	found := false
+	for _, f := range d.LOOCVFolds() {
+		if f.App == *app {
+			fold, found = f, true
+			break
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown application %q (try -list)", *app))
+	}
+
+	cfg := core.DefaultModelConfig()
+	if *epochs > 0 {
+		cfg.Epochs = *epochs
+	}
+
+	switch *objective {
+	case "time":
+		res := core.TrainPower(d, fold, cfg)
+		fmt.Printf("trained on %d regions in %s (loss %.3f)\n",
+			len(fold.Train), res.Stats.Duration.Round(1e7), res.Stats.FinalLoss)
+		for _, rd := range fold.Val {
+			fmt.Printf("region %s:\n", rd.Region.ID)
+			for ci, cw := range d.Space.Caps() {
+				if *capW != 0 && cw != *capW {
+					continue
+				}
+				pick := res.Pred[rd.Region.ID][ci]
+				cfgP := d.Space.Configs[pick]
+				def := rd.DefaultResult(ci, d.Space).TimeSec
+				got := rd.Results[ci][pick].TimeSec
+				fmt.Printf("  %3.0fW: %-22s speedup vs default %.2fx (oracle %.2fx)\n",
+					cw, cfgP, metrics.Speedup(def, got), metrics.Speedup(def, rd.BestTime(ci)))
+			}
+		}
+	case "edp":
+		res := core.TrainEDP(d, fold, cfg)
+		fmt.Printf("trained on %d regions in %s (loss %.3f)\n",
+			len(fold.Train), res.Stats.Duration.Round(1e7), res.Stats.FinalLoss)
+		tdpIdx := len(d.Space.Caps()) - 1
+		for _, rd := range fold.Val {
+			pick := res.Pred[rd.Region.ID]
+			cw, cfgP := d.Space.At(pick)
+			ci, ki := d.Space.SplitJoint(pick)
+			def := rd.DefaultResult(tdpIdx, d.Space)
+			got := rd.Results[ci][ki]
+			fmt.Printf("region %s: cap %3.0fW, %-22s EDP improvement %.2fx, speedup %.2fx, greenup %.2fx\n",
+				rd.Region.ID, cw, cfgP,
+				metrics.EDPImprovement(def.EDP(), got.EDP()),
+				metrics.Speedup(def.TimeSec, got.TimeSec),
+				metrics.Greenup(def.EnergyJ(), got.EnergyJ()))
+		}
+	default:
+		fatal(fmt.Errorf("unknown objective %q", *objective))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pnptune: %v\n", err)
+	os.Exit(1)
+}

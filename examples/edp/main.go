@@ -1,0 +1,58 @@
+// EDP: scenario (ii) — joint time+energy tuning via the energy-delay
+// product.
+//
+// The example holds out XSBench, trains the PnP EDP model on the other 29
+// applications, and asks it to pick a (power cap, OpenMP configuration)
+// pair for each XSBench region. It then compares the prediction against
+// the default configuration at TDP and against the exhaustive oracle,
+// reporting speedup and greenup as the paper's Fig. 7 does.
+//
+// Run with: go run ./examples/edp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pnptuner/internal/core"
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/hw"
+	"pnptuner/internal/metrics"
+)
+
+func main() {
+	d, err := dataset.Build(hw.Skylake())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var fold dataset.Fold
+	for _, f := range d.LOOCVFolds() {
+		if f.App == "XSBench" {
+			fold = f
+		}
+	}
+	cfg := core.DefaultModelConfig()
+	cfg.Epochs = 20
+	res := core.TrainEDP(d, fold, cfg)
+	tdpIdx := len(d.Space.Caps()) - 1
+
+	fmt.Println("EDP tuning for XSBench on Skylake (trained without executing XSBench):")
+	for _, rd := range fold.Val {
+		def := rd.DefaultResult(tdpIdx, d.Space)
+		pick := res.Pred[rd.Region.ID]
+		capW, c := d.Space.At(pick)
+		ci, ki := d.Space.SplitJoint(pick)
+		got := rd.Results[ci][ki]
+
+		oCap, oCfg := d.Space.At(rd.BestEDPJoint)
+		fmt.Printf("\nregion %s:\n", rd.Region.ID)
+		fmt.Printf("  default@TDP: %.3fms, %.2fJ (EDP %.3g)\n",
+			def.TimeSec*1e3, def.EnergyJ(), def.EDP())
+		fmt.Printf("  predicted:   %gW + %-20s EDP improvement %.2fx, speedup %.2fx, greenup %.2fx\n",
+			capW, c, metrics.EDPImprovement(def.EDP(), got.EDP()),
+			metrics.Speedup(def.TimeSec, got.TimeSec),
+			metrics.Greenup(def.EnergyJ(), got.EnergyJ()))
+		fmt.Printf("  oracle:      %gW + %-20s EDP improvement %.2fx\n",
+			oCap, oCfg, metrics.EDPImprovement(def.EDP(), rd.BestEDP(d.Space)))
+	}
+}

@@ -1,0 +1,61 @@
+// Powercap: the paper's §I motivating example, end to end.
+//
+// Scenario (i): a cluster imposes a hard power cap; which OpenMP
+// configuration should LULESH's ApplyAccelerationBoundaryConditionsForNodes
+// region use? The example runs the exhaustive oracle at every Haswell cap,
+// then trains the PnP GNN with LULESH held out (leave-one-out, as in the
+// paper) and compares its zero-execution prediction against the oracle.
+//
+// Run with: go run ./examples/powercap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pnptuner/internal/core"
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/hw"
+	"pnptuner/internal/metrics"
+)
+
+func main() {
+	d, err := dataset.Build(hw.Haswell())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rd *dataset.RegionData
+	for _, r := range d.Regions {
+		if r.Region.Info.Func == "ApplyAccelerationBoundaryConditionsForNodes" {
+			rd = r
+		}
+	}
+	fmt.Println("Oracle (exhaustive search), LULESH boundary-condition kernel on Haswell:")
+	for ci, capW := range d.Space.Caps() {
+		best := rd.BestTimeCfg[ci]
+		def := rd.DefaultResult(ci, d.Space).TimeSec
+		fmt.Printf("  %3.0fW: best %-22s speedup vs default %.2fx\n",
+			capW, d.Space.Configs[best], metrics.Speedup(def, rd.BestTime(ci)))
+	}
+
+	// Train with LULESH held out and predict without executing it.
+	var fold dataset.Fold
+	for _, f := range d.LOOCVFolds() {
+		if f.App == "LULESH" {
+			fold = f
+		}
+	}
+	cfg := core.DefaultModelConfig()
+	cfg.Epochs = 20 // example-scale training
+	res := core.TrainPower(d, fold, cfg)
+	fmt.Printf("\nPnP tuner (trained on the other 29 apps in %s, zero executions of LULESH):\n",
+		res.Stats.Duration.Round(1e8))
+	for ci, capW := range d.Space.Caps() {
+		pick := res.Pred[rd.Region.ID][ci]
+		def := rd.DefaultResult(ci, d.Space).TimeSec
+		sp := metrics.Speedup(def, rd.Results[ci][pick].TimeSec)
+		oracle := metrics.Speedup(def, rd.BestTime(ci))
+		fmt.Printf("  %3.0fW: predicted %-22s speedup %.2fx (%.0f%% of oracle)\n",
+			capW, d.Space.Configs[pick], sp, 100*metrics.Normalize(sp, oracle))
+	}
+}

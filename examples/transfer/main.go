@@ -1,0 +1,75 @@
+// Transfer: the Haswell→Skylake transfer-learning trick of §IV-B.
+//
+// Program graphs are produced statically by the compiler, so they are
+// identical on both machines; the paper exploits this by saving the GNN
+// encoder trained on Haswell and retraining only the dense layers on
+// Skylake, reporting ~4× faster training. This example measures the same
+// ratio on the simulated systems and checks that prediction quality
+// survives the transfer.
+//
+// Run with: go run ./examples/transfer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pnptuner/internal/core"
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/hw"
+	"pnptuner/internal/metrics"
+)
+
+func main() {
+	dH, err := dataset.Build(hw.Haswell())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dS, err := dataset.Build(hw.Skylake())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.DefaultModelConfig()
+	cfg.Epochs = 20
+
+	// 1. Train the source model on the full Haswell corpus.
+	src := core.TrainPower(dH, dataset.Fold{Train: dH.Regions}, cfg)
+	fmt.Printf("Haswell source model: %d params trained in %s\n",
+		src.Stats.UpdatedParams, src.Stats.Duration.Round(1e7))
+
+	// 2. On Skylake, compare full training against encoder transfer for a
+	// held-out application.
+	var fold dataset.Fold
+	for _, f := range dS.LOOCVFolds() {
+		if f.App == "miniFE" {
+			fold = f
+		}
+	}
+	full := core.TrainPower(dS, fold, cfg)
+	xfer, err := core.TransferPower(src.Model, dS, fold, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Skylake full training:     %d params, %s\n",
+		full.Stats.UpdatedParams, full.Stats.Duration.Round(1e7))
+	fmt.Printf("Skylake transfer training: %d params, %s  → %.2fx faster (paper: 4.18x)\n",
+		xfer.Stats.UpdatedParams, xfer.Stats.Duration.Round(1e7),
+		float64(full.Stats.Duration)/float64(xfer.Stats.Duration))
+
+	// 3. Quality check on the held-out app.
+	quality := func(pred map[string][]int) float64 {
+		var norms []float64
+		for _, rd := range fold.Val {
+			for ci := range dS.Space.Caps() {
+				def := rd.DefaultResult(ci, dS.Space).TimeSec
+				sp := metrics.Speedup(def, rd.Results[ci][pred[rd.Region.ID][ci]].TimeSec)
+				oracle := metrics.Speedup(def, rd.BestTime(ci))
+				norms = append(norms, metrics.Normalize(sp, oracle))
+			}
+		}
+		return metrics.GeoMean(norms)
+	}
+	fmt.Printf("normalized speedup on held-out miniFE: full %.3f, transfer %.3f (oracle = 1.0)\n",
+		quality(full.Pred), quality(xfer.Pred))
+}

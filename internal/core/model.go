@@ -1,0 +1,238 @@
+// Package core implements the PnP tuner, the paper's primary
+// contribution: an RGCN-based model over flow-aware program graphs that
+// predicts (i) the best OpenMP configuration at each power constraint and
+// (ii) the joint (power cap, OpenMP configuration) minimizing the
+// energy-delay product — without executing the code being tuned.
+//
+// The architecture follows Table II: a token embedding feeding 4 RGCN
+// layers with LeakyReLU activations, mean-pool readout, and a 3-layer
+// fully connected classifier head with ReLU activations, trained with
+// cross-entropy under AdamW(amsgrad) at lr 0.001 and batch size 16.
+// The "dynamic features" variant (§IV-B) concatenates five PAPI counters
+// (and, for the unseen-cap experiments, the normalized power cap) to the
+// pooled graph vector before the dense layers.
+package core
+
+import (
+	"fmt"
+
+	"pnptuner/internal/kernels"
+	"pnptuner/internal/nn"
+	"pnptuner/internal/papi"
+	"pnptuner/internal/rgcn"
+	"pnptuner/internal/tensor"
+)
+
+// ModelConfig collects the hyperparameters of Table II plus the sizing
+// knobs of this implementation.
+type ModelConfig struct {
+	EmbedDim   int
+	Hidden     int
+	NumRGCN    int // Table II: 4
+	NumDense   int // Table II: 3
+	LeakySlope float64
+
+	LR          float64
+	WeightDecay float64
+	AMSGrad     bool
+	Epochs      int
+	BatchSize   int // Table II: 16
+	ClipNorm    float64
+
+	// UseCounters enables the dynamic-feature path (5 PAPI counters).
+	UseCounters bool
+	// UseCapFeature appends the normalized power cap to the dense input
+	// (the unseen-power-constraint experiments of Figs. 4–5).
+	UseCapFeature bool
+
+	// SoftLabels trains against a distribution over the near-optimal
+	// configuration set instead of the single argmax: with 127–508
+	// classes and ~60 training regions, many configurations tie within
+	// measurement noise, and hard labels punish the model for choosing
+	// an equally good neighbour. SoftGamma sharpens the distribution
+	// (p ∝ (best/t)^γ over configs within 20% of best).
+	SoftLabels bool
+	SoftGamma  float64
+
+	Seed uint64
+}
+
+// DefaultModelConfig returns the Table II configuration sized for the
+// 68-region corpus.
+func DefaultModelConfig() ModelConfig {
+	return ModelConfig{
+		EmbedDim:    12,
+		Hidden:      16,
+		NumRGCN:     4,
+		NumDense:    3,
+		LeakySlope:  0.01,
+		LR:          0.001,
+		WeightDecay: 0.01,
+		AMSGrad:     true,
+		Epochs:      45,
+		BatchSize:   16,
+		ClipNorm:    5,
+		SoftLabels:  true,
+		SoftGamma:   24,
+	}
+}
+
+// Encoder is the GNN half of the model: embedding, RGCN stack, readout.
+// Its parameters are the ones shared in the Haswell→Skylake transfer.
+type Encoder struct {
+	Emb    *rgcn.Embedding
+	Layers []*rgcn.Layer
+	Acts   []*nn.LeakyReLU
+	Pool   rgcn.MeanPool
+	Hidden int
+}
+
+// NewEncoder builds the graph encoder.
+func NewEncoder(cfg ModelConfig, vocabSize int, rng *tensor.RNG) *Encoder {
+	e := &Encoder{
+		Emb:    rgcn.NewEmbedding("gnn.embed", vocabSize, cfg.EmbedDim, rng),
+		Hidden: cfg.Hidden,
+	}
+	in := e.Emb.OutDim()
+	for i := 0; i < cfg.NumRGCN; i++ {
+		e.Layers = append(e.Layers, rgcn.NewLayer(fmt.Sprintf("gnn.rgcn%d", i), in, cfg.Hidden, rng))
+		e.Acts = append(e.Acts, nn.NewLeakyReLU(cfg.LeakySlope))
+		in = cfg.Hidden
+	}
+	return e
+}
+
+// Forward encodes a graph into a 1×Hidden pooled vector. The adjacency
+// must be the one built from g.
+func (e *Encoder) Forward(g *kernels.Region, adj *rgcn.Adjacency) *tensor.Matrix {
+	h := e.Emb.Forward(g.Graph)
+	for i, l := range e.Layers {
+		l.SetGraph(adj)
+		h = e.Acts[i].Forward(l.Forward(h))
+	}
+	return e.Pool.Forward(h)
+}
+
+// Backward propagates the pooled gradient through the stack, accumulating
+// parameter gradients.
+func (e *Encoder) Backward(dpool *tensor.Matrix) {
+	d := e.Pool.Backward(dpool)
+	for i := len(e.Layers) - 1; i >= 0; i-- {
+		d = e.Layers[i].Backward(e.Acts[i].Backward(d))
+	}
+	e.Emb.Backward(d)
+}
+
+// Params returns every encoder parameter.
+func (e *Encoder) Params() []*nn.Param {
+	out := e.Emb.Params()
+	for _, l := range e.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Model is the full PnP network: shared encoder plus one or more dense
+// classifier heads. Scenario 1 uses one head per power cap (each over the
+// per-cap configuration space); scenario 2 and the cap-conditioned
+// variant use a single head.
+type Model struct {
+	Cfg      ModelConfig
+	Enc      *Encoder
+	Heads    []*nn.Sequential
+	ExtraDim int // counters (+ cap feature) width
+	Classes  int
+
+	adjCache map[string]*rgcn.Adjacency
+}
+
+// NewModel builds a model with nHeads heads of `classes` outputs each.
+func NewModel(cfg ModelConfig, vocabSize, nHeads, classes int) *Model {
+	rng := tensor.NewRNG(cfg.Seed + 0x5eed)
+	m := &Model{
+		Cfg:      cfg,
+		Enc:      NewEncoder(cfg, vocabSize, rng),
+		Classes:  classes,
+		adjCache: map[string]*rgcn.Adjacency{},
+	}
+	if cfg.UseCounters {
+		m.ExtraDim += papi.NumFeatures
+	}
+	if cfg.UseCapFeature {
+		m.ExtraDim++
+	}
+	in := cfg.Hidden + m.ExtraDim
+	for h := 0; h < nHeads; h++ {
+		var layers []nn.Layer
+		d := in
+		for l := 0; l < cfg.NumDense-1; l++ {
+			layers = append(layers,
+				nn.NewLinear(fmt.Sprintf("head%d.fc%d", h, l), d, 2*cfg.Hidden, rng),
+				nn.NewReLU())
+			d = 2 * cfg.Hidden
+		}
+		layers = append(layers, nn.NewLinear(fmt.Sprintf("head%d.fc%d", h, cfg.NumDense-1), d, classes, rng))
+		m.Heads = append(m.Heads, nn.NewSequential(layers...))
+	}
+	return m
+}
+
+// Adjacency returns the cached message-passing structure for a region.
+func (m *Model) Adjacency(r *kernels.Region) *rgcn.Adjacency {
+	if adj, ok := m.adjCache[r.ID]; ok {
+		return adj
+	}
+	adj := rgcn.BuildAdjacency(r.Graph)
+	m.adjCache[r.ID] = adj
+	return adj
+}
+
+// Assemble concatenates a pooled graph vector with extra features into
+// the dense-head input.
+func (m *Model) Assemble(pooled *tensor.Matrix, extras []float64) *tensor.Matrix {
+	if len(extras) != m.ExtraDim {
+		panic(fmt.Sprintf("core: %d extra features, model wants %d", len(extras), m.ExtraDim))
+	}
+	if m.ExtraDim == 0 {
+		return pooled
+	}
+	full := tensor.New(1, m.Cfg.Hidden+m.ExtraDim)
+	copy(full.Data[:m.Cfg.Hidden], pooled.Data)
+	copy(full.Data[m.Cfg.Hidden:], extras)
+	return full
+}
+
+// Encode runs the encoder and appends extra features, returning the dense
+// input vector.
+func (m *Model) Encode(r *kernels.Region, extras []float64) *tensor.Matrix {
+	return m.Assemble(m.Enc.Forward(r, m.Adjacency(r)), extras)
+}
+
+// Logits computes head h's class scores for an encoded vector.
+func (m *Model) Logits(encoded *tensor.Matrix, h int) *tensor.Matrix {
+	return m.Heads[h].Forward(encoded)
+}
+
+// Predict returns the argmax class of head h for region r.
+func (m *Model) Predict(r *kernels.Region, extras []float64, h int) int {
+	return nn.Argmax(m.Logits(m.Encode(r, extras), h), 0)
+}
+
+// Params returns all parameters (encoder + heads).
+func (m *Model) Params() []*nn.Param {
+	out := m.Enc.Params()
+	for _, h := range m.Heads {
+		out = append(out, h.Params()...)
+	}
+	return out
+}
+
+// HeadParams returns only the dense-head parameters (what gets retrained
+// during transfer learning).
+func (m *Model) HeadParams() []*nn.Param {
+	var out []*nn.Param
+	for _, h := range m.Heads {
+		out = append(out, h.Params()...)
+	}
+	return out
+}

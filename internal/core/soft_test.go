@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/hw"
+)
+
+func TestSoftTargetsDistribution(t *testing.T) {
+	cfg := DefaultModelConfig()
+	values := []float64{1.0, 1.02, 1.5, 3.0, 1.19} // best = 1.0
+	p := softTargets(cfg, func(i int) float64 { return values[i] }, len(values), 1.0)
+	if p == nil {
+		t.Fatal("soft targets disabled unexpectedly")
+	}
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 {
+			t.Fatalf("negative probability %g", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+	// The best config gets the most mass; configs beyond 20% get none.
+	if p[0] <= p[1] || p[0] <= p[4] {
+		t.Fatalf("best config not dominant: %v", p)
+	}
+	if p[2] != 0 || p[3] != 0 {
+		t.Fatalf("far-from-best configs should get zero mass: %v", p)
+	}
+	// Near-tie keeps meaningful mass (the whole point of soft labels).
+	if p[1] < 0.1 {
+		t.Fatalf("near-optimal config starved: %v", p)
+	}
+}
+
+func TestSoftTargetsDisabled(t *testing.T) {
+	cfg := DefaultModelConfig()
+	cfg.SoftLabels = false
+	p := softTargets(cfg, func(i int) float64 { return 1 }, 3, 1)
+	if p != nil {
+		t.Fatal("soft targets produced despite being disabled")
+	}
+}
+
+func TestSoftLabelsReachQualityBar(t *testing.T) {
+	// The documented deviation from the paper's hard-label training
+	// (DESIGN.md §6): at near-default scale, soft-label training must
+	// deliver solid normalized speedups on a held-out application.
+	// (Hard-vs-soft A/B comparisons at full scale live in the ablation
+	// benchmark; at unit-test scale they are too noisy to assert on.)
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	d := dataset.MustBuild(hw.Haswell())
+	fold := d.LOOCVFolds()[10] // a PolyBench fold
+	cfg := DefaultModelConfig()
+	cfg.Epochs = 25
+	res := TrainPower(d, fold, cfg)
+	prod, n := 1.0, 0
+	for _, rd := range fold.Val {
+		for ci := range d.Space.Caps() {
+			pick := res.Pred[rd.Region.ID][ci]
+			prod *= rd.BestTime(ci) / rd.Results[ci][pick].TimeSec
+			n++
+		}
+	}
+	gm := math.Pow(prod, 1/float64(n))
+	if gm < 0.75 {
+		t.Fatalf("soft-label normalized speedup = %.3f, want >= 0.75", gm)
+	}
+}
+
+func TestPowFastPath(t *testing.T) {
+	if got := pow(2, 3); got != 8 {
+		t.Fatalf("pow(2,3) = %g", got)
+	}
+	if got := pow(1.1, 24); math.Abs(got-math.Pow(1.1, 24)) > 1e-9 {
+		t.Fatalf("pow(1.1,24) = %g", got)
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"time"
+
+	"pnptuner/internal/kernels"
+	"pnptuner/internal/nn"
+	"pnptuner/internal/tensor"
+)
+
+// Case is one supervised target attached to a region: the extra features
+// to concatenate to the pooled graph vector, the head to train, and the
+// class label. When Soft is non-nil it is a target distribution over the
+// head's classes (soft labels over the near-optimal configuration set);
+// Label remains the argmax for accuracy reporting.
+type Case struct {
+	Extras []float64
+	Head   int
+	Label  int
+	Soft   []float64
+}
+
+// Sample is one training example: a region and its supervised cases. All
+// cases share a single (expensive) encoder pass per visit — the per-cap
+// heads of scenario 1 and the per-cap input features of the unseen-cap
+// variant both ride on one graph encoding.
+type Sample struct {
+	Region *kernels.Region
+	Cases  []Case
+}
+
+// TrainStats reports a fit run.
+type TrainStats struct {
+	Epochs    int
+	FinalLoss float64
+	// TrainAccuracy is the top-1 label accuracy over the training set
+	// after the final epoch.
+	TrainAccuracy float64
+	Duration      time.Duration
+	// UpdatedParams is the number of parameters given to the optimizer
+	// (smaller under transfer learning).
+	UpdatedParams int
+}
+
+// Fit trains the model on samples with the Table II recipe: shuffled
+// mini-batches of Cfg.BatchSize, cross-entropy loss summed over labeled
+// heads, AdamW(amsgrad), gradient clipping.
+func (m *Model) Fit(samples []Sample) TrainStats {
+	return m.fit(samples, false)
+}
+
+// FitFrozen trains only the dense heads, keeping the encoder fixed — the
+// transfer-learning path of §IV-B. Graph encodings are computed once and
+// reused across epochs, which is where the paper's ~4× training speedup
+// comes from.
+func (m *Model) FitFrozen(samples []Sample) TrainStats {
+	return m.fit(samples, true)
+}
+
+func (m *Model) fit(samples []Sample, frozen bool) TrainStats {
+	start := time.Now()
+	cfg := m.Cfg
+	var params []*nn.Param
+	if frozen {
+		params = m.HeadParams()
+	} else {
+		params = m.Params()
+	}
+	opt := nn.NewAdam(nn.AdamConfig{
+		LR: cfg.LR, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		WeightDecay: cfg.WeightDecay, AMSGrad: cfg.AMSGrad,
+	})
+	rng := tensor.NewRNG(cfg.Seed + 0xf17)
+
+	// Frozen encoder: precompute pooled encodings once.
+	var cached []*tensor.Matrix
+	if frozen {
+		cached = make([]*tensor.Matrix, len(samples))
+		for i, s := range samples {
+			cached[i] = m.Enc.Forward(s.Region, m.Adjacency(s.Region))
+		}
+	}
+
+	batch := cfg.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	stats := TrainStats{Epochs: cfg.Epochs, UpdatedParams: countParams(params)}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(samples))
+		epochLoss, nLoss := 0.0, 0
+		for lo := 0; lo < len(perm); lo += batch {
+			hi := lo + batch
+			if hi > len(perm) {
+				hi = len(perm)
+			}
+			nn.ZeroGrads(params)
+			for _, si := range perm[lo:hi] {
+				s := samples[si]
+				var pooled *tensor.Matrix
+				if frozen {
+					pooled = cached[si]
+				} else {
+					pooled = m.Enc.Forward(s.Region, m.Adjacency(s.Region))
+				}
+				// Accumulate the pooled-vector gradient across cases and
+				// backprop through the (expensive) encoder exactly once.
+				var dpool *tensor.Matrix
+				for _, cs := range s.Cases {
+					if cs.Label < 0 {
+						continue
+					}
+					logits := m.Logits(m.Assemble(pooled, cs.Extras), cs.Head)
+					var loss float64
+					var dlogits *tensor.Matrix
+					if cs.Soft != nil {
+						loss, dlogits = nn.SoftCrossEntropy(logits, cs.Soft)
+					} else {
+						loss, dlogits = nn.SoftmaxCrossEntropy(logits, []int{cs.Label})
+					}
+					epochLoss += loss
+					nLoss++
+					dIn := m.Heads[cs.Head].Backward(dlogits)
+					if dpool == nil {
+						dpool = tensor.New(1, m.Cfg.Hidden)
+					}
+					for c := 0; c < m.Cfg.Hidden; c++ {
+						dpool.Data[c] += dIn.Data[c]
+					}
+				}
+				if !frozen && dpool != nil {
+					m.Enc.Backward(dpool)
+				}
+			}
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(params, cfg.ClipNorm)
+			}
+			opt.Step(params)
+		}
+		if nLoss > 0 {
+			stats.FinalLoss = epochLoss / float64(nLoss)
+		}
+	}
+
+	// Final training accuracy.
+	correct, total := 0, 0
+	for i, s := range samples {
+		var pooled *tensor.Matrix
+		if frozen {
+			pooled = cached[i]
+		} else {
+			pooled = m.Enc.Forward(s.Region, m.Adjacency(s.Region))
+		}
+		for _, cs := range s.Cases {
+			if cs.Label < 0 {
+				continue
+			}
+			if nn.Argmax(m.Logits(m.Assemble(pooled, cs.Extras), cs.Head), 0) == cs.Label {
+				correct++
+			}
+			total++
+		}
+	}
+	if total > 0 {
+		stats.TrainAccuracy = float64(correct) / float64(total)
+	}
+	stats.Duration = time.Since(start)
+	return stats
+}
+
+func countParams(params []*nn.Param) int {
+	n := 0
+	for _, p := range params {
+		n += len(p.W.Data)
+	}
+	return n
+}
+
+// EncoderCheckpoint snapshots the encoder parameters for transfer to
+// another machine's model.
+func (m *Model) EncoderCheckpoint() *nn.Checkpoint {
+	return nn.Snapshot(m.Enc.Params())
+}
+
+// RestoreEncoder loads encoder parameters from a checkpoint (shapes must
+// match: same ModelConfig sizing).
+func (m *Model) RestoreEncoder(ck *nn.Checkpoint) (int, error) {
+	return ck.Restore(m.Enc.Params())
+}

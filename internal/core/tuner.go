@@ -1,0 +1,287 @@
+package core
+
+import (
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/kernels"
+	"pnptuner/internal/nn"
+	"pnptuner/internal/papi"
+)
+
+// extras assembles the extra-feature vector for a region under cfg.
+func extras(cfg ModelConfig, counters papi.Counters, capNorm float64) []float64 {
+	var out []float64
+	if cfg.UseCounters {
+		f := counters.Features()
+		out = append(out, f[:]...)
+	}
+	if cfg.UseCapFeature {
+		out = append(out, capNorm)
+	}
+	return out
+}
+
+// PowerResult is a trained scenario-1 model plus its held-out predictions.
+type PowerResult struct {
+	Model *Model
+	Stats TrainStats
+	// Pred maps region ID → per-cap predicted config index.
+	Pred map[string][]int
+}
+
+// TrainPower trains the scenario-1 model (best config per power cap) on a
+// LOOCV fold: one classifier head per cap over the per-cap configuration
+// space, shared graph encoder.
+func TrainPower(d *dataset.Dataset, fold dataset.Fold, cfg ModelConfig) *PowerResult {
+	nCaps := len(d.Space.Caps())
+	m := NewModel(cfg, d.Corpus.Vocab.Size(), nCaps, d.Space.NumConfigs())
+	samples := powerSamples(d, fold.Train, cfg)
+	stats := m.Fit(samples)
+	return &PowerResult{Model: m, Stats: stats, Pred: predictPower(d, m, cfg, fold.Val)}
+}
+
+// TransferPower trains a scenario-1 model for d reusing a source model's
+// encoder (the Haswell→Skylake trick of §IV-B): encoder weights are
+// restored and frozen; only the dense heads train.
+func TransferPower(src *Model, d *dataset.Dataset, fold dataset.Fold, cfg ModelConfig) (*PowerResult, error) {
+	nCaps := len(d.Space.Caps())
+	m := NewModel(cfg, d.Corpus.Vocab.Size(), nCaps, d.Space.NumConfigs())
+	if _, err := m.RestoreEncoder(src.EncoderCheckpoint()); err != nil {
+		return nil, err
+	}
+	samples := powerSamples(d, fold.Train, cfg)
+	stats := m.FitFrozen(samples)
+	return &PowerResult{Model: m, Stats: stats, Pred: predictPower(d, m, cfg, fold.Val)}, nil
+}
+
+// softTargets builds the near-optimal label distribution: p ∝ (best/v)^γ
+// for entries within 20% of the best value (values are times or EDPs;
+// lower is better). Returns nil when soft labels are disabled.
+func softTargets(cfg ModelConfig, values func(int) float64, n int, best float64) []float64 {
+	if !cfg.SoftLabels {
+		return nil
+	}
+	gamma := cfg.SoftGamma
+	if gamma <= 0 {
+		gamma = 24
+	}
+	p := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		r := best / values(i)
+		if r >= 0.8 {
+			w := pow(r, gamma)
+			p[i] = w
+			sum += w
+		}
+	}
+	if sum <= 0 {
+		return nil
+	}
+	inv := 1 / sum
+	for i := range p {
+		p[i] *= inv
+	}
+	return p
+}
+
+// pow is a fast integer-ish power for the soft-label sharpening exponent.
+func pow(x, g float64) float64 {
+	r := 1.0
+	for g >= 1 {
+		r *= x
+		g--
+	}
+	return r
+}
+
+func powerSamples(d *dataset.Dataset, train []*dataset.RegionData, cfg ModelConfig) []Sample {
+	samples := make([]Sample, 0, len(train))
+	for _, rd := range train {
+		s := Sample{Region: rd.Region}
+		ex := extras(cfg, rd.Counters, 0)
+		for h, lbl := range rd.BestTimeCfg {
+			res := rd.Results[h]
+			soft := softTargets(cfg, func(i int) float64 { return res[i].TimeSec },
+				d.Space.NumConfigs(), res[lbl].TimeSec)
+			s.Cases = append(s.Cases, Case{Extras: ex, Head: h, Label: lbl, Soft: soft})
+		}
+		samples = append(samples, s)
+	}
+	return samples
+}
+
+func predictPower(d *dataset.Dataset, m *Model, cfg ModelConfig, val []*dataset.RegionData) map[string][]int {
+	pred := make(map[string][]int, len(val))
+	for _, rd := range val {
+		enc := m.Encode(rd.Region, extras(cfg, rd.Counters, 0))
+		picks := make([]int, len(d.Space.Caps()))
+		for h := range picks {
+			picks[h] = nn.Argmax(m.Logits(enc, h), 0)
+		}
+		pred[rd.Region.ID] = picks
+	}
+	return pred
+}
+
+// EDPResult is a trained scenario-2 model plus its held-out predictions.
+type EDPResult struct {
+	Model *Model
+	Stats TrainStats
+	// Pred maps region ID → predicted joint (cap, config) index.
+	Pred map[string]int
+}
+
+// TrainEDP trains the scenario-2 model: a single classifier over the
+// joint 508-point (power cap × OpenMP configuration) space targeting the
+// minimum energy-delay product.
+func TrainEDP(d *dataset.Dataset, fold dataset.Fold, cfg ModelConfig) *EDPResult {
+	m := NewModel(cfg, d.Corpus.Vocab.Size(), 1, d.Space.NumJoint())
+	samples := make([]Sample, 0, len(fold.Train))
+	for _, rd := range fold.Train {
+		soft := softTargets(cfg, func(j int) float64 {
+			ci, ki := d.Space.SplitJoint(j)
+			return rd.Results[ci][ki].EDP()
+		}, d.Space.NumJoint(), rd.BestEDP(d.Space))
+		samples = append(samples, Sample{
+			Region: rd.Region,
+			Cases:  []Case{{Extras: extras(cfg, rd.Counters, 0), Head: 0, Label: rd.BestEDPJoint, Soft: soft}},
+		})
+	}
+	stats := m.Fit(samples)
+	pred := make(map[string]int, len(fold.Val))
+	for _, rd := range fold.Val {
+		pred[rd.Region.ID] = m.Predict(rd.Region, extras(cfg, rd.Counters, 0), 0)
+	}
+	return &EDPResult{Model: m, Stats: stats, Pred: pred}
+}
+
+// UnseenCapResult is a cap-conditioned model evaluated at a power
+// constraint excluded from training (Figs. 4–5).
+type UnseenCapResult struct {
+	Model *Model
+	Stats TrainStats
+	// Pred maps region ID → predicted config index at the unseen cap.
+	Pred map[string]int
+}
+
+// TrainUnseenCap trains the cap-conditioned variant: counters and the
+// normalized power cap join the feature set, a single head classifies the
+// per-cap configuration space, and every measurement at the target cap is
+// excluded from training (in addition to the LOOCV holdout).
+func TrainUnseenCap(d *dataset.Dataset, fold dataset.Fold, targetCapIdx int, cfg ModelConfig) *UnseenCapResult {
+	cfg.UseCounters = true
+	cfg.UseCapFeature = true
+	m := NewModel(cfg, d.Corpus.Vocab.Size(), 1, d.Space.NumConfigs())
+
+	caps := d.Space.Caps()
+	tdp := d.Machine.TDP
+	var samples []Sample
+	for _, rd := range fold.Train {
+		s := Sample{Region: rd.Region}
+		for ci := range caps {
+			if ci == targetCapIdx {
+				continue
+			}
+			res := rd.Results[ci]
+			soft := softTargets(cfg, func(i int) float64 { return res[i].TimeSec },
+				d.Space.NumConfigs(), res[rd.BestTimeCfg[ci]].TimeSec)
+			s.Cases = append(s.Cases, Case{
+				Extras: extras(cfg, rd.Counters, caps[ci]/tdp),
+				Head:   0,
+				Label:  rd.BestTimeCfg[ci],
+				Soft:   soft,
+			})
+		}
+		samples = append(samples, s)
+	}
+	stats := m.Fit(samples)
+
+	pred := make(map[string]int, len(fold.Val))
+	for _, rd := range fold.Val {
+		pred[rd.Region.ID] = m.Predict(rd.Region, extras(cfg, rd.Counters, caps[targetCapIdx]/tdp), 0)
+	}
+	return &UnseenCapResult{Model: m, Stats: stats, Pred: pred}
+}
+
+// PredictTopK returns head h's k highest-scoring classes for region r,
+// best first. It powers the hybrid tuning mode: the static model proposes
+// k candidates and a handful of validation executions picks the winner,
+// trading the paper's zero-execution property for extra headroom — an
+// extension the paper's Discussion suggests ("limiting the number of
+// sampling runs").
+func (m *Model) PredictTopK(r *kernels.Region, extraFeats []float64, h, k int) []int {
+	logits := m.Logits(m.Encode(r, extraFeats), h)
+	return nn.TopK(logits, 0, k)
+}
+
+// HybridPower picks, per validation region and cap, the best of the
+// model's top-k candidates by actually measuring them (k executions per
+// cap instead of BLISS's 20 per region).
+func HybridPower(d *dataset.Dataset, res *PowerResult, fold dataset.Fold, k int) map[string][]int {
+	out := make(map[string][]int, len(fold.Val))
+	for _, rd := range fold.Val {
+		picks := make([]int, len(d.Space.Caps()))
+		enc := res.Model.Encode(rd.Region, extras(res.Model.Cfg, rd.Counters, 0))
+		for ci := range picks {
+			cands := nn.TopK(res.Model.Logits(enc, ci), 0, k)
+			best := cands[0]
+			bestT := rd.Results[ci][best].TimeSec
+			for _, c := range cands[1:] {
+				if t := rd.Results[ci][c].TimeSec; t < bestT {
+					best, bestT = c, t
+				}
+			}
+			picks[ci] = best
+		}
+		out[rd.Region.ID] = picks
+	}
+	return out
+}
+
+// RefineEDPWithCounters is the §IV-C analogue of RefineWithCounters:
+// regions whose static EDP prediction falls below a normalized-improvement
+// threshold are re-predicted with the dynamic-feature model.
+func RefineEDPWithCounters(d *dataset.Dataset, fold dataset.Fold, staticPred map[string]int,
+	threshold float64, cfg ModelConfig) map[string]int {
+
+	cfg.UseCounters = true
+	dyn := TrainEDP(d, fold, cfg)
+	merged := make(map[string]int, len(staticPred))
+	for _, rd := range fold.Val {
+		pick := staticPred[rd.Region.ID]
+		ci, ki := d.Space.SplitJoint(pick)
+		best := rd.BestEDP(d.Space)
+		got := rd.Results[ci][ki].EDP()
+		if best/got < threshold {
+			pick = dyn.Pred[rd.Region.ID]
+		}
+		merged[rd.Region.ID] = pick
+	}
+	return merged
+}
+
+// RefineWithCounters mirrors the paper's §IV-B refinement: regions whose
+// static prediction falls below a normalized-speedup threshold are
+// re-predicted with the dynamic-feature model. It returns the merged
+// per-cap predictions.
+func RefineWithCounters(d *dataset.Dataset, fold dataset.Fold, staticPred map[string][]int,
+	threshold float64, cfg ModelConfig) map[string][]int {
+
+	cfg.UseCounters = true
+	dyn := TrainPower(d, fold, cfg)
+	merged := make(map[string][]int, len(staticPred))
+	for _, rd := range fold.Val {
+		static := staticPred[rd.Region.ID]
+		out := make([]int, len(static))
+		copy(out, static)
+		for ci := range static {
+			best := rd.BestTime(ci)
+			got := rd.Results[ci][static[ci]].TimeSec
+			if best/got < threshold {
+				out[ci] = dyn.Pred[rd.Region.ID][ci]
+			}
+		}
+		merged[rd.Region.ID] = out
+	}
+	return merged
+}

@@ -1,0 +1,130 @@
+package dataset
+
+import (
+	"testing"
+
+	"pnptuner/internal/hw"
+	"pnptuner/internal/metrics"
+)
+
+func TestBuildHaswell(t *testing.T) {
+	d, err := Build(hw.Haswell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regions) != 68 {
+		t.Fatalf("regions = %d, want 68", len(d.Regions))
+	}
+	if err := d.SanityCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildIsCached(t *testing.T) {
+	a := MustBuild(hw.Haswell())
+	b := MustBuild(hw.Haswell())
+	if a != b {
+		t.Fatal("dataset not cached")
+	}
+}
+
+func TestLOOCVFolds(t *testing.T) {
+	d := MustBuild(hw.Haswell())
+	folds := d.LOOCVFolds()
+	if len(folds) != 30 {
+		t.Fatalf("folds = %d, want 30 (one per app)", len(folds))
+	}
+	total := 0
+	for _, f := range folds {
+		total += len(f.Val)
+		if len(f.Train)+len(f.Val) != 68 {
+			t.Fatalf("fold %s: %d+%d != 68", f.App, len(f.Train), len(f.Val))
+		}
+		for _, rd := range f.Val {
+			if rd.Region.App != f.App {
+				t.Fatalf("fold %s contains region of %s", f.App, rd.Region.App)
+			}
+		}
+		for _, rd := range f.Train {
+			if rd.Region.App == f.App {
+				t.Fatalf("fold %s leaks validation app into training", f.App)
+			}
+		}
+	}
+	if total != 68 {
+		t.Fatalf("folds cover %d regions, want 68", total)
+	}
+}
+
+func TestOracleBeatsDefault(t *testing.T) {
+	// The tuning problem must be non-trivial: at the lowest cap the oracle
+	// should beat the default by a solid geomean margin.
+	d := MustBuild(hw.Haswell())
+	var sps []float64
+	for _, rd := range d.Regions {
+		def := rd.DefaultResult(0, d.Space).TimeSec
+		sps = append(sps, metrics.Speedup(def, rd.BestTime(0)))
+	}
+	gm := metrics.GeoMean(sps)
+	if gm < 1.05 {
+		t.Fatalf("oracle geomean speedup at 40W = %.3f; landscape too flat", gm)
+	}
+	if gm > 4 {
+		t.Fatalf("oracle geomean speedup at 40W = %.3f; landscape implausibly steep", gm)
+	}
+}
+
+func TestOracleLabelsVaryAcrossCaps(t *testing.T) {
+	// If the best config were identical at every cap, power-aware tuning
+	// would be pointless; the paper's premise is that it varies.
+	d := MustBuild(hw.Haswell())
+	varies := 0
+	for _, rd := range d.Regions {
+		first := rd.BestTimeCfg[0]
+		for _, b := range rd.BestTimeCfg[1:] {
+			if b != first {
+				varies++
+				break
+			}
+		}
+	}
+	if varies < 10 {
+		t.Fatalf("only %d/68 regions change oracle config across caps", varies)
+	}
+}
+
+func TestOracleLabelsVaryAcrossRegions(t *testing.T) {
+	d := MustBuild(hw.Haswell())
+	distinct := map[int]bool{}
+	for _, rd := range d.Regions {
+		distinct[rd.BestTimeCfg[0]] = true
+	}
+	if len(distinct) < 5 {
+		t.Fatalf("only %d distinct oracle configs at 40W; classification trivial", len(distinct))
+	}
+}
+
+func TestEDPOracleUsesVariedCaps(t *testing.T) {
+	// The EDP-optimal power level should not be a single cap for all
+	// regions (otherwise scenario 2 degenerates).
+	d := MustBuild(hw.Haswell())
+	caps := map[int]int{}
+	for _, rd := range d.Regions {
+		ci, _ := d.Space.SplitJoint(rd.BestEDPJoint)
+		caps[ci]++
+	}
+	if len(caps) < 2 {
+		t.Fatalf("EDP oracle picked one cap for all regions: %v", caps)
+	}
+}
+
+func TestRegionLookup(t *testing.T) {
+	d := MustBuild(hw.Haswell())
+	id := d.Regions[0].Region.ID
+	if d.Region(id) != d.Regions[0] {
+		t.Fatal("lookup broken")
+	}
+	if d.Region("missing") != nil {
+		t.Fatal("lookup invented a region")
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the power figure as long-format CSV (machine, cap, app,
+// tuner, normalized speedup), ready for plotting tools.
+func (pf *PowerFigure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "machine,cap_w,app,tuner,norm_speedup"); err != nil {
+		return err
+	}
+	for ci, capW := range pf.Caps {
+		for ai, app := range pf.Apps {
+			for _, tn := range Tuners {
+				if _, err := fmt.Fprintf(w, "%s,%g,%s,%s,%.6f\n",
+					pf.Machine, capW, app, tn, pf.Norm[tn][ci][ai]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the unseen-cap figure as long-format CSV.
+func (uf *UnseenCapFigure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "machine,target_cap_w,app,series,norm_speedup"); err != nil {
+		return err
+	}
+	for ti, capW := range uf.TargetCaps {
+		for ai, app := range uf.Apps {
+			if _, err := fmt.Fprintf(w, "%s,%g,%s,Default,%.6f\n",
+				uf.Machine, capW, app, uf.DefaultNorm[ti][ai]); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s,%g,%s,PnP,%.6f\n",
+				uf.Machine, capW, app, uf.PnPNorm[ti][ai]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the EDP figure as long-format CSV.
+func (ef *EDPFigure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "machine,app,tuner,norm_edp_improvement"); err != nil {
+		return err
+	}
+	for ai, app := range ef.Apps {
+		for _, tn := range Tuners {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%.6f\n",
+				ef.Machine, app, tn, ef.NormEDP[tn][ai]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

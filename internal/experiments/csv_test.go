@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPowerFigureCSV(t *testing.T) {
+	pf := &PowerFigure{
+		Machine: "haswell",
+		Caps:    []float64{40, 85},
+		Apps:    []string{"gemm", "lu"},
+		Norm:    map[string][][]float64{},
+	}
+	for _, tn := range Tuners {
+		pf.Norm[tn] = [][]float64{{0.5, 0.6}, {0.7, 0.8}}
+	}
+	var b bytes.Buffer
+	if err := pf.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	want := 1 + len(pf.Caps)*len(pf.Apps)*len(Tuners)
+	if len(lines) != want {
+		t.Fatalf("csv lines = %d, want %d", len(lines), want)
+	}
+	if lines[0] != "machine,cap_w,app,tuner,norm_speedup" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(b.String(), "haswell,40,gemm,Default,0.5") {
+		t.Error("missing expected row")
+	}
+}
+
+func TestUnseenCapFigureCSV(t *testing.T) {
+	uf := &UnseenCapFigure{
+		Machine:     "skylake",
+		TargetCaps:  []float64{150, 75},
+		Apps:        []string{"mvt"},
+		DefaultNorm: [][]float64{{0.4}, {0.3}},
+		PnPNorm:     [][]float64{{0.9}, {0.95}},
+	}
+	var b bytes.Buffer
+	if err := uf.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"skylake,150,mvt,Default,0.4", "skylake,75,mvt,PnP,0.95"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv missing %q", want)
+		}
+	}
+}
+
+func TestEDPFigureCSV(t *testing.T) {
+	ef := &EDPFigure{
+		Machine: "haswell",
+		Apps:    []string{"atax"},
+		NormEDP: map[string][]float64{},
+	}
+	for _, tn := range Tuners {
+		ef.NormEDP[tn] = []float64{0.77}
+	}
+	var b bytes.Buffer
+	if err := ef.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "haswell,atax,PnP(Static),0.77") {
+		t.Error("csv missing row")
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pnptuner/internal/hw"
+)
+
+func TestTablesPrint(t *testing.T) {
+	var b bytes.Buffer
+	Table1(&b)
+	Table2(&b)
+	out := b.String()
+	for _, want := range []string{"TABLE I", "TABLE II", "508", "RGCN (4)", "FCNN (3)", "Cross entropy", "0.001"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables missing %q", want)
+		}
+	}
+}
+
+func TestMotivationShape(t *testing.T) {
+	var b bytes.Buffer
+	res, err := Motivation(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SpeedupAtCap) != 4 {
+		t.Fatalf("caps = %d", len(res.SpeedupAtCap))
+	}
+	// The paper's shape: gains shrink as the cap loosens, largest at 40W.
+	if res.SpeedupAtCap[0] <= res.SpeedupAtCap[3] {
+		t.Errorf("speedup at 40W (%.2f) should exceed 85W (%.2f)",
+			res.SpeedupAtCap[0], res.SpeedupAtCap[3])
+	}
+	if res.SpeedupAtCap[0] < 2 {
+		t.Errorf("40W speedup %.2f too small for the motivating example", res.SpeedupAtCap[0])
+	}
+	if res.EDPGreenup <= 1 {
+		t.Errorf("EDP point greenup %.2f must beat default", res.EDPGreenup)
+	}
+}
+
+func TestFig2QuickShape(t *testing.T) {
+	var b bytes.Buffer
+	pf, err := Fig2(&b, QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Machine != "haswell" || len(pf.Caps) != 4 {
+		t.Fatalf("figure meta wrong: %s %v", pf.Machine, pf.Caps)
+	}
+	if len(pf.Apps) == 0 {
+		t.Fatal("no apps evaluated")
+	}
+	for _, tn := range Tuners {
+		if len(pf.Norm[tn]) != 4 {
+			t.Fatalf("%s: missing cap rows", tn)
+		}
+		for ci := range pf.Caps {
+			for ai := range pf.Apps {
+				v := pf.Norm[tn][ci][ai]
+				if v <= 0 || v > 1.2 {
+					t.Fatalf("%s norm[%d][%d] = %g out of range", tn, ci, ai, v)
+				}
+			}
+		}
+	}
+	// Oracle-normalized default must never exceed 1.
+	for ci := range pf.Caps {
+		for _, v := range pf.Norm[TunerDefault][ci] {
+			if v > 1.0001 {
+				t.Fatalf("default normalized %g > 1", v)
+			}
+		}
+	}
+	if !strings.Contains(b.String(), "geomean speedups over default") {
+		t.Error("figure print incomplete")
+	}
+}
+
+func TestFig5QuickShape(t *testing.T) {
+	var b bytes.Buffer
+	uf, err := Fig5(&b, QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uf.TargetCaps) != 2 || uf.TargetCaps[0] != 85 || uf.TargetCaps[1] != 40 {
+		t.Fatalf("target caps = %v, want [85 40]", uf.TargetCaps)
+	}
+	if len(uf.Speedup) != 2 || uf.Speedup[0] <= 0 {
+		t.Fatalf("speedups = %v", uf.Speedup)
+	}
+	for ti := range uf.TargetCaps {
+		if uf.OracleSpeedup[ti] < uf.Speedup[ti]*0.99 {
+			t.Fatalf("PnP (%.3f) exceeding oracle (%.3f) at cap %d",
+				uf.Speedup[ti], uf.OracleSpeedup[ti], ti)
+		}
+	}
+}
+
+func TestFig6QuickShape(t *testing.T) {
+	var b bytes.Buffer
+	ef, err := Fig6And7(&b, hw.Haswell(), QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range Tuners {
+		if ef.EDPImprovement[tn] <= 0 {
+			t.Fatalf("%s: no EDP improvement recorded", tn)
+		}
+	}
+	// Default's improvement over itself is exactly 1.
+	if ef.EDPImprovement[TunerDefault] != 1 {
+		t.Fatalf("default EDP improvement = %g, want 1", ef.EDPImprovement[TunerDefault])
+	}
+	// PnP must improve EDP over default on geomean.
+	if ef.EDPImprovement[TunerPnPStatic] <= 1.05 {
+		t.Fatalf("PnP EDP improvement = %.3f, want > 1.05", ef.EDPImprovement[TunerPnPStatic])
+	}
+	out := b.String()
+	if !strings.Contains(out, "Fig 6") || !strings.Contains(out, "Fig 7") {
+		t.Error("missing figure output")
+	}
+}

@@ -1,0 +1,366 @@
+package frontend
+
+import (
+	"fmt"
+	"math"
+)
+
+// Intrinsic describes a builtin callable: math functions and the
+// simulator intrinsics that stand in for proxy-app subroutines that the
+// paper's benchmarks call into (cross-section lookups, particle walks...).
+type Intrinsic struct {
+	Flops  float64 // floating-point work per call
+	IntOps float64
+	Loads  float64 // 8-byte element loads per call (mostly gathers)
+	Stores float64
+	// Irregular marks data-dependent per-call cost (Monte Carlo style);
+	// CV is the coefficient of variation of that cost.
+	Irregular bool
+	CV        float64
+	// Gather marks the loads as random-access (cache-hostile).
+	Gather bool
+	// Returns reports whether the intrinsic yields a double value.
+	Returns bool
+}
+
+// Intrinsics is the builtin table. Math builtins use costs in flop
+// equivalents typical of libm on the paper's hardware; proxy-app
+// intrinsics model the hot subroutines of XSBench, RSBench, Quicksilver,
+// and miniAMR that sit below the OpenMP region being tuned.
+var Intrinsics = map[string]Intrinsic{
+	"sqrt": {Flops: 8, Returns: true},
+	"fabs": {Flops: 1, Returns: true},
+	"exp":  {Flops: 15, Returns: true},
+	"log":  {Flops: 15, Returns: true},
+	"pow":  {Flops: 22, Returns: true},
+	"sin":  {Flops: 14, Returns: true},
+	"cos":  {Flops: 14, Returns: true},
+	"fmax": {Flops: 1, Returns: true},
+	"fmin": {Flops: 1, Returns: true},
+	// Proxy-app subroutine stand-ins.
+	"xs_lookup_macro":   {Flops: 46, IntOps: 30, Loads: 26, Irregular: true, CV: 0.35, Gather: true, Returns: true},
+	"xs_lookup_micro":   {Flops: 18, IntOps: 14, Loads: 9, Irregular: true, CV: 0.30, Gather: true, Returns: true},
+	"rs_eval_poles":     {Flops: 95, IntOps: 12, Loads: 11, Irregular: true, CV: 0.25, Gather: true, Returns: true},
+	"rs_eval_window":    {Flops: 40, IntOps: 8, Loads: 6, Irregular: true, CV: 0.22, Gather: true, Returns: true},
+	"mc_segment_walk":   {Flops: 70, IntOps: 40, Loads: 34, Stores: 6, Irregular: true, CV: 0.90, Gather: true, Returns: true},
+	"mc_collision":      {Flops: 55, IntOps: 22, Loads: 18, Stores: 4, Irregular: true, CV: 0.75, Gather: true, Returns: true},
+	"amr_refine_check":  {Flops: 12, IntOps: 10, Loads: 9, Irregular: true, CV: 0.50, Gather: true, Returns: true},
+	"amr_face_exchange": {Flops: 6, IntOps: 12, Loads: 14, Stores: 6, Irregular: true, CV: 0.40, Gather: true, Returns: true},
+	"rand01":            {Flops: 5, IntOps: 3, Returns: true},
+}
+
+// Imbalance classifies the distribution of per-iteration cost across the
+// parallel iteration space. It drives how much the scheduler choice
+// (static/dynamic/guided and chunk size) matters for a region.
+type Imbalance int
+
+// Imbalance kinds.
+const (
+	ImbUniform    Imbalance = iota
+	ImbIncreasing           // cost grows with the iteration index (lower-triangular nests)
+	ImbDecreasing           // cost shrinks with the iteration index (upper-triangular nests)
+	ImbRandom               // data-dependent cost (Monte Carlo)
+)
+
+func (im Imbalance) String() string {
+	switch im {
+	case ImbUniform:
+		return "uniform"
+	case ImbIncreasing:
+		return "increasing"
+	case ImbDecreasing:
+		return "decreasing"
+	case ImbRandom:
+		return "random"
+	}
+	return "?"
+}
+
+// RegionModel is the analytic performance model of one OpenMP region,
+// extracted statically from its loop nest. All per-iteration quantities
+// are means over the parallel iteration space.
+type RegionModel struct {
+	Trips         int64   // parallel-loop iterations
+	FlopsPerIter  float64 // floating-point operations
+	IntOpsPerIter float64 // integer/index operations
+	LoadsPerIter  float64 // 8-byte element loads
+	StoresPerIter float64 // 8-byte element stores
+	// GatherFrac is the fraction of loads that are random-access.
+	GatherFrac float64
+	// SeqFrac is the fraction of accesses that are stride-1 streaming.
+	SeqFrac float64
+	// WorkingSet is the total footprint (bytes) of referenced arrays.
+	WorkingSet int64
+	// CostProfile holds relative per-iteration cost sampled at fractions
+	// {0, 1/4, 1/2, 3/4, 1} of the iteration space, normalized to mean 1.
+	CostProfile [5]float64
+	Imbalance   Imbalance
+	// CV is the coefficient of variation of iteration cost for ImbRandom.
+	CV           float64
+	HasReduction bool
+	// BranchesPerIter counts conditional branches (loop back-edges + ifs).
+	BranchesPerIter float64
+}
+
+// BytesPerIter returns the mean DRAM-visible traffic per iteration,
+// before cache filtering.
+func (m *RegionModel) BytesPerIter() float64 {
+	return 8 * (m.LoadsPerIter + m.StoresPerIter)
+}
+
+// ArithIntensity returns flops per byte of raw traffic.
+func (m *RegionModel) ArithIntensity() float64 {
+	b := m.BytesPerIter()
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return m.FlopsPerIter / b
+}
+
+// InstrPerIter estimates retired instructions per iteration, feeding the
+// simulated PAPI_TOT_INS counter.
+func (m *RegionModel) InstrPerIter() float64 {
+	return m.FlopsPerIter + m.IntOpsPerIter + 1.3*(m.LoadsPerIter+m.StoresPerIter) + 2*m.BranchesPerIter
+}
+
+// ArrayInfo is an evaluated global array declaration.
+type ArrayInfo struct {
+	Name  string
+	Elem  ScalarType
+	Dims  []int64
+	Bytes int64
+}
+
+// Region is one OpenMP parallel region found in a source file: the pragma,
+// the annotated loop, and its extracted performance model.
+type Region struct {
+	ID     string // "<app>.<func>#<k>"
+	App    string
+	Func   string
+	Index  int // ordinal within the function
+	Loop   *ForStmt
+	Pragma *Pragma
+	Model  RegionModel
+}
+
+// Program is a semantically analyzed file: evaluated constants and arrays,
+// plus the parallel regions with their models.
+type Program struct {
+	File    *File
+	Consts  map[string]int64
+	Arrays  map[string]*ArrayInfo
+	Regions []*Region
+}
+
+// Analyze semantically checks f, evaluates constants and array extents,
+// finds every "#pragma omp parallel for" region, and extracts each
+// region's performance model.
+func Analyze(f *File) (*Program, error) {
+	p := &Program{
+		File:   f,
+		Consts: make(map[string]int64),
+		Arrays: make(map[string]*ArrayInfo),
+	}
+	for _, cd := range f.Consts {
+		v, err := p.evalConstInt(cd.Value)
+		if err != nil {
+			return nil, fmt.Errorf("frontend: %s: const %s: %w", f.Name, cd.Name, err)
+		}
+		p.Consts[cd.Name] = v
+	}
+	for _, ad := range f.Arrays {
+		info := &ArrayInfo{Name: ad.Name, Elem: ad.Elem}
+		bytes := int64(8)
+		for _, d := range ad.Dims {
+			v, err := p.evalConstInt(d)
+			if err != nil {
+				return nil, fmt.Errorf("frontend: %s: array %s: %w", f.Name, ad.Name, err)
+			}
+			if v <= 0 {
+				return nil, fmt.Errorf("frontend: %s: array %s: non-positive dimension %d", f.Name, ad.Name, v)
+			}
+			info.Dims = append(info.Dims, v)
+			bytes *= v
+		}
+		info.Bytes = bytes
+		p.Arrays[ad.Name] = info
+	}
+	for _, fd := range f.Funcs {
+		idx := 0
+		var walk func(s Stmt) error
+		walk = func(s Stmt) error {
+			switch st := s.(type) {
+			case *BlockStmt:
+				for _, sub := range st.Stmts {
+					if err := walk(sub); err != nil {
+						return err
+					}
+				}
+			case *ForStmt:
+				if st.Pragma != nil && st.Pragma.Parallel {
+					r := &Region{
+						ID:     fmt.Sprintf("%s.%s#%d", f.Name, fd.Name, idx),
+						App:    f.Name,
+						Func:   fd.Name,
+						Index:  idx,
+						Loop:   st,
+						Pragma: st.Pragma,
+					}
+					idx++
+					if err := p.extractModel(r); err != nil {
+						return fmt.Errorf("frontend: %s: region %s: %w", f.Name, r.ID, err)
+					}
+					p.Regions = append(p.Regions, r)
+					// Nested pragmas inside a parallel region are not
+					// supported; the body is still walked to reject them.
+					if hasParallel(st.Body) {
+						return fmt.Errorf("frontend: %s: nested parallel region in %s", f.Name, r.ID)
+					}
+					return nil
+				}
+				return walk(st.Body)
+			case *IfStmt:
+				if err := walk(st.Then); err != nil {
+					return err
+				}
+				if st.Else != nil {
+					return walk(st.Else)
+				}
+			}
+			return nil
+		}
+		if err := walk(fd.Body); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func hasParallel(s Stmt) bool {
+	switch st := s.(type) {
+	case *BlockStmt:
+		for _, sub := range st.Stmts {
+			if hasParallel(sub) {
+				return true
+			}
+		}
+	case *ForStmt:
+		return (st.Pragma != nil && st.Pragma.Parallel) || hasParallel(st.Body)
+	case *IfStmt:
+		if hasParallel(st.Then) {
+			return true
+		}
+		if st.Else != nil {
+			return hasParallel(st.Else)
+		}
+	}
+	return false
+}
+
+// evalConstInt evaluates a compile-time integer expression.
+func (p *Program) evalConstInt(e Expr) (int64, error) {
+	v, err := p.evalNum(e, nil)
+	if err != nil {
+		return 0, err
+	}
+	return int64(math.Round(v)), nil
+}
+
+var errDataDependent = fmt.Errorf("data-dependent expression")
+
+// evalNum numerically evaluates e under env (loop-variable bindings plus
+// file constants). Array reads and intrinsic calls are data-dependent and
+// return errDataDependent.
+func (p *Program) evalNum(e Expr, env map[string]float64) (float64, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return float64(x.Value), nil
+	case *FloatLit:
+		return x.Value, nil
+	case *Ident:
+		if env != nil {
+			if v, ok := env[x.Name]; ok {
+				return v, nil
+			}
+		}
+		if v, ok := p.Consts[x.Name]; ok {
+			return float64(v), nil
+		}
+		return 0, errDataDependent
+	case *UnaryExpr:
+		v, err := p.evalNum(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op == "-" {
+			return -v, nil
+		}
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case *BinaryExpr:
+		l, err := p.evalNum(x.L, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := p.evalNum(x.R, env)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero in constant expression")
+			}
+			return l / r, nil
+		case "%":
+			if int64(r) == 0 {
+				return 0, fmt.Errorf("modulo by zero in constant expression")
+			}
+			return float64(int64(l) % int64(r)), nil
+		case "<":
+			return b2f(l < r), nil
+		case ">":
+			return b2f(l > r), nil
+		case "<=":
+			return b2f(l <= r), nil
+		case ">=":
+			return b2f(l >= r), nil
+		case "==":
+			return b2f(l == r), nil
+		case "!=":
+			return b2f(l != r), nil
+		case "&&":
+			return b2f(l != 0 && r != 0), nil
+		case "||":
+			return b2f(l != 0 || r != 0), nil
+		}
+		return 0, fmt.Errorf("unknown operator %q", x.Op)
+	case *CondExpr:
+		c, err := p.evalNum(x.Cond, env)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return p.evalNum(x.Then, env)
+		}
+		return p.evalNum(x.Else, env)
+	case *IndexExpr, *CallExpr:
+		return 0, errDataDependent
+	}
+	return 0, fmt.Errorf("unsupported expression %T", e)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,189 @@
+package frontend
+
+// ScalarType is the source-level type of a scalar value.
+type ScalarType int
+
+// Source scalar types.
+const (
+	TypeInt ScalarType = iota
+	TypeDouble
+	TypeVoid
+)
+
+func (t ScalarType) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeDouble:
+		return "double"
+	case TypeVoid:
+		return "void"
+	}
+	return "?"
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Name   string
+	Consts []*ConstDecl
+	Arrays []*ArrayDecl
+	Funcs  []*FuncDecl
+}
+
+// ConstDecl is a compile-time integer constant ("const int N = 2000;").
+type ConstDecl struct {
+	Name  string
+	Value Expr
+}
+
+// ArrayDecl is a global array or scalar declaration.
+type ArrayDecl struct {
+	Name string
+	Elem ScalarType
+	Dims []Expr // empty for scalars
+}
+
+// FuncDecl is a void function containing statements; parallel regions live
+// inside function bodies.
+type FuncDecl struct {
+	Name string
+	Body *BlockStmt
+}
+
+// Stmt is the statement interface.
+type Stmt interface{ stmt() }
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct{ Stmts []Stmt }
+
+// ForStmt is a counted loop, optionally annotated with an OpenMP pragma.
+type ForStmt struct {
+	Pragma *Pragma // nil for plain loops
+	Var    string
+	Init   Expr
+	// Cond is Var RelOp Bound.
+	RelOp string // "<", "<=", ">", ">="
+	Bound Expr
+	// Step: Var += StepExpr (StepExpr is 1 for ++, -1 for --).
+	Step Expr
+	Body Stmt
+}
+
+// IfStmt is a conditional.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// DeclStmt declares a local scalar, optionally initialized.
+type DeclStmt struct {
+	Name string
+	Typ  ScalarType
+	Init Expr // may be nil
+}
+
+// AssignStmt is "lvalue op= expr" where op is one of =, +=, -=, *=, /=.
+type AssignStmt struct {
+	LHS *LValue
+	Op  string // "=", "+=", "-=", "*=", "/="
+	RHS Expr
+}
+
+// ExprStmt is a bare call used for effect (intrinsics).
+type ExprStmt struct{ X Expr }
+
+// LValue is a scalar variable or an array element reference.
+type LValue struct {
+	Name    string
+	Indices []Expr // nil for scalars
+}
+
+func (*BlockStmt) stmt()  {}
+func (*ForStmt) stmt()    {}
+func (*IfStmt) stmt()     {}
+func (*DeclStmt) stmt()   {}
+func (*AssignStmt) stmt() {}
+func (*ExprStmt) stmt()   {}
+
+// Expr is the expression interface.
+type Expr interface{ expr() }
+
+// Ident references a constant, local, parameter, or loop variable.
+type Ident struct{ Name string }
+
+// IntLit is an integer literal.
+type IntLit struct{ Value int64 }
+
+// FloatLit is a floating literal.
+type FloatLit struct{ Value float64 }
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	Name    string
+	Indices []Expr
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   string // + - * / % == != < > <= >= && ||
+	L, R Expr
+}
+
+// UnaryExpr is unary minus or logical not.
+type UnaryExpr struct {
+	Op string // "-", "!"
+	X  Expr
+}
+
+// CondExpr is the ternary "c ? a : b".
+type CondExpr struct {
+	Cond, Then, Else Expr
+}
+
+// CallExpr invokes a math builtin or a simulator intrinsic.
+type CallExpr struct {
+	Name string
+	Args []Expr
+}
+
+func (*Ident) expr()      {}
+func (*IntLit) expr()     {}
+func (*FloatLit) expr()   {}
+func (*IndexExpr) expr()  {}
+func (*BinaryExpr) expr() {}
+func (*UnaryExpr) expr()  {}
+func (*CondExpr) expr()   {}
+func (*CallExpr) expr()   {}
+
+// ScheduleKind mirrors the OpenMP schedule() clause.
+type ScheduleKind int
+
+// OpenMP loop schedules.
+const (
+	SchedDefault ScheduleKind = iota // no clause: implementation default (static)
+	SchedStatic
+	SchedDynamic
+	SchedGuided
+)
+
+func (s ScheduleKind) String() string {
+	switch s {
+	case SchedStatic:
+		return "static"
+	case SchedDynamic:
+		return "dynamic"
+	case SchedGuided:
+		return "guided"
+	}
+	return "default"
+}
+
+// Pragma is a parsed "#pragma omp parallel for" directive.
+type Pragma struct {
+	Parallel  bool
+	Schedule  ScheduleKind
+	Chunk     int64  // 0 = unspecified
+	Reduction string // reduction variable name, "" if none
+	RedOp     string // "+", "*", "max", "min"
+}

@@ -1,0 +1,504 @@
+package frontend
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// counts accumulates static operation counts for one execution of a
+// statement or expression under concrete loop-variable bindings.
+type counts struct {
+	flops     float64
+	intOps    float64
+	loads     float64
+	seqLoads  float64 // stride-1 subset of loads
+	gathers   float64 // random-access subset of loads
+	stores    float64
+	seqStores float64
+	branches  float64
+	// cv aggregates irregularity contributed by intrinsic calls, weighted
+	// by their share of the total cost (resolved at the end).
+	irregularFlops float64
+	maxCV          float64
+}
+
+func (c *counts) add(o counts) {
+	c.flops += o.flops
+	c.intOps += o.intOps
+	c.loads += o.loads
+	c.seqLoads += o.seqLoads
+	c.gathers += o.gathers
+	c.stores += o.stores
+	c.seqStores += o.seqStores
+	c.branches += o.branches
+	c.irregularFlops += o.irregularFlops
+	if o.maxCV > c.maxCV {
+		c.maxCV = o.maxCV
+	}
+}
+
+func (c *counts) scale(k float64) {
+	c.flops *= k
+	c.intOps *= k
+	c.loads *= k
+	c.seqLoads *= k
+	c.gathers *= k
+	c.stores *= k
+	c.seqStores *= k
+	c.branches *= k
+	c.irregularFlops *= k
+}
+
+// weight is the scalar cost proxy used for imbalance-shape detection.
+func (c *counts) weight() float64 {
+	return c.flops + 0.35*c.intOps + 2*(c.loads+c.stores) + c.branches
+}
+
+// extractModel fills r.Model by sampling the loop body's operation counts
+// at five points across the parallel iteration space.
+func (p *Program) extractModel(r *Region) error {
+	loop := r.Loop
+	lo, err := p.evalNum(loop.Init, nil)
+	if err != nil {
+		return fmt.Errorf("parallel loop lower bound must be compile-time evaluable: %w", err)
+	}
+	hi, err := p.evalNum(loop.Bound, nil)
+	if err != nil {
+		return fmt.Errorf("parallel loop upper bound must be compile-time evaluable: %w", err)
+	}
+	step, err := p.evalNum(loop.Step, nil)
+	if err != nil {
+		return fmt.Errorf("parallel loop step must be compile-time evaluable: %w", err)
+	}
+	trips := tripCount(lo, hi, step, loop.RelOp)
+	if trips <= 0 {
+		return fmt.Errorf("parallel loop has no iterations (lo=%g hi=%g step=%g)", lo, hi, step)
+	}
+	r.Model.Trips = trips
+
+	// Sample per-iteration counts at fractions 0, 1/4, 1/2, 3/4, 1 of the
+	// iteration space; the mean of the piecewise-linear profile through
+	// these samples approximates the true mean for (piecewise) polynomial
+	// cost shapes, which covers every nest in the corpus.
+	fracs := [5]float64{0, 0.25, 0.5, 0.75, 1}
+	var samples [5]counts
+	for k, fr := range fracs {
+		idx := lo + step*math.Floor(fr*float64(trips-1))
+		env := map[string]float64{loop.Var: idx}
+		samples[k] = p.countStmt(loop.Body, env, loop.Var)
+	}
+	var mean counts
+	// Trapezoid weights for mean of piecewise-linear profile.
+	w := [5]float64{0.125, 0.25, 0.25, 0.25, 0.125}
+	for k := range samples {
+		s := samples[k]
+		s.scale(w[k])
+		mean.add(s)
+	}
+	mean.maxCV = samples[0].maxCV
+	for _, s := range samples {
+		if s.maxCV > mean.maxCV {
+			mean.maxCV = s.maxCV
+		}
+	}
+
+	m := &r.Model
+	m.FlopsPerIter = mean.flops
+	m.IntOpsPerIter = mean.intOps
+	m.LoadsPerIter = mean.loads
+	m.StoresPerIter = mean.stores
+	m.BranchesPerIter = mean.branches + 1 // + parallel loop back-edge
+	if mean.loads > 0 {
+		m.GatherFrac = mean.gathers / mean.loads
+	}
+	if acc := mean.loads + mean.stores; acc > 0 {
+		m.SeqFrac = (mean.seqLoads + mean.seqStores) / acc
+	}
+	m.HasReduction = r.Pragma.Reduction != ""
+
+	// Cost profile and imbalance classification.
+	meanW := mean.weight()
+	if meanW <= 0 {
+		meanW = 1
+	}
+	for k := range samples {
+		m.CostProfile[k] = samples[k].weight() / meanW
+		if m.CostProfile[k] < 1e-9 {
+			m.CostProfile[k] = 1e-9
+		}
+	}
+	first, last := m.CostProfile[0], m.CostProfile[4]
+	spread := maxProfile(m.CostProfile) / minProfile(m.CostProfile)
+	switch {
+	case mean.maxCV > 0.05:
+		m.Imbalance = ImbRandom
+		m.CV = mean.maxCV
+	case spread < 1.05:
+		m.Imbalance = ImbUniform
+	case last > first:
+		m.Imbalance = ImbIncreasing
+	default:
+		m.Imbalance = ImbDecreasing
+	}
+
+	// Working set: footprint of every referenced array.
+	refs := map[string]bool{}
+	collectArrayRefs(r.Loop.Body, refs)
+	var names []string
+	for n := range refs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a, ok := p.Arrays[n]
+		if !ok {
+			return fmt.Errorf("reference to undeclared array %q", n)
+		}
+		m.WorkingSet += a.Bytes
+	}
+	return nil
+}
+
+func tripCount(lo, hi, step float64, rel string) int64 {
+	switch rel {
+	case "<":
+		if step <= 0 {
+			return 0
+		}
+		return int64(math.Ceil((hi - lo) / step))
+	case "<=":
+		if step <= 0 {
+			return 0
+		}
+		return int64(math.Floor((hi-lo)/step)) + 1
+	case ">":
+		if step >= 0 {
+			return 0
+		}
+		return int64(math.Ceil((lo - hi) / -step))
+	case ">=":
+		if step >= 0 {
+			return 0
+		}
+		return int64(math.Floor((lo-hi)/-step)) + 1
+	}
+	return 0
+}
+
+func maxProfile(p [5]float64) float64 {
+	m := p[0]
+	for _, v := range p[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func minProfile(p [5]float64) float64 {
+	m := p[0]
+	for _, v := range p[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// countStmt returns operation counts for one execution of s with the
+// given loop-variable environment. innermost is the loop variable of the
+// tightest enclosing loop, used to detect stride-1 accesses.
+func (p *Program) countStmt(s Stmt, env map[string]float64, innermost string) counts {
+	var c counts
+	switch st := s.(type) {
+	case *BlockStmt:
+		for _, sub := range st.Stmts {
+			c.add(p.countStmt(sub, env, innermost))
+		}
+	case *DeclStmt:
+		if st.Init != nil {
+			c.add(p.countExpr(st.Init, env, innermost))
+		}
+	case *AssignStmt:
+		c.add(p.countExpr(st.RHS, env, innermost))
+		if st.Op != "=" {
+			// Compound assignment reads the target too.
+			c.add(p.lvalueCounts(st.LHS, env, innermost, false))
+			if st.Op == "+=" || st.Op == "-=" || st.Op == "*=" || st.Op == "/=" {
+				c.flops++
+			}
+		}
+		c.add(p.lvalueCounts(st.LHS, env, innermost, true))
+	case *ExprStmt:
+		c.add(p.countExpr(st.X, env, innermost))
+	case *IfStmt:
+		c.add(p.countExpr(st.Cond, env, innermost))
+		c.branches++
+		cond, err := p.evalNum(st.Cond, env)
+		if err == nil {
+			// Statically resolvable at this sample point: include exactly
+			// the taken branch, which is what shapes boundary imbalance.
+			if cond != 0 {
+				c.add(p.countStmt(st.Then, env, innermost))
+			} else if st.Else != nil {
+				c.add(p.countStmt(st.Else, env, innermost))
+			}
+		} else {
+			// Data-dependent: weight both sides at 1/2.
+			half := p.countStmt(st.Then, env, innermost)
+			half.scale(0.5)
+			c.add(half)
+			if st.Else != nil {
+				half = p.countStmt(st.Else, env, innermost)
+				half.scale(0.5)
+				c.add(half)
+			}
+		}
+	case *ForStmt:
+		lo, err1 := p.evalNum(st.Init, env)
+		hi, err2 := p.evalNum(st.Bound, env)
+		stp, err3 := p.evalNum(st.Step, env)
+		trips := int64(1)
+		if err1 == nil && err2 == nil && err3 == nil {
+			trips = tripCount(lo, hi, stp, st.RelOp)
+		}
+		if trips <= 0 {
+			// Loop body never runs at this sample point; only the bound
+			// check executes.
+			c.intOps += 2
+			c.branches++
+			return c
+		}
+		// Evaluate the body at the midpoint of the inner range; exact for
+		// costs linear in the inner variable.
+		mid := lo + stp*math.Floor(float64(trips)/2)
+		inner := make(map[string]float64, len(env)+1)
+		for k, v := range env {
+			inner[k] = v
+		}
+		inner[st.Var] = mid
+		body := p.countStmt(st.Body, inner, st.Var)
+		body.intOps += 2 // induction update + compare
+		body.branches++
+		body.scale(float64(trips))
+		c.add(body)
+	}
+	return c
+}
+
+// lvalueCounts counts the accesses of reading (store=false) or writing
+// (store=true) an lvalue.
+func (p *Program) lvalueCounts(lv *LValue, env map[string]float64, innermost string, store bool) counts {
+	var c counts
+	if len(lv.Indices) == 0 {
+		// Scalar locals live in registers.
+		return c
+	}
+	for _, ix := range lv.Indices {
+		c.add(p.countExpr(ix, env, innermost))
+		c.intOps++ // index arithmetic
+	}
+	seq := exprUsesVar(lv.Indices[len(lv.Indices)-1], innermost)
+	if store {
+		c.stores++
+		if seq {
+			c.seqStores++
+		}
+	} else {
+		c.loads++
+		if seq {
+			c.seqLoads++
+		}
+	}
+	return c
+}
+
+// countExpr counts operations to evaluate e once.
+func (p *Program) countExpr(e Expr, env map[string]float64, innermost string) counts {
+	var c counts
+	switch x := e.(type) {
+	case *Ident, *IntLit, *FloatLit:
+		// Registers and immediates.
+	case *IndexExpr:
+		c.add(p.lvalueCounts(&LValue{Name: x.Name, Indices: x.Indices}, env, innermost, false))
+	case *UnaryExpr:
+		c.add(p.countExpr(x.X, env, innermost))
+		if x.Op == "-" {
+			c.flops++
+		}
+	case *BinaryExpr:
+		c.add(p.countExpr(x.L, env, innermost))
+		c.add(p.countExpr(x.R, env, innermost))
+		switch x.Op {
+		case "+", "-", "*", "/":
+			if exprIsIntOnly(x, p) {
+				c.intOps++
+			} else {
+				c.flops++
+				if x.Op == "/" {
+					c.flops += 7 // division latency in flop equivalents
+				}
+			}
+		case "%":
+			c.intOps += 4
+		default: // comparisons, && , ||
+			c.intOps++
+		}
+	case *CondExpr:
+		c.add(p.countExpr(x.Cond, env, innermost))
+		c.branches++
+		t := p.countExpr(x.Then, env, innermost)
+		f := p.countExpr(x.Else, env, innermost)
+		t.scale(0.5)
+		f.scale(0.5)
+		c.add(t)
+		c.add(f)
+	case *CallExpr:
+		for _, a := range x.Args {
+			c.add(p.countExpr(a, env, innermost))
+		}
+		in, ok := Intrinsics[x.Name]
+		if !ok {
+			// Unknown call: charge a conservative default.
+			in = Intrinsic{Flops: 10, Returns: true}
+		}
+		c.flops += in.Flops
+		c.intOps += in.IntOps
+		c.loads += in.Loads
+		c.stores += in.Stores
+		if in.Gather {
+			c.gathers += in.Loads
+		}
+		if in.Irregular {
+			c.irregularFlops += in.Flops
+			if in.CV > c.maxCV {
+				c.maxCV = in.CV
+			}
+		}
+	}
+	return c
+}
+
+// exprUsesVar reports whether e references the variable named v.
+func exprUsesVar(e Expr, v string) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name == v
+	case *IndexExpr:
+		for _, ix := range x.Indices {
+			if exprUsesVar(ix, v) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return exprUsesVar(x.L, v) || exprUsesVar(x.R, v)
+	case *UnaryExpr:
+		return exprUsesVar(x.X, v)
+	case *CondExpr:
+		return exprUsesVar(x.Cond, v) || exprUsesVar(x.Then, v) || exprUsesVar(x.Else, v)
+	case *CallExpr:
+		for _, a := range x.Args {
+			if exprUsesVar(a, v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprIsIntOnly reports whether e is pure integer arithmetic (loop
+// variables, int literals, int constants); such ops are counted as index
+// arithmetic rather than flops.
+func exprIsIntOnly(e Expr, p *Program) bool {
+	switch x := e.(type) {
+	case *IntLit:
+		return true
+	case *FloatLit:
+		return false
+	case *Ident:
+		// Constants and loop variables are ints; everything else (locals)
+		// is conservatively treated as double.
+		_, isConst := p.Consts[x.Name]
+		return isConst || looksLikeIndexVar(x.Name)
+	case *BinaryExpr:
+		return exprIsIntOnly(x.L, p) && exprIsIntOnly(x.R, p)
+	case *UnaryExpr:
+		return exprIsIntOnly(x.X, p)
+	}
+	return false
+}
+
+// looksLikeIndexVar applies the corpus convention that single-letter
+// i/j/k/l/m/n-style names (optionally digit-suffixed) are loop indices.
+func looksLikeIndexVar(name string) bool {
+	if len(name) == 0 || len(name) > 2 {
+		return false
+	}
+	c := name[0]
+	if c < 'i' || c > 'n' {
+		return false
+	}
+	return len(name) == 1 || (name[1] >= '0' && name[1] <= '9')
+}
+
+// collectArrayRefs records the names of arrays referenced under s.
+func collectArrayRefs(s Stmt, out map[string]bool) {
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *IndexExpr:
+			out[x.Name] = true
+			for _, ix := range x.Indices {
+				walkExpr(ix)
+			}
+		case *BinaryExpr:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *UnaryExpr:
+			walkExpr(x.X)
+		case *CondExpr:
+			walkExpr(x.Cond)
+			walkExpr(x.Then)
+			walkExpr(x.Else)
+		case *CallExpr:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	var walk func(Stmt)
+	walk = func(s Stmt) {
+		switch st := s.(type) {
+		case *BlockStmt:
+			for _, sub := range st.Stmts {
+				walk(sub)
+			}
+		case *ForStmt:
+			walkExpr(st.Init)
+			walkExpr(st.Bound)
+			walk(st.Body)
+		case *IfStmt:
+			walkExpr(st.Cond)
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *DeclStmt:
+			if st.Init != nil {
+				walkExpr(st.Init)
+			}
+		case *AssignStmt:
+			if len(st.LHS.Indices) > 0 {
+				out[st.LHS.Name] = true
+				for _, ix := range st.LHS.Indices {
+					walkExpr(ix)
+				}
+			}
+			walkExpr(st.RHS)
+		case *ExprStmt:
+			walkExpr(st.X)
+		}
+	}
+	walk(s)
+}

@@ -1,0 +1,362 @@
+package frontend
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const gemmSrc = `
+// A GEMM-like kernel: C = alpha*A*B + beta*C.
+const int NI = 512;
+const int NJ = 512;
+const int NK = 512;
+double A[NI][NK];
+double B[NK][NJ];
+double C[NI][NJ];
+
+void gemm_kernel() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NJ; j++) {
+      double acc = 0.0;
+      for (k = 0; k < NK; k++) {
+        acc += A[i][k] * B[k][j];
+      }
+      C[i][j] = 1.5 * acc + 0.5 * C[i][j];
+    }
+  }
+}
+`
+
+const triSrc = `
+const int N = 1024;
+double L[N][N];
+double x[N];
+double b[N];
+
+void trisolve() {
+  #pragma omp parallel for schedule(dynamic)
+  for (i = 0; i < N; i++) {
+    double s = b[i];
+    for (j = 0; j < i; j++) {
+      s -= L[i][j] * x[j];
+    }
+    x[i] = s / L[i][i];
+  }
+}
+`
+
+const mcSrc = `
+const int NPART = 100000;
+double tally[NPART];
+
+void track() {
+  #pragma omp parallel for schedule(guided) reduction(+:total)
+  for (p = 0; p < NPART; p++) {
+    tally[p] = mc_segment_walk(1.0);
+  }
+}
+double total;
+`
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := LexAll("a += b[3] * 2.5e-1; // comment\n#pragma omp parallel for\nif (x <= 1) {}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]TokKind, 0, len(toks))
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []TokKind{TokIdent, TokPlusEq, TokIdent, TokLBracket, TokInt, TokRBracket,
+		TokStar, TokFloat, TokSemi, TokPragma, TokIdent, TokLParen, TokIdent, TokLe,
+		TokInt, TokRParen, TokLBrace, TokRBrace, TokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(kinds), len(want), toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks, err := LexAll("/* multi\nline */ x = 1; // tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 5 { // x = 1 ; EOF
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+}
+
+func TestLexerRejectsGarbage(t *testing.T) {
+	if _, err := LexAll("a = $b;"); err == nil {
+		t.Fatal("lexer accepted '$'")
+	}
+	if _, err := LexAll("/* unterminated"); err == nil {
+		t.Fatal("lexer accepted unterminated comment")
+	}
+}
+
+func TestParsePragmaClauses(t *testing.T) {
+	p, err := parsePragma("#pragma omp parallel for schedule(dynamic, 64) reduction(+:sum)", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schedule != SchedDynamic || p.Chunk != 64 {
+		t.Errorf("schedule = %v chunk %d", p.Schedule, p.Chunk)
+	}
+	if p.Reduction != "sum" || p.RedOp != "+" {
+		t.Errorf("reduction = %q op %q", p.Reduction, p.RedOp)
+	}
+	if _, err := parsePragma("#pragma omp target teams", 1); err == nil {
+		t.Error("accepted unsupported pragma")
+	}
+	if _, err := parsePragma("#pragma omp parallel for schedule(banana)", 1); err == nil {
+		t.Error("accepted unknown schedule")
+	}
+}
+
+func TestParseGemm(t *testing.T) {
+	f, err := Parse("gemm", gemmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Consts) != 3 || len(f.Arrays) != 3 || len(f.Funcs) != 1 {
+		t.Fatalf("decl counts: %d consts %d arrays %d funcs", len(f.Consts), len(f.Arrays), len(f.Funcs))
+	}
+	outer, ok := f.Funcs[0].Body.Stmts[0].(*ForStmt)
+	if !ok || outer.Pragma == nil || !outer.Pragma.Parallel {
+		t.Fatal("missing parallel for")
+	}
+	if outer.Pragma.Schedule != SchedStatic {
+		t.Errorf("schedule = %v", outer.Pragma.Schedule)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"void f() { for (i = 0; j < 10; i++) { } }",  // condition on wrong var
+		"void f() { for (i = 0; i < 10; j++) { } }",  // step on wrong var
+		"void f() { x 3; }",                          // not a statement
+		"const double N = 1;",                        // const must be int
+		"void f() {",                                 // unterminated block
+		"#pragma omp parallel for\nconst int N = 2;", // pragma not before for
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("accepted invalid source %q", src)
+		}
+	}
+}
+
+func TestAnalyzeGemmModel(t *testing.T) {
+	prog, err := Analyze(MustParse("gemm", gemmSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Regions) != 1 {
+		t.Fatalf("regions = %d, want 1", len(prog.Regions))
+	}
+	m := prog.Regions[0].Model
+	if m.Trips != 512 {
+		t.Errorf("trips = %d, want 512", m.Trips)
+	}
+	// Inner j loop (512) × k loop (512) ⇒ ~512*512 mul+add pairs per outer iter.
+	if m.FlopsPerIter < 4e5 || m.FlopsPerIter > 8e5 {
+		t.Errorf("flops/iter = %g, want ~5.2e5", m.FlopsPerIter)
+	}
+	if m.Imbalance != ImbUniform {
+		t.Errorf("imbalance = %v, want uniform", m.Imbalance)
+	}
+	wantWS := int64(3 * 512 * 512 * 8)
+	if m.WorkingSet != wantWS {
+		t.Errorf("working set = %d, want %d", m.WorkingSet, wantWS)
+	}
+	if m.SeqFrac < 0.3 {
+		t.Errorf("seqFrac = %g, want mostly sequential", m.SeqFrac)
+	}
+}
+
+func TestAnalyzeTriangularImbalance(t *testing.T) {
+	prog, err := Analyze(MustParse("tri", triSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Regions[0].Model
+	if m.Imbalance != ImbIncreasing {
+		t.Fatalf("imbalance = %v, want increasing", m.Imbalance)
+	}
+	if m.CostProfile[0] >= m.CostProfile[4] {
+		t.Errorf("profile not increasing: %v", m.CostProfile)
+	}
+	// Triangular: mean inner trips = N/2, so flops/iter ~ N/2 * 2.
+	if m.FlopsPerIter < 500 || m.FlopsPerIter > 3000 {
+		t.Errorf("flops/iter = %g", m.FlopsPerIter)
+	}
+}
+
+func TestAnalyzeMonteCarloModel(t *testing.T) {
+	prog, err := Analyze(MustParse("mc", mcSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Regions[0].Model
+	if m.Imbalance != ImbRandom {
+		t.Fatalf("imbalance = %v, want random", m.Imbalance)
+	}
+	if m.CV < 0.5 {
+		t.Errorf("CV = %g, want >= 0.5 from mc_segment_walk", m.CV)
+	}
+	if !m.HasReduction {
+		t.Error("reduction clause not detected")
+	}
+	if m.GatherFrac < 0.5 {
+		t.Errorf("gatherFrac = %g, want mostly gathers", m.GatherFrac)
+	}
+}
+
+func TestAnalyzeRejectsBadPrograms(t *testing.T) {
+	cases := []string{
+		// Data-dependent parallel bound.
+		"double a[10];\nvoid f() {\n#pragma omp parallel for\nfor (i = 0; i < a[0]; i++) { a[i] = 1.0; } }",
+		// Undeclared array.
+		"const int N = 4;\nvoid f() {\n#pragma omp parallel for\nfor (i = 0; i < N; i++) { zz[i] = 1.0; } }",
+		// Zero-trip parallel loop.
+		"const int N = 0;\ndouble a[4];\nvoid f() {\n#pragma omp parallel for\nfor (i = 0; i < N; i++) { a[i] = 1.0; } }",
+		// Nested parallel regions.
+		"const int N = 4;\ndouble a[N][N];\nvoid f() {\n#pragma omp parallel for\nfor (i = 0; i < N; i++) {\n#pragma omp parallel for\nfor (j = 0; j < N; j++) { a[i][j] = 1.0; } } }",
+	}
+	for i, src := range cases {
+		f, err := Parse("bad", src)
+		if err != nil {
+			continue // parse-time rejection also fine
+		}
+		if _, err := Analyze(f); err == nil {
+			t.Errorf("case %d: Analyze accepted invalid program", i)
+		}
+	}
+}
+
+func TestLowerGemmProducesOutlinedFunction(t *testing.T) {
+	prog, low, err := Compile("gemm", gemmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := low.Module.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	outs := low.Module.OutlinedFuncs()
+	if len(outs) != 1 {
+		t.Fatalf("outlined funcs = %d, want 1", len(outs))
+	}
+	rf, ok := low.RegionFunc[prog.Regions[0].ID]
+	if !ok || rf != outs[0] {
+		t.Fatal("RegionFunc mapping broken")
+	}
+	text := rf.String()
+	for _, want := range []string{"fadd", "fmul", "getelementptr", "icmp slt", "load double"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("outlined IR missing %q", want)
+		}
+	}
+	// The parent function must call the fork stub, not contain the loop.
+	parent := low.Module.Func("gemm_kernel")
+	ptext := parent.String()
+	if !strings.Contains(ptext, "call void @__omp_fork_call") {
+		t.Errorf("parent missing fork call:\n%s", ptext)
+	}
+	if strings.Contains(ptext, "fmul") {
+		t.Error("loop body not outlined out of parent")
+	}
+}
+
+func TestLowerDeterministic(t *testing.T) {
+	_, low1, err := Compile("gemm", gemmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, low2, err := Compile("gemm", gemmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low1.Module.String() != low2.Module.String() {
+		t.Fatal("lowering is not deterministic")
+	}
+}
+
+func TestLowerControlFlowConstructs(t *testing.T) {
+	src := `
+const int N = 64;
+double a[N];
+double s;
+void f() {
+  #pragma omp parallel for schedule(static, 8)
+  for (i = 0; i < N; i++) {
+    if (i % 2 == 0) {
+      a[i] = sqrt(a[i]) + (a[i] > 0.5 ? 1.0 : -1.0);
+    } else {
+      a[i] = -a[i];
+    }
+  }
+}
+`
+	prog, low, err := Compile("cf", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := low.Module.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	out := low.RegionFunc[prog.Regions[0].ID]
+	text := out.String()
+	for _, want := range []string{"srem", "select", "call double @sqrt", "fneg", "br i1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("IR missing %q:\n%s", want, text)
+		}
+	}
+	if prog.Regions[0].Pragma.Chunk != 8 {
+		t.Errorf("chunk = %d, want 8", prog.Regions[0].Pragma.Chunk)
+	}
+}
+
+func TestTripCount(t *testing.T) {
+	cases := []struct {
+		lo, hi, step float64
+		rel          string
+		want         int64
+	}{
+		{0, 10, 1, "<", 10},
+		{0, 10, 1, "<=", 11},
+		{0, 10, 3, "<", 4},
+		{10, 0, -1, ">", 10},
+		{10, 0, -1, ">=", 11},
+		{0, 10, -1, "<", 0},
+		{5, 5, 1, "<", 0},
+	}
+	for _, c := range cases {
+		if got := tripCount(c.lo, c.hi, c.step, c.rel); got != c.want {
+			t.Errorf("tripCount(%g,%g,%g,%q) = %d, want %d", c.lo, c.hi, c.step, c.rel, got, c.want)
+		}
+	}
+}
+
+func TestArithIntensityAndInstr(t *testing.T) {
+	m := RegionModel{FlopsPerIter: 100, LoadsPerIter: 10, StoresPerIter: 2.5}
+	if got := m.BytesPerIter(); got != 100 {
+		t.Errorf("BytesPerIter = %g, want 100", got)
+	}
+	if got := m.ArithIntensity(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("ArithIntensity = %g, want 1", got)
+	}
+	z := RegionModel{FlopsPerIter: 5}
+	if !math.IsInf(z.ArithIntensity(), 1) {
+		t.Error("zero-byte region should have infinite intensity")
+	}
+	if m.InstrPerIter() <= m.FlopsPerIter {
+		t.Error("InstrPerIter must exceed flops alone")
+	}
+}

@@ -1,0 +1,237 @@
+package frontend
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer turns mini-C source text into a token stream. Comments (// and
+// /* */) are skipped; "#pragma" lines are emitted as single TokPragma
+// tokens whose literal is the full directive text.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token, or an error for unrecognized input.
+func (lx *Lexer) Next() (Token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			lx.advance()
+			lx.advance()
+			for lx.pos < len(lx.src) && !(lx.peek() == '*' && lx.peek2() == '/') {
+				lx.advance()
+			}
+			if lx.pos+1 >= len(lx.src) {
+				return Token{}, fmt.Errorf("line %d: unterminated block comment", lx.line)
+			}
+			lx.advance()
+			lx.advance()
+		default:
+			return lx.scan()
+		}
+	}
+	return Token{Kind: TokEOF, Line: lx.line, Col: lx.col}, nil
+}
+
+func (lx *Lexer) scan() (Token, error) {
+	line, col := lx.line, lx.col
+	c := lx.peek()
+
+	if c == '#' {
+		start := lx.pos
+		for lx.pos < len(lx.src) && lx.peek() != '\n' {
+			lx.advance()
+		}
+		text := strings.TrimSpace(lx.src[start:lx.pos])
+		return Token{Kind: TokPragma, Lit: text, Line: line, Col: col}, nil
+	}
+
+	if isLetter(c) {
+		start := lx.pos
+		for lx.pos < len(lx.src) && (isLetter(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		return Token{Kind: TokIdent, Lit: lx.src[start:lx.pos], Line: line, Col: col}, nil
+	}
+
+	if isDigit(c) || (c == '.' && isDigit(lx.peek2())) {
+		start := lx.pos
+		isFloat := false
+		for lx.pos < len(lx.src) {
+			c := lx.peek()
+			if isDigit(c) {
+				lx.advance()
+			} else if c == '.' {
+				isFloat = true
+				lx.advance()
+			} else if c == 'e' || c == 'E' {
+				isFloat = true
+				lx.advance()
+				if lx.peek() == '+' || lx.peek() == '-' {
+					lx.advance()
+				}
+			} else {
+				break
+			}
+		}
+		kind := TokInt
+		if isFloat {
+			kind = TokFloat
+		}
+		return Token{Kind: kind, Lit: lx.src[start:lx.pos], Line: line, Col: col}, nil
+	}
+
+	two := func(kind TokKind) (Token, error) {
+		lx.advance()
+		lx.advance()
+		return Token{Kind: kind, Line: line, Col: col}, nil
+	}
+	one := func(kind TokKind) (Token, error) {
+		lx.advance()
+		return Token{Kind: kind, Line: line, Col: col}, nil
+	}
+
+	switch c {
+	case '(':
+		return one(TokLParen)
+	case ')':
+		return one(TokRParen)
+	case '{':
+		return one(TokLBrace)
+	case '}':
+		return one(TokRBrace)
+	case '[':
+		return one(TokLBracket)
+	case ']':
+		return one(TokRBracket)
+	case ';':
+		return one(TokSemi)
+	case ',':
+		return one(TokComma)
+	case '?':
+		return one(TokQuestion)
+	case ':':
+		return one(TokColon)
+	case '+':
+		if lx.peek2() == '=' {
+			return two(TokPlusEq)
+		}
+		if lx.peek2() == '+' {
+			return two(TokPlusPlus)
+		}
+		return one(TokPlus)
+	case '-':
+		if lx.peek2() == '=' {
+			return two(TokMinusEq)
+		}
+		if lx.peek2() == '-' {
+			return two(TokMinusMin)
+		}
+		return one(TokMinus)
+	case '*':
+		if lx.peek2() == '=' {
+			return two(TokStarEq)
+		}
+		return one(TokStar)
+	case '/':
+		if lx.peek2() == '=' {
+			return two(TokSlashEq)
+		}
+		return one(TokSlash)
+	case '%':
+		return one(TokPercent)
+	case '=':
+		if lx.peek2() == '=' {
+			return two(TokEq)
+		}
+		return one(TokAssign)
+	case '!':
+		if lx.peek2() == '=' {
+			return two(TokNe)
+		}
+		return one(TokNot)
+	case '<':
+		if lx.peek2() == '=' {
+			return two(TokLe)
+		}
+		return one(TokLt)
+	case '>':
+		if lx.peek2() == '=' {
+			return two(TokGe)
+		}
+		return one(TokGt)
+	case '&':
+		if lx.peek2() == '&' {
+			return two(TokAndAnd)
+		}
+	case '|':
+		if lx.peek2() == '|' {
+			return two(TokOrOr)
+		}
+	}
+	return Token{}, fmt.Errorf("line %d:%d: unexpected character %q", line, col, string(c))
+}
+
+// LexAll tokenizes the whole input, including the trailing EOF token.
+func LexAll(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

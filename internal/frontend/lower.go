@@ -1,0 +1,618 @@
+package frontend
+
+import (
+	"fmt"
+	"sort"
+
+	"pnptuner/internal/ir"
+)
+
+// Lowered is the result of lowering a Program to IR: the module plus the
+// mapping from parallel-region IDs to their outlined functions, which is
+// what the graph builder consumes (mirroring llvm-extract on Clang's
+// ".omp_outlined." functions).
+type Lowered struct {
+	Module     *ir.Module
+	RegionFunc map[string]*ir.Function
+}
+
+// Lower translates prog into LLVM-flavoured IR. Each "#pragma omp parallel
+// for" loop is outlined into a dedicated function taking (%lb, %ub) bounds,
+// and the enclosing function calls the runtime fork stub in its place,
+// exactly mirroring Clang's OpenMP lowering at -O0 (allocas for locals,
+// loads/stores for every variable access).
+func Lower(prog *Program) (*Lowered, error) {
+	m := ir.NewModule(prog.File.Name)
+	low := &Lowered{Module: m, RegionFunc: make(map[string]*ir.Function)}
+
+	for _, ad := range prog.File.Arrays {
+		info := prog.Arrays[ad.Name]
+		elem := ir.F64
+		if info.Elem == TypeInt {
+			elem = ir.I64
+		}
+		decl := elem.String()
+		for i := len(info.Dims) - 1; i >= 0; i-- {
+			decl = fmt.Sprintf("[%d x %s]", info.Dims[i], decl)
+		}
+		m.Globals = append(m.Globals, &ir.Global{
+			Nam: info.Name, Ty: ir.Ptr, Elem: elem,
+			Dims: info.Dims, Decl: decl, Bytes: info.Bytes,
+		})
+	}
+
+	// Runtime fork stub, mirroring __kmpc_fork_call.
+	fork := m.NewFunc("__omp_fork_call", ir.Void,
+		&ir.Arg{Nam: "fn", Ty: ir.Ptr}, &ir.Arg{Nam: "lb", Ty: ir.I64}, &ir.Arg{Nam: "ub", Ty: ir.I64})
+	fork.IsDecl = true
+
+	names := make([]string, 0, len(Intrinsics))
+	for name := range Intrinsics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ret := ir.F64
+		if !Intrinsics[name].Returns {
+			ret = ir.Void
+		}
+		d := m.NewFunc(name, ret, &ir.Arg{Nam: "x", Ty: ir.F64})
+		d.IsDecl = true
+	}
+
+	for _, fd := range prog.File.Funcs {
+		lc := &lowerCtx{prog: prog, mod: m, low: low}
+		if err := lc.lowerFunc(fd); err != nil {
+			return nil, fmt.Errorf("frontend: %s: %s: %w", prog.File.Name, fd.Name, err)
+		}
+	}
+	for _, f := range m.Funcs {
+		f.Number()
+	}
+	if err := m.Verify(); err != nil {
+		return nil, err
+	}
+	return low, nil
+}
+
+// lowerCtx carries per-function lowering state.
+type lowerCtx struct {
+	prog *Program
+	mod  *ir.Module
+	low  *Lowered
+
+	fn     *ir.Function
+	blk    *ir.Block
+	locals map[string]*local
+	nblk   int
+	nreg   int // parallel regions outlined so far in this source function
+	srcFn  string
+}
+
+type local struct {
+	slot *ir.Instr // alloca
+	ty   ir.Type
+}
+
+func (lc *lowerCtx) newBlock(hint string) *ir.Block {
+	lc.nblk++
+	return lc.fn.NewBlock(fmt.Sprintf("%s%d", hint, lc.nblk))
+}
+
+func (lc *lowerCtx) emit(in *ir.Instr) *ir.Instr { return lc.blk.Append(in) }
+
+func (lc *lowerCtx) lowerFunc(fd *FuncDecl) error {
+	lc.srcFn = fd.Name
+	lc.fn = lc.mod.NewFunc(fd.Name, ir.Void)
+	lc.locals = map[string]*local{}
+	lc.blk = lc.fn.NewBlock("entry")
+	if err := lc.lowerStmt(fd.Body); err != nil {
+		return err
+	}
+	lc.emit(&ir.Instr{Op: ir.OpRet})
+	return nil
+}
+
+// alloca inserts an alloca in the current function's entry block.
+func (lc *lowerCtx) alloca(name string, ty ir.Type) *local {
+	in := &ir.Instr{Op: ir.OpAlloca, Ty: ir.Ptr, Nam: name + ".addr"}
+	entry := lc.fn.Blocks[0]
+	// Keep allocas at the top, before any terminator.
+	entry.Instrs = append([]*ir.Instr{in}, entry.Instrs...)
+	in.Parent = entry
+	l := &local{slot: in, ty: ty}
+	lc.locals[name] = l
+	return l
+}
+
+func (lc *lowerCtx) lowerStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		for _, sub := range st.Stmts {
+			if err := lc.lowerStmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *DeclStmt:
+		ty := ir.F64
+		if st.Typ == TypeInt {
+			ty = ir.I64
+		}
+		l := lc.alloca(st.Name, ty)
+		if st.Init != nil {
+			v, err := lc.lowerExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			v = lc.coerce(v, ty)
+			lc.emit(&ir.Instr{Op: ir.OpStore, Operands: []ir.Value{v, l.slot}})
+		}
+		return nil
+	case *AssignStmt:
+		return lc.lowerAssign(st)
+	case *ExprStmt:
+		_, err := lc.lowerExpr(st.X)
+		return err
+	case *IfStmt:
+		return lc.lowerIf(st)
+	case *ForStmt:
+		if st.Pragma != nil && st.Pragma.Parallel {
+			return lc.outlineParallel(st)
+		}
+		return lc.lowerFor(st)
+	}
+	return fmt.Errorf("unsupported statement %T", s)
+}
+
+func (lc *lowerCtx) lowerAssign(st *AssignStmt) error {
+	rhs, err := lc.lowerExpr(st.RHS)
+	if err != nil {
+		return err
+	}
+	addr, elemTy, err := lc.lvalueAddr(st.LHS)
+	if err != nil {
+		return err
+	}
+	if st.Op != "=" {
+		cur := lc.emit(&ir.Instr{Op: ir.OpLoad, Ty: elemTy, Operands: []ir.Value{addr}})
+		rhs = lc.binop(st.Op[:1], cur, rhs)
+	}
+	rhs = lc.coerce(rhs, elemTy)
+	lc.emit(&ir.Instr{Op: ir.OpStore, Operands: []ir.Value{rhs, addr}})
+	return nil
+}
+
+// lvalueAddr computes the address and element type of an lvalue.
+func (lc *lowerCtx) lvalueAddr(lv *LValue) (ir.Value, ir.Type, error) {
+	if len(lv.Indices) == 0 {
+		if l, ok := lc.locals[lv.Name]; ok {
+			return l.slot, l.ty, nil
+		}
+		if g := lc.mod.Global(lv.Name); g != nil && len(g.Dims) == 0 {
+			return g, g.Elem, nil
+		}
+		return nil, 0, fmt.Errorf("assignment to unknown variable %q", lv.Name)
+	}
+	g := lc.mod.Global(lv.Name)
+	if g == nil {
+		return nil, 0, fmt.Errorf("reference to undeclared array %q", lv.Name)
+	}
+	if len(lv.Indices) != len(g.Dims) {
+		return nil, 0, fmt.Errorf("array %q: %d indices for %d dimensions", lv.Name, len(lv.Indices), len(g.Dims))
+	}
+	// Linearize the index: ((i*D1)+j)*D2+k ...
+	var lin ir.Value
+	for k, ixe := range lv.Indices {
+		iv, err := lc.lowerExpr(ixe)
+		if err != nil {
+			return nil, 0, err
+		}
+		iv = lc.coerce(iv, ir.I64)
+		if lin == nil {
+			lin = iv
+		} else {
+			mul := lc.emit(&ir.Instr{Op: ir.OpMul, Ty: ir.I64, Operands: []ir.Value{lin, ir.ConstInt(g.Dims[k])}})
+			lin = lc.emit(&ir.Instr{Op: ir.OpAdd, Ty: ir.I64, Operands: []ir.Value{mul, iv}})
+		}
+	}
+	gep := lc.emit(&ir.Instr{Op: ir.OpGEP, Ty: ir.Ptr, Operands: []ir.Value{g, lin}})
+	return gep, g.Elem, nil
+}
+
+func (lc *lowerCtx) lowerIf(st *IfStmt) error {
+	cond, err := lc.lowerCond(st.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := lc.newBlock("if.then")
+	endB := lc.newBlock("if.end")
+	elseB := endB
+	if st.Else != nil {
+		elseB = lc.newBlock("if.else")
+	}
+	lc.emit(&ir.Instr{Op: ir.OpCondBr, Operands: []ir.Value{cond}, Blocks: []*ir.Block{thenB, elseB}})
+	lc.blk = thenB
+	if err := lc.lowerStmt(st.Then); err != nil {
+		return err
+	}
+	lc.emit(&ir.Instr{Op: ir.OpBr, Blocks: []*ir.Block{endB}})
+	if st.Else != nil {
+		lc.blk = elseB
+		if err := lc.lowerStmt(st.Else); err != nil {
+			return err
+		}
+		lc.emit(&ir.Instr{Op: ir.OpBr, Blocks: []*ir.Block{endB}})
+	}
+	lc.blk = endB
+	return nil
+}
+
+func relPred(rel string, float bool) string {
+	if float {
+		switch rel {
+		case "<":
+			return "olt"
+		case "<=":
+			return "ole"
+		case ">":
+			return "ogt"
+		case ">=":
+			return "oge"
+		case "==":
+			return "oeq"
+		case "!=":
+			return "one"
+		}
+	}
+	switch rel {
+	case "<":
+		return "slt"
+	case "<=":
+		return "sle"
+	case ">":
+		return "sgt"
+	case ">=":
+		return "sge"
+	case "==":
+		return "eq"
+	case "!=":
+		return "ne"
+	}
+	return "slt"
+}
+
+// lowerFor lowers a sequential counted loop with the standard
+// entry → header → body → latch → header / exit block structure.
+func (lc *lowerCtx) lowerFor(st *ForStmt) error {
+	l, ok := lc.locals[st.Var]
+	if !ok {
+		l = lc.alloca(st.Var, ir.I64)
+	}
+	initV, err := lc.lowerExpr(st.Init)
+	if err != nil {
+		return err
+	}
+	lc.emit(&ir.Instr{Op: ir.OpStore, Operands: []ir.Value{lc.coerce(initV, ir.I64), l.slot}})
+
+	header := lc.newBlock("for.cond")
+	body := lc.newBlock("for.body")
+	latch := lc.newBlock("for.inc")
+	exit := lc.newBlock("for.end")
+
+	lc.emit(&ir.Instr{Op: ir.OpBr, Blocks: []*ir.Block{header}})
+	lc.blk = header
+	iv := lc.emit(&ir.Instr{Op: ir.OpLoad, Ty: ir.I64, Operands: []ir.Value{l.slot}})
+	bound, err := lc.lowerExpr(st.Bound)
+	if err != nil {
+		return err
+	}
+	cmp := lc.emit(&ir.Instr{Op: ir.OpICmp, Ty: ir.I1, Pred: relPred(st.RelOp, false),
+		Operands: []ir.Value{iv, lc.coerce(bound, ir.I64)}})
+	lc.emit(&ir.Instr{Op: ir.OpCondBr, Operands: []ir.Value{cmp}, Blocks: []*ir.Block{body, exit}})
+
+	lc.blk = body
+	if err := lc.lowerStmt(st.Body); err != nil {
+		return err
+	}
+	lc.emit(&ir.Instr{Op: ir.OpBr, Blocks: []*ir.Block{latch}})
+
+	lc.blk = latch
+	iv2 := lc.emit(&ir.Instr{Op: ir.OpLoad, Ty: ir.I64, Operands: []ir.Value{l.slot}})
+	stepV, err := lc.lowerExpr(st.Step)
+	if err != nil {
+		return err
+	}
+	next := lc.emit(&ir.Instr{Op: ir.OpAdd, Ty: ir.I64, Operands: []ir.Value{iv2, lc.coerce(stepV, ir.I64)}})
+	lc.emit(&ir.Instr{Op: ir.OpStore, Operands: []ir.Value{next, l.slot}})
+	lc.emit(&ir.Instr{Op: ir.OpBr, Blocks: []*ir.Block{header}})
+
+	lc.blk = exit
+	return nil
+}
+
+// outlineParallel lowers a parallel loop: the loop moves into a fresh
+// ".omp_outlined." function parameterized by (%lb, %ub), and the parent
+// emits a call to the fork stub.
+func (lc *lowerCtx) outlineParallel(st *ForStmt) error {
+	regionID := fmt.Sprintf("%s.%s#%d", lc.prog.File.Name, lc.srcFn, lc.nreg)
+	name := fmt.Sprintf("%s.omp_outlined.%d", lc.srcFn, lc.nreg)
+	lc.nreg++
+
+	lo, err := lc.lowerExpr(st.Init)
+	if err != nil {
+		return err
+	}
+	hi, err := lc.lowerExpr(st.Bound)
+	if err != nil {
+		return err
+	}
+	out := lc.mod.NewFunc(name, ir.Void, &ir.Arg{Nam: "lb", Ty: ir.I64}, &ir.Arg{Nam: "ub", Ty: ir.I64})
+	out.Outlined = true
+	lc.low.RegionFunc[regionID] = out
+
+	lc.emit(&ir.Instr{Op: ir.OpCall, Ty: ir.Void, Callee: "__omp_fork_call",
+		Operands: []ir.Value{out, lc.coerce(lo, ir.I64), lc.coerce(hi, ir.I64)}})
+
+	// Lower the loop body inside the outlined function with a sub-context.
+	sub := &lowerCtx{prog: lc.prog, mod: lc.mod, low: lc.low, fn: out, srcFn: lc.srcFn,
+		locals: map[string]*local{}}
+	sub.blk = out.NewBlock("entry")
+
+	iVar := sub.alloca(st.Var, ir.I64)
+	sub.emit(&ir.Instr{Op: ir.OpStore, Operands: []ir.Value{out.Params[0], iVar.slot}})
+
+	header := sub.newBlock("omp.cond")
+	body := sub.newBlock("omp.body")
+	latch := sub.newBlock("omp.inc")
+	exit := sub.newBlock("omp.exit")
+
+	sub.emit(&ir.Instr{Op: ir.OpBr, Blocks: []*ir.Block{header}})
+	sub.blk = header
+	iv := sub.emit(&ir.Instr{Op: ir.OpLoad, Ty: ir.I64, Operands: []ir.Value{iVar.slot}})
+	cmp := sub.emit(&ir.Instr{Op: ir.OpICmp, Ty: ir.I1, Pred: relPred(st.RelOp, false),
+		Operands: []ir.Value{iv, out.Params[1]}})
+	sub.emit(&ir.Instr{Op: ir.OpCondBr, Operands: []ir.Value{cmp}, Blocks: []*ir.Block{body, exit}})
+
+	sub.blk = body
+	if err := sub.lowerStmt(st.Body); err != nil {
+		return err
+	}
+	sub.emit(&ir.Instr{Op: ir.OpBr, Blocks: []*ir.Block{latch}})
+
+	sub.blk = latch
+	iv2 := sub.emit(&ir.Instr{Op: ir.OpLoad, Ty: ir.I64, Operands: []ir.Value{iVar.slot}})
+	stepV, err := sub.lowerExpr(st.Step)
+	if err != nil {
+		return err
+	}
+	next := sub.emit(&ir.Instr{Op: ir.OpAdd, Ty: ir.I64, Operands: []ir.Value{iv2, sub.coerce(stepV, ir.I64)}})
+	sub.emit(&ir.Instr{Op: ir.OpStore, Operands: []ir.Value{next, iVar.slot}})
+	sub.emit(&ir.Instr{Op: ir.OpBr, Blocks: []*ir.Block{header}})
+
+	sub.blk = exit
+	sub.emit(&ir.Instr{Op: ir.OpRet})
+	return nil
+}
+
+// coerce converts v to type want, inserting sext/sitofp/fptosi as needed.
+func (lc *lowerCtx) coerce(v ir.Value, want ir.Type) ir.Value {
+	have := v.Type()
+	if have == want {
+		return v
+	}
+	switch {
+	case have == ir.I1 && want == ir.I64:
+		return lc.emit(&ir.Instr{Op: ir.OpSExt, Ty: ir.I64, Operands: []ir.Value{v}})
+	case have == ir.I64 && want == ir.F64:
+		return lc.emit(&ir.Instr{Op: ir.OpSIToFP, Ty: ir.F64, Operands: []ir.Value{v}})
+	case have == ir.F64 && want == ir.I64:
+		return lc.emit(&ir.Instr{Op: ir.OpFPToSI, Ty: ir.I64, Operands: []ir.Value{v}})
+	case have == ir.I1 && want == ir.F64:
+		w := lc.emit(&ir.Instr{Op: ir.OpSExt, Ty: ir.I64, Operands: []ir.Value{v}})
+		return lc.emit(&ir.Instr{Op: ir.OpSIToFP, Ty: ir.F64, Operands: []ir.Value{w}})
+	}
+	return v
+}
+
+// binop lowers an arithmetic binary operation, promoting to double when
+// either side is floating.
+func (lc *lowerCtx) binop(op string, l, r ir.Value) ir.Value {
+	isF := l.Type() == ir.F64 || r.Type() == ir.F64
+	if isF {
+		l = lc.coerce(l, ir.F64)
+		r = lc.coerce(r, ir.F64)
+		var oc ir.Opcode
+		switch op {
+		case "+":
+			oc = ir.OpFAdd
+		case "-":
+			oc = ir.OpFSub
+		case "*":
+			oc = ir.OpFMul
+		case "/":
+			oc = ir.OpFDiv
+		default:
+			oc = ir.OpFAdd
+		}
+		return lc.emit(&ir.Instr{Op: oc, Ty: ir.F64, Operands: []ir.Value{l, r}})
+	}
+	l = lc.coerce(l, ir.I64)
+	r = lc.coerce(r, ir.I64)
+	var oc ir.Opcode
+	switch op {
+	case "+":
+		oc = ir.OpAdd
+	case "-":
+		oc = ir.OpSub
+	case "*":
+		oc = ir.OpMul
+	case "/":
+		oc = ir.OpSDiv
+	case "%":
+		oc = ir.OpSRem
+	default:
+		oc = ir.OpAdd
+	}
+	return lc.emit(&ir.Instr{Op: oc, Ty: ir.I64, Operands: []ir.Value{l, r}})
+}
+
+// lowerCond lowers an expression used as a branch condition to an i1.
+func (lc *lowerCtx) lowerCond(e Expr) (ir.Value, error) {
+	v, err := lc.lowerExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	if v.Type() == ir.I1 {
+		return v, nil
+	}
+	if v.Type() == ir.F64 {
+		return lc.emit(&ir.Instr{Op: ir.OpFCmp, Ty: ir.I1, Pred: "one",
+			Operands: []ir.Value{v, ir.ConstFloat(0)}}), nil
+	}
+	return lc.emit(&ir.Instr{Op: ir.OpICmp, Ty: ir.I1, Pred: "ne",
+		Operands: []ir.Value{v, ir.ConstInt(0)}}), nil
+}
+
+func (lc *lowerCtx) lowerExpr(e Expr) (ir.Value, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return ir.ConstInt(x.Value), nil
+	case *FloatLit:
+		return ir.ConstFloat(x.Value), nil
+	case *Ident:
+		if l, ok := lc.locals[x.Name]; ok {
+			return lc.emit(&ir.Instr{Op: ir.OpLoad, Ty: l.ty, Operands: []ir.Value{l.slot}}), nil
+		}
+		if v, ok := lc.prog.Consts[x.Name]; ok {
+			return ir.ConstInt(v), nil
+		}
+		if g := lc.mod.Global(x.Name); g != nil && len(g.Dims) == 0 {
+			return lc.emit(&ir.Instr{Op: ir.OpLoad, Ty: g.Elem, Operands: []ir.Value{g}}), nil
+		}
+		return nil, fmt.Errorf("reference to unknown identifier %q", x.Name)
+	case *IndexExpr:
+		addr, elemTy, err := lc.lvalueAddr(&LValue{Name: x.Name, Indices: x.Indices})
+		if err != nil {
+			return nil, err
+		}
+		return lc.emit(&ir.Instr{Op: ir.OpLoad, Ty: elemTy, Operands: []ir.Value{addr}}), nil
+	case *UnaryExpr:
+		v, err := lc.lowerExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "-" {
+			if v.Type() == ir.F64 {
+				return lc.emit(&ir.Instr{Op: ir.OpFNeg, Ty: ir.F64, Operands: []ir.Value{v}}), nil
+			}
+			return lc.emit(&ir.Instr{Op: ir.OpSub, Ty: ir.I64,
+				Operands: []ir.Value{ir.ConstInt(0), lc.coerce(v, ir.I64)}}), nil
+		}
+		// Logical not.
+		c, err := lc.lowerCond(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return lc.emit(&ir.Instr{Op: ir.OpICmp, Ty: ir.I1, Pred: "eq",
+			Operands: []ir.Value{lc.coerce(c, ir.I64), ir.ConstInt(0)}}), nil
+	case *BinaryExpr:
+		switch x.Op {
+		case "+", "-", "*", "/", "%":
+			l, err := lc.lowerExpr(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := lc.lowerExpr(x.R)
+			if err != nil {
+				return nil, err
+			}
+			return lc.binop(x.Op, l, r), nil
+		case "<", ">", "<=", ">=", "==", "!=":
+			l, err := lc.lowerExpr(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := lc.lowerExpr(x.R)
+			if err != nil {
+				return nil, err
+			}
+			if l.Type() == ir.F64 || r.Type() == ir.F64 {
+				return lc.emit(&ir.Instr{Op: ir.OpFCmp, Ty: ir.I1, Pred: relPred(x.Op, true),
+					Operands: []ir.Value{lc.coerce(l, ir.F64), lc.coerce(r, ir.F64)}}), nil
+			}
+			return lc.emit(&ir.Instr{Op: ir.OpICmp, Ty: ir.I1, Pred: relPred(x.Op, false),
+				Operands: []ir.Value{lc.coerce(l, ir.I64), lc.coerce(r, ir.I64)}}), nil
+		case "&&", "||":
+			// Non-short-circuit lowering via select keeps the CFG compact;
+			// the corpus has no side-effecting conditions.
+			l, err := lc.lowerCond(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := lc.lowerCond(x.R)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == "&&" {
+				return lc.emit(&ir.Instr{Op: ir.OpSelect, Ty: ir.I1,
+					Operands: []ir.Value{l, r, &ir.Const{Ty: ir.I1, Text: "false"}}}), nil
+			}
+			return lc.emit(&ir.Instr{Op: ir.OpSelect, Ty: ir.I1,
+				Operands: []ir.Value{l, &ir.Const{Ty: ir.I1, Text: "true"}, r}}), nil
+		}
+		return nil, fmt.Errorf("unsupported binary operator %q", x.Op)
+	case *CondExpr:
+		c, err := lc.lowerCond(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		t, err := lc.lowerExpr(x.Then)
+		if err != nil {
+			return nil, err
+		}
+		f, err := lc.lowerExpr(x.Else)
+		if err != nil {
+			return nil, err
+		}
+		ty := t.Type()
+		if t.Type() == ir.F64 || f.Type() == ir.F64 {
+			ty = ir.F64
+		}
+		return lc.emit(&ir.Instr{Op: ir.OpSelect, Ty: ty,
+			Operands: []ir.Value{c, lc.coerce(t, ty), lc.coerce(f, ty)}}), nil
+	case *CallExpr:
+		var args []ir.Value
+		for _, a := range x.Args {
+			v, err := lc.lowerExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, lc.coerce(v, ir.F64))
+		}
+		ret := ir.F64
+		if in, ok := Intrinsics[x.Name]; ok && !in.Returns {
+			ret = ir.Void
+		}
+		return lc.emit(&ir.Instr{Op: ir.OpCall, Ty: ret, Callee: x.Name, Operands: args}), nil
+	}
+	return nil, fmt.Errorf("unsupported expression %T", e)
+}
+
+// Compile is the front door: parse, analyze, and lower a source file,
+// returning the analyzed program and its IR.
+func Compile(name, src string) (*Program, *Lowered, error) {
+	f, err := Parse(name, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := Analyze(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	low, err := Lower(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, low, nil
+}

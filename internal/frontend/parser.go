@@ -1,0 +1,737 @@
+package frontend
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser for the mini-C/OpenMP dialect.
+type Parser struct {
+	toks []Token
+	pos  int
+	name string
+}
+
+// Parse lexes and parses src into a File named name.
+func Parse(name, src string) (*File, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: %s: %w", name, err)
+	}
+	p := &Parser{toks: toks, name: name}
+	f, err := p.file()
+	if err != nil {
+		return nil, fmt.Errorf("frontend: %s: %w", name, err)
+	}
+	return f, nil
+}
+
+// MustParse parses src and panics on error; intended for the built-in
+// kernel corpus, whose sources are compile-time constants.
+func MustParse(name, src string) *File {
+	f, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) acceptIdent(lit string) bool {
+	if p.cur().Kind == TokIdent && p.cur().Lit == lit {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, fmt.Errorf("line %d: expected %s, got %s", t.Line, k, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	t, err := p.expect(TokIdent)
+	return t.Lit, err
+}
+
+func (p *Parser) file() (*File, error) {
+	f := &File{Name: p.name}
+	for p.cur().Kind != TokEOF {
+		t := p.cur()
+		if t.Kind != TokIdent {
+			return nil, fmt.Errorf("line %d: expected declaration, got %s", t.Line, t)
+		}
+		switch t.Lit {
+		case "const":
+			d, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Consts = append(f.Consts, d)
+		case "double", "int":
+			d, err := p.arrayDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Arrays = append(f.Arrays, d)
+		case "void":
+			d, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, d)
+		default:
+			return nil, fmt.Errorf("line %d: unexpected %q at top level", t.Line, t.Lit)
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) constDecl() (*ConstDecl, error) {
+	p.next() // const
+	if !p.acceptIdent("int") {
+		return nil, fmt.Errorf("line %d: const requires int", p.cur().Line)
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	v, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &ConstDecl{Name: name, Value: v}, nil
+}
+
+func (p *Parser) arrayDecl() (*ArrayDecl, error) {
+	elem := TypeDouble
+	if p.cur().Lit == "int" {
+		elem = TypeInt
+	}
+	p.next() // type
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &ArrayDecl{Name: name, Elem: elem}
+	for p.accept(TokLBracket) {
+		dim, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		d.Dims = append(d.Dims, dim)
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) funcDecl() (*FuncDecl, error) {
+	p.next() // void
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: name, Body: body}, nil
+}
+
+func (p *Parser) block() (*BlockStmt, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			return nil, fmt.Errorf("unexpected EOF in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokPragma:
+		prag, err := parsePragma(t.Lit, t.Line)
+		if err != nil {
+			return nil, err
+		}
+		p.next()
+		if p.cur().Kind != TokIdent || p.cur().Lit != "for" {
+			return nil, fmt.Errorf("line %d: omp pragma must precede a for loop", p.cur().Line)
+		}
+		fs, err := p.forStmt()
+		if err != nil {
+			return nil, err
+		}
+		fs.Pragma = prag
+		return fs, nil
+	case TokLBrace:
+		return p.block()
+	case TokIdent:
+		switch t.Lit {
+		case "for":
+			return p.forStmt()
+		case "if":
+			return p.ifStmt()
+		case "double", "int":
+			return p.declStmt()
+		default:
+			return p.simpleStmt()
+		}
+	}
+	return nil, fmt.Errorf("line %d: unexpected %s", t.Line, t)
+}
+
+func (p *Parser) forStmt() (*ForStmt, error) {
+	p.next() // for
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	initE, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	cv, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if cv != v {
+		return nil, fmt.Errorf("for condition must test loop variable %q, got %q", v, cv)
+	}
+	var rel string
+	switch p.cur().Kind {
+	case TokLt:
+		rel = "<"
+	case TokLe:
+		rel = "<="
+	case TokGt:
+		rel = ">"
+	case TokGe:
+		rel = ">="
+	default:
+		return nil, fmt.Errorf("line %d: expected relational operator", p.cur().Line)
+	}
+	p.next()
+	bound, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	sv, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if sv != v {
+		return nil, fmt.Errorf("for step must update loop variable %q, got %q", v, sv)
+	}
+	var step Expr
+	switch p.cur().Kind {
+	case TokPlusPlus:
+		p.next()
+		step = &IntLit{Value: 1}
+	case TokMinusMin:
+		p.next()
+		step = &IntLit{Value: -1}
+	case TokPlusEq:
+		p.next()
+		step, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	case TokMinusEq:
+		p.next()
+		var e Expr
+		e, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+		step = &UnaryExpr{Op: "-", X: e}
+	default:
+		return nil, fmt.Errorf("line %d: expected ++, --, += or -=", p.cur().Line)
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Var: v, Init: initE, RelOp: rel, Bound: bound, Step: step, Body: body}, nil
+}
+
+func (p *Parser) ifStmt() (*IfStmt, error) {
+	p.next() // if
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then}
+	if p.acceptIdent("else") {
+		s.Else, err = p.stmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) declStmt() (Stmt, error) {
+	typ := TypeDouble
+	if p.cur().Lit == "int" {
+		typ = TypeInt
+	}
+	p.next()
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Name: name, Typ: typ}
+	if p.accept(TokAssign) {
+		d.Init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// simpleStmt parses an assignment or a bare call statement.
+func (p *Parser) simpleStmt() (Stmt, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	// Bare call: intrinsic invoked for effect.
+	if p.cur().Kind == TokLParen {
+		call, err := p.callRest(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: call}, nil
+	}
+	lv := &LValue{Name: name}
+	for p.accept(TokLBracket) {
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		lv.Indices = append(lv.Indices, idx)
+	}
+	var op string
+	switch p.cur().Kind {
+	case TokAssign:
+		op = "="
+	case TokPlusEq:
+		op = "+="
+	case TokMinusEq:
+		op = "-="
+	case TokStarEq:
+		op = "*="
+	case TokSlashEq:
+		op = "/="
+	case TokPlusPlus:
+		p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: lv, Op: "+=", RHS: &IntLit{Value: 1}}, nil
+	default:
+		return nil, fmt.Errorf("line %d: expected assignment operator, got %s", p.cur().Line, p.cur())
+	}
+	p.next()
+	rhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &AssignStmt{LHS: lv, Op: op, RHS: rhs}, nil
+}
+
+// Expression parsing with precedence climbing:
+// ternary < || < && < == != < relational < additive < multiplicative < unary.
+
+func (p *Parser) expr() (Expr, error) { return p.ternary() }
+
+func (p *Parser) ternary() (Expr, error) {
+	cond, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(TokQuestion) {
+		return cond, nil
+	}
+	then, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	els, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *Parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokOrOr {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) andExpr() (Expr, error) {
+	l, err := p.eqExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokAndAnd {
+		p.next()
+		r, err := p.eqExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) eqExpr() (Expr, error) {
+	l, err := p.relExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Kind {
+		case TokEq:
+			op = "=="
+		case TokNe:
+			op = "!="
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.relExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) relExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Kind {
+		case TokLt:
+			op = "<"
+		case TokGt:
+			op = ">"
+		case TokLe:
+			op = "<="
+		case TokGe:
+			op = ">="
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Kind {
+		case TokPlus:
+			op = "+"
+		case TokMinus:
+			op = "-"
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Kind {
+		case TokStar:
+			op = "*"
+		case TokSlash:
+			op = "/"
+		case TokPercent:
+			op = "%"
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokMinus:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	case TokNot:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "!", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *Parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad int %q", t.Line, t.Lit)
+		}
+		return &IntLit{Value: v}, nil
+	case TokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad float %q", t.Line, t.Lit)
+		}
+		return &FloatLit{Value: v}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		p.next()
+		if p.cur().Kind == TokLParen {
+			return p.callRest(t.Lit)
+		}
+		if p.cur().Kind == TokLBracket {
+			ie := &IndexExpr{Name: t.Lit}
+			for p.accept(TokLBracket) {
+				idx, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokRBracket); err != nil {
+					return nil, err
+				}
+				ie.Indices = append(ie.Indices, idx)
+			}
+			return ie, nil
+		}
+		return &Ident{Name: t.Lit}, nil
+	}
+	return nil, fmt.Errorf("line %d: unexpected %s in expression", t.Line, t)
+}
+
+func (p *Parser) callRest(name string) (Expr, error) {
+	p.next() // (
+	c := &CallExpr{Name: name}
+	if p.accept(TokRParen) {
+		return c, nil
+	}
+	for {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		c.Args = append(c.Args, a)
+		if p.accept(TokRParen) {
+			return c, nil
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// parsePragma parses "#pragma omp parallel for [schedule(...)] [reduction(...)]".
+func parsePragma(text string, line int) (*Pragma, error) {
+	fields := strings.FieldsFunc(text, func(r rune) bool {
+		return r == ' ' || r == '\t'
+	})
+	if len(fields) < 2 || fields[0] != "#pragma" || fields[1] != "omp" {
+		return nil, fmt.Errorf("line %d: unsupported pragma %q", line, text)
+	}
+	rest := strings.Join(fields[2:], " ")
+	if !strings.HasPrefix(rest, "parallel for") {
+		return nil, fmt.Errorf("line %d: only 'parallel for' pragmas supported, got %q", line, text)
+	}
+	prag := &Pragma{Parallel: true, Schedule: SchedDefault}
+	clauses := strings.TrimSpace(strings.TrimPrefix(rest, "parallel for"))
+	for clauses != "" {
+		open := strings.IndexByte(clauses, '(')
+		if open < 0 {
+			return nil, fmt.Errorf("line %d: malformed clause in %q", line, text)
+		}
+		name := strings.TrimSpace(clauses[:open])
+		close := strings.IndexByte(clauses, ')')
+		if close < open {
+			return nil, fmt.Errorf("line %d: unbalanced clause in %q", line, text)
+		}
+		arg := clauses[open+1 : close]
+		clauses = strings.TrimSpace(clauses[close+1:])
+		switch name {
+		case "schedule":
+			parts := strings.Split(arg, ",")
+			switch strings.TrimSpace(parts[0]) {
+			case "static":
+				prag.Schedule = SchedStatic
+			case "dynamic":
+				prag.Schedule = SchedDynamic
+			case "guided":
+				prag.Schedule = SchedGuided
+			default:
+				return nil, fmt.Errorf("line %d: unknown schedule %q", line, parts[0])
+			}
+			if len(parts) > 1 {
+				c, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+				if err != nil || c <= 0 {
+					return nil, fmt.Errorf("line %d: bad chunk %q", line, parts[1])
+				}
+				prag.Chunk = c
+			}
+		case "reduction":
+			parts := strings.SplitN(arg, ":", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("line %d: bad reduction %q", line, arg)
+			}
+			prag.RedOp = strings.TrimSpace(parts[0])
+			prag.Reduction = strings.TrimSpace(parts[1])
+		default:
+			return nil, fmt.Errorf("line %d: unknown clause %q", line, name)
+		}
+	}
+	return prag, nil
+}

@@ -1,0 +1,89 @@
+// Package frontend implements a mini-C/OpenMP dialect compiler. It lexes
+// and parses benchmark kernel sources, extracts an analytic kernel model
+// (trip counts, flops and bytes per iteration, imbalance shape) used by the
+// hardware simulator, and lowers parallel regions into outlined ir
+// functions the way Clang outlines "#pragma omp parallel for" loops.
+package frontend
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+// Token kinds. Keywords are folded into TokIdent at lex time and
+// distinguished by spelling in the parser, except for the handful that
+// shape the grammar.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokPragma // a whole "#pragma ..." line, payload in Lit
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokAssign   // =
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokPercent  // %
+	TokPlusEq   // +=
+	TokMinusEq  // -=
+	TokStarEq   // *=
+	TokSlashEq  // /=
+	TokPlusPlus // ++
+	TokMinusMin // --
+	TokEq       // ==
+	TokNe       // !=
+	TokLt       // <
+	TokGt       // >
+	TokLe       // <=
+	TokGe       // >=
+	TokAndAnd   // &&
+	TokOrOr     // ||
+	TokNot      // !
+	TokQuestion // ?
+	TokColon    // :
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "int literal",
+	TokFloat: "float literal", TokPragma: "#pragma", TokLParen: "(",
+	TokRParen: ")", TokLBrace: "{", TokRBrace: "}", TokLBracket: "[",
+	TokRBracket: "]", TokSemi: ";", TokComma: ",", TokAssign: "=",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/",
+	TokPercent: "%", TokPlusEq: "+=", TokMinusEq: "-=", TokStarEq: "*=",
+	TokSlashEq: "/=", TokPlusPlus: "++", TokMinusMin: "--", TokEq: "==",
+	TokNe: "!=", TokLt: "<", TokGt: ">", TokLe: "<=", TokGe: ">=",
+	TokAndAnd: "&&", TokOrOr: "||", TokNot: "!", TokQuestion: "?",
+	TokColon: ":",
+}
+
+// String returns a human-readable token-kind name.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+// Token is one lexical token with source position.
+type Token struct {
+	Kind TokKind
+	Lit  string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Lit != "" {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}

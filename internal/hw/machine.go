@@ -1,0 +1,267 @@
+// Package hw models the paper's two experimental systems — a dual-socket
+// 32-core Intel Skylake (Xeon Gold 6142) and a dual-socket 16-core Haswell
+// (Xeon E5-2630 v3) — at the fidelity the tuning problem needs: package
+// power as a function of active cores and frequency, a RAPL-style power
+// capping interface that solves for the highest sustainable frequency
+// under a cap, shared-memory-bandwidth saturation, a three-level cache
+// hierarchy, and SMT.
+//
+// The analytic power model is the classic static + dynamic split:
+//
+//	P(n, f) = Σ_sockets P_uncore + n·(P_static + c·f³)
+//
+// with the cubic frequency term standing in for the joint
+// voltage-frequency scaling of DVFS. Calibrated so that all cores at base
+// frequency draw approximately TDP, matching the nameplate numbers of the
+// paper's testbeds.
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// Machine describes one simulated system.
+type Machine struct {
+	Name           string
+	Sockets        int
+	CoresPerSocket int
+	ThreadsPerCore int // SMT ways
+
+	// Frequency envelope in GHz.
+	FMin, FBase, FMax float64
+
+	// Power model parameters in watts (per socket for uncore, per core
+	// otherwise). UncoreIdle is the draw of a socket with no active cores.
+	TDP        float64
+	MinPower   float64
+	Uncore     float64
+	UncoreIdle float64
+	CoreStatic float64
+	CoreIdle   float64
+	// DynCoeff is c in P_dyn = c·f³ (watts at f in GHz).
+	DynCoeff float64
+
+	// Compute throughput per core per cycle.
+	FlopsPerCycle  float64
+	IntOpsPerCycle float64
+	LoadsPerCycle  float64
+
+	// Memory system.
+	MemBWGBs       float64 // total sustained DRAM bandwidth, all sockets
+	MemBWSingleGBs float64 // bandwidth one thread can draw
+	L2PerCoreKB    int
+	L3PerSocketMB  int
+
+	// SMTBoost is the total-throughput multiplier a core gets from running
+	// two memory-stalled threads (1.0 = SMT useless, compute-bound limit).
+	SMTBoost float64
+
+	// Fork/join overhead model: microseconds at FBase for a parallel
+	// region, affine in the team size.
+	ForkBaseUS    float64
+	ForkPerThread float64
+
+	// PowerLimits are the RAPL cap levels of the paper's Table I.
+	PowerLimits []float64
+	// ThreadCounts are the tunable team sizes of Table I.
+	ThreadCounts []int
+}
+
+// NumCores returns the physical core count.
+func (m *Machine) NumCores() int { return m.Sockets * m.CoresPerSocket }
+
+// NumHWThreads returns the hardware thread count (the default OpenMP team
+// size, i.e. what OMP_NUM_THREADS defaults to).
+func (m *Machine) NumHWThreads() int { return m.NumCores() * m.ThreadsPerCore }
+
+// L3TotalBytes returns the total last-level cache capacity.
+func (m *Machine) L3TotalBytes() int64 {
+	return int64(m.Sockets) * int64(m.L3PerSocketMB) << 20
+}
+
+// L2TotalBytes returns the total L2 capacity.
+func (m *Machine) L2TotalBytes() int64 {
+	return int64(m.NumCores()) * int64(m.L2PerCoreKB) << 10
+}
+
+// activeTopology returns physical cores and sockets engaged by a team of
+// n software threads (threads pack cores first, then SMT siblings;
+// cores spread across sockets round-robin as libgomp/libomp pinning does
+// with a spread policy).
+func (m *Machine) activeTopology(threads int) (cores, sockets int) {
+	if threads <= 0 {
+		return 0, 0
+	}
+	cores = threads
+	if cores > m.NumCores() {
+		cores = m.NumCores()
+	}
+	sockets = m.Sockets
+	perSocket := (cores + m.Sockets - 1) / m.Sockets
+	if cores <= m.CoresPerSocket/2 {
+		// Small teams stay on one socket (first-touch locality).
+		sockets = 1
+		perSocket = cores
+	}
+	_ = perSocket
+	return cores, sockets
+}
+
+// Power returns package power in watts with n software threads running at
+// frequency f (GHz).
+func (m *Machine) Power(threads int, f float64) float64 {
+	cores, sockets := m.activeTopology(threads)
+	idleSockets := m.Sockets - sockets
+	idleCores := m.NumCores() - cores
+	p := float64(sockets)*m.Uncore + float64(idleSockets)*m.UncoreIdle
+	p += float64(cores) * (m.CoreStatic + m.DynCoeff*f*f*f)
+	p += float64(idleCores) * m.CoreIdle
+	return p
+}
+
+// FreqAtCap returns the highest frequency in [FMin, FMax] whose package
+// power with n threads stays within capW, plus a throttle factor in (0,1]
+// applied to throughput when even FMin exceeds the cap (RAPL duty-cycle
+// clamping).
+func (m *Machine) FreqAtCap(threads int, capW float64) (f float64, throttle float64) {
+	cores, sockets := m.activeTopology(threads)
+	idleSockets := m.Sockets - sockets
+	idleCores := m.NumCores() - cores
+	static := float64(sockets)*m.Uncore + float64(idleSockets)*m.UncoreIdle +
+		float64(cores)*m.CoreStatic + float64(idleCores)*m.CoreIdle
+	dynBudget := capW - static
+	den := float64(cores) * m.DynCoeff
+	if den <= 0 {
+		return m.FBase, 1
+	}
+	f = math.Cbrt(dynBudget / den)
+	switch {
+	case dynBudget <= 0 || f < m.FMin:
+		// Even the minimum frequency busts the cap: RAPL falls back to
+		// duty-cycle clamping, which is superlinearly expensive (idle
+		// windows stall the pipeline and the memory system beyond the
+		// pure power ratio), hence the squared penalty.
+		pmin := m.Power(threads, m.FMin)
+		ratio := capW / pmin
+		return m.FMin, math.Max(0.05, ratio*ratio)
+	case f > m.FMax:
+		return m.FMax, 1
+	}
+	return f, 1
+}
+
+// TurboFreq returns the sustained frequency with n threads and no cap
+// beyond TDP (all-core turbo limited by the TDP budget).
+func (m *Machine) TurboFreq(threads int) float64 {
+	f, _ := m.FreqAtCap(threads, m.TDP)
+	return f
+}
+
+// Validate checks internal consistency of the machine description.
+func (m *Machine) Validate() error {
+	switch {
+	case m.Sockets <= 0 || m.CoresPerSocket <= 0 || m.ThreadsPerCore <= 0:
+		return fmt.Errorf("hw: %s: bad topology", m.Name)
+	case m.FMin <= 0 || m.FMin > m.FBase || m.FBase > m.FMax:
+		return fmt.Errorf("hw: %s: bad frequency envelope", m.Name)
+	case m.MinPower >= m.TDP:
+		return fmt.Errorf("hw: %s: MinPower >= TDP", m.Name)
+	case m.DynCoeff <= 0 || m.MemBWGBs <= 0:
+		return fmt.Errorf("hw: %s: bad power/memory parameters", m.Name)
+	case len(m.PowerLimits) == 0 || len(m.ThreadCounts) == 0:
+		return fmt.Errorf("hw: %s: missing tuning levels", m.Name)
+	}
+	for _, l := range m.PowerLimits {
+		if l < m.MinPower || l > m.TDP {
+			return fmt.Errorf("hw: %s: power limit %gW outside [%g, %g]", m.Name, l, m.MinPower, m.TDP)
+		}
+	}
+	for _, t := range m.ThreadCounts {
+		if t < 1 || t > m.NumHWThreads() {
+			return fmt.Errorf("hw: %s: thread count %d outside [1, %d]", m.Name, t, m.NumHWThreads())
+		}
+	}
+	return nil
+}
+
+// Skylake returns the paper's 32-core dual-socket Intel Xeon Gold 6142
+// system (75–150 W package power envelope).
+func Skylake() *Machine {
+	m := &Machine{
+		Name:           "skylake",
+		Sockets:        2,
+		CoresPerSocket: 16,
+		ThreadsPerCore: 2,
+		FMin:           1.2,
+		FBase:          2.6,
+		FMax:           3.7,
+		TDP:            150,
+		MinPower:       75,
+		Uncore:         14,
+		UncoreIdle:     7,
+		CoreStatic:     1.4,
+		CoreIdle:       0.25,
+		DynCoeff:       0.160,
+		FlopsPerCycle:  4,
+		IntOpsPerCycle: 4,
+		LoadsPerCycle:  2,
+		MemBWGBs:       205,
+		MemBWSingleGBs: 13,
+		L2PerCoreKB:    1024,
+		L3PerSocketMB:  22,
+		SMTBoost:       1.22,
+		ForkBaseUS:     3.5,
+		ForkPerThread:  0.28,
+		PowerLimits:    []float64{75, 100, 120, 150},
+		ThreadCounts:   []int{1, 4, 8, 16, 32, 64},
+	}
+	return m
+}
+
+// Haswell returns the paper's 16-core dual-socket Intel Xeon E5-2630 v3
+// system (40–85 W package power envelope).
+func Haswell() *Machine {
+	m := &Machine{
+		Name:           "haswell",
+		Sockets:        2,
+		CoresPerSocket: 8,
+		ThreadsPerCore: 2,
+		FMin:           1.4,
+		FBase:          2.4,
+		FMax:           3.2,
+		TDP:            85,
+		MinPower:       40,
+		Uncore:         9,
+		UncoreIdle:     4.5,
+		CoreStatic:     1.25,
+		CoreIdle:       0.2,
+		DynCoeff:       0.205,
+		FlopsPerCycle:  4,
+		IntOpsPerCycle: 4,
+		LoadsPerCycle:  2,
+		MemBWGBs:       110,
+		MemBWSingleGBs: 11,
+		L2PerCoreKB:    256,
+		L3PerSocketMB:  20,
+		SMTBoost:       1.20,
+		ForkBaseUS:     4.0,
+		ForkPerThread:  0.35,
+		PowerLimits:    []float64{40, 60, 70, 85},
+		ThreadCounts:   []int{1, 2, 4, 8, 16, 32},
+	}
+	return m
+}
+
+// Machines returns the experimental systems in paper order.
+func Machines() []*Machine { return []*Machine{Skylake(), Haswell()} }
+
+// ByName returns the machine named name, or an error.
+func ByName(name string) (*Machine, error) {
+	for _, m := range Machines() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("hw: unknown machine %q", name)
+}

@@ -1,0 +1,42 @@
+package hw
+
+import "fmt"
+
+// Variorum mirrors the slice of LLNL Variorum's API the paper uses: a
+// vendor-neutral façade over RAPL for capping package power and reading
+// the power envelope. The tuners talk to this interface rather than RAPL
+// directly, exactly as the paper's harness does.
+type Variorum struct {
+	rapl *RAPL
+}
+
+// NewVariorum wraps a machine in the Variorum façade.
+func NewVariorum(m *Machine) *Variorum { return &Variorum{rapl: NewRAPL(m)} }
+
+// RAPL exposes the underlying interface for energy accounting.
+func (v *Variorum) RAPL() *RAPL { return v.rapl }
+
+// CapBestEffortNodePowerLimit applies a node-level cap, mirroring
+// variorum_cap_best_effort_node_power_limit. Out-of-envelope requests are
+// clamped rather than rejected (best effort).
+func (v *Variorum) CapBestEffortNodePowerLimit(watts float64) error {
+	if err := v.rapl.SetPowerLimit(watts); err != nil {
+		return fmt.Errorf("variorum: %w", err)
+	}
+	return nil
+}
+
+// PrintPowerLimit returns a human-readable dump of the power domain state,
+// mirroring variorum_print_power_limit.
+func (v *Variorum) PrintPowerLimit() string {
+	m := v.rapl.Machine()
+	return fmt.Sprintf("_PACKAGE_POWER_LIMIT host=%s limit=%gW envelope=[%g, %g]W",
+		m.Name, v.rapl.PowerLimit(), m.MinPower, m.TDP)
+}
+
+// PowerEnvelope returns the valid cap range, mirroring the
+// variorum_get_node_power_domain_info query.
+func (v *Variorum) PowerEnvelope() (minW, tdpW float64) {
+	m := v.rapl.Machine()
+	return m.MinPower, m.TDP
+}

@@ -1,0 +1,415 @@
+// Package ir implements a small typed, LLVM-flavoured intermediate
+// representation. The frontend lowers mini-C/OpenMP sources into this IR;
+// parallel regions become outlined functions (mirroring what Clang does
+// with ".omp_outlined." functions), and package programl turns outlined
+// functions into flow-aware program graphs.
+//
+// The IR is deliberately close to LLVM in shape — modules hold functions,
+// functions hold basic blocks, blocks hold instructions in SSA-ish form —
+// because the downstream graph schema (PROGRAML) was designed for LLVM.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is the type of an IR value.
+type Type int
+
+// The IR type universe. Ptr covers all pointer types (element types are
+// tracked informally via instruction text, which is all the graph needs).
+const (
+	Void Type = iota
+	I1
+	I32
+	I64
+	F64
+	Ptr
+	Label
+)
+
+// String returns the LLVM-ish spelling of t.
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I1:
+		return "i1"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F64:
+		return "double"
+	case Ptr:
+		return "ptr"
+	case Label:
+		return "label"
+	}
+	return fmt.Sprintf("type(%d)", int(t))
+}
+
+// Opcode enumerates instruction operations.
+type Opcode int
+
+// Instruction opcodes. Arithmetic comes in integer and floating flavours,
+// mirroring LLVM's add/fadd split, because the distinction is visible in
+// the program graphs the model learns from.
+const (
+	OpAlloca Opcode = iota
+	OpLoad
+	OpStore
+	OpAdd
+	OpSub
+	OpMul
+	OpSDiv
+	OpSRem
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpICmp
+	OpFCmp
+	OpBr     // unconditional branch
+	OpCondBr // conditional branch
+	OpPhi
+	OpCall
+	OpRet
+	OpGEP // getelementptr
+	OpSExt
+	OpSIToFP
+	OpFPToSI
+	OpSelect
+	OpFNeg
+)
+
+var opNames = map[Opcode]string{
+	OpAlloca: "alloca",
+	OpLoad:   "load",
+	OpStore:  "store",
+	OpAdd:    "add",
+	OpSub:    "sub",
+	OpMul:    "mul",
+	OpSDiv:   "sdiv",
+	OpSRem:   "srem",
+	OpFAdd:   "fadd",
+	OpFSub:   "fsub",
+	OpFMul:   "fmul",
+	OpFDiv:   "fdiv",
+	OpICmp:   "icmp",
+	OpFCmp:   "fcmp",
+	OpBr:     "br",
+	OpCondBr: "br",
+	OpPhi:    "phi",
+	OpCall:   "call",
+	OpRet:    "ret",
+	OpGEP:    "getelementptr",
+	OpSExt:   "sext",
+	OpSIToFP: "sitofp",
+	OpFPToSI: "fptosi",
+	OpSelect: "select",
+	OpFNeg:   "fneg",
+}
+
+// String returns the LLVM mnemonic for op.
+func (op Opcode) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// IsTerminator reports whether op ends a basic block.
+func (op Opcode) IsTerminator() bool {
+	return op == OpBr || op == OpCondBr || op == OpRet
+}
+
+// IsFloat reports whether op is a floating-point arithmetic operation.
+func (op Opcode) IsFloat() bool {
+	switch op {
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFCmp, OpFNeg:
+		return true
+	}
+	return false
+}
+
+// Value is anything that can appear as an instruction operand: constants,
+// function arguments, globals, and instruction results.
+type Value interface {
+	// Name returns the SSA name ("%t3", "@A", "42").
+	Name() string
+	// Type returns the value's IR type.
+	Type() Type
+}
+
+// Const is a literal constant operand.
+type Const struct {
+	Ty   Type
+	Text string // literal spelling, e.g. "42" or "1.0e+00"
+}
+
+// Name returns the literal spelling of the constant.
+func (c *Const) Name() string { return c.Text }
+
+// Type returns the constant's type.
+func (c *Const) Type() Type { return c.Ty }
+
+// ConstInt builds an i64 integer constant.
+func ConstInt(v int64) *Const { return &Const{Ty: I64, Text: fmt.Sprintf("%d", v)} }
+
+// ConstFloat builds a double constant.
+func ConstFloat(v float64) *Const { return &Const{Ty: F64, Text: fmt.Sprintf("%g", v)} }
+
+// Arg is a formal function parameter.
+type Arg struct {
+	Nam string
+	Ty  Type
+}
+
+// Name returns the parameter's SSA name.
+func (a *Arg) Name() string { return "%" + a.Nam }
+
+// Type returns the parameter's type.
+func (a *Arg) Type() Type { return a.Ty }
+
+// Global is a module-level symbol (arrays and scalars in our dialect).
+type Global struct {
+	Nam   string
+	Ty    Type // Ptr for arrays, element type for scalars
+	Elem  Type // element type for arrays
+	Dims  []int64
+	Decl  string // pretty declaration text
+	Bytes int64  // total footprint in bytes
+}
+
+// Name returns the global's symbol name ("@A").
+func (g *Global) Name() string { return "@" + g.Nam }
+
+// Type returns the global's IR type.
+func (g *Global) Type() Type { return g.Ty }
+
+// Instr is a single IR instruction. An instruction with a non-void type is
+// itself a Value usable as an operand of later instructions.
+type Instr struct {
+	Op       Opcode
+	Ty       Type // result type (Void for store/br/ret)
+	ID       int  // dense per-function numbering, assigned by Function.Number
+	Nam      string
+	Operands []Value
+	// Callee is the target symbol for OpCall.
+	Callee string
+	// Pred is the comparison predicate text for OpICmp/OpFCmp ("slt", "olt"...).
+	Pred string
+	// Blocks are the successor blocks for branches, and the incoming blocks
+	// for phis (parallel to Operands).
+	Blocks []*Block
+	// Parent is the containing block.
+	Parent *Block
+}
+
+// Name returns the instruction's SSA result name.
+func (in *Instr) Name() string { return "%" + in.Nam }
+
+// Type returns the instruction's result type.
+func (in *Instr) Type() Type { return in.Ty }
+
+// Text renders the instruction in LLVM-like syntax. This text is the node
+// feature PROGRAML-style graphs attach to instruction vertices.
+func (in *Instr) Text() string {
+	var b strings.Builder
+	if in.Ty != Void {
+		fmt.Fprintf(&b, "%s = ", in.Name())
+	}
+	switch in.Op {
+	case OpStore:
+		fmt.Fprintf(&b, "store %s %s, ptr %s", in.Operands[0].Type(), in.Operands[0].Name(), in.Operands[1].Name())
+	case OpLoad:
+		fmt.Fprintf(&b, "load %s, ptr %s", in.Ty, in.Operands[0].Name())
+	case OpBr:
+		fmt.Fprintf(&b, "br label %%%s", in.Blocks[0].Nam)
+	case OpCondBr:
+		fmt.Fprintf(&b, "br i1 %s, label %%%s, label %%%s", in.Operands[0].Name(), in.Blocks[0].Nam, in.Blocks[1].Nam)
+	case OpRet:
+		if len(in.Operands) == 0 {
+			b.WriteString("ret void")
+		} else {
+			fmt.Fprintf(&b, "ret %s %s", in.Operands[0].Type(), in.Operands[0].Name())
+		}
+	case OpICmp, OpFCmp:
+		fmt.Fprintf(&b, "%s %s %s %s, %s", in.Op, in.Pred, in.Operands[0].Type(), in.Operands[0].Name(), in.Operands[1].Name())
+	case OpPhi:
+		fmt.Fprintf(&b, "phi %s ", in.Ty)
+		for i, op := range in.Operands {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "[ %s, %%%s ]", op.Name(), in.Blocks[i].Nam)
+		}
+	case OpCall:
+		fmt.Fprintf(&b, "call %s @%s(", in.Ty, in.Callee)
+		for i, op := range in.Operands {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", op.Type(), op.Name())
+		}
+		b.WriteString(")")
+	case OpGEP:
+		fmt.Fprintf(&b, "getelementptr inbounds %s", in.Operands[0].Name())
+		for _, op := range in.Operands[1:] {
+			fmt.Fprintf(&b, ", %s %s", op.Type(), op.Name())
+		}
+	case OpAlloca:
+		fmt.Fprintf(&b, "alloca %s", in.Ty)
+	case OpSExt, OpSIToFP, OpFPToSI:
+		fmt.Fprintf(&b, "%s %s %s to %s", in.Op, in.Operands[0].Type(), in.Operands[0].Name(), in.Ty)
+	case OpFNeg:
+		fmt.Fprintf(&b, "fneg %s %s", in.Ty, in.Operands[0].Name())
+	case OpSelect:
+		fmt.Fprintf(&b, "select i1 %s, %s %s, %s %s", in.Operands[0].Name(), in.Ty, in.Operands[1].Name(), in.Ty, in.Operands[2].Name())
+	default:
+		fmt.Fprintf(&b, "%s %s", in.Op, in.Ty)
+		for i, op := range in.Operands {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, " %s", op.Name())
+		}
+	}
+	return b.String()
+}
+
+// Block is a basic block: a straight-line instruction sequence ending in a
+// terminator.
+type Block struct {
+	Nam    string
+	Instrs []*Instr
+	Fn     *Function
+}
+
+// Append adds an instruction to the block and returns it.
+func (b *Block) Append(in *Instr) *Instr {
+	in.Parent = b
+	b.Instrs = append(b.Instrs, in)
+	return in
+}
+
+// Terminator returns the block's final instruction, or nil if the block is
+// empty or unterminated.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if !last.Op.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Succs returns the block's successor blocks.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil || t.Op == OpRet {
+		return nil
+	}
+	return t.Blocks
+}
+
+// Function is an IR function.
+type Function struct {
+	Nam      string
+	Params   []*Arg
+	Blocks   []*Block
+	Ret      Type
+	Mod      *Module
+	IsDecl   bool // declaration only (external, e.g. sqrt)
+	Outlined bool // true for ".omp_outlined." parallel-region functions
+}
+
+// Name returns the function's symbol name ("@f").
+func (f *Function) Name() string { return "@" + f.Nam }
+
+// Type returns Ptr: a function used as an operand behaves like a pointer.
+func (f *Function) Type() Type { return Ptr }
+
+// NewBlock appends a fresh basic block named nam to the function.
+func (f *Function) NewBlock(nam string) *Block {
+	b := &Block{Nam: nam, Fn: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Number assigns dense instruction IDs and fresh SSA names to every
+// instruction with a result. It is idempotent and must run before printing
+// or graph construction.
+func (f *Function) Number() {
+	id := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			in.ID = id
+			if in.Ty != Void && in.Nam == "" {
+				in.Nam = fmt.Sprintf("t%d", id)
+			}
+			id++
+		}
+	}
+}
+
+// NumInstrs returns the total instruction count.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Module is a translation unit: globals plus functions.
+type Module struct {
+	Nam     string
+	Globals []*Global
+	Funcs   []*Function
+}
+
+// NewModule creates an empty module named nam.
+func NewModule(nam string) *Module { return &Module{Nam: nam} }
+
+// Global returns the named global, or nil.
+func (m *Module) Global(nam string) *Global {
+	for _, g := range m.Globals {
+		if g.Nam == nam {
+			return g
+		}
+	}
+	return nil
+}
+
+// Func returns the named function, or nil.
+func (m *Module) Func(nam string) *Function {
+	for _, f := range m.Funcs {
+		if f.Nam == nam {
+			return f
+		}
+	}
+	return nil
+}
+
+// NewFunc appends a fresh function to the module.
+func (m *Module) NewFunc(nam string, ret Type, params ...*Arg) *Function {
+	f := &Function{Nam: nam, Ret: ret, Params: params, Mod: m}
+	m.Funcs = append(m.Funcs, f)
+	return f
+}
+
+// OutlinedFuncs returns the parallel-region functions, in declaration order.
+func (m *Module) OutlinedFuncs() []*Function {
+	var out []*Function
+	for _, f := range m.Funcs {
+		if f.Outlined {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildLoop constructs a tiny counted loop function:
+//
+//	for (i=0; i<n; i++) sum += a[i]
+func buildLoop(t *testing.T) (*Module, *Function) {
+	t.Helper()
+	m := NewModule("test")
+	m.Globals = append(m.Globals, &Global{Nam: "a", Ty: Ptr, Elem: F64, Dims: []int64{100}, Decl: "[100 x double]", Bytes: 800})
+	n := &Arg{Nam: "n", Ty: I64}
+	f := m.NewFunc("sum", F64, n)
+
+	entry := f.NewBlock("entry")
+	header := f.NewBlock("loop.header")
+	body := f.NewBlock("loop.body")
+	exit := f.NewBlock("exit")
+
+	entry.Append(&Instr{Op: OpBr, Blocks: []*Block{header}})
+
+	phiI := &Instr{Op: OpPhi, Ty: I64, Nam: "i"}
+	phiS := &Instr{Op: OpPhi, Ty: F64, Nam: "s"}
+	header.Append(phiI)
+	header.Append(phiS)
+	cmp := header.Append(&Instr{Op: OpICmp, Ty: I1, Pred: "slt", Operands: []Value{phiI, n}})
+	header.Append(&Instr{Op: OpCondBr, Operands: []Value{cmp}, Blocks: []*Block{body, exit}})
+
+	gep := body.Append(&Instr{Op: OpGEP, Ty: Ptr, Operands: []Value{m.Global("a"), phiI}})
+	ld := body.Append(&Instr{Op: OpLoad, Ty: F64, Operands: []Value{gep}})
+	add := body.Append(&Instr{Op: OpFAdd, Ty: F64, Operands: []Value{phiS, ld}})
+	inc := body.Append(&Instr{Op: OpAdd, Ty: I64, Operands: []Value{phiI, ConstInt(1)}})
+	body.Append(&Instr{Op: OpBr, Blocks: []*Block{header}})
+
+	phiI.Operands = []Value{ConstInt(0), inc}
+	phiI.Blocks = []*Block{entry, body}
+	phiS.Operands = []Value{ConstFloat(0), add}
+	phiS.Blocks = []*Block{entry, body}
+
+	exit.Append(&Instr{Op: OpRet, Operands: []Value{phiS}})
+
+	f.Number()
+	return m, f
+}
+
+func TestVerifyOK(t *testing.T) {
+	m, _ := buildLoop(t)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesEmptyBlock(t *testing.T) {
+	m, f := buildLoop(t)
+	f.NewBlock("dangling")
+	if err := m.Verify(); err == nil {
+		t.Fatal("Verify accepted empty block")
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m, f := buildLoop(t)
+	last := f.Blocks[len(f.Blocks)-1]
+	last.Instrs = last.Instrs[:0]
+	last.Append(&Instr{Op: OpAdd, Ty: I64, Operands: []Value{ConstInt(1), ConstInt(2)}})
+	if err := m.Verify(); err == nil {
+		t.Fatal("Verify accepted unterminated block")
+	}
+}
+
+func TestVerifyCatchesForeignTarget(t *testing.T) {
+	m, f := buildLoop(t)
+	other := &Block{Nam: "elsewhere"}
+	f.Blocks[0].Instrs[0].Blocks = []*Block{other}
+	if err := m.Verify(); err == nil {
+		t.Fatal("Verify accepted branch to foreign block")
+	}
+}
+
+func TestVerifyCatchesNilOperand(t *testing.T) {
+	m, f := buildLoop(t)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpFAdd {
+				in.Operands[1] = nil
+			}
+		}
+	}
+	if err := m.Verify(); err == nil {
+		t.Fatal("Verify accepted nil operand")
+	}
+}
+
+func TestPrinterRendersLLVMIsh(t *testing.T) {
+	m, _ := buildLoop(t)
+	text := m.String()
+	for _, want := range []string{
+		"define double @sum(i64 %n)",
+		"phi i64 [ 0, %entry ]",
+		"icmp slt i64",
+		"br i1",
+		"load double, ptr",
+		"fadd",
+		"getelementptr inbounds @a",
+		"ret double",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("module text missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestNumberAssignsDenseIDs(t *testing.T) {
+	_, f := buildLoop(t)
+	want := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.ID != want {
+				t.Fatalf("instruction ID = %d, want %d", in.ID, want)
+			}
+			if in.Ty != Void && in.Nam == "" {
+				t.Fatalf("instruction %d has result but no name", in.ID)
+			}
+			want++
+		}
+	}
+	if f.NumInstrs() != want {
+		t.Fatalf("NumInstrs = %d, want %d", f.NumInstrs(), want)
+	}
+}
+
+func TestSuccsAndTerminator(t *testing.T) {
+	_, f := buildLoop(t)
+	entry := f.Blocks[0]
+	if got := entry.Succs(); len(got) != 1 || got[0].Nam != "loop.header" {
+		t.Fatalf("entry successors = %v", got)
+	}
+	header := f.Blocks[1]
+	if got := header.Succs(); len(got) != 2 {
+		t.Fatalf("header successors = %d, want 2", len(got))
+	}
+	exit := f.Blocks[3]
+	if got := exit.Succs(); got != nil {
+		t.Fatalf("exit successors = %v, want nil", got)
+	}
+	if exit.Terminator() == nil || exit.Terminator().Op != OpRet {
+		t.Fatal("exit terminator not ret")
+	}
+}
+
+func TestOpcodePredicates(t *testing.T) {
+	if !OpBr.IsTerminator() || !OpCondBr.IsTerminator() || !OpRet.IsTerminator() {
+		t.Error("branch/ret must be terminators")
+	}
+	if OpAdd.IsTerminator() || OpLoad.IsTerminator() {
+		t.Error("add/load must not be terminators")
+	}
+	if !OpFAdd.IsFloat() || !OpFCmp.IsFloat() || !OpFNeg.IsFloat() {
+		t.Error("fadd/fcmp/fneg are float ops")
+	}
+	if OpAdd.IsFloat() || OpICmp.IsFloat() {
+		t.Error("add/icmp are integer ops")
+	}
+}
+
+func TestModuleLookups(t *testing.T) {
+	m, f := buildLoop(t)
+	if m.Func("sum") != f {
+		t.Error("Func lookup failed")
+	}
+	if m.Func("nope") != nil {
+		t.Error("Func lookup invented a function")
+	}
+	if g := m.Global("a"); g == nil || g.Bytes != 800 {
+		t.Error("Global lookup failed")
+	}
+	if m.Global("nope") != nil {
+		t.Error("Global lookup invented a global")
+	}
+	f.Outlined = true
+	if got := m.OutlinedFuncs(); len(got) != 1 || got[0] != f {
+		t.Error("OutlinedFuncs wrong")
+	}
+}
+
+func TestTypeAndOpcodeStrings(t *testing.T) {
+	cases := map[string]string{
+		Void.String(): "void", I64.String(): "i64", F64.String(): "double",
+		Ptr.String(): "ptr", I1.String(): "i1", I32.String(): "i32", Label.String(): "label",
+		OpGEP.String(): "getelementptr", OpSIToFP.String(): "sitofp",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

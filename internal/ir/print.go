@@ -1,0 +1,119 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in LLVM-like textual form.
+func (m *Module) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; ModuleID = '%s'\n", m.Nam)
+	for _, g := range m.Globals {
+		fmt.Fprintf(&b, "%s = global %s\n", g.Name(), g.Decl)
+	}
+	if len(m.Globals) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, f := range m.Funcs {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders the function in LLVM-like textual form.
+func (f *Function) String() string {
+	var b strings.Builder
+	kw := "define"
+	if f.IsDecl {
+		kw = "declare"
+	}
+	fmt.Fprintf(&b, "%s %s %s(", kw, f.Ret, f.Name())
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", p.Ty, p.Name())
+	}
+	b.WriteString(")")
+	if f.IsDecl {
+		b.WriteString("\n")
+		return b.String()
+	}
+	b.WriteString(" {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.Nam)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", in.Text())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Verify checks structural invariants of the module: every non-declaration
+// function has an entry block, every block is non-empty and ends in exactly
+// one terminator, branch targets belong to the same function, phi operand
+// and block lists are parallel, and operands are non-nil.
+func (m *Module) Verify() error {
+	for _, f := range m.Funcs {
+		if err := f.Verify(); err != nil {
+			return fmt.Errorf("ir: function %s: %w", f.Nam, err)
+		}
+	}
+	return nil
+}
+
+// Verify checks structural invariants of a single function.
+func (f *Function) Verify() error {
+	if f.IsDecl {
+		if len(f.Blocks) != 0 {
+			return fmt.Errorf("declaration has %d blocks", len(f.Blocks))
+		}
+		return nil
+	}
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	own := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		own[b] = true
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %s: empty", b.Nam)
+		}
+		for i, in := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				return fmt.Errorf("block %s: instruction %d (%s): terminator placement", b.Nam, i, in.Op)
+			}
+			for j, opnd := range in.Operands {
+				if opnd == nil {
+					return fmt.Errorf("block %s: %s: nil operand %d", b.Nam, in.Op, j)
+				}
+			}
+			switch in.Op {
+			case OpBr:
+				if len(in.Blocks) != 1 {
+					return fmt.Errorf("block %s: br needs 1 target", b.Nam)
+				}
+			case OpCondBr:
+				if len(in.Blocks) != 2 {
+					return fmt.Errorf("block %s: condbr needs 2 targets", b.Nam)
+				}
+			case OpPhi:
+				if len(in.Blocks) != len(in.Operands) {
+					return fmt.Errorf("block %s: phi operand/block mismatch", b.Nam)
+				}
+			}
+			for _, t := range in.Blocks {
+				if !own[t] {
+					return fmt.Errorf("block %s: %s targets foreign block %s", b.Nam, in.Op, t.Nam)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package kernels
+
+import (
+	"testing"
+
+	"pnptuner/internal/frontend"
+	"pnptuner/internal/vocab"
+)
+
+func TestCorpusCompiles(t *testing.T) {
+	c, err := Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Apps); got != 30 {
+		t.Errorf("apps = %d, want 30", got)
+	}
+	if got := len(c.Regions); got != 68 {
+		t.Errorf("regions = %d, want 68", got)
+	}
+}
+
+func TestRegionCountsPerApp(t *testing.T) {
+	c := MustCompile()
+	want := map[string]int{
+		"LULESH": 12, "Quicksilver": 6, "miniAMR": 6, "miniFE": 5,
+		"XSBench": 3, "RSBench": 3,
+		"adi": 2, "jacobi-2d": 2, "gramschmidt": 2, "correlation": 2,
+		"covariance": 2, "gemver": 2, "fdtd-2d": 2, "fdtd-apml": 2, "2mm": 2,
+		"gemm": 1, "trisolv": 1, "lu": 1, "seidel-2d": 1,
+	}
+	for app, n := range want {
+		if got := len(c.ByApp[app]); got != n {
+			t.Errorf("%s: %d regions, want %d", app, got, n)
+		}
+	}
+}
+
+func TestEveryRegionHasGraphAndModel(t *testing.T) {
+	c := MustCompile()
+	for _, r := range c.Regions {
+		if r.Graph == nil || r.Graph.NumNodes() < 10 {
+			t.Errorf("%s: degenerate graph (%d nodes)", r.ID, r.Graph.NumNodes())
+		}
+		m := r.Info.Model
+		if m.Trips <= 0 {
+			t.Errorf("%s: no iterations", r.ID)
+		}
+		if m.FlopsPerIter <= 0 && m.LoadsPerIter+m.StoresPerIter <= 0 {
+			t.Errorf("%s: region does no work", r.ID)
+		}
+		if m.WorkingSet <= 0 {
+			t.Errorf("%s: empty working set", r.ID)
+		}
+	}
+}
+
+func TestNoUnknownVocabTokens(t *testing.T) {
+	c := MustCompile()
+	for _, r := range c.Regions {
+		for _, n := range r.Graph.Nodes {
+			if n.Token == vocab.UnknownToken {
+				t.Errorf("%s: node text %q missing from vocabulary", r.ID, n.Text)
+			}
+		}
+	}
+}
+
+func TestCorpusDiversity(t *testing.T) {
+	c := MustCompile()
+	imb := map[frontend.Imbalance]int{}
+	reductions := 0
+	var minTrips, maxTrips int64 = 1 << 62, 0
+	for _, r := range c.Regions {
+		m := r.Info.Model
+		imb[m.Imbalance]++
+		if m.HasReduction {
+			reductions++
+		}
+		if m.Trips < minTrips {
+			minTrips = m.Trips
+		}
+		if m.Trips > maxTrips {
+			maxTrips = m.Trips
+		}
+	}
+	if imb[frontend.ImbUniform] < 20 {
+		t.Errorf("uniform regions = %d, want plenty", imb[frontend.ImbUniform])
+	}
+	if imb[frontend.ImbIncreasing] < 3 {
+		t.Errorf("increasing-imbalance regions = %d, want triangular kernels", imb[frontend.ImbIncreasing])
+	}
+	if imb[frontend.ImbDecreasing] < 2 {
+		t.Errorf("decreasing-imbalance regions = %d", imb[frontend.ImbDecreasing])
+	}
+	if imb[frontend.ImbRandom] < 5 {
+		t.Errorf("random-imbalance regions = %d, want Monte Carlo kernels", imb[frontend.ImbRandom])
+	}
+	if reductions < 5 {
+		t.Errorf("reduction regions = %d", reductions)
+	}
+	if minTrips >= 10000 {
+		t.Errorf("no small regions (min trips %d); trisolv/LULESH BC missing", minTrips)
+	}
+	if maxTrips < 500000 {
+		t.Errorf("no large regions (max trips %d)", maxTrips)
+	}
+}
+
+func TestRegionSeedsAreDistinct(t *testing.T) {
+	c := MustCompile()
+	seen := map[uint64]string{}
+	for _, r := range c.Regions {
+		if prev, ok := seen[r.Seed]; ok {
+			t.Errorf("seed collision: %s and %s", prev, r.ID)
+		}
+		seen[r.Seed] = r.ID
+	}
+}
+
+func TestLookupHelpers(t *testing.T) {
+	c := MustCompile()
+	ids := c.RegionIDs()
+	if len(ids) != 68 {
+		t.Fatalf("ids = %d", len(ids))
+	}
+	if r := c.Region(ids[0]); r == nil || r.ID != ids[0] {
+		t.Fatal("Region lookup broken")
+	}
+	if c.Region("nope") != nil {
+		t.Fatal("Region invented an entry")
+	}
+	names := AppNames()
+	if len(names) != 30 || names[0] != "RSBench" {
+		t.Fatalf("AppNames = %v", names[:3])
+	}
+}
+
+func TestMotivatingExampleShape(t *testing.T) {
+	// The §I example: LULESH's boundary-condition kernel must be tiny
+	// relative to the element sweeps.
+	c := MustCompile()
+	var bc, eos *Region
+	for _, r := range c.ByApp["LULESH"] {
+		switch r.Info.Func {
+		case "ApplyAccelerationBoundaryConditionsForNodes":
+			bc = r
+		case "EvalEOSForElems":
+			eos = r
+		}
+	}
+	if bc == nil || eos == nil {
+		t.Fatal("LULESH kernels missing")
+	}
+	if bc.Info.Model.Trips*20 > eos.Info.Model.Trips {
+		t.Errorf("BC kernel not small: %d vs %d trips", bc.Info.Model.Trips, eos.Info.Model.Trips)
+	}
+}
+
+func TestGraphSizesReasonable(t *testing.T) {
+	c := MustCompile()
+	for _, r := range c.Regions {
+		n := r.Graph.NumNodes()
+		if n > 700 {
+			t.Errorf("%s: graph too large (%d nodes) for the GNN batch budget", r.ID, n)
+		}
+	}
+}

@@ -1,0 +1,676 @@
+package kernels
+
+// polybenchApps is the PolyBench slice of the corpus, in the order of the
+// paper's figures. Problem sizes follow PolyBench's LARGE dataset scaled
+// so the suite spans cache-resident, LLC-resident, and streaming regimes,
+// and loop nests keep their characteristic shapes (triangular solvers,
+// stencils, reductions).
+var polybenchApps = []App{
+	{Name: "seidel-2d", Suite: "polybench", Source: srcSeidel2D},
+	{Name: "adi", Suite: "polybench", Source: srcADI},
+	{Name: "jacobi-2d", Suite: "polybench", Source: srcJacobi2D},
+	{Name: "bicg", Suite: "polybench", Source: srcBicg},
+	{Name: "atax", Suite: "polybench", Source: srcAtax},
+	{Name: "gramschmidt", Suite: "polybench", Source: srcGramschmidt},
+	{Name: "correlation", Suite: "polybench", Source: srcCorrelation},
+	{Name: "doitgen", Suite: "polybench", Source: srcDoitgen},
+	{Name: "covariance", Suite: "polybench", Source: srcCovariance},
+	{Name: "gemm", Suite: "polybench", Source: srcGemm},
+	{Name: "syrk", Suite: "polybench", Source: srcSyrk},
+	{Name: "cholesky", Suite: "polybench", Source: srcCholesky},
+	{Name: "gemver", Suite: "polybench", Source: srcGemver},
+	{Name: "mvt", Suite: "polybench", Source: srcMvt},
+	{Name: "durbin", Suite: "polybench", Source: srcDurbin},
+	{Name: "trisolv", Suite: "polybench", Source: srcTrisolv},
+	{Name: "syr2k", Suite: "polybench", Source: srcSyr2k},
+	{Name: "lu", Suite: "polybench", Source: srcLU},
+	{Name: "symm", Suite: "polybench", Source: srcSymm},
+	{Name: "fdtd-2d", Suite: "polybench", Source: srcFdtd2D},
+	{Name: "fdtd-apml", Suite: "polybench", Source: srcFdtdApml},
+	{Name: "2mm", Suite: "polybench", Source: src2mm},
+	{Name: "gesummv", Suite: "polybench", Source: srcGesummv},
+	{Name: "trmm", Suite: "polybench", Source: srcTrmm},
+}
+
+const srcSeidel2D = `
+// seidel-2d: 9-point Gauss-Seidel sweep (streaming, memory-bound).
+const int N = 2800;
+double A[N][N];
+double B[N][N];
+
+void kernel_seidel_2d() {
+  #pragma omp parallel for schedule(static)
+  for (i = 1; i < N - 1; i++) {
+    for (j = 1; j < N - 1; j++) {
+      B[i][j] = (A[i-1][j-1] + A[i-1][j] + A[i-1][j+1]
+               + A[i][j-1] + A[i][j] + A[i][j+1]
+               + A[i+1][j-1] + A[i+1][j] + A[i+1][j+1]) / 9.0;
+    }
+  }
+}
+`
+
+const srcADI = `
+// adi: alternating direction implicit solver, column then row sweeps.
+const int N = 1400;
+double u[N][N];
+double v[N][N];
+double p[N][N];
+double q[N][N];
+
+void kernel_adi_column() {
+  #pragma omp parallel for schedule(static)
+  for (i = 1; i < N - 1; i++) {
+    double a = -0.5;
+    double c = -0.5;
+    for (j = 1; j < N - 1; j++) {
+      p[i][j] = -c / (a * p[i][j-1] + 2.0);
+      q[i][j] = (u[j][i-1] + u[j][i+1] - u[j][i] - a * q[i][j-1]) / (a * p[i][j-1] + 2.0);
+    }
+  }
+}
+
+void kernel_adi_row() {
+  #pragma omp parallel for schedule(static)
+  for (i = 1; i < N - 1; i++) {
+    v[N-1][i] = 1.0;
+    for (j = N - 2; j >= 1; j--) {
+      v[j][i] = p[i][j] * v[j+1][i] + q[i][j];
+    }
+  }
+}
+`
+
+const srcJacobi2D = `
+// jacobi-2d: 5-point stencil, two sweeps per step (streaming).
+const int N = 2600;
+double A[N][N];
+double B[N][N];
+
+void kernel_jacobi_sweep1() {
+  #pragma omp parallel for schedule(static)
+  for (i = 1; i < N - 1; i++) {
+    for (j = 1; j < N - 1; j++) {
+      B[i][j] = 0.2 * (A[i][j] + A[i][j-1] + A[i][j+1] + A[i+1][j] + A[i-1][j]);
+    }
+  }
+}
+
+void kernel_jacobi_sweep2() {
+  #pragma omp parallel for schedule(static)
+  for (i = 1; i < N - 1; i++) {
+    for (j = 1; j < N - 1; j++) {
+      A[i][j] = 0.2 * (B[i][j] + B[i][j-1] + B[i][j+1] + B[i+1][j] + B[i-1][j]);
+    }
+  }
+}
+`
+
+const srcBicg = `
+// bicg: biconjugate gradient sub-kernel, two matvecs fused.
+const int NX = 2200;
+const int NY = 2000;
+double A[NX][NY];
+double r[NX];
+double p[NY];
+double q[NX];
+double s[NY];
+
+void kernel_bicg() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < NX; i++) {
+    double acc = 0.0;
+    for (j = 0; j < NY; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      acc = acc + A[i][j] * p[j];
+    }
+    q[i] = acc;
+  }
+}
+`
+
+const srcAtax = `
+// atax: y = A^T (A x).
+const int M = 2100;
+const int N = 2100;
+double A[M][N];
+double x[N];
+double y[N];
+double tmp[M];
+
+void kernel_atax() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < M; i++) {
+    double acc = 0.0;
+    for (j = 0; j < N; j++) {
+      acc = acc + A[i][j] * x[j];
+    }
+    tmp[i] = acc;
+    for (j = 0; j < N; j++) {
+      y[j] = y[j] + A[i][j] * acc;
+    }
+  }
+}
+`
+
+const srcGramschmidt = `
+// gramschmidt: QR decomposition by modified Gram-Schmidt.
+const int M = 1000;
+const int N = 900;
+double A[M][N];
+double R[N][N];
+double Q[M][N];
+
+void kernel_gs_norm() {
+  #pragma omp parallel for schedule(static)
+  for (k = 0; k < N; k++) {
+    double nrm = 0.0;
+    for (i = 0; i < M; i++) {
+      nrm = nrm + A[i][k] * A[i][k];
+    }
+    R[k][k] = sqrt(nrm);
+  }
+}
+
+void kernel_gs_project() {
+  #pragma omp parallel for schedule(dynamic)
+  for (k = 0; k < N; k++) {
+    for (j = k + 1; j < N; j++) {
+      double acc = 0.0;
+      for (i = 0; i < M; i++) {
+        acc = acc + Q[i][k] * A[i][j];
+      }
+      R[k][j] = acc;
+    }
+  }
+}
+`
+
+const srcCorrelation = `
+// correlation: column means/stddevs then the correlation matrix.
+const int M = 1000;
+const int N = 1100;
+double data[N][M];
+double corr[M][M];
+double mean[M];
+double stddev[M];
+
+void kernel_corr_stats() {
+  #pragma omp parallel for schedule(static)
+  for (j = 0; j < M; j++) {
+    double mu = 0.0;
+    for (i = 0; i < N; i++) {
+      mu = mu + data[i][j];
+    }
+    mu = mu / 1100.0;
+    mean[j] = mu;
+    double sd = 0.0;
+    for (i = 0; i < N; i++) {
+      sd = sd + (data[i][j] - mu) * (data[i][j] - mu);
+    }
+    stddev[j] = sqrt(sd / 1100.0) + 0.1;
+  }
+}
+
+void kernel_corr_matrix() {
+  #pragma omp parallel for schedule(dynamic)
+  for (i = 0; i < M - 1; i++) {
+    corr[i][i] = 1.0;
+    for (j = i + 1; j < M; j++) {
+      double acc = 0.0;
+      for (k = 0; k < N; k++) {
+        acc = acc + (data[k][i] - mean[i]) * (data[k][j] - mean[j]);
+      }
+      corr[i][j] = acc / (1100.0 * stddev[i] * stddev[j]);
+      corr[j][i] = corr[i][j];
+    }
+  }
+}
+`
+
+const srcDoitgen = `
+// doitgen: multi-resolution analysis tensor contraction (compute-bound).
+const int NR = 150;
+const int NQ = 140;
+const int NP = 160;
+double A[NR][NQ][NP];
+double C4[NP][NP];
+double sum[NR][NQ][NP];
+
+void kernel_doitgen() {
+  #pragma omp parallel for schedule(static)
+  for (r = 0; r < NR; r++) {
+    for (q = 0; q < NQ; q++) {
+      for (p = 0; p < NP; p++) {
+        double acc = 0.0;
+        for (s = 0; s < NP; s++) {
+          acc = acc + A[r][q][s] * C4[s][p];
+        }
+        sum[r][q][p] = acc;
+      }
+      for (p = 0; p < NP; p++) {
+        A[r][q][p] = sum[r][q][p];
+      }
+    }
+  }
+}
+`
+
+const srcCovariance = `
+// covariance: column means then the covariance matrix (triangular).
+const int M = 1000;
+const int N = 1100;
+double data[N][M];
+double cov[M][M];
+double mean[M];
+
+void kernel_cov_mean() {
+  #pragma omp parallel for schedule(static)
+  for (j = 0; j < M; j++) {
+    double mu = 0.0;
+    for (i = 0; i < N; i++) {
+      mu = mu + data[i][j];
+    }
+    mean[j] = mu / 1100.0;
+  }
+}
+
+void kernel_cov_matrix() {
+  #pragma omp parallel for schedule(dynamic)
+  for (i = 0; i < M; i++) {
+    for (j = i; j < M; j++) {
+      double acc = 0.0;
+      for (k = 0; k < N; k++) {
+        acc = acc + (data[k][i] - mean[i]) * (data[k][j] - mean[j]);
+      }
+      cov[i][j] = acc / 1099.0;
+      cov[j][i] = cov[i][j];
+    }
+  }
+}
+`
+
+const srcGemm = `
+// gemm: C = alpha*A*B + beta*C (classic compute-bound matmul).
+const int NI = 1100;
+const int NJ = 1150;
+const int NK = 1200;
+double A[NI][NK];
+double B[NK][NJ];
+double C[NI][NJ];
+
+void kernel_gemm() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NJ; j++) {
+      C[i][j] = C[i][j] * 1.2;
+    }
+    for (k = 0; k < NK; k++) {
+      for (j = 0; j < NJ; j++) {
+        C[i][j] = C[i][j] + 1.5 * A[i][k] * B[k][j];
+      }
+    }
+  }
+}
+`
+
+const srcSyrk = `
+// syrk: symmetric rank-k update, lower-triangular (increasing imbalance).
+const int N = 1000;
+const int M = 1100;
+double A[N][M];
+double C[N][N];
+
+void kernel_syrk() {
+  #pragma omp parallel for schedule(dynamic)
+  for (i = 0; i < N; i++) {
+    for (j = 0; j <= i; j++) {
+      C[i][j] = C[i][j] * 1.1;
+      for (k = 0; k < M; k++) {
+        C[i][j] = C[i][j] + 1.3 * A[i][k] * A[j][k];
+      }
+    }
+  }
+}
+`
+
+const srcCholesky = `
+// cholesky: in-place factorization row kernel (increasing triangular).
+const int N = 1000;
+double A[N][N];
+
+void kernel_cholesky_row() {
+  #pragma omp parallel for schedule(dynamic, 8)
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < i; j++) {
+      double acc = A[i][j];
+      for (k = 0; k < j; k++) {
+        acc = acc - A[i][k] * A[j][k];
+      }
+      A[i][j] = acc / (A[j][j] + 1.0);
+    }
+    double d = A[i][i];
+    for (k = 0; k < i; k++) {
+      d = d - A[i][k] * A[i][k];
+    }
+    A[i][i] = sqrt(fabs(d) + 1.0);
+  }
+}
+`
+
+const srcGemver = `
+// gemver: vector generalizations of matrix-vector products (streaming).
+const int N = 2400;
+double A[N][N];
+double u1[N];
+double v1[N];
+double u2[N];
+double v2[N];
+double x[N];
+double y[N];
+double z[N];
+double w[N];
+
+void kernel_gemver_update() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+    }
+  }
+}
+
+void kernel_gemver_xw() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < N; i++) {
+    double acc = x[i];
+    for (j = 0; j < N; j++) {
+      acc = acc + 1.2 * A[j][i] * y[j];
+    }
+    x[i] = acc + z[i];
+    double wv = 0.0;
+    for (j = 0; j < N; j++) {
+      wv = wv + 1.5 * A[i][j] * x[j];
+    }
+    w[i] = wv;
+  }
+}
+`
+
+const srcMvt = `
+// mvt: two transposed matrix-vector products.
+const int N = 2200;
+double A[N][N];
+double x1[N];
+double x2[N];
+double y1[N];
+double y2[N];
+
+void kernel_mvt() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < N; i++) {
+    double a1 = x1[i];
+    double a2 = x2[i];
+    for (j = 0; j < N; j++) {
+      a1 = a1 + A[i][j] * y1[j];
+      a2 = a2 + A[j][i] * y2[j];
+    }
+    x1[i] = a1;
+    x2[i] = a2;
+  }
+}
+`
+
+const srcDurbin = `
+// durbin: Toeplitz solver step; small and latency-bound.
+const int N = 600;
+double r[N];
+double y[N];
+double z[N];
+
+void kernel_durbin_step() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < N; i++) {
+    double acc = 0.0;
+    for (j = 0; j < i; j++) {
+      acc = acc + r[i-j-1] * y[j];
+    }
+    z[i] = acc * 0.25 + r[i];
+  }
+}
+`
+
+const srcTrisolv = `
+// trisolv: dense triangular solve; tiny region, the paper's 1-thread
+// outlier.
+const int N = 340;
+double L[N][N];
+double x[N];
+double b[N];
+
+void kernel_trisolv() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < N; i++) {
+    double acc = b[i];
+    for (j = 0; j < i; j++) {
+      acc = acc - L[i][j] * x[j];
+    }
+    x[i] = acc / (L[i][i] + 1.0);
+  }
+}
+`
+
+const srcSyr2k = `
+// syr2k: symmetric rank-2k update (triangular, compute-bound).
+const int N = 900;
+const int M = 1000;
+double A[N][M];
+double B[N][M];
+double C[N][N];
+
+void kernel_syr2k() {
+  #pragma omp parallel for schedule(dynamic)
+  for (i = 0; i < N; i++) {
+    for (j = 0; j <= i; j++) {
+      C[i][j] = C[i][j] * 1.1;
+      for (k = 0; k < M; k++) {
+        C[i][j] = C[i][j] + A[j][k] * B[i][k] + B[j][k] * A[i][k];
+      }
+    }
+  }
+}
+`
+
+const srcLU = `
+// lu: LU decomposition row elimination (decreasing triangular: early rows
+// do the most work on the trailing submatrix).
+const int N = 1000;
+double A[N][N];
+
+void kernel_lu_eliminate() {
+  #pragma omp parallel for schedule(dynamic, 4)
+  for (i = 0; i < N; i++) {
+    for (j = i + 1; j < N; j++) {
+      double m = A[j][i] / (A[i][i] + 1.0);
+      for (k = i + 1; k < N; k++) {
+        A[j][k] = A[j][k] - m * A[i][k];
+      }
+      A[j][i] = m;
+    }
+  }
+}
+`
+
+const srcSymm = `
+// symm: symmetric matrix-matrix multiply (triangular inner structure).
+const int M = 900;
+const int N = 950;
+double A[M][M];
+double B[M][N];
+double C[M][N];
+
+void kernel_symm() {
+  #pragma omp parallel for schedule(guided)
+  for (i = 0; i < M; i++) {
+    for (j = 0; j < N; j++) {
+      double acc = 0.0;
+      for (k = 0; k < i; k++) {
+        C[k][j] = C[k][j] + 1.2 * B[i][j] * A[i][k];
+        acc = acc + B[k][j] * A[i][k];
+      }
+      C[i][j] = 1.1 * C[i][j] + 1.2 * B[i][j] * A[i][i] + 1.2 * acc;
+    }
+  }
+}
+`
+
+const srcFdtd2D = `
+// fdtd-2d: finite-difference time domain field updates (streaming).
+const int NX = 1800;
+const int NY = 1900;
+double ex[NX][NY];
+double ey[NX][NY];
+double hz[NX][NY];
+
+void kernel_fdtd_e() {
+  #pragma omp parallel for schedule(static)
+  for (i = 1; i < NX; i++) {
+    for (j = 1; j < NY; j++) {
+      ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i-1][j]);
+      ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j-1]);
+    }
+  }
+}
+
+void kernel_fdtd_h() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < NX - 1; i++) {
+    for (j = 0; j < NY - 1; j++) {
+      hz[i][j] = hz[i][j] - 0.7 * (ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j]);
+    }
+  }
+}
+`
+
+const srcFdtdApml = `
+// fdtd-apml: FDTD with anisotropic perfectly matched layer absorber
+// (heavier per-point stencil with divisions).
+const int CZ = 256;
+const int CYM = 256;
+const int CXM = 256;
+double Ex[CZ][CYM][CXM];
+double Ey[CZ][CYM][CXM];
+double Bza[CZ][CYM][CXM];
+double Hz[CZ][CYM][CXM];
+double czm[CZ];
+double czp[CZ];
+double cymh[CYM];
+double cyph[CYM];
+
+void kernel_apml_bz() {
+  #pragma omp parallel for schedule(static)
+  for (iz = 0; iz < CZ - 1; iz++) {
+    for (iy = 0; iy < CYM - 1; iy++) {
+      for (ix = 0; ix < CXM - 1; ix++) {
+        double clf = Ex[iz][iy][ix] - Ex[iz][iy+1][ix] + Ey[iz][iy][ix+1] - Ey[iz][iy][ix];
+        double tmp = (cymh[iy] / cyph[iy]) * Bza[iz][iy][ix] - (0.57 / cyph[iy]) * clf;
+        Bza[iz][iy][ix] = tmp;
+      }
+    }
+  }
+}
+
+void kernel_apml_hz() {
+  #pragma omp parallel for schedule(static)
+  for (iz = 0; iz < CZ - 1; iz++) {
+    for (iy = 0; iy < CYM - 1; iy++) {
+      for (ix = 0; ix < CXM - 1; ix++) {
+        Hz[iz][iy][ix] = (czm[iz] / czp[iz]) * Hz[iz][iy][ix]
+                       + (0.87 / czp[iz]) * Bza[iz][iy][ix] - 0.93 * Bza[iz][iy][ix];
+      }
+    }
+  }
+}
+`
+
+const src2mm = `
+// 2mm: D = alpha*A*B*C + beta*D as two chained matmuls.
+const int NI = 900;
+const int NJ = 950;
+const int NK = 1000;
+const int NL = 1050;
+double A[NI][NK];
+double B[NK][NJ];
+double tmp[NI][NJ];
+double C[NJ][NL];
+double D[NI][NL];
+
+void kernel_2mm_first() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NJ; j++) {
+      double acc = 0.0;
+      for (k = 0; k < NK; k++) {
+        acc = acc + 1.5 * A[i][k] * B[k][j];
+      }
+      tmp[i][j] = acc;
+    }
+  }
+}
+
+void kernel_2mm_second() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < NI; i++) {
+    for (j = 0; j < NL; j++) {
+      double acc = D[i][j] * 1.2;
+      for (k = 0; k < NJ; k++) {
+        acc = acc + tmp[i][k] * C[k][j];
+      }
+      D[i][j] = acc;
+    }
+  }
+}
+`
+
+const srcGesummv = `
+// gesummv: y = alpha*A*x + beta*B*x (two matvecs, bandwidth-bound).
+const int N = 1700;
+double A[N][N];
+double B[N][N];
+double x[N];
+double y[N];
+
+void kernel_gesummv() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < N; i++) {
+    double ta = 0.0;
+    double tb = 0.0;
+    for (j = 0; j < N; j++) {
+      ta = ta + A[i][j] * x[j];
+      tb = tb + B[i][j] * x[j];
+    }
+    y[i] = 1.5 * ta + 1.2 * tb;
+  }
+}
+`
+
+const srcTrmm = `
+// trmm: triangular matrix multiply (decreasing triangular imbalance).
+const int M = 900;
+const int N = 950;
+double A[M][M];
+double B[M][N];
+
+void kernel_trmm() {
+  #pragma omp parallel for schedule(guided)
+  for (i = 0; i < M; i++) {
+    for (j = 0; j < N; j++) {
+      double acc = B[i][j];
+      for (k = i + 1; k < M; k++) {
+        acc = acc + A[k][i] * B[k][j];
+      }
+      B[i][j] = 1.1 * acc;
+    }
+  }
+}
+`

@@ -1,0 +1,444 @@
+package kernels
+
+// proxyApps holds the six proxy/mini applications in the paper's figure
+// order. Hot subroutines below the tuned OpenMP regions (cross-section
+// lookups, particle walks, refinement tests) are intrinsic calls whose
+// cost/irregularity models live in the frontend's intrinsic table.
+var proxyApps = []App{
+	{Name: "RSBench", Suite: "proxy", Source: srcRSBench},
+	{Name: "XSBench", Suite: "proxy", Source: srcXSBench},
+	{Name: "miniFE", Suite: "proxy", Source: srcMiniFE},
+	{Name: "Quicksilver", Suite: "proxy", Source: srcQuicksilver},
+	{Name: "miniAMR", Suite: "proxy", Source: srcMiniAMR},
+	{Name: "LULESH", Suite: "proxy", Source: srcLULESH},
+}
+
+const srcXSBench = `
+// XSBench: Monte Carlo neutron cross-section lookup proxy. The hot loop
+// performs randomized binary-search lookups into nuclide grids — heavy
+// gather traffic with data-dependent cost.
+const int LOOKUPS = 600000;
+const int GRIDPOINTS = 120000;
+const int NUCLIDES = 68;
+double egrid[GRIDPOINTS];
+double xs_results[LOOKUPS];
+double nuclide_grids[NUCLIDES][4000];
+double verification;
+
+void xs_lookup_kernel() {
+  #pragma omp parallel for schedule(dynamic, 64)
+  for (l = 0; l < LOOKUPS; l++) {
+    double e = rand01(1.0);
+    double macro = xs_lookup_macro(e);
+    xs_results[l] = macro;
+  }
+}
+
+void xs_grid_init() {
+  #pragma omp parallel for schedule(static)
+  for (g = 0; g < GRIDPOINTS; g++) {
+    egrid[g] = 0.0001 + 19.9 * g / 120000.0;
+  }
+}
+
+void xs_verification() {
+  #pragma omp parallel for schedule(static) reduction(+:verification)
+  for (l = 0; l < LOOKUPS; l++) {
+    verification += xs_results[l] * 0.5;
+  }
+}
+`
+
+const srcRSBench = `
+// RSBench: multipole cross-section representation proxy. Like XSBench but
+// compute-heavier per lookup (complex pole evaluation).
+const int LOOKUPS = 400000;
+const int WINDOWS = 12000;
+double rs_results[LOOKUPS];
+double window_data[WINDOWS];
+double poles_re[WINDOWS];
+double poles_im[WINDOWS];
+double rs_verification;
+
+void rs_lookup_kernel() {
+  #pragma omp parallel for schedule(dynamic, 32)
+  for (l = 0; l < LOOKUPS; l++) {
+    double e = rand01(1.0);
+    double micro = rs_eval_poles(e);
+    double win = rs_eval_window(e);
+    rs_results[l] = micro + win;
+  }
+}
+
+void rs_window_init() {
+  #pragma omp parallel for schedule(static)
+  for (w = 0; w < WINDOWS; w++) {
+    window_data[w] = poles_re[w] * poles_re[w] + poles_im[w] * poles_im[w];
+  }
+}
+
+void rs_verification_sum() {
+  #pragma omp parallel for schedule(static) reduction(+:rs_verification)
+  for (l = 0; l < LOOKUPS; l++) {
+    rs_verification += rs_results[l];
+  }
+}
+`
+
+const srcMiniFE = `
+// miniFE: unstructured implicit finite elements mini-app. The CG solve is
+// dominated by a 27-point sparse matvec plus vector kernels.
+const int NROWS = 1100000;
+const int NNZ = 27;
+double matval[NROWS][NNZ];
+double xvec[NROWS];
+double yvec[NROWS];
+double rvec[NROWS];
+double pvec[NROWS];
+double dot_result;
+double norm_result;
+
+void minife_matvec() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < NROWS; i++) {
+    double acc = 0.0;
+    for (k = 0; k < NNZ; k++) {
+      acc = acc + matval[i][k] * xvec[(i + k * 37) % NROWS];
+    }
+    yvec[i] = acc;
+  }
+}
+
+void minife_dot() {
+  #pragma omp parallel for schedule(static) reduction(+:dot_result)
+  for (i = 0; i < NROWS; i++) {
+    dot_result += rvec[i] * pvec[i];
+  }
+}
+
+void minife_waxpby() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < NROWS; i++) {
+    pvec[i] = rvec[i] + 0.85 * pvec[i];
+  }
+}
+
+void minife_assembly() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < NROWS; i++) {
+    for (k = 0; k < NNZ; k++) {
+      matval[i][k] = matval[i][k] + 0.125 * (k + 1);
+    }
+  }
+}
+
+void minife_norm() {
+  #pragma omp parallel for schedule(static) reduction(+:norm_result)
+  for (i = 0; i < NROWS; i++) {
+    norm_result += rvec[i] * rvec[i];
+  }
+}
+`
+
+const srcQuicksilver = `
+// Quicksilver: Monte Carlo particle transport proxy. Per-particle work is
+// highly variable (segment counts are data dependent), making schedule
+// choice decisive.
+const int NPARTICLES = 250000;
+const int NCELLS = 64000;
+double ptime[NPARTICLES];
+double penergy[NPARTICLES];
+double tally[NCELLS];
+double census_buf[NPARTICLES];
+double total_absorb;
+double source_rate;
+
+void qs_cycle_tracking() {
+  #pragma omp parallel for schedule(dynamic, 16)
+  for (p = 0; p < NPARTICLES; p++) {
+    double segs = mc_segment_walk(penergy[p]);
+    double col = mc_collision(segs);
+    ptime[p] = ptime[p] + segs;
+    penergy[p] = penergy[p] * 0.98 + col * 0.01;
+  }
+}
+
+void qs_collision_apply() {
+  #pragma omp parallel for schedule(guided)
+  for (p = 0; p < NPARTICLES; p++) {
+    double c = mc_collision(penergy[p]);
+    tally[p % NCELLS] = tally[p % NCELLS] + c;
+  }
+}
+
+void qs_census() {
+  #pragma omp parallel for schedule(static)
+  for (p = 0; p < NPARTICLES; p++) {
+    census_buf[p] = ptime[p] + penergy[p];
+  }
+}
+
+void qs_tally_reduce() {
+  #pragma omp parallel for schedule(static) reduction(+:total_absorb)
+  for (c = 0; c < NCELLS; c++) {
+    total_absorb += tally[c];
+  }
+}
+
+void qs_source_gen() {
+  #pragma omp parallel for schedule(static)
+  for (p = 0; p < NPARTICLES; p++) {
+    penergy[p] = rand01(1.0) * 14.1;
+    ptime[p] = 0.0;
+  }
+}
+
+void qs_population_control() {
+  #pragma omp parallel for schedule(static) reduction(+:source_rate)
+  for (p = 0; p < NPARTICLES; p++) {
+    if (penergy[p] > 1.0e-6) {
+      source_rate += 1.0;
+    } else {
+      census_buf[p] = 0.0;
+    }
+  }
+}
+`
+
+const srcMiniAMR = `
+// miniAMR: adaptive mesh refinement proxy. Regular stencils on resident
+// blocks mixed with irregular refinement and communication phases.
+const int NBLOCKS = 4096;
+const int BLK = 1000;
+double blocks[NBLOCKS][BLK];
+double work[NBLOCKS][BLK];
+double refine_flags[NBLOCKS];
+double total_energy;
+
+void amr_stencil() {
+  #pragma omp parallel for schedule(static)
+  for (b = 0; b < NBLOCKS; b++) {
+    for (c = 1; c < BLK - 1; c++) {
+      work[b][c] = 0.25 * (blocks[b][c-1] + 2.0 * blocks[b][c] + blocks[b][c+1]);
+    }
+  }
+}
+
+void amr_refine() {
+  #pragma omp parallel for schedule(dynamic, 8)
+  for (b = 0; b < NBLOCKS; b++) {
+    refine_flags[b] = amr_refine_check(blocks[b][0]);
+  }
+}
+
+void amr_exchange() {
+  #pragma omp parallel for schedule(dynamic, 4)
+  for (b = 0; b < NBLOCKS; b++) {
+    double f = amr_face_exchange(blocks[b][0]);
+    work[b][0] = f;
+  }
+}
+
+void amr_energy_sum() {
+  #pragma omp parallel for schedule(static) reduction(+:total_energy)
+  for (b = 0; b < NBLOCKS; b++) {
+    for (c = 0; c < BLK; c++) {
+      total_energy += work[b][c];
+    }
+  }
+}
+
+void amr_copyback() {
+  #pragma omp parallel for schedule(static)
+  for (b = 0; b < NBLOCKS; b++) {
+    for (c = 0; c < BLK; c++) {
+      blocks[b][c] = work[b][c];
+    }
+  }
+}
+
+void amr_gradient() {
+  #pragma omp parallel for schedule(static)
+  for (b = 0; b < NBLOCKS; b++) {
+    for (c = 1; c < BLK - 1; c++) {
+      work[b][c] = fabs(blocks[b][c+1] - blocks[b][c-1]) * 0.5;
+    }
+  }
+}
+`
+
+const srcLULESH = `
+// LULESH: Livermore unstructured Lagrangian explicit shock hydrodynamics
+// proxy. Twelve OpenMP regions spanning large element sweeps, nodal
+// updates, and the tiny boundary-condition kernel of the paper's
+// motivating example.
+const int NELEM = 91125;
+const int NNODE = 97336;
+const int NBC = 2116;
+double fx[NNODE];
+double fy[NNODE];
+double fz[NNODE];
+double xdd[NNODE];
+double ydd[NNODE];
+double zdd[NNODE];
+double xd[NNODE];
+double yd[NNODE];
+double zd[NNODE];
+double xpos[NNODE];
+double ypos[NNODE];
+double zpos[NNODE];
+double nodalMass[NNODE];
+double sigxx[NELEM];
+double determ[NELEM];
+double dvdx[NELEM];
+double delv[NELEM];
+double vol[NELEM];
+double volo[NELEM];
+double ss[NELEM];
+double e_old[NELEM];
+double p_old[NELEM];
+double q_old[NELEM];
+double elemMass[NELEM];
+double dxx[NELEM];
+double dyy[NELEM];
+double dzz[NELEM];
+double vnew[NELEM];
+double boundary[NBC];
+
+void CalcForceForNodes() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < NNODE; i++) {
+    fx[i] = 0.0;
+    fy[i] = 0.0;
+    fz[i] = 0.0;
+    for (k = 0; k < 8; k++) {
+      fx[i] = fx[i] + sigxx[(i + k * 11) % NELEM] * 0.125;
+      fy[i] = fy[i] + sigxx[(i + k * 13) % NELEM] * 0.125;
+      fz[i] = fz[i] + sigxx[(i + k * 17) % NELEM] * 0.125;
+    }
+  }
+}
+
+void CalcAccelerationForNodes() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < NNODE; i++) {
+    xdd[i] = fx[i] / nodalMass[i];
+    ydd[i] = fy[i] / nodalMass[i];
+    zdd[i] = fz[i] / nodalMass[i];
+  }
+}
+
+void ApplyAccelerationBoundaryConditionsForNodes() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < NBC; i++) {
+    xdd[i % NNODE] = 0.0;
+    boundary[i] = 0.0;
+  }
+}
+
+void CalcVelocityForNodes() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < NNODE; i++) {
+    double xdtmp = xd[i] + xdd[i] * 0.001;
+    if (fabs(xdtmp) < 1.0e-8) {
+      xdtmp = 0.0;
+    }
+    xd[i] = xdtmp;
+    yd[i] = yd[i] + ydd[i] * 0.001;
+    zd[i] = zd[i] + zdd[i] * 0.001;
+  }
+}
+
+void CalcPositionForNodes() {
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < NNODE; i++) {
+    xpos[i] = xpos[i] + xd[i] * 0.001;
+    ypos[i] = ypos[i] + yd[i] * 0.001;
+    zpos[i] = zpos[i] + zd[i] * 0.001;
+  }
+}
+
+void CalcKinematicsForElems() {
+  #pragma omp parallel for schedule(static)
+  for (e = 0; e < NELEM; e++) {
+    double v = 0.0;
+    for (k = 0; k < 8; k++) {
+      v = v + xpos[(e + k * 7) % NNODE] * ypos[(e + k * 5) % NNODE] * 0.04;
+    }
+    vnew[e] = v / volo[e];
+    determ[e] = v;
+    double dt = 1.0 / (sqrt(fabs(v)) + 1.0e-6);
+    dxx[e] = dt * v;
+    dyy[e] = dt * v * 0.5;
+    dzz[e] = dt * v * 0.25;
+  }
+}
+
+void CalcMonotonicQGradientsForElems() {
+  #pragma omp parallel for schedule(static)
+  for (e = 0; e < NELEM; e++) {
+    double dx = xpos[(e + 3) % NNODE] - xpos[e % NNODE];
+    double dy = ypos[(e + 3) % NNODE] - ypos[e % NNODE];
+    double dz = zpos[(e + 3) % NNODE] - zpos[e % NNODE];
+    dvdx[e] = (dx * dy + dy * dz + dz * dx) / (vol[e] + 1.0e-12);
+  }
+}
+
+void CalcMonotonicQForElems() {
+  #pragma omp parallel for schedule(static)
+  for (e = 0; e < NELEM; e++) {
+    double phi = dvdx[e];
+    if (phi > 1.0) {
+      phi = 1.0;
+    }
+    if (phi < 0.0) {
+      phi = 0.0;
+    }
+    q_old[e] = ss[e] * phi + elemMass[e] * phi * phi;
+  }
+}
+
+void EvalEOSForElems() {
+  #pragma omp parallel for schedule(static)
+  for (e = 0; e < NELEM; e++) {
+    double c = 0.5 * (e_old[e] + p_old[e] * delv[e]);
+    double bvc = 0.66 * (1.0 + c);
+    p_old[e] = bvc * delv[e] + exp(-fabs(c) * 0.001);
+    e_old[e] = fabs(c - bvc) + q_old[e] * 0.5;
+  }
+}
+
+void CalcSoundSpeedForElems() {
+  #pragma omp parallel for schedule(static)
+  for (e = 0; e < NELEM; e++) {
+    double pbvc = e_old[e] + vnew[e] * vnew[e] * p_old[e];
+    if (pbvc < 1.0e-12) {
+      pbvc = 1.0e-12;
+    }
+    ss[e] = sqrt(pbvc / elemMass[e]);
+  }
+}
+
+void UpdateVolumesForElems() {
+  #pragma omp parallel for schedule(static)
+  for (e = 0; e < NELEM; e++) {
+    double v = vnew[e];
+    if (fabs(v - 1.0) < 1.0e-8) {
+      v = 1.0;
+    }
+    vol[e] = v;
+  }
+}
+
+void CalcLagrangeElements() {
+  #pragma omp parallel for schedule(static)
+  for (e = 0; e < NELEM; e++) {
+    double vdov = dxx[e] + dyy[e] + dzz[e];
+    double vdovthird = vdov / 3.0;
+    dxx[e] = dxx[e] - vdovthird;
+    dyy[e] = dyy[e] - vdovthird;
+    dzz[e] = dzz[e] - vdovthird;
+    delv[e] = vdov * determ[e];
+  }
+}
+`

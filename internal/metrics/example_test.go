@@ -1,0 +1,33 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"pnptuner/internal/metrics"
+)
+
+// ExampleGeoMean aggregates per-region speedups the way every figure in
+// the paper does.
+func ExampleGeoMean() {
+	speedups := []float64{1.2, 1.5, 0.9, 2.0}
+	fmt.Printf("%.3f\n", metrics.GeoMean(speedups))
+	// Output:
+	// 1.342
+}
+
+// ExampleNormalize shows oracle normalization: the figures plot each
+// tuner's speedup as a fraction of the exhaustive-search speedup.
+func ExampleNormalize() {
+	tunerSpeedup, oracleSpeedup := 1.31, 1.40
+	fmt.Printf("%.3f\n", metrics.Normalize(tunerSpeedup, oracleSpeedup))
+	// Output:
+	// 0.936
+}
+
+// ExampleFractionAtLeast computes the "within 5% of oracle" statistic.
+func ExampleFractionAtLeast() {
+	normalized := []float64{1.0, 0.97, 0.90, 0.96}
+	fmt.Printf("%.0f%%\n", 100*metrics.FractionAtLeast(normalized, 0.95))
+	// Output:
+	// 75%
+}

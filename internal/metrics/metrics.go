@@ -1,0 +1,130 @@
+// Package metrics provides the evaluation arithmetic the paper reports:
+// speedup, greenup (Energy_old/Energy_new, after Choi et al.'s roofline
+// model of energy), energy-delay-product improvement, geometric means, and
+// oracle normalization.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Speedup returns t_base / t_new (>1 means the new configuration is faster).
+func Speedup(baseTime, newTime float64) float64 {
+	if newTime <= 0 {
+		return math.Inf(1)
+	}
+	return baseTime / newTime
+}
+
+// Greenup returns e_base / e_new (>1 means the new configuration uses
+// less energy).
+func Greenup(baseEnergy, newEnergy float64) float64 {
+	if newEnergy <= 0 {
+		return math.Inf(1)
+	}
+	return baseEnergy / newEnergy
+}
+
+// EDPImprovement returns edp_base / edp_new (>1 means better).
+func EDPImprovement(baseEDP, newEDP float64) float64 {
+	if newEDP <= 0 {
+		return math.Inf(1)
+	}
+	return baseEDP / newEDP
+}
+
+// GeoMean returns the geometric mean of xs. It panics on non-positive
+// inputs (ratios are positive by construction) and returns 1 for empty
+// input (the neutral ratio).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("metrics: non-positive ratio %g in geomean", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Normalize divides each value by the oracle value, clamping at 1 only
+// when numeric jitter pushes a ratio infinitesimally above the oracle.
+func Normalize(value, oracle float64) float64 {
+	if oracle <= 0 {
+		return 0
+	}
+	n := value / oracle
+	if n > 1 && n < 1.0000001 {
+		n = 1
+	}
+	return n
+}
+
+// FractionAtLeast returns the fraction of xs that are ≥ threshold — the
+// paper's "within 5% of oracle" style statistics use this with normalized
+// values (e.g. threshold 0.95).
+func FractionAtLeast(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// FractionGreater returns the fraction of pairwise comparisons where a[i]
+// > b[i] (the "PnP beats BLISS in X% of cases" statistic).
+func FractionGreater(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: mismatched series %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range a {
+		if a[i] > b[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a))
+}
+
+// Summary bundles the descriptive statistics printed by the experiment
+// harness.
+type Summary struct {
+	GeoMean float64
+	Min     float64
+	Max     float64
+	N       int
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{GeoMean: 1}
+	}
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1), N: len(xs)}
+	s.GeoMean = GeoMean(xs)
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("geomean %.3f (min %.3f, max %.3f, n=%d)", s.GeoMean, s.Min, s.Max, s.N)
+}

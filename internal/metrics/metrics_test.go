@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatios(t *testing.T) {
+	if Speedup(2, 1) != 2 || Speedup(1, 2) != 0.5 {
+		t.Error("speedup wrong")
+	}
+	if Greenup(100, 50) != 2 {
+		t.Error("greenup wrong")
+	}
+	if EDPImprovement(9, 3) != 3 {
+		t.Error("EDP improvement wrong")
+	}
+	if !math.IsInf(Speedup(1, 0), 1) || !math.IsInf(Greenup(1, 0), 1) {
+		t.Error("zero denominators must give +Inf")
+	}
+}
+
+func TestGeoMeanKnown(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean(1,4) = %g", g)
+	}
+	if g := GeoMean([]float64{2, 2, 2}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean(2,2,2) = %g", g)
+	}
+	if g := GeoMean(nil); g != 1 {
+		t.Fatalf("geomean(empty) = %g", g)
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestNormalize(t *testing.T) {
+	if Normalize(0.9, 1.0) != 0.9 {
+		t.Error("normalize wrong")
+	}
+	if Normalize(1.00000001, 1.0) != 1 {
+		t.Error("jitter above oracle must clamp to 1")
+	}
+	if Normalize(1.5, 1.0) != 1.5 {
+		t.Error("genuinely-above-oracle must not clamp")
+	}
+	if Normalize(1, 0) != 0 {
+		t.Error("zero oracle must yield 0")
+	}
+}
+
+func TestFractions(t *testing.T) {
+	xs := []float64{1.0, 0.96, 0.5, 0.95}
+	if got := FractionAtLeast(xs, 0.95); got != 0.75 {
+		t.Fatalf("FractionAtLeast = %g", got)
+	}
+	if got := FractionAtLeast(nil, 0.95); got != 0 {
+		t.Fatalf("empty FractionAtLeast = %g", got)
+	}
+	a := []float64{2, 1, 3}
+	b := []float64{1, 1, 4}
+	if got := FractionGreater(a, b); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("FractionGreater = %g", got)
+	}
+}
+
+func TestFractionGreaterPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	FractionGreater([]float64{1}, []float64{1, 2})
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 4})
+	if s.Min != 1 || s.Max != 4 || s.N != 3 || math.Abs(s.GeoMean-2) > 1e-12 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+	if e := Summarize(nil); e.GeoMean != 1 || e.N != 0 {
+		t.Fatalf("empty summary = %+v", e)
+	}
+}
+
+// Property: geomean is scale-equivariant: GeoMean(k·xs) == k·GeoMean(xs).
+func TestQuickGeoMeanScaling(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 1 + int(seed%7)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		k := 0.5 + float64(seed%13)/4
+		x := seed
+		for i := range xs {
+			x = x*6364136223846793005 + 1442695040888963407
+			v := 0.1 + float64(x>>40)/float64(1<<24)*5
+			xs[i] = v
+			ys[i] = v * k
+		}
+		return math.Abs(GeoMean(ys)-k*GeoMean(xs)) < 1e-9*GeoMean(ys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// Checkpoint is a serializable snapshot of named parameters, used by the
+// transfer-learning path (save the GNN trained on Haswell, reload it on
+// Skylake and retrain only the dense layers).
+type Checkpoint struct {
+	Shapes map[string][2]int
+	Values map[string][]float64
+}
+
+// Snapshot captures the current values of params.
+func Snapshot(params []*Param) *Checkpoint {
+	ck := &Checkpoint{
+		Shapes: make(map[string][2]int, len(params)),
+		Values: make(map[string][]float64, len(params)),
+	}
+	for _, p := range params {
+		ck.Shapes[p.Name] = [2]int{p.W.Rows, p.W.Cols}
+		vals := make([]float64, len(p.W.Data))
+		copy(vals, p.W.Data)
+		ck.Values[p.Name] = vals
+	}
+	return ck
+}
+
+// Restore loads checkpointed values into matching parameters (by name and
+// shape). It returns the number of parameters restored and an error if a
+// name matches with a different shape.
+func (ck *Checkpoint) Restore(params []*Param) (int, error) {
+	n := 0
+	for _, p := range params {
+		vals, ok := ck.Values[p.Name]
+		if !ok {
+			continue
+		}
+		shape := ck.Shapes[p.Name]
+		if shape[0] != p.W.Rows || shape[1] != p.W.Cols {
+			return n, fmt.Errorf("nn: checkpoint %s shape %v vs param %dx%d",
+				p.Name, shape, p.W.Rows, p.W.Cols)
+		}
+		copy(p.W.Data, vals)
+		n++
+	}
+	return n, nil
+}
+
+// Encode serializes the checkpoint with gob.
+func (ck *Checkpoint) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return nil, fmt.Errorf("nn: encode checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint deserializes a checkpoint produced by Encode.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var ck Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("nn: decode checkpoint: %w", err)
+	}
+	return &ck, nil
+}
+
+// Save writes the checkpoint to path.
+func (ck *Checkpoint) Save(path string) error {
+	data, err := ck.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadCheckpoint reads a checkpoint from path.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: load checkpoint: %w", err)
+	}
+	return DecodeCheckpoint(data)
+}

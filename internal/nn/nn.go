@@ -1,0 +1,351 @@
+// Package nn implements the neural-network building blocks of the PnP
+// tuner: parameterized layers with explicit forward/backward passes,
+// softmax cross-entropy loss, and the Adam/AdamW(amsgrad) optimizers of
+// the paper's Table II. There is no tape autograd — the model topology is
+// fixed (RGCN stack feeding dense layers), so each layer owns its exact
+// gradient computation, which keeps the hot path allocation-light.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"pnptuner/internal/tensor"
+)
+
+// Param is a learnable weight matrix with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Matrix
+	Grad *tensor.Matrix
+}
+
+// NewParam allocates a named parameter of the given shape.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, W: tensor.New(rows, cols), Grad: tensor.New(rows, cols)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable module.
+type Layer interface {
+	// Forward computes the layer output for x, caching whatever the
+	// backward pass needs.
+	Forward(x *tensor.Matrix) *tensor.Matrix
+	// Backward receives ∂L/∂output and returns ∂L/∂input, accumulating
+	// parameter gradients along the way.
+	Backward(dout *tensor.Matrix) *tensor.Matrix
+	// Params returns the layer's learnable parameters.
+	Params() []*Param
+}
+
+// Linear is a fully connected layer: y = x·W + b.
+type Linear struct {
+	In, Out int
+	Weight  *Param // In×Out
+	Bias    *Param // 1×Out
+	x       *tensor.Matrix
+}
+
+// NewLinear builds a Linear layer with Xavier-initialized weights.
+func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
+	l := &Linear{
+		In: in, Out: out,
+		Weight: NewParam(name+".weight", in, out),
+		Bias:   NewParam(name+".bias", 1, out),
+	}
+	l.Weight.W.XavierInit(rng, in, out)
+	return l
+}
+
+// Forward computes x·W + b.
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.In {
+		panic(fmt.Sprintf("nn: linear %d→%d got input width %d", l.In, l.Out, x.Cols))
+	}
+	l.x = x
+	y := tensor.MatMul(x, l.Weight.W)
+	y.AddRowVec(l.Bias.W.Data)
+	return y
+}
+
+// Backward accumulates dW = xᵀ·dout, db = Σrows dout and returns dx = dout·Wᵀ.
+func (l *Linear) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	l.Weight.Grad.AddInPlace(tensor.MatMulTA(l.x, dout))
+	for c, v := range dout.ColSums() {
+		l.Bias.Grad.Data[c] += v
+	}
+	return tensor.MatMulTB(dout, l.Weight.W)
+}
+
+// Params returns the weight and bias.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// LeakyReLU applies max(x, alpha·x) elementwise. Alpha 0 gives plain ReLU.
+type LeakyReLU struct {
+	Alpha float64
+	x     *tensor.Matrix
+}
+
+// NewLeakyReLU builds the activation with negative-side slope alpha.
+func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// NewReLU builds a plain ReLU.
+func NewReLU() *LeakyReLU { return &LeakyReLU{} }
+
+// Forward applies the activation.
+func (a *LeakyReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	a.x = x
+	y := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		} else {
+			y.Data[i] = a.Alpha * v
+		}
+	}
+	return y
+}
+
+// Backward gates the upstream gradient by the activation derivative.
+func (a *LeakyReLU) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.New(dout.Rows, dout.Cols)
+	for i, v := range a.x.Data {
+		if v > 0 {
+			dx.Data[i] = dout.Data[i]
+		} else {
+			dx.Data[i] = a.Alpha * dout.Data[i]
+		}
+	}
+	return dx
+}
+
+// Params returns nil; activations are parameter-free.
+func (a *LeakyReLU) Params() []*Param { return nil }
+
+// Dropout zeroes activations with probability P during training,
+// rescaling survivors by 1/(1-P) (inverted dropout).
+type Dropout struct {
+	P        float64
+	Training bool
+	rng      *tensor.RNG
+	mask     []float64
+}
+
+// NewDropout builds a dropout layer with drop probability p.
+func NewDropout(p float64, rng *tensor.RNG) *Dropout {
+	return &Dropout{P: p, rng: rng, Training: true}
+}
+
+// Forward applies the dropout mask in training mode and is the identity in
+// evaluation mode.
+func (d *Dropout) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if !d.Training || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.P
+	scale := 1 / keep
+	d.mask = make([]float64, len(x.Data))
+	y := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			d.mask[i] = scale
+			y.Data[i] = v * scale
+		}
+	}
+	return y
+}
+
+// Backward applies the saved mask to the upstream gradient.
+func (d *Dropout) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if d.mask == nil {
+		return dout
+	}
+	dx := tensor.New(dout.Rows, dout.Cols)
+	for i, v := range dout.Data {
+		dx.Data[i] = v * d.mask[i]
+	}
+	return dx
+}
+
+// Params returns nil.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Sequential chains layers.
+type Sequential struct{ Layers []Layer }
+
+// NewSequential builds a layer pipeline.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs every layer in order.
+func (s *Sequential) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs every layer's backward pass in reverse order.
+func (s *Sequential) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dout = s.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params concatenates all layer parameters.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// (batch×classes) against integer labels, returning the loss and
+// ∂L/∂logits. Rows with label < 0 are ignored (masked).
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	if len(labels) != logits.Rows {
+		panic(fmt.Sprintf("nn: %d labels for %d rows", len(labels), logits.Rows))
+	}
+	grad := tensor.New(logits.Rows, logits.Cols)
+	loss := 0.0
+	n := 0
+	for r := 0; r < logits.Rows; r++ {
+		lbl := labels[r]
+		if lbl < 0 {
+			continue
+		}
+		if lbl >= logits.Cols {
+			panic(fmt.Sprintf("nn: label %d out of range (%d classes)", lbl, logits.Cols))
+		}
+		row := logits.Row(r)
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		g := grad.Row(r)
+		for c, v := range row {
+			e := math.Exp(v - maxv)
+			g[c] = e
+			sum += e
+		}
+		loss += math.Log(sum) - (row[lbl] - maxv)
+		inv := 1 / sum
+		for c := range g {
+			g[c] *= inv
+		}
+		g[lbl] -= 1
+		n++
+	}
+	if n == 0 {
+		return 0, grad
+	}
+	inv := 1 / float64(n)
+	grad.ScaleInPlace(inv)
+	return loss * inv, grad
+}
+
+// SoftCrossEntropy computes cross-entropy of a single-row logits matrix
+// against a soft target distribution: loss = -Σ p·log softmax(z), with
+// gradient softmax(z) - p. Targets must be non-negative and sum to ~1.
+func SoftCrossEntropy(logits *tensor.Matrix, target []float64) (float64, *tensor.Matrix) {
+	if logits.Rows != 1 || len(target) != logits.Cols {
+		panic(fmt.Sprintf("nn: soft CE wants 1x%d logits, got %dx%d", len(target), logits.Rows, logits.Cols))
+	}
+	row := logits.Row(0)
+	maxv := row[0]
+	for _, v := range row[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	sum := 0.0
+	grad := tensor.New(1, logits.Cols)
+	g := grad.Row(0)
+	for c, v := range row {
+		e := math.Exp(v - maxv)
+		g[c] = e
+		sum += e
+	}
+	logZ := math.Log(sum) + maxv
+	loss := 0.0
+	inv := 1 / sum
+	for c := range g {
+		g[c] *= inv
+	}
+	for c, p := range target {
+		if p > 0 {
+			loss += p * (logZ - row[c])
+		}
+		g[c] -= p
+	}
+	return loss, grad
+}
+
+// Softmax returns row-wise softmax probabilities of logits.
+func Softmax(logits *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(logits.Rows, logits.Cols)
+	for r := 0; r < logits.Rows; r++ {
+		row := logits.Row(r)
+		o := out.Row(r)
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for c, v := range row {
+			e := math.Exp(v - maxv)
+			o[c] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for c := range o {
+			o[c] *= inv
+		}
+	}
+	return out
+}
+
+// Argmax returns the index of the largest value in row r of m.
+func Argmax(m *tensor.Matrix, r int) int {
+	row := m.Row(r)
+	best, bv := 0, row[0]
+	for c, v := range row[1:] {
+		if v > bv {
+			best, bv = c+1, v
+		}
+	}
+	return best
+}
+
+// TopK returns the indices of the k largest values in row r, best first.
+func TopK(m *tensor.Matrix, r, k int) []int {
+	row := m.Row(r)
+	if k > len(row) {
+		k = len(row)
+	}
+	idx := make([]int, len(row))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort: k is small.
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if row[idx[j]] > row[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}

@@ -1,0 +1,145 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears nothing; callers zero gradients.
+	Step(params []*Param)
+}
+
+// AdamConfig configures Adam/AdamW. The defaults mirror the paper's
+// Table II: lr 0.001, standard betas, and amsgrad for the power-constraint
+// experiments.
+type AdamConfig struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64 // decoupled (AdamW-style); 0 disables
+	AMSGrad     bool
+}
+
+// DefaultAdamConfig returns the Table II hyperparameters for plain Adam.
+func DefaultAdamConfig() AdamConfig {
+	return AdamConfig{LR: 0.001, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// DefaultAdamWConfig returns the Table II hyperparameters for
+// AdamW(amsgrad), used in the power-constrained tuning experiments.
+func DefaultAdamWConfig() AdamConfig {
+	c := DefaultAdamConfig()
+	c.WeightDecay = 0.01
+	c.AMSGrad = true
+	return c
+}
+
+type adamState struct {
+	m, v, vhat []float64
+}
+
+// Adam implements Adam and AdamW (decoupled weight decay), optionally with
+// the AMSGrad max-of-v correction.
+type Adam struct {
+	Cfg   AdamConfig
+	t     int
+	state map[*Param]*adamState
+}
+
+// NewAdam builds an optimizer with cfg.
+func NewAdam(cfg AdamConfig) *Adam {
+	return &Adam{Cfg: cfg, state: make(map[*Param]*adamState)}
+}
+
+// Step applies one Adam update to every parameter.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c := a.Cfg
+	bc1 := 1 - math.Pow(c.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(c.Beta2, float64(a.t))
+	for _, p := range params {
+		st, ok := a.state[p]
+		if !ok {
+			st = &adamState{
+				m: make([]float64, len(p.W.Data)),
+				v: make([]float64, len(p.W.Data)),
+			}
+			if c.AMSGrad {
+				st.vhat = make([]float64, len(p.W.Data))
+			}
+			a.state[p] = st
+		}
+		for i, g := range p.Grad.Data {
+			st.m[i] = c.Beta1*st.m[i] + (1-c.Beta1)*g
+			st.v[i] = c.Beta2*st.v[i] + (1-c.Beta2)*g*g
+			vEff := st.v[i]
+			if c.AMSGrad {
+				if st.v[i] > st.vhat[i] {
+					st.vhat[i] = st.v[i]
+				}
+				vEff = st.vhat[i]
+			}
+			mhat := st.m[i] / bc1
+			vhat := vEff / bc2
+			upd := mhat / (math.Sqrt(vhat) + c.Eps)
+			if c.WeightDecay > 0 {
+				upd += c.WeightDecay * p.W.Data[i]
+			}
+			p.W.Data[i] -= c.LR * upd
+		}
+	}
+}
+
+// SGD is a plain (optionally momentum) gradient-descent optimizer, used by
+// the lightweight baseline models.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param][]float64
+}
+
+// NewSGD builds an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*Param][]float64)}
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v, ok := s.vel[p]
+		if !ok {
+			v = make([]float64, len(p.W.Data))
+			s.vel[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			v[i] = s.Momentum*v[i] - s.LR*g
+			p.W.Data[i] += v[i]
+		}
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, returning the pre-clip norm.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			p.Grad.ScaleInPlace(scale)
+		}
+	}
+	return norm
+}
+
+// ZeroGrads clears every parameter's gradient.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pnptuner/internal/tensor"
+)
+
+func TestSoftCrossEntropyMatchesHardOnOneHot(t *testing.T) {
+	logits := tensor.FromSlice(1, 4, []float64{0.3, -1.2, 2.0, 0.1})
+	hardLoss, hardGrad := SoftmaxCrossEntropy(logits, []int{2})
+	target := []float64{0, 0, 1, 0}
+	softLoss, softGrad := SoftCrossEntropy(logits, target)
+	if math.Abs(hardLoss-softLoss) > 1e-12 {
+		t.Fatalf("one-hot soft loss %g != hard loss %g", softLoss, hardLoss)
+	}
+	for i := range hardGrad.Data {
+		if math.Abs(hardGrad.Data[i]-softGrad.Data[i]) > 1e-12 {
+			t.Fatalf("grad[%d]: %g vs %g", i, hardGrad.Data[i], softGrad.Data[i])
+		}
+	}
+}
+
+func TestSoftCrossEntropyGradCheck(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	logits := tensor.New(1, 5)
+	logits.FillUniform(rng, 2)
+	target := []float64{0.5, 0.2, 0.0, 0.25, 0.05}
+	_, grad := SoftCrossEntropy(logits, target)
+	for i := range logits.Data {
+		const h = 1e-6
+		orig := logits.Data[i]
+		logits.Data[i] = orig + h
+		lp, _ := SoftCrossEntropy(logits, target)
+		logits.Data[i] = orig - h
+		lm, _ := SoftCrossEntropy(logits, target)
+		logits.Data[i] = orig
+		want := (lp - lm) / (2 * h)
+		if math.Abs(grad.Data[i]-want) > 1e-5 {
+			t.Fatalf("grad[%d] = %g, want %g", i, grad.Data[i], want)
+		}
+	}
+}
+
+func TestSoftCrossEntropyMinimizedAtTarget(t *testing.T) {
+	// Loss is minimized when softmax(logits) == target: gradient vanishes.
+	target := []float64{0.1, 0.6, 0.3}
+	logits := tensor.FromSlice(1, 3, []float64{math.Log(0.1), math.Log(0.6), math.Log(0.3)})
+	_, grad := SoftCrossEntropy(logits, target)
+	for i, g := range grad.Data {
+		if math.Abs(g) > 1e-12 {
+			t.Fatalf("grad[%d] = %g at optimum", i, g)
+		}
+	}
+}
+
+func TestSoftCrossEntropyPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	SoftCrossEntropy(tensor.New(2, 3), []float64{1, 0, 0})
+}
+
+// Property: soft-CE gradient sums to zero when the target sums to one.
+func TestQuickSoftCEGradSumsZero(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 2 + rng.Intn(8)
+		logits := tensor.New(1, n)
+		logits.FillUniform(rng, 3)
+		target := make([]float64, n)
+		sum := 0.0
+		for i := range target {
+			target[i] = rng.Float64()
+			sum += target[i]
+		}
+		for i := range target {
+			target[i] /= sum
+		}
+		_, grad := SoftCrossEntropy(logits, target)
+		s := 0.0
+		for _, g := range grad.Data {
+			s += g
+		}
+		return math.Abs(s) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+package omp_test
+
+import (
+	"fmt"
+
+	"pnptuner/internal/frontend"
+	"pnptuner/internal/hw"
+	"pnptuner/internal/omp"
+)
+
+// Example runs one OpenMP region under two power caps and shows how the
+// cap changes the sustained frequency.
+func Example() {
+	src := `
+const int N = 1000000;
+double a[N];
+void scale() {
+  #pragma omp parallel for
+  for (i = 0; i < N; i++) {
+    a[i] = a[i] * 1.5;
+  }
+}
+`
+	prog, _, err := frontend.Compile("demo", src)
+	if err != nil {
+		panic(err)
+	}
+	mach := hw.Haswell()
+	ex := omp.NewExecutor(mach)
+	cfg := omp.Config{Threads: 16, Sched: omp.ScheduleStatic}
+	for _, capW := range []float64{40, 85} {
+		r := ex.Run(&prog.Regions[0].Model, 1, cfg, capW)
+		fmt.Printf("cap %gW: %.2f GHz, throttled=%v\n", capW, r.FreqGHz, r.Throttled)
+	}
+	// Output:
+	// cap 40W: 1.40 GHz, throttled=true
+	// cap 85W: 2.43 GHz, throttled=false
+}

@@ -1,0 +1,198 @@
+package omp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pnptuner/internal/frontend"
+	"pnptuner/internal/hw"
+)
+
+// randomModel builds an arbitrary-but-valid region model from a seed.
+func randomModel(seed uint64) *frontend.RegionModel {
+	next := func() uint64 {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	u := func() float64 { return float64(next()>>11) / (1 << 53) }
+	m := &frontend.RegionModel{
+		Trips:         int64(100 + next()%2_000_000),
+		FlopsPerIter:  1 + u()*5000,
+		IntOpsPerIter: u() * 1000,
+		LoadsPerIter:  u() * 500,
+		StoresPerIter: u() * 100,
+		GatherFrac:    u(),
+		SeqFrac:       u(),
+		WorkingSet:    int64(1024 + next()%(8<<30)),
+	}
+	switch next() % 4 {
+	case 0:
+		m.Imbalance = frontend.ImbUniform
+		m.CostProfile = [5]float64{1, 1, 1, 1, 1}
+	case 1:
+		m.Imbalance = frontend.ImbIncreasing
+		m.CostProfile = [5]float64{0.1, 0.55, 1, 1.45, 1.9}
+	case 2:
+		m.Imbalance = frontend.ImbDecreasing
+		m.CostProfile = [5]float64{1.9, 1.45, 1, 0.55, 0.1}
+	default:
+		m.Imbalance = frontend.ImbRandom
+		m.CostProfile = [5]float64{1, 1, 1, 1, 1}
+		m.CV = 0.2 + u()
+	}
+	return m
+}
+
+// Property: every execution yields positive, finite time and energy, a
+// frequency inside the envelope, and utilization in (0, 1].
+func TestQuickRunAlwaysPhysical(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := hw.Machines()[seed%2]
+		ex := NewExecutor(m)
+		model := randomModel(seed)
+		caps := m.PowerLimits
+		capW := caps[int(seed>>8)%len(caps)]
+		cfg := Config{
+			Threads: m.ThreadCounts[int(seed>>16)%len(m.ThreadCounts)],
+			Sched:   Schedule(int(seed>>24) % 3),
+			Chunk:   []int64{0, 1, 8, 32, 64, 128, 256, 512}[int(seed>>32)%8],
+		}
+		r := ex.Run(model, seed, cfg, capW)
+		if !(r.TimeSec > 0) || math.IsInf(r.TimeSec, 0) || math.IsNaN(r.TimeSec) {
+			return false
+		}
+		if !(r.PkgEnergyJ > 0) || r.DRAMEnergyJ < 0 {
+			return false
+		}
+		if r.FreqGHz < m.FMin-1e-9 || r.FreqGHz > m.FMax+1e-9 {
+			return false
+		}
+		return r.Utilization > 0 && r.Utilization <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serial execution is never faster than the best parallel
+// makespan times the iteration count would allow — i.e. makespan(n=1)
+// equals total work, and makespan(n) ≥ total/n for all schedules.
+func TestQuickMakespanBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		model := randomModel(seed)
+		if model.Trips > 200_000 {
+			model.Trips = 200_000 // keep exact simulation cheap
+		}
+		prof := newProfile(model, seed)
+		total := prof.chunkWork(0, model.Trips, model.Trips)
+		for _, n := range []int{2, 4, 16, 32} {
+			for _, sched := range []Schedule{ScheduleStatic, ScheduleDynamic, ScheduleGuided} {
+				chunk := []int64{0, 1, 32, 512}[int(seed>>7)%4]
+				if sched != ScheduleStatic && chunk == 0 {
+					chunk = 1
+				}
+				ms, _ := schedule(Config{Threads: n, Sched: sched, Chunk: chunk}, model.Trips, n, prof)
+				if ms < total/float64(n)*0.98 {
+					return false // beat perfect balance: impossible
+				}
+				if ms > total*1.02 {
+					return false // worse than serial: impossible for work-conserving schedulers
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the noisy cumulative work curve is monotone and consistent
+// with chunk partitioning (sum of disjoint chunks == whole range).
+func TestQuickNoisyCumConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		model := randomModel(seed | 3)
+		model.Imbalance = frontend.ImbRandom
+		model.CV = 0.9
+		prof := newProfile(model, seed)
+		trips := model.Trips
+		// Partition into uneven chunks; the sum must equal the whole.
+		var sum float64
+		var lo int64
+		step := trips/17 + 1
+		for lo < trips {
+			hi := lo + step
+			if hi > trips {
+				hi = trips
+			}
+			w := prof.chunkWork(lo, hi, trips)
+			if w < 0 {
+				return false
+			}
+			sum += w
+			lo = hi
+		}
+		whole := prof.chunkWork(0, trips, trips)
+		return math.Abs(sum-whole) < 1e-6*whole+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: energy at a fixed config decreases (or holds) when the cap
+// tightens, because frequency (and hence dynamic power) drops faster than
+// time grows — until throttling reverses it; in all cases EDP stays
+// positive and finite.
+func TestQuickEDPFinite(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := hw.Machines()[seed%2]
+		ex := NewExecutor(m)
+		model := randomModel(seed)
+		cfg := DefaultConfig(m)
+		for _, capW := range m.PowerLimits {
+			r := ex.Run(model, seed, cfg, capW)
+			if !(r.EDP() > 0) || math.IsInf(r.EDP(), 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Locality effect: tiny static chunks must not be free for streaming
+// kernels — chunk 1 pays a bandwidth penalty relative to large chunks.
+func TestChunkLocalityPenalty(t *testing.T) {
+	ex := NewExecutor(hw.Skylake())
+	m := memModel(4_000_000)
+	big := ex.Run(m, 1, Config{Threads: 16, Sched: ScheduleStatic, Chunk: 512}, 150).TimeSec
+	tiny := ex.Run(m, 1, Config{Threads: 16, Sched: ScheduleStatic, Chunk: 1}, 150).TimeSec
+	if tiny <= big {
+		t.Fatalf("chunk-1 static (%.4g) not slower than chunk-512 (%.4g) on a streaming kernel", tiny, big)
+	}
+}
+
+// Correlated-noise effect: for a Monte Carlo region, block-static
+// scheduling must leave real imbalance on the table relative to
+// fine-grained schedules (the property iid noise destroyed).
+func TestCorrelatedNoiseKeepsImbalance(t *testing.T) {
+	m := &frontend.RegionModel{
+		Trips: 500_000, FlopsPerIter: 80, LoadsPerIter: 30, GatherFrac: 0.9,
+		SeqFrac: 0.05, WorkingSet: 1 << 30,
+		CostProfile: [5]float64{1, 1, 1, 1, 1},
+		Imbalance:   frontend.ImbRandom, CV: 0.9,
+	}
+	prof := newProfile(m, 99)
+	block := staticMakespan(0, m.Trips, 16, prof)
+	fine, _ := dynamicMakespan(256, m.Trips, 16, prof)
+	if block < fine*1.05 {
+		t.Fatalf("block static (%.4g) should trail dynamic (%.4g) by >5%% on correlated noise", block, fine)
+	}
+}

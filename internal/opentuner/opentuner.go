@@ -1,0 +1,253 @@
+// Package opentuner reimplements the slice of OpenTuner (Ansel et al.,
+// PACT 2014) the paper uses as its search-based baseline: an ensemble of
+// search techniques — greedy hill climbing, lattice pattern search, a
+// genetic crossover operator, and pure random search — coordinated by a
+// multi-armed bandit that allocates trials to whichever technique has
+// been paying off (the "AUC bandit meta-technique").
+//
+// Like BLISS it must execute candidate configurations; the paper drives
+// it with a "stop-after" wall-clock budget, which at region granularity
+// corresponds to a fixed number of sampling executions.
+package opentuner
+
+import (
+	"math"
+
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/space"
+)
+
+// Tuner is an OpenTuner instance.
+type Tuner struct {
+	// Budget is the number of candidate executions (the paper's
+	// stop-after budget expressed in region executions).
+	Budget int
+	// NoiseSD is the relative measurement noise of one execution.
+	NoiseSD float64
+	Seed    uint64
+}
+
+// New returns an OpenTuner with the comparison budget used in §IV. Greedy
+// search reacts to every noisy sample (unlike BLISS's pooled surrogate),
+// so the same hardware variance hurts it more.
+func New(seed uint64) *Tuner {
+	return &Tuner{Budget: 20, NoiseSD: 0.20, Seed: seed}
+}
+
+// point is a lattice coordinate: (thread, sched, chunk[, cap]) indices,
+// with the final lattice cell standing for the default configuration.
+type point []int
+
+// TuneTime tunes the per-cap space for minimum time.
+func (t *Tuner) TuneTime(rd *dataset.RegionData, capIdx int, s *space.Space) int {
+	dims := []int{len(s.M.ThreadCounts), len(space.Schedules), len(space.Chunks)}
+	decode := func(p point) int {
+		return (p[0]*len(space.Schedules)+p[1])*len(space.Chunks) + p[2]
+	}
+	measure := func(p point) float64 {
+		i := decode(p)
+		return rd.Results[capIdx][i].TimeSec * t.noise(uint64(capIdx*1000+i))
+	}
+	best := t.search(dims, measure)
+	return decode(best)
+}
+
+// TuneEDP tunes the joint space for minimum EDP.
+func (t *Tuner) TuneEDP(rd *dataset.RegionData, s *space.Space) int {
+	dims := []int{len(s.Caps()), len(s.M.ThreadCounts), len(space.Schedules), len(space.Chunks)}
+	decode := func(p point) int {
+		cfg := (p[1]*len(space.Schedules)+p[2])*len(space.Chunks) + p[3]
+		return s.JointIndex(p[0], cfg)
+	}
+	measure := func(p point) float64 {
+		j := decode(p)
+		ci, ki := s.SplitJoint(j)
+		return rd.Results[ci][ki].EDP() * t.noise(uint64(j))
+	}
+	best := t.search(dims, measure)
+	return decode(best)
+}
+
+// technique identifiers for the bandit.
+const (
+	techRandom = iota
+	techHillClimb
+	techPattern
+	techGenetic
+	numTechniques
+)
+
+// search runs the AUC-bandit loop and returns the best measured point.
+func (t *Tuner) search(dims []int, measure func(point) float64) point {
+	rng := newSplitMix(t.Seed)
+	randPoint := func() point {
+		p := make(point, len(dims))
+		for d, n := range dims {
+			p[d] = int(rng.next() % uint64(n))
+		}
+		return p
+	}
+	clamp := func(p point) {
+		for d, n := range dims {
+			if p[d] < 0 {
+				p[d] = 0
+			}
+			if p[d] >= n {
+				p[d] = n - 1
+			}
+		}
+	}
+
+	var history []eval
+	seen := map[string]bool{}
+	key := func(p point) string {
+		b := make([]byte, len(p))
+		for i, v := range p {
+			b[i] = byte(v)
+		}
+		return string(b)
+	}
+	run := func(p point) float64 {
+		y := measure(p)
+		history = append(history, eval{append(point{}, p...), y})
+		seen[key(p)] = true
+		return y
+	}
+
+	totalCells := 1
+	for _, n := range dims {
+		totalCells *= n
+	}
+
+	best := randPoint()
+	bestY := run(best)
+
+	// Bandit state: per-technique trials and rolling credit.
+	trials := make([]float64, numTechniques)
+	credit := make([]float64, numTechniques)
+	pick := func() int {
+		total := 0.0
+		for _, n := range trials {
+			total += n
+		}
+		bestTech, bestScore := 0, math.Inf(-1)
+		for k := 0; k < numTechniques; k++ {
+			if trials[k] == 0 {
+				return k
+			}
+			score := credit[k]/trials[k] + math.Sqrt(2*math.Log(total+1)/trials[k])
+			if score > bestScore {
+				bestScore, bestTech = score, k
+			}
+		}
+		return bestTech
+	}
+
+	for len(history) < t.Budget && len(seen) < totalCells {
+		tech := pick()
+		var cand point
+		switch tech {
+		case techRandom:
+			cand = randPoint()
+		case techHillClimb:
+			cand = append(point{}, best...)
+			d := int(rng.next() % uint64(len(dims)))
+			if rng.next()%2 == 0 {
+				cand[d]++
+			} else {
+				cand[d]--
+			}
+			clamp(cand)
+		case techPattern:
+			cand = append(point{}, best...)
+			d := int(rng.next() % uint64(len(dims)))
+			step := 2
+			if rng.next()%2 == 0 {
+				step = -2
+			}
+			cand[d] += step
+			clamp(cand)
+		case techGenetic:
+			// Crossover of two of the best-4 evaluations plus mutation.
+			top := topK(history, 4)
+			a := top[int(rng.next()%uint64(len(top)))]
+			b := top[int(rng.next()%uint64(len(top)))]
+			cand = make(point, len(dims))
+			for d := range dims {
+				if rng.next()%2 == 0 {
+					cand[d] = a.p[d]
+				} else {
+					cand[d] = b.p[d]
+				}
+			}
+			if rng.next()%3 == 0 {
+				d := int(rng.next() % uint64(len(dims)))
+				cand[d] = int(rng.next() % uint64(dims[d]))
+			}
+		}
+		// Skip duplicates by falling back to a fresh random point.
+		if seen[key(cand)] {
+			cand = randPoint()
+			if seen[key(cand)] {
+				trials[tech]++
+				continue
+			}
+		}
+		y := run(cand)
+		trials[tech]++
+		if y < bestY {
+			bestY = y
+			best = append(point{}, cand...)
+			credit[tech]++
+		}
+	}
+	return best
+}
+
+// eval is one measured candidate.
+type eval struct {
+	p point
+	y float64
+}
+
+func topK(history []eval, k int) []eval {
+	out := append([]eval{}, history...)
+	// Partial selection sort for tiny k.
+	for i := 0; i < k && i < len(out); i++ {
+		m := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j].y < out[m].y {
+				m = j
+			}
+		}
+		out[i], out[m] = out[m], out[i]
+	}
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
+}
+
+// noise returns a deterministic multiplicative noise factor ~ 1 ± NoiseSD.
+func (t *Tuner) noise(key uint64) float64 {
+	r := newSplitMix(t.Seed ^ (key * 0xbf58476d1ce4e5b9))
+	u1 := float64(r.next()>>11) / (1 << 53)
+	u2 := float64(r.next()>>11) / (1 << 53)
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return math.Exp(t.NoiseSD*z - t.NoiseSD*t.NoiseSD/2)
+}
+
+type splitMix struct{ x uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{x: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

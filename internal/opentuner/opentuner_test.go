@@ -1,0 +1,103 @@
+package opentuner
+
+import (
+	"testing"
+
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/hw"
+)
+
+func TestTuneTimeRange(t *testing.T) {
+	d := dataset.MustBuild(hw.Haswell())
+	pick := New(1).TuneTime(d.Regions[0], 0, d.Space)
+	if pick < 0 || pick >= d.Space.NumConfigs() {
+		t.Fatalf("pick %d out of range", pick)
+	}
+}
+
+func TestTuneEDPRange(t *testing.T) {
+	d := dataset.MustBuild(hw.Haswell())
+	pick := New(2).TuneEDP(d.Regions[1], d.Space)
+	if pick < 0 || pick >= d.Space.NumJoint() {
+		t.Fatalf("joint pick %d out of range", pick)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	d := dataset.MustBuild(hw.Haswell())
+	rd := d.Regions[7]
+	if New(9).TuneTime(rd, 2, d.Space) != New(9).TuneTime(rd, 2, d.Space) {
+		t.Fatal("same seed gave different picks")
+	}
+}
+
+func TestSearchImprovesOverFirstSample(t *testing.T) {
+	// The meta-search must on average beat its own first random sample.
+	d := dataset.MustBuild(hw.Haswell())
+	better, worse := 0, 0
+	for _, rd := range d.Regions[:25] {
+		tu := New(rd.Region.Seed)
+		pick := tu.TuneTime(rd, 0, d.Space)
+		got := rd.Results[0][pick].TimeSec
+		// Reconstruct the first random point the search would draw.
+		rng := newSplitMix(rd.Region.Seed)
+		dims := []int{len(d.Machine.ThreadCounts), 3, 7}
+		first := 0
+		mult := []int{21, 7, 1}
+		for dd, n := range dims {
+			first += int(rng.next()%uint64(n)) * mult[dd]
+		}
+		fy := rd.Results[0][first].TimeSec
+		if got < fy {
+			better++
+		} else if got > fy {
+			worse++
+		}
+	}
+	if better <= worse {
+		t.Fatalf("search no better than first sample: %d better vs %d worse", better, worse)
+	}
+}
+
+func TestBudgetBoundsEvaluations(t *testing.T) {
+	tu := New(3)
+	tu.Budget = 12
+	evals := 0
+	dims := []int{4, 3, 7}
+	tu.search(dims, func(p point) float64 {
+		evals++
+		return float64(p[0] + p[1] + p[2])
+	})
+	if evals > 12 {
+		t.Fatalf("search ran %d evaluations, budget 12", evals)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	h := []eval{{point{0}, 5}, {point{1}, 1}, {point{2}, 3}}
+	top := topK(h, 2)
+	if top[0].y != 1 || top[1].y != 3 {
+		t.Fatalf("topK = %v", top)
+	}
+	if got := topK(h, 99); len(got) != 3 {
+		t.Fatalf("topK overflow = %d", len(got))
+	}
+	// Original history must be untouched.
+	if h[0].y != 5 {
+		t.Fatal("topK mutated history")
+	}
+}
+
+func TestClampViaHillClimbStaysInRange(t *testing.T) {
+	tu := New(5)
+	tu.Budget = 40
+	dims := []int{2, 2, 2}
+	tu.search(dims, func(p point) float64 {
+		for d, n := range dims {
+			if p[d] < 0 || p[d] >= n {
+				t.Fatalf("point %v out of range", p)
+			}
+		}
+		return 1
+	})
+}

@@ -1,0 +1,106 @@
+// Package papi simulates the Performance API counter collection the paper
+// uses for its "dynamic features" variant (§IV-B): L1/L2/L3 data-cache
+// misses, total instructions, and mispredicted branches for one execution
+// of an OpenMP region. Counter values derive deterministically from the
+// region's analytic model and the machine's cache hierarchy, so they carry
+// exactly the signal hardware counters would: working-set pressure, access
+// randomness, and control-flow irregularity.
+package papi
+
+import (
+	"math"
+
+	"pnptuner/internal/frontend"
+	"pnptuner/internal/hw"
+)
+
+// Counters is one region-execution counter sample, named after the PAPI
+// preset events the paper collects.
+type Counters struct {
+	L1DCM  int64 // PAPI_L1_DCM: level-1 data cache misses
+	L2DCM  int64 // PAPI_L2_DCM: level-2 data cache misses
+	L3TCM  int64 // PAPI_L3_TCM: level-3 total cache misses
+	TotIns int64 // PAPI_TOT_INS: instructions completed
+	BrMsp  int64 // PAPI_BR_MSP: mispredicted branches
+}
+
+// NumFeatures is the width of the normalized feature vector.
+const NumFeatures = 5
+
+// Collect simulates reading the five counters after one execution of the
+// region on machine m.
+func Collect(model *frontend.RegionModel, m *hw.Machine) Counters {
+	trips := float64(model.Trips)
+	accesses := (model.LoadsPerIter + model.StoresPerIter) * trips
+	branches := model.BranchesPerIter * trips
+
+	ws := float64(model.WorkingSet)
+	l1 := 32 << 10 // per-core L1D
+	l2 := float64(m.L2TotalBytes())
+	l3 := float64(m.L3TotalBytes())
+
+	// Miss chains: each level's misses are a subset of the previous.
+	l1Rate := 0.03 + 0.45*model.GatherFrac + 0.04*(1-model.SeqFrac)
+	if ws > float64(l1) {
+		l1Rate += 0.03
+	}
+	l1Rate = clamp01(l1Rate)
+
+	l2Frac := 0.15
+	if ws > l2 {
+		l2Frac = 0.65 + 0.25*model.GatherFrac
+	}
+	l2Frac = clamp01(l2Frac)
+
+	l3Frac := 0.10
+	if ws > l3 {
+		l3Frac = 0.70 + 0.25*model.GatherFrac
+	}
+	l3Frac = clamp01(l3Frac)
+
+	mispRate := 0.004 + 0.015*(1-model.SeqFrac)
+	if model.Imbalance == frontend.ImbRandom {
+		mispRate += 0.05 * math.Min(model.CV, 1)
+	}
+
+	l1m := accesses * l1Rate
+	l2m := l1m * l2Frac
+	l3m := l2m * l3Frac
+	return Counters{
+		L1DCM:  int64(l1m),
+		L2DCM:  int64(l2m),
+		L3TCM:  int64(l3m),
+		TotIns: int64(model.InstrPerIter() * trips),
+		BrMsp:  int64(branches * mispRate),
+	}
+}
+
+// Features converts counters into the normalized per-instruction vector
+// fed to the dense layers: log-scaled miss and misprediction rates.
+func (c Counters) Features() [NumFeatures]float64 {
+	ins := float64(c.TotIns)
+	if ins < 1 {
+		ins = 1
+	}
+	rate := func(v int64) float64 {
+		// log1p of misses-per-kiloinstruction, squashed to O(1).
+		return math.Log1p(float64(v)/ins*1000) / 5
+	}
+	return [NumFeatures]float64{
+		rate(c.L1DCM),
+		rate(c.L2DCM),
+		rate(c.L3TCM),
+		math.Log1p(ins) / 25, // absolute scale of the region
+		rate(c.BrMsp),
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

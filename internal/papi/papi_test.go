@@ -1,0 +1,78 @@
+package papi
+
+import (
+	"testing"
+
+	"pnptuner/internal/frontend"
+	"pnptuner/internal/hw"
+)
+
+func model(ws int64, gather, seq float64) *frontend.RegionModel {
+	return &frontend.RegionModel{
+		Trips: 100000, FlopsPerIter: 100, IntOpsPerIter: 20,
+		LoadsPerIter: 30, StoresPerIter: 10, BranchesPerIter: 3,
+		GatherFrac: gather, SeqFrac: seq, WorkingSet: ws,
+		CostProfile: [5]float64{1, 1, 1, 1, 1},
+	}
+}
+
+func TestMissChainOrdering(t *testing.T) {
+	c := Collect(model(1<<31, 0.5, 0.5), hw.Skylake())
+	if !(c.L1DCM >= c.L2DCM && c.L2DCM >= c.L3TCM) {
+		t.Fatalf("miss chain violated: %+v", c)
+	}
+	if c.TotIns <= 0 || c.BrMsp < 0 {
+		t.Fatalf("bad counters: %+v", c)
+	}
+}
+
+func TestGatherIncreasesMisses(t *testing.T) {
+	seqC := Collect(model(1<<31, 0, 1), hw.Skylake())
+	gatC := Collect(model(1<<31, 1, 0), hw.Skylake())
+	if gatC.L1DCM <= seqC.L1DCM || gatC.L3TCM <= seqC.L3TCM {
+		t.Fatalf("gather workload has fewer misses: %+v vs %+v", gatC, seqC)
+	}
+}
+
+func TestSmallWorkingSetFewL3Misses(t *testing.T) {
+	small := Collect(model(1<<20, 0, 1), hw.Skylake())
+	big := Collect(model(4<<30, 0, 1), hw.Skylake())
+	if small.L3TCM >= big.L3TCM {
+		t.Fatalf("cache-resident region misses as much as streaming: %d vs %d", small.L3TCM, big.L3TCM)
+	}
+}
+
+func TestRandomImbalanceRaisesMispredictions(t *testing.T) {
+	m := model(1<<28, 0.5, 0.5)
+	base := Collect(m, hw.Haswell())
+	m.Imbalance = frontend.ImbRandom
+	m.CV = 0.9
+	irr := Collect(m, hw.Haswell())
+	if irr.BrMsp <= base.BrMsp {
+		t.Fatalf("random imbalance did not raise BR_MSP: %d vs %d", irr.BrMsp, base.BrMsp)
+	}
+}
+
+func TestFeaturesBoundedAndInformative(t *testing.T) {
+	a := Collect(model(1<<31, 1, 0), hw.Skylake()).Features()
+	b := Collect(model(1<<16, 0, 1), hw.Skylake()).Features()
+	diff := false
+	for i := 0; i < NumFeatures; i++ {
+		if a[i] < 0 || a[i] > 3 || b[i] < 0 || b[i] > 3 {
+			t.Fatalf("feature %d out of range: %g / %g", i, a[i], b[i])
+		}
+		if a[i] != b[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("features identical for opposite workloads")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	m := model(1<<30, 0.3, 0.7)
+	if Collect(m, hw.Skylake()) != Collect(m, hw.Skylake()) {
+		t.Fatal("counters not deterministic")
+	}
+}

@@ -1,0 +1,103 @@
+package programl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// DOT renders the graph in Graphviz format: instruction vertices as boxes,
+// variables as ellipses, constants as diamonds; edge colours by relation
+// (control black, data blue, call red) as in the PROGRAML paper's figures.
+func (g *Graph) DOT() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "digraph %q {\n", g.RegionID)
+	b.WriteString("  rankdir=TB;\n")
+	for i, n := range g.Nodes {
+		shape := "box"
+		switch n.Kind {
+		case KindVariable:
+			shape = "ellipse"
+		case KindConstant:
+			shape = "diamond"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, shape=%s];\n", i, n.Text, shape)
+	}
+	for _, e := range g.Edges {
+		color := "black"
+		switch e.Rel {
+		case RelData:
+			color = "blue"
+		case RelCall:
+			color = "red"
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [color=%s];\n", e.Src, e.Dst, color)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// jsonGraph is the serialization schema, compatible in spirit with
+// PROGRAML's protobuf export.
+type jsonGraph struct {
+	RegionID string     `json:"region_id"`
+	Nodes    []jsonNode `json:"nodes"`
+	Edges    []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	Kind  string `json:"kind"`
+	Text  string `json:"text"`
+	Token int    `json:"token"`
+}
+
+type jsonEdge struct {
+	Src int    `json:"src"`
+	Dst int    `json:"dst"`
+	Rel string `json:"rel"`
+}
+
+// MarshalJSON serializes the graph.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{RegionID: g.RegionID}
+	for _, n := range g.Nodes {
+		jg.Nodes = append(jg.Nodes, jsonNode{Kind: n.Kind.String(), Text: n.Text, Token: n.Token})
+	}
+	for _, e := range g.Edges {
+		jg.Edges = append(jg.Edges, jsonEdge{Src: e.Src, Dst: e.Dst, Rel: e.Rel.String()})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON deserializes a graph produced by MarshalJSON.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("programl: decode graph: %w", err)
+	}
+	kinds := map[string]NodeKind{
+		"instruction": KindInstruction, "variable": KindVariable, "constant": KindConstant,
+	}
+	rels := map[string]Relation{"control": RelControl, "data": RelData, "call": RelCall}
+	g.RegionID = jg.RegionID
+	g.Nodes = g.Nodes[:0]
+	g.Edges = g.Edges[:0]
+	for _, n := range jg.Nodes {
+		k, ok := kinds[n.Kind]
+		if !ok {
+			return fmt.Errorf("programl: unknown node kind %q", n.Kind)
+		}
+		g.Nodes = append(g.Nodes, Node{Kind: k, Text: n.Text, Token: n.Token})
+	}
+	for _, e := range jg.Edges {
+		r, ok := rels[e.Rel]
+		if !ok {
+			return fmt.Errorf("programl: unknown relation %q", e.Rel)
+		}
+		if e.Src < 0 || e.Src >= len(g.Nodes) || e.Dst < 0 || e.Dst >= len(g.Nodes) {
+			return fmt.Errorf("programl: edge (%d,%d) out of range", e.Src, e.Dst)
+		}
+		g.Edges = append(g.Edges, Edge{Src: e.Src, Dst: e.Dst, Rel: r})
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package programl
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDOTContainsAllNodesAndColors(t *testing.T) {
+	g := buildGraph(t)
+	dot := g.DOT()
+	if !strings.HasPrefix(dot, "digraph") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatal("malformed DOT envelope")
+	}
+	for _, want := range []string{"shape=box", "shape=ellipse", "shape=diamond",
+		"color=black", "color=blue", "color=red"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	if got := strings.Count(dot, "->"); got != len(g.Edges) {
+		t.Errorf("DOT has %d edges, want %d", got, len(g.Edges))
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := buildGraph(t)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.RegionID != g.RegionID || len(back.Nodes) != len(g.Nodes) || len(back.Edges) != len(g.Edges) {
+		t.Fatal("round trip lost structure")
+	}
+	for i := range g.Nodes {
+		if back.Nodes[i] != g.Nodes[i] {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+	for i := range g.Edges {
+		if back.Edges[i] != g.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruptGraphs(t *testing.T) {
+	cases := []string{
+		`{"nodes":[{"kind":"alien","text":"x"}],"edges":[]}`,
+		`{"nodes":[{"kind":"variable","text":"x"}],"edges":[{"src":0,"dst":5,"rel":"data"}]}`,
+		`{"nodes":[{"kind":"variable","text":"x"}],"edges":[{"src":0,"dst":0,"rel":"teleport"}]}`,
+		`{invalid json`,
+	}
+	for i, src := range cases {
+		var g Graph
+		if err := g.UnmarshalJSON([]byte(src)); err == nil {
+			t.Errorf("case %d: accepted corrupt graph", i)
+		}
+	}
+}

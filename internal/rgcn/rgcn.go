@@ -1,0 +1,252 @@
+// Package rgcn implements Relational Graph Convolutional Network layers
+// (Schlichtkrull et al., ESWC 2018) over PROGRAML program graphs, plus the
+// token-embedding input layer and mean-pool readout that complete the
+// graph-encoder half of the PnP tuner.
+//
+// Each RGCN layer computes
+//
+//	H' = H·W_self + Σ_d Â_d·H·W_d + b
+//
+// where d ranges over every (relation, direction) pair — control, data and
+// call flow, each in both edge directions, matching the paper's
+// "relation specific transformations annotated by the type and direction
+// of edges" — and Â_d is the in-degree-normalized adjacency.
+package rgcn
+
+import (
+	"fmt"
+
+	"pnptuner/internal/nn"
+	"pnptuner/internal/programl"
+	"pnptuner/internal/tensor"
+)
+
+// NumDirections is the number of adjacency blocks per graph: each relation
+// appears forward and reversed.
+const NumDirections = 2 * int(programl.NumRelations)
+
+// Adjacency is the preprocessed message-passing structure of one graph:
+// per relation-direction edge lists with in-degree normalization.
+type Adjacency struct {
+	NumNodes int
+	// Edges[d] lists (src, dst) pairs for relation-direction d.
+	Edges [NumDirections][][2]int32
+	// Norm[d][i] is 1/indegree(i) under relation-direction d (0 if none).
+	Norm [NumDirections][]float64
+}
+
+// BuildAdjacency converts a program graph into its normalized adjacency.
+func BuildAdjacency(g *programl.Graph) *Adjacency {
+	n := len(g.Nodes)
+	a := &Adjacency{NumNodes: n}
+	for d := 0; d < NumDirections; d++ {
+		a.Norm[d] = make([]float64, n)
+	}
+	for _, e := range g.Edges {
+		fwd := int(e.Rel)
+		rev := int(e.Rel) + int(programl.NumRelations)
+		a.Edges[fwd] = append(a.Edges[fwd], [2]int32{int32(e.Src), int32(e.Dst)})
+		a.Norm[fwd][e.Dst]++
+		a.Edges[rev] = append(a.Edges[rev], [2]int32{int32(e.Dst), int32(e.Src)})
+		a.Norm[rev][e.Src]++
+	}
+	for d := 0; d < NumDirections; d++ {
+		for i, deg := range a.Norm[d] {
+			if deg > 0 {
+				a.Norm[d][i] = 1 / deg
+			}
+		}
+	}
+	return a
+}
+
+// propagate computes out = Â_d·h for one relation-direction.
+func (a *Adjacency) propagate(d int, h *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(h.Rows, h.Cols)
+	norm := a.Norm[d]
+	for _, e := range a.Edges[d] {
+		src, dst := e[0], e[1]
+		w := norm[dst]
+		hrow := h.Row(int(src))
+		orow := out.Row(int(dst))
+		for c, v := range hrow {
+			orow[c] += w * v
+		}
+	}
+	return out
+}
+
+// propagateT computes out = Â_dᵀ·h (the backward direction of propagate).
+func (a *Adjacency) propagateT(d int, h *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(h.Rows, h.Cols)
+	norm := a.Norm[d]
+	for _, e := range a.Edges[d] {
+		src, dst := e[0], e[1]
+		w := norm[dst]
+		hrow := h.Row(int(dst))
+		orow := out.Row(int(src))
+		for c, v := range hrow {
+			orow[c] += w * v
+		}
+	}
+	return out
+}
+
+// Layer is one relational graph convolution. It is graph-dependent: the
+// caller sets the adjacency (SetGraph) before Forward/Backward, which lets
+// one parameter set serve every graph in the corpus.
+type Layer struct {
+	In, Out int
+	WSelf   *nn.Param
+	WRel    [NumDirections]*nn.Param
+	Bias    *nn.Param
+
+	adj *Adjacency
+	// caches for backward
+	x    *tensor.Matrix
+	msgs [NumDirections]*tensor.Matrix
+}
+
+// NewLayer builds an RGCN layer with Xavier-initialized transforms.
+func NewLayer(name string, in, out int, rng *tensor.RNG) *Layer {
+	l := &Layer{
+		In: in, Out: out,
+		WSelf: nn.NewParam(name+".self", in, out),
+		Bias:  nn.NewParam(name+".bias", 1, out),
+	}
+	l.WSelf.W.XavierInit(rng, in, out)
+	for d := 0; d < NumDirections; d++ {
+		l.WRel[d] = nn.NewParam(fmt.Sprintf("%s.rel%d", name, d), in, out)
+		l.WRel[d].W.XavierInit(rng, in, out)
+	}
+	return l
+}
+
+// SetGraph binds the layer to one graph's adjacency for the next
+// forward/backward pair.
+func (l *Layer) SetGraph(adj *Adjacency) { l.adj = adj }
+
+// Forward computes the relational convolution for the bound graph.
+func (l *Layer) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if l.adj == nil {
+		panic("rgcn: Forward before SetGraph")
+	}
+	if x.Rows != l.adj.NumNodes {
+		panic(fmt.Sprintf("rgcn: %d feature rows for %d nodes", x.Rows, l.adj.NumNodes))
+	}
+	l.x = x
+	out := tensor.MatMul(x, l.WSelf.W)
+	for d := 0; d < NumDirections; d++ {
+		if len(l.adj.Edges[d]) == 0 {
+			l.msgs[d] = nil
+			continue
+		}
+		msg := l.adj.propagate(d, x)
+		l.msgs[d] = msg
+		out.AddInPlace(tensor.MatMul(msg, l.WRel[d].W))
+	}
+	out.AddRowVec(l.Bias.W.Data)
+	return out
+}
+
+// Backward accumulates parameter gradients and returns ∂L/∂x.
+func (l *Layer) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	// Bias gradient.
+	for c, v := range dout.ColSums() {
+		l.Bias.Grad.Data[c] += v
+	}
+	// Self transform.
+	l.WSelf.Grad.AddInPlace(tensor.MatMulTA(l.x, dout))
+	dx := tensor.MatMulTB(dout, l.WSelf.W)
+	// Relational transforms.
+	for d := 0; d < NumDirections; d++ {
+		if l.msgs[d] == nil {
+			continue
+		}
+		l.WRel[d].Grad.AddInPlace(tensor.MatMulTA(l.msgs[d], dout))
+		// ∂L/∂x += Â_dᵀ·(dout·W_dᵀ)
+		back := tensor.MatMulTB(dout, l.WRel[d].W)
+		dx.AddInPlace(l.adj.propagateT(d, back))
+	}
+	return dx
+}
+
+// Params returns all transforms and the bias.
+func (l *Layer) Params() []*nn.Param {
+	out := []*nn.Param{l.WSelf}
+	for d := 0; d < NumDirections; d++ {
+		out = append(out, l.WRel[d])
+	}
+	return append(out, l.Bias)
+}
+
+// Embedding maps node tokens (plus a node-kind tag) to dense features.
+type Embedding struct {
+	VocabSize, Dim int
+	Table          *nn.Param
+	tokens         []int
+}
+
+// NewEmbedding builds a learnable token-embedding table.
+func NewEmbedding(name string, vocabSize, dim int, rng *tensor.RNG) *Embedding {
+	e := &Embedding{VocabSize: vocabSize, Dim: dim, Table: nn.NewParam(name+".table", vocabSize, dim)}
+	e.Table.W.FillUniform(rng, 0.25)
+	return e
+}
+
+// Forward gathers embedding rows for the graph's node tokens and appends a
+// 3-wide one-hot node-kind tag.
+func (e *Embedding) Forward(g *programl.Graph) *tensor.Matrix {
+	n := len(g.Nodes)
+	out := tensor.New(n, e.Dim+3)
+	e.tokens = make([]int, n)
+	for i, node := range g.Nodes {
+		tok := node.Token
+		if tok < 0 || tok >= e.VocabSize {
+			tok = 0
+		}
+		e.tokens[i] = tok
+		copy(out.Row(i)[:e.Dim], e.Table.W.Row(tok))
+		out.Row(i)[e.Dim+int(node.Kind)] = 1
+	}
+	return out
+}
+
+// OutDim returns the width of Forward's output.
+func (e *Embedding) OutDim() int { return e.Dim + 3 }
+
+// Backward scatters ∂L/∂features into the table gradient.
+func (e *Embedding) Backward(dout *tensor.Matrix) {
+	for i, tok := range e.tokens {
+		grow := e.Table.Grad.Row(tok)
+		drow := dout.Row(i)[:e.Dim]
+		for c, v := range drow {
+			grow[c] += v
+		}
+	}
+}
+
+// Params returns the embedding table.
+func (e *Embedding) Params() []*nn.Param { return []*nn.Param{e.Table} }
+
+// MeanPool is the graph-level readout: the mean of node features.
+type MeanPool struct{ rows int }
+
+// Forward returns the 1×d mean of node features.
+func (m *MeanPool) Forward(x *tensor.Matrix) *tensor.Matrix {
+	m.rows = x.Rows
+	return x.MeanRow()
+}
+
+// Backward broadcasts the pooled gradient back to every node.
+func (m *MeanPool) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.New(m.rows, dout.Cols)
+	inv := 1 / float64(m.rows)
+	for r := 0; r < m.rows; r++ {
+		row := dx.Row(r)
+		for c, v := range dout.Row(0) {
+			row[c] = v * inv
+		}
+	}
+	return dx
+}

@@ -1,0 +1,114 @@
+// Package space defines the paper's Table I search space: four power
+// limits per machine crossed with 126 OpenMP runtime configurations
+// (6 thread counts × 3 schedules × 7 chunk sizes) plus the default OpenMP
+// configuration, for 504 + 4 = 508 valid points per machine.
+package space
+
+import (
+	"fmt"
+	"math"
+
+	"pnptuner/internal/hw"
+	"pnptuner/internal/omp"
+)
+
+// Chunks are the tunable chunk sizes of Table I.
+var Chunks = []int64{1, 8, 32, 64, 128, 256, 512}
+
+// Schedules are the tunable scheduling policies of Table I.
+var Schedules = []omp.Schedule{omp.ScheduleStatic, omp.ScheduleDynamic, omp.ScheduleGuided}
+
+// Space is the instantiated search space for one machine.
+type Space struct {
+	M *hw.Machine
+	// Configs are the per-cap OpenMP configurations: the 126-point grid
+	// followed by the default configuration (index NumConfigs-1).
+	Configs []omp.Config
+}
+
+// New builds the Table I space for machine m.
+func New(m *hw.Machine) *Space {
+	s := &Space{M: m}
+	for _, t := range m.ThreadCounts {
+		for _, sched := range Schedules {
+			for _, c := range Chunks {
+				s.Configs = append(s.Configs, omp.Config{Threads: t, Sched: sched, Chunk: c})
+			}
+		}
+	}
+	s.Configs = append(s.Configs, omp.DefaultConfig(m))
+	return s
+}
+
+// NumConfigs returns the per-cap configuration count (grid + default).
+func (s *Space) NumConfigs() int { return len(s.Configs) }
+
+// DefaultIndex returns the index of the default configuration.
+func (s *Space) DefaultIndex() int { return len(s.Configs) - 1 }
+
+// Caps returns the machine's power limits (Table I rows).
+func (s *Space) Caps() []float64 { return s.M.PowerLimits }
+
+// NumJoint returns the joint (cap × config) space size; 508 on both of
+// the paper's machines.
+func (s *Space) NumJoint() int { return len(s.Caps()) * s.NumConfigs() }
+
+// JointIndex encodes (capIdx, cfgIdx) into a joint label.
+func (s *Space) JointIndex(capIdx, cfgIdx int) int {
+	return capIdx*s.NumConfigs() + cfgIdx
+}
+
+// SplitJoint decodes a joint label into (capIdx, cfgIdx).
+func (s *Space) SplitJoint(joint int) (capIdx, cfgIdx int) {
+	return joint / s.NumConfigs(), joint % s.NumConfigs()
+}
+
+// At returns the (cap, config) pair of a joint label.
+func (s *Space) At(joint int) (capW float64, cfg omp.Config) {
+	ci, ki := s.SplitJoint(joint)
+	return s.Caps()[ci], s.Configs[ki]
+}
+
+// CapIndex returns the index of capW in the machine's power limits.
+func (s *Space) CapIndex(capW float64) (int, error) {
+	for i, c := range s.Caps() {
+		if c == capW {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("space: %gW is not a %s power limit", capW, s.M.Name)
+}
+
+// ConfigFeatures returns a normalized numeric encoding of configuration
+// cfgIdx, used by the baseline tuners' surrogate models: log-threads,
+// schedule one-hot, log-chunk, and a default flag.
+func (s *Space) ConfigFeatures(cfgIdx int) []float64 {
+	cfg := s.Configs[cfgIdx]
+	f := make([]float64, 7)
+	f[0] = log2f(float64(cfg.Threads)) / log2f(float64(s.M.NumHWThreads()))
+	switch cfg.Sched {
+	case omp.ScheduleStatic:
+		f[1] = 1
+	case omp.ScheduleDynamic:
+		f[2] = 1
+	case omp.ScheduleGuided:
+		f[3] = 1
+	}
+	chunk := cfg.Chunk
+	if chunk <= 0 {
+		f[5] = 1 // default (block) chunking
+		chunk = 1
+	}
+	f[4] = log2f(float64(chunk)) / log2f(512)
+	if cfgIdx == s.DefaultIndex() {
+		f[6] = 1
+	}
+	return f
+}
+
+func log2f(x float64) float64 {
+	if x <= 1 {
+		return 0.0001
+	}
+	return math.Log2(x)
+}

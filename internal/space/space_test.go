@@ -1,0 +1,110 @@
+package space
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pnptuner/internal/hw"
+	"pnptuner/internal/omp"
+)
+
+func TestTableISizes(t *testing.T) {
+	for _, m := range hw.Machines() {
+		s := New(m)
+		if got := s.NumConfigs(); got != 127 {
+			t.Errorf("%s: configs = %d, want 127 (126 grid + default)", m.Name, got)
+		}
+		if got := s.NumJoint(); got != 508 {
+			t.Errorf("%s: joint = %d, want 508", m.Name, got)
+		}
+		if len(s.Caps()) != 4 {
+			t.Errorf("%s: caps = %d, want 4", m.Name, len(s.Caps()))
+		}
+	}
+}
+
+func TestDefaultIsLast(t *testing.T) {
+	m := hw.Skylake()
+	s := New(m)
+	def := s.Configs[s.DefaultIndex()]
+	want := omp.DefaultConfig(m)
+	if def != want {
+		t.Fatalf("default config = %v, want %v", def, want)
+	}
+}
+
+func TestGridCoversTableI(t *testing.T) {
+	s := New(hw.Haswell())
+	seen := map[string]bool{}
+	for _, c := range s.Configs[:s.NumConfigs()-1] {
+		seen[c.String()] = true
+	}
+	if len(seen) != 126 {
+		t.Fatalf("grid has %d distinct configs, want 126", len(seen))
+	}
+	for _, want := range []omp.Config{
+		{Threads: 1, Sched: omp.ScheduleStatic, Chunk: 1},
+		{Threads: 32, Sched: omp.ScheduleGuided, Chunk: 512},
+		{Threads: 8, Sched: omp.ScheduleDynamic, Chunk: 64},
+	} {
+		if !seen[want.String()] {
+			t.Errorf("grid missing %v", want)
+		}
+	}
+}
+
+func TestJointIndexRoundTrip(t *testing.T) {
+	s := New(hw.Skylake())
+	f := func(seed uint64) bool {
+		j := int(seed) % s.NumJoint()
+		if j < 0 {
+			j = -j
+		}
+		ci, ki := s.SplitJoint(j)
+		return s.JointIndex(ci, ki) == j && ci < len(s.Caps()) && ki < s.NumConfigs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtResolvesCapAndConfig(t *testing.T) {
+	s := New(hw.Haswell())
+	j := s.JointIndex(2, 5)
+	capW, cfg := s.At(j)
+	if capW != 70 {
+		t.Errorf("cap = %g, want 70", capW)
+	}
+	if cfg != s.Configs[5] {
+		t.Errorf("cfg = %v", cfg)
+	}
+}
+
+func TestCapIndex(t *testing.T) {
+	s := New(hw.Skylake())
+	if i, err := s.CapIndex(120); err != nil || i != 2 {
+		t.Errorf("CapIndex(120) = %d, %v", i, err)
+	}
+	if _, err := s.CapIndex(99); err == nil {
+		t.Error("CapIndex accepted a non-Table-I cap")
+	}
+}
+
+func TestConfigFeaturesDistinct(t *testing.T) {
+	s := New(hw.Skylake())
+	seen := map[[7]float64]int{}
+	for i := range s.Configs {
+		f := s.ConfigFeatures(i)
+		var key [7]float64
+		copy(key[:], f)
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("configs %d and %d share features %v", prev, i, f)
+		}
+		seen[key] = i
+		for _, v := range f {
+			if v < 0 || v > 1.0001 {
+				t.Fatalf("feature out of [0,1]: %v", f)
+			}
+		}
+	}
+}

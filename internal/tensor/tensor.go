@@ -1,0 +1,338 @@
+// Package tensor provides the dense float64 matrix math under the neural
+// network stack: allocation, BLAS-level-3 style multiplies (parallelized
+// across goroutines for large operands), elementwise kernels, and a
+// deterministic RNG for reproducible initialization.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New allocates a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (len rows*cols) without copying.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: %dx%d needs %d elements, got %d", rows, cols, rows*cols, len(data)))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r (shared backing array).
+func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero clears all elements in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// sameShape panics unless a and b have identical shapes.
+func sameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// AddInPlace computes m += o.
+func (m *Matrix) AddInPlace(o *Matrix) {
+	sameShape("add", m, o)
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// AxpyInPlace computes m += alpha*o.
+func (m *Matrix) AxpyInPlace(alpha float64, o *Matrix) {
+	sameShape("axpy", m, o)
+	for i, v := range o.Data {
+		m.Data[i] += alpha * v
+	}
+}
+
+// ScaleInPlace computes m *= k.
+func (m *Matrix) ScaleInPlace(k float64) {
+	for i := range m.Data {
+		m.Data[i] *= k
+	}
+}
+
+// Hadamard returns the elementwise product a⊙b.
+func Hadamard(a, b *Matrix) *Matrix {
+	sameShape("hadamard", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// AddRowVec adds vector v (len Cols) to every row of m in place.
+func (m *Matrix) AddRowVec(v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: row vec len %d vs cols %d", len(v), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, x := range v {
+			row[c] += x
+		}
+	}
+}
+
+// ColSums returns the per-column sums (used for bias gradients).
+func (m *Matrix) ColSums() []float64 {
+	out := make([]float64, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, x := range row {
+			out[c] += x
+		}
+	}
+	return out
+}
+
+// MeanRow returns the column-wise mean as a 1×Cols matrix (mean pooling).
+func (m *Matrix) MeanRow() *Matrix {
+	out := New(1, m.Cols)
+	if m.Rows == 0 {
+		return out
+	}
+	sums := m.ColSums()
+	inv := 1.0 / float64(m.Rows)
+	for c, s := range sums {
+		out.Data[c] = s * inv
+	}
+	return out
+}
+
+// FrobeniusNorm returns sqrt(sum of squares).
+func (m *Matrix) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// parallelThreshold is the operand volume above which MatMul fans out
+// across goroutines; below it the goroutine overhead outweighs the win.
+const parallelThreshold = 1 << 16
+
+// MatMul returns a·b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold {
+		matmulRange(a, b, out, 0, a.Rows)
+		return out
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matmulRange(a, b, out, lo, hi) })
+	return out
+}
+
+// matmulRange computes rows [lo,hi) of out = a·b with an ikj loop order
+// that streams b rows through cache.
+func matmulRange(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTA returns aᵀ·b (a is k×m, b is k×n, result m×n).
+func MatMulTA(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulTA %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTB returns a·bᵀ (a is m×k, b is n×k, result m×n).
+func MatMulTB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulTB %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// parallelRows splits [0, rows) across GOMAXPROCS goroutines.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// RNG is a deterministic xoshiro256**-style generator used for
+// reproducible weight initialization.
+type RNG struct{ s [4]uint64 }
+
+// NewRNG seeds a generator; the same seed yields the same stream on every
+// platform.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// SplitMix64 expansion of the seed.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal sample (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// FillUniform fills m with uniform values in [-a, a].
+func (m *Matrix) FillUniform(r *RNG, a float64) {
+	for i := range m.Data {
+		m.Data[i] = (2*r.Float64() - 1) * a
+	}
+}
+
+// XavierInit fills m with the Glorot uniform distribution for a layer with
+// the given fan-in and fan-out.
+func (m *Matrix) XavierInit(r *RNG, fanIn, fanOut int) {
+	a := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	m.FillUniform(r, a)
+}
