@@ -1,0 +1,3 @@
+module pnptuner
+
+go 1.21

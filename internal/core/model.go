@@ -15,10 +15,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"pnptuner/internal/kernels"
 	"pnptuner/internal/nn"
 	"pnptuner/internal/papi"
+	"pnptuner/internal/programl"
 	"pnptuner/internal/rgcn"
 	"pnptuner/internal/tensor"
 )
@@ -79,12 +81,16 @@ func DefaultModelConfig() ModelConfig {
 
 // Encoder is the GNN half of the model: embedding, RGCN stack, readout.
 // Its parameters are the ones shared in the Haswell→Skylake transfer.
+// Forward encodes one graph; ForwardBatch encodes a whole block-diagonal
+// batch in a single pass, which is the parallel hot path.
 type Encoder struct {
 	Emb    *rgcn.Embedding
 	Layers []*rgcn.Layer
 	Acts   []*nn.LeakyReLU
 	Pool   rgcn.MeanPool
-	Hidden int
+	// BatchPool is the segment-aware readout the batched path uses.
+	BatchPool nn.SegmentPool
+	Hidden    int
 }
 
 // NewEncoder builds the graph encoder.
@@ -123,6 +129,29 @@ func (e *Encoder) Backward(dpool *tensor.Matrix) {
 	e.Emb.Backward(d)
 }
 
+// ForwardBatch encodes every graph of a block-diagonal batch in one pass:
+// row g of the result is the pooled vector of b.Graphs[g]. One set of big
+// matrix operations replaces NumGraphs small ones, so the relational
+// convolutions and scatter-adds fan out across the worker pool.
+func (e *Encoder) ForwardBatch(b *rgcn.Batch) *tensor.Matrix {
+	h := e.Emb.ForwardBatch(b)
+	for i, l := range e.Layers {
+		l.SetGraph(b.Adj)
+		h = e.Acts[i].Forward(l.Forward(h))
+	}
+	return e.BatchPool.Forward(h, b.Offsets)
+}
+
+// BackwardBatch propagates per-graph pooled gradients (row g for graph g,
+// matching the last ForwardBatch) through the stack in one batched pass.
+func (e *Encoder) BackwardBatch(dpool *tensor.Matrix) {
+	d := e.BatchPool.Backward(dpool)
+	for i := len(e.Layers) - 1; i >= 0; i-- {
+		d = e.Layers[i].Backward(e.Acts[i].Backward(d))
+	}
+	e.Emb.Backward(d)
+}
+
 // Params returns every encoder parameter.
 func (e *Encoder) Params() []*nn.Param {
 	out := e.Emb.Params()
@@ -143,6 +172,7 @@ type Model struct {
 	ExtraDim int // counters (+ cap feature) width
 	Classes  int
 
+	adjMu    sync.Mutex
 	adjCache map[string]*rgcn.Adjacency
 }
 
@@ -178,13 +208,30 @@ func NewModel(cfg ModelConfig, vocabSize, nHeads, classes int) *Model {
 }
 
 // Adjacency returns the cached message-passing structure for a region.
+// Only the cache map is guarded; a Model as a whole is NOT goroutine-safe
+// (layers cache per-call forward state) — concurrent work uses one model
+// per goroutine, as the parallel LOOCV folds do.
 func (m *Model) Adjacency(r *kernels.Region) *rgcn.Adjacency {
+	m.adjMu.Lock()
+	defer m.adjMu.Unlock()
 	if adj, ok := m.adjCache[r.ID]; ok {
 		return adj
 	}
 	adj := rgcn.BuildAdjacency(r.Graph)
 	m.adjCache[r.ID] = adj
 	return adj
+}
+
+// Batch merges regions' graphs (with cached adjacencies) into one
+// block-diagonal rgcn.Batch; row i of the batched readout is regions[i].
+func (m *Model) Batch(regions []*kernels.Region) *rgcn.Batch {
+	graphs := make([]*programl.Graph, len(regions))
+	adjs := make([]*rgcn.Adjacency, len(regions))
+	for i, r := range regions {
+		graphs[i] = r.Graph
+		adjs[i] = m.Adjacency(r)
+	}
+	return rgcn.NewBatch(graphs, adjs)
 }
 
 // Assemble concatenates a pooled graph vector with extra features into
@@ -206,6 +253,27 @@ func (m *Model) Assemble(pooled *tensor.Matrix, extras []float64) *tensor.Matrix
 // input vector.
 func (m *Model) Encode(r *kernels.Region, extras []float64) *tensor.Matrix {
 	return m.Assemble(m.Enc.Forward(r, m.Adjacency(r)), extras)
+}
+
+// EncodeBatch encodes regions in one batched pass and appends each
+// region's extra features: row i is the dense-head input for regions[i].
+// extras may be nil when the model uses no extra features.
+func (m *Model) EncodeBatch(regions []*kernels.Region, extras [][]float64) *tensor.Matrix {
+	pooled := m.Enc.ForwardBatch(m.Batch(regions))
+	if m.ExtraDim == 0 {
+		return pooled
+	}
+	full := tensor.New(len(regions), m.Cfg.Hidden+m.ExtraDim)
+	for i := range regions {
+		if len(extras[i]) != m.ExtraDim {
+			panic(fmt.Sprintf("core: %d extra features for region %d, model wants %d",
+				len(extras[i]), i, m.ExtraDim))
+		}
+		row := full.Row(i)
+		copy(row[:m.Cfg.Hidden], pooled.Row(i))
+		copy(row[m.Cfg.Hidden:], extras[i])
+	}
+	return full
 }
 
 // Logits computes head h's class scores for an encoded vector.

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"pnptuner/internal/dataset"
 	"pnptuner/internal/kernels"
 	"pnptuner/internal/nn"
 	"pnptuner/internal/tensor"
@@ -57,6 +58,46 @@ func (m *Model) FitFrozen(samples []Sample) TrainStats {
 	return m.fit(samples, true)
 }
 
+// encodeAll runs one batched encoder pass over every sample, returning a
+// len(samples)×Hidden pooled matrix (row i for samples[i]).
+func (m *Model) encodeAll(samples []Sample) *tensor.Matrix {
+	regions := make([]*kernels.Region, len(samples))
+	for i, s := range samples {
+		regions[i] = s.Region
+	}
+	return m.Enc.ForwardBatch(m.Batch(regions))
+}
+
+// headPass runs every labeled case of sample s through its dense head
+// against the pooled graph vector, accumulating head gradients and (when
+// dpool is non-nil) the pooled-vector gradient into dpool. It returns the
+// summed loss and case count.
+func (m *Model) headPass(s Sample, pooled *tensor.Matrix, dpool []float64) (float64, int) {
+	loss, n := 0.0, 0
+	for _, cs := range s.Cases {
+		if cs.Label < 0 {
+			continue
+		}
+		logits := m.Logits(m.Assemble(pooled, cs.Extras), cs.Head)
+		var l float64
+		var dlogits *tensor.Matrix
+		if cs.Soft != nil {
+			l, dlogits = nn.SoftCrossEntropy(logits, cs.Soft)
+		} else {
+			l, dlogits = nn.SoftmaxCrossEntropy(logits, []int{cs.Label})
+		}
+		loss += l
+		n++
+		dIn := m.Heads[cs.Head].Backward(dlogits)
+		if dpool != nil {
+			for c := 0; c < m.Cfg.Hidden; c++ {
+				dpool[c] += dIn.Data[c]
+			}
+		}
+	}
+	return loss, n
+}
+
 func (m *Model) fit(samples []Sample, frozen bool) TrainStats {
 	start := time.Now()
 	cfg := m.Cfg
@@ -72,64 +113,47 @@ func (m *Model) fit(samples []Sample, frozen bool) TrainStats {
 	})
 	rng := tensor.NewRNG(cfg.Seed + 0xf17)
 
-	// Frozen encoder: precompute pooled encodings once.
-	var cached []*tensor.Matrix
-	if frozen {
-		cached = make([]*tensor.Matrix, len(samples))
-		for i, s := range samples {
-			cached[i] = m.Enc.Forward(s.Region, m.Adjacency(s.Region))
-		}
+	// Frozen encoder: precompute every pooled encoding in one batched pass.
+	var cached *tensor.Matrix
+	if frozen && len(samples) > 0 {
+		cached = m.encodeAll(samples)
 	}
 
-	batch := cfg.BatchSize
-	if batch < 1 {
-		batch = 1
-	}
 	stats := TrainStats{Epochs: cfg.Epochs, UpdatedParams: countParams(params)}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := rng.Perm(len(samples))
 		epochLoss, nLoss := 0.0, 0
-		for lo := 0; lo < len(perm); lo += batch {
-			hi := lo + batch
-			if hi > len(perm) {
-				hi = len(perm)
-			}
+		for _, batch := range dataset.Minibatches(perm, cfg.BatchSize) {
 			nn.ZeroGrads(params)
-			for _, si := range perm[lo:hi] {
-				s := samples[si]
-				var pooled *tensor.Matrix
-				if frozen {
-					pooled = cached[si]
-				} else {
-					pooled = m.Enc.Forward(s.Region, m.Adjacency(s.Region))
+			if frozen {
+				for _, si := range batch {
+					l, n := m.headPass(samples[si], cached.RowMatrix(si), nil)
+					epochLoss += l
+					nLoss += n
 				}
-				// Accumulate the pooled-vector gradient across cases and
-				// backprop through the (expensive) encoder exactly once.
-				var dpool *tensor.Matrix
-				for _, cs := range s.Cases {
-					if cs.Label < 0 {
-						continue
-					}
-					logits := m.Logits(m.Assemble(pooled, cs.Extras), cs.Head)
-					var loss float64
-					var dlogits *tensor.Matrix
-					if cs.Soft != nil {
-						loss, dlogits = nn.SoftCrossEntropy(logits, cs.Soft)
-					} else {
-						loss, dlogits = nn.SoftmaxCrossEntropy(logits, []int{cs.Label})
-					}
-					epochLoss += loss
-					nLoss++
-					dIn := m.Heads[cs.Head].Backward(dlogits)
-					if dpool == nil {
-						dpool = tensor.New(1, m.Cfg.Hidden)
-					}
-					for c := 0; c < m.Cfg.Hidden; c++ {
-						dpool.Data[c] += dIn.Data[c]
+			} else {
+				// One block-diagonal encoder pass scores the whole
+				// minibatch; per-sample head passes accumulate their
+				// pooled-vector gradients row-wise, and a single batched
+				// backward pass pushes them through the (expensive)
+				// encoder.
+				regions := make([]*kernels.Region, len(batch))
+				for bi, si := range batch {
+					regions[bi] = samples[si].Region
+				}
+				pooled := m.Enc.ForwardBatch(m.Batch(regions))
+				dpool := tensor.New(len(batch), m.Cfg.Hidden)
+				any := false
+				for bi, si := range batch {
+					l, n := m.headPass(samples[si], pooled.RowMatrix(bi), dpool.Row(bi))
+					epochLoss += l
+					nLoss += n
+					if n > 0 {
+						any = true
 					}
 				}
-				if !frozen && dpool != nil {
-					m.Enc.Backward(dpool)
+				if any {
+					m.Enc.BackwardBatch(dpool)
 				}
 			}
 			if cfg.ClipNorm > 0 {
@@ -142,15 +166,13 @@ func (m *Model) fit(samples []Sample, frozen bool) TrainStats {
 		}
 	}
 
-	// Final training accuracy.
+	// Final training accuracy, over one batched encoding pass.
+	if !frozen && len(samples) > 0 {
+		cached = m.encodeAll(samples)
+	}
 	correct, total := 0, 0
 	for i, s := range samples {
-		var pooled *tensor.Matrix
-		if frozen {
-			pooled = cached[i]
-		} else {
-			pooled = m.Enc.Forward(s.Region, m.Adjacency(s.Region))
-		}
+		pooled := cached.RowMatrix(i)
 		for _, cs := range s.Cases {
 			if cs.Label < 0 {
 				continue

@@ -5,6 +5,7 @@ import (
 	"pnptuner/internal/kernels"
 	"pnptuner/internal/nn"
 	"pnptuner/internal/papi"
+	"pnptuner/internal/tensor"
 )
 
 // extras assembles the extra-feature vector for a region under cfg.
@@ -110,15 +111,37 @@ func powerSamples(d *dataset.Dataset, train []*dataset.RegionData, cfg ModelConf
 	return samples
 }
 
+// encodeRegions batch-encodes the regions of val with their per-region
+// extra features: row i of the result feeds the heads for val[i].
+func encodeRegions(m *Model, cfg ModelConfig, val []*dataset.RegionData, capNorm float64) *tensor.Matrix {
+	regions := make([]*kernels.Region, len(val))
+	exs := make([][]float64, len(val))
+	for i, rd := range val {
+		regions[i] = rd.Region
+		exs[i] = extras(cfg, rd.Counters, capNorm)
+	}
+	return m.EncodeBatch(regions, exs)
+}
+
+// predictPower scores every validation region in one batched encoder pass,
+// then reads each head's argmax row-wise.
 func predictPower(d *dataset.Dataset, m *Model, cfg ModelConfig, val []*dataset.RegionData) map[string][]int {
 	pred := make(map[string][]int, len(val))
-	for _, rd := range val {
-		enc := m.Encode(rd.Region, extras(cfg, rd.Counters, 0))
-		picks := make([]int, len(d.Space.Caps()))
-		for h := range picks {
-			picks[h] = nn.Argmax(m.Logits(enc, h), 0)
+	if len(val) == 0 {
+		return pred
+	}
+	enc := encodeRegions(m, cfg, val, 0)
+	nCaps := len(d.Space.Caps())
+	picks := make([][]int, len(val))
+	for i, rd := range val {
+		picks[i] = make([]int, nCaps)
+		pred[rd.Region.ID] = picks[i]
+	}
+	for h := 0; h < nCaps; h++ {
+		logits := m.Logits(enc, h)
+		for i := range val {
+			picks[i][h] = nn.Argmax(logits, i)
 		}
-		pred[rd.Region.ID] = picks
 	}
 	return pred
 }
@@ -149,8 +172,11 @@ func TrainEDP(d *dataset.Dataset, fold dataset.Fold, cfg ModelConfig) *EDPResult
 	}
 	stats := m.Fit(samples)
 	pred := make(map[string]int, len(fold.Val))
-	for _, rd := range fold.Val {
-		pred[rd.Region.ID] = m.Predict(rd.Region, extras(cfg, rd.Counters, 0), 0)
+	if len(fold.Val) > 0 {
+		logits := m.Logits(encodeRegions(m, cfg, fold.Val, 0), 0)
+		for i, rd := range fold.Val {
+			pred[rd.Region.ID] = nn.Argmax(logits, i)
+		}
 	}
 	return &EDPResult{Model: m, Stats: stats, Pred: pred}
 }
@@ -197,8 +223,11 @@ func TrainUnseenCap(d *dataset.Dataset, fold dataset.Fold, targetCapIdx int, cfg
 	stats := m.Fit(samples)
 
 	pred := make(map[string]int, len(fold.Val))
-	for _, rd := range fold.Val {
-		pred[rd.Region.ID] = m.Predict(rd.Region, extras(cfg, rd.Counters, caps[targetCapIdx]/tdp), 0)
+	if len(fold.Val) > 0 {
+		logits := m.Logits(encodeRegions(m, cfg, fold.Val, caps[targetCapIdx]/tdp), 0)
+		for i, rd := range fold.Val {
+			pred[rd.Region.ID] = nn.Argmax(logits, i)
+		}
 	}
 	return &UnseenCapResult{Model: m, Stats: stats, Pred: pred}
 }
@@ -216,14 +245,22 @@ func (m *Model) PredictTopK(r *kernels.Region, extraFeats []float64, h, k int) [
 
 // HybridPower picks, per validation region and cap, the best of the
 // model's top-k candidates by actually measuring them (k executions per
-// cap instead of BLISS's 20 per region).
+// cap instead of BLISS's 20 per region). All validation regions encode in
+// one batched pass.
 func HybridPower(d *dataset.Dataset, res *PowerResult, fold dataset.Fold, k int) map[string][]int {
 	out := make(map[string][]int, len(fold.Val))
-	for _, rd := range fold.Val {
+	if len(fold.Val) == 0 {
+		return out
+	}
+	enc := encodeRegions(res.Model, res.Model.Cfg, fold.Val, 0)
+	logits := make([]*tensor.Matrix, len(d.Space.Caps()))
+	for ci := range logits {
+		logits[ci] = res.Model.Logits(enc, ci)
+	}
+	for vi, rd := range fold.Val {
 		picks := make([]int, len(d.Space.Caps()))
-		enc := res.Model.Encode(rd.Region, extras(res.Model.Cfg, rd.Counters, 0))
 		for ci := range picks {
-			cands := nn.TopK(res.Model.Logits(enc, ci), 0, k)
+			cands := nn.TopK(logits[ci], vi, k)
 			best := cands[0]
 			bestT := rd.Results[ci][best].TimeSec
 			for _, c := range cands[1:] {

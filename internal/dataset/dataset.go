@@ -133,6 +133,25 @@ func build(m *hw.Machine, corpus *kernels.Corpus) (*Dataset, error) {
 	return d, nil
 }
 
+// Minibatches slices a sample permutation into contiguous minibatches of
+// the given size (the last batch may be short). It is the iterator the
+// batched trainer walks once per epoch: each returned index set becomes
+// one block-diagonal graph batch and one optimizer step.
+func Minibatches(perm []int, size int) [][]int {
+	if size < 1 {
+		size = 1
+	}
+	out := make([][]int, 0, (len(perm)+size-1)/size)
+	for lo := 0; lo < len(perm); lo += size {
+		hi := lo + size
+		if hi > len(perm) {
+			hi = len(perm)
+		}
+		out = append(out, perm[lo:hi])
+	}
+	return out
+}
+
 // Fold is one leave-one-out cross-validation split: the regions of one
 // application validate a model trained on all other applications.
 type Fold struct {

@@ -68,15 +68,24 @@ func unseenCapFigure(w io.Writer, m *hw.Machine, opts Options, title string) (*U
 		perApp[ti] = map[string]*appAgg{}
 	}
 
-	for _, fold := range folds {
+	// One training run per (fold, target cap) — all independent, so they
+	// fan out across the fold pool and merge in deterministic order.
+	// Only the prediction maps are retained.
+	preds := make([]map[string]int, len(folds)*len(targets))
+	parallelFolds(len(preds), func(i int) {
+		fold, capIdx := folds[i/len(targets)], targets[i%len(targets)]
+		preds[i] = core.TrainUnseenCap(d, fold, capIdx, opts.Model).Pred
+	})
+
+	for fi, fold := range folds {
 		for ti, capIdx := range targets {
-			res := core.TrainUnseenCap(d, fold, capIdx, opts.Model)
+			pred := preds[fi*len(targets)+ti]
 			for _, rd := range fold.Val {
 				present[rd.Region.App] = true
 				def := rd.DefaultResult(capIdx, d.Space).TimeSec
 				best := rd.BestTime(capIdx)
 				oracleSp := metrics.Speedup(def, best)
-				pick := res.Pred[rd.Region.ID]
+				pick := pred[rd.Region.ID]
 				sp := metrics.Speedup(def, rd.Results[capIdx][pick].TimeSec)
 
 				agg := perApp[ti][rd.Region.App]
@@ -191,13 +200,27 @@ func Fig6And7(w io.Writer, m *hw.Machine, opts Options) (*EDPFigure, error) {
 		improvements[tuner] = append(improvements[tuner], imp)
 	}
 
-	for _, fold := range folds {
-		static := core.TrainEDP(d, fold, opts.Model)
-		dynamic := core.RefineEDPWithCounters(d, fold, static.Pred, opts.Threshold, opts.Model)
+	// Per-fold EDP models are independent: train in parallel, merge in
+	// fold order. Only the prediction maps are retained.
+	type foldOut struct {
+		static  map[string]int
+		dynamic map[string]int
+	}
+	outs := make([]foldOut, len(folds))
+	parallelFolds(len(folds), func(fi int) {
+		static := core.TrainEDP(d, folds[fi], opts.Model)
+		outs[fi] = foldOut{
+			static:  static.Pred,
+			dynamic: core.RefineEDPWithCounters(d, folds[fi], static.Pred, opts.Threshold, opts.Model),
+		}
+	})
+
+	for fi, fold := range folds {
+		static, dynamic := outs[fi].static, outs[fi].dynamic
 		for _, rd := range fold.Val {
 			present[rd.Region.App] = true
 			record(TunerDefault, rd, d.Space.JointIndex(tdpIdx, d.Space.DefaultIndex()))
-			record(TunerPnPStatic, rd, static.Pred[rd.Region.ID])
+			record(TunerPnPStatic, rd, static[rd.Region.ID])
 			record(TunerPnPDyn, rd, dynamic[rd.Region.ID])
 			record(TunerBLISS, rd, bliss.New(rd.Region.Seed).TuneEDP(rd, d.Space))
 			record(TunerOpenTuner, rd, opentuner.New(rd.Region.Seed).TuneEDP(rd, d.Space))

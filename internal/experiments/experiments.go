@@ -10,6 +10,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"pnptuner/internal/bliss"
 	"pnptuner/internal/core"
@@ -19,7 +21,43 @@ import (
 	"pnptuner/internal/metrics"
 	"pnptuner/internal/opentuner"
 	"pnptuner/internal/space"
+	"pnptuner/internal/tensor"
 )
+
+// parallelFolds runs fn(i) for i in [0, n) across up to runtime.NumCPU()
+// goroutines — one per LOOCV fold. Each fold trains and evaluates an
+// independent model, so the only coordination is the join; callers merge
+// per-fold outputs sequentially afterwards, keeping results deterministic
+// and identical to the sequential order. While folds run concurrently the
+// tensor kernel pool is divided among them, so total goroutine pressure
+// stays near NumCPU instead of folds×NumCPU (kernel chunking is
+// shape-determined, so the cap never changes numerical results).
+func parallelFolds(n int, fn func(i int)) {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	restore := tensor.SetWorkerCap((runtime.NumCPU() + workers - 1) / workers)
+	defer restore()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
 
 // Options control experiment scale.
 type Options struct {
@@ -239,23 +277,48 @@ func powerFigure(w io.Writer, m *hw.Machine, transferSrc *core.PowerResult, opts
 		pf.RegionNorm[tuner] = append(pf.RegionNorm[tuner], norm)
 	}
 
-	var fullDur, xferDur float64
-	for _, fold := range folds {
-		var static *core.PowerResult
+	// Train every fold in parallel (each fold is an independent model),
+	// then merge in fold order so the output is deterministic. Only the
+	// prediction maps survive the fold — the trained models would
+	// otherwise all stay live until the merge.
+	type foldOut struct {
+		static           map[string][]int
+		dynamic          map[string][]int
+		fullDur, xferDur float64
+		err              error
+	}
+	outs := make([]foldOut, len(folds))
+	parallelFolds(len(folds), func(fi int) {
+		fold := folds[fi]
+		o := &outs[fi]
+		var res *core.PowerResult
 		if transferSrc != nil {
 			// Measure the transfer-vs-full training speedup on this fold.
 			full := core.TrainPower(d, fold, opts.Model)
-			fullDur += full.Stats.Duration.Seconds()
-			res, err := core.TransferPower(transferSrc.Model, d, fold, opts.Model)
+			o.fullDur = full.Stats.Duration.Seconds()
+			var err error
+			res, err = core.TransferPower(transferSrc.Model, d, fold, opts.Model)
 			if err != nil {
-				return nil, err
+				o.err = err
+				return
 			}
-			xferDur += res.Stats.Duration.Seconds()
-			static = res
+			o.xferDur = res.Stats.Duration.Seconds()
 		} else {
-			static = core.TrainPower(d, fold, opts.Model)
+			res = core.TrainPower(d, fold, opts.Model)
 		}
-		dynamic := core.RefineWithCounters(d, fold, static.Pred, opts.Threshold, opts.Model)
+		o.static = res.Pred
+		o.dynamic = core.RefineWithCounters(d, fold, res.Pred, opts.Threshold, opts.Model)
+	})
+
+	var fullDur, xferDur float64
+	for fi, fold := range folds {
+		o := outs[fi]
+		if o.err != nil {
+			return nil, o.err
+		}
+		static, dynamic := o.static, o.dynamic
+		fullDur += o.fullDur
+		xferDur += o.xferDur
 
 		for _, rd := range fold.Val {
 			for ci := range pf.Caps {
@@ -268,7 +331,7 @@ func powerFigure(w io.Writer, m *hw.Machine, transferSrc *core.PowerResult, opts
 					addRegion(tuner, rd.Region.App, ci, metrics.Normalize(sp, oracleSp), sp)
 				}
 				addRegion(TunerDefault, rd.Region.App, ci, metrics.Normalize(1, oracleSp), 1)
-				eval(TunerPnPStatic, static.Pred[rd.Region.ID][ci])
+				eval(TunerPnPStatic, static[rd.Region.ID][ci])
 				eval(TunerPnPDyn, dynamic[rd.Region.ID][ci])
 				eval(TunerBLISS, bliss.New(rd.Region.Seed).TuneTime(rd, ci, d.Space))
 				eval(TunerOpenTuner, opentuner.New(rd.Region.Seed).TuneTime(rd, ci, d.Space))

@@ -65,14 +65,16 @@ func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: linear %d→%d got input width %d", l.In, l.Out, x.Cols))
 	}
 	l.x = x
-	y := tensor.MatMul(x, l.Weight.W)
+	// Seed the output with the bias rows, then accumulate x·W in place.
+	y := tensor.New(x.Rows, l.Out)
 	y.AddRowVec(l.Bias.W.Data)
+	tensor.MatMulAddInto(x, l.Weight.W, y)
 	return y
 }
 
 // Backward accumulates dW = xᵀ·dout, db = Σrows dout and returns dx = dout·Wᵀ.
 func (l *Linear) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	l.Weight.Grad.AddInPlace(tensor.MatMulTA(l.x, dout))
+	tensor.MatMulTAAddInto(l.x, dout, l.Weight.Grad)
 	for c, v := range dout.ColSums() {
 		l.Bias.Grad.Data[c] += v
 	}
@@ -94,16 +96,27 @@ func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
 // NewReLU builds a plain ReLU.
 func NewReLU() *LeakyReLU { return &LeakyReLU{} }
 
+// actParallelThreshold is the element count above which activations fan
+// out across the worker pool (batched node-feature matrices).
+const actParallelThreshold = 1 << 15
+
 // Forward applies the activation.
 func (a *LeakyReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 	a.x = x
 	y := tensor.New(x.Rows, x.Cols)
-	for i, v := range x.Data {
-		if v > 0 {
-			y.Data[i] = v
-		} else {
-			y.Data[i] = a.Alpha * v
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := x.Data[i]; v > 0 {
+				y.Data[i] = v
+			} else {
+				y.Data[i] = a.Alpha * v
+			}
 		}
+	}
+	if len(x.Data) < actParallelThreshold {
+		run(0, len(x.Data))
+	} else {
+		tensor.ParallelFor(len(x.Data), run)
 	}
 	return y
 }
@@ -111,12 +124,19 @@ func (a *LeakyReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 // Backward gates the upstream gradient by the activation derivative.
 func (a *LeakyReLU) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	dx := tensor.New(dout.Rows, dout.Cols)
-	for i, v := range a.x.Data {
-		if v > 0 {
-			dx.Data[i] = dout.Data[i]
-		} else {
-			dx.Data[i] = a.Alpha * dout.Data[i]
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if a.x.Data[i] > 0 {
+				dx.Data[i] = dout.Data[i]
+			} else {
+				dx.Data[i] = a.Alpha * dout.Data[i]
+			}
 		}
+	}
+	if len(dout.Data) < actParallelThreshold {
+		run(0, len(dout.Data))
+	} else {
+		tensor.ParallelFor(len(dout.Data), run)
 	}
 	return dx
 }

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"pnptuner/internal/tensor"
+)
+
+// TestSegmentPoolMatchesMeanPoolPerSegment: pooling a batch segment-wise
+// must equal mean-pooling each segment's rows alone.
+func TestSegmentPoolMatchesMeanPoolPerSegment(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	x := tensor.New(10, 5)
+	x.FillUniform(rng, 1)
+	offsets := []int{0, 3, 3, 7, 10} // includes an empty segment
+
+	var p SegmentPool
+	out := p.Forward(x, offsets)
+	if out.Rows != 4 || out.Cols != 5 {
+		t.Fatalf("pooled shape %dx%d", out.Rows, out.Cols)
+	}
+	for g := 0; g+1 < len(offsets); g++ {
+		lo, hi := offsets[g], offsets[g+1]
+		for c := 0; c < x.Cols; c++ {
+			want := 0.0
+			for r := lo; r < hi; r++ {
+				want += x.At(r, c)
+			}
+			if hi > lo {
+				want /= float64(hi - lo)
+			}
+			if d := math.Abs(out.At(g, c) - want); d > 1e-12 {
+				t.Fatalf("segment %d col %d: %g want %g", g, c, out.At(g, c), want)
+			}
+		}
+	}
+}
+
+func TestSegmentPoolBackwardBroadcasts(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	x := tensor.New(6, 3)
+	x.FillUniform(rng, 1)
+	offsets := []int{0, 2, 6}
+
+	var p SegmentPool
+	p.Forward(x, offsets)
+	dout := tensor.New(2, 3)
+	dout.FillUniform(rng, 1)
+	dx := p.Backward(dout)
+	if dx.Rows != 6 || dx.Cols != 3 {
+		t.Fatalf("dx shape %dx%d", dx.Rows, dx.Cols)
+	}
+	for g := 0; g+1 < len(offsets); g++ {
+		lo, hi := offsets[g], offsets[g+1]
+		inv := 1 / float64(hi-lo)
+		for r := lo; r < hi; r++ {
+			for c := 0; c < 3; c++ {
+				if want := dout.At(g, c) * inv; math.Abs(dx.At(r, c)-want) > 1e-12 {
+					t.Fatalf("row %d col %d: %g want %g", r, c, dx.At(r, c), want)
+				}
+			}
+		}
+	}
+}
+
+func TestSegmentPoolPanicsOnBadOffsets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for offsets not covering the matrix")
+		}
+	}()
+	var p SegmentPool
+	p.Forward(tensor.New(5, 2), []int{0, 3})
+}

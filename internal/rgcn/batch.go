@@ -1,0 +1,222 @@
+// Batched, parallel graph inference: N PROGRAML graphs merge into one
+// block-diagonal adjacency (offset node IDs, concatenated per-relation
+// edge lists and norms) so a single forward pass scores a whole minibatch,
+// and a CSR execution plan regroups every relation-direction's edges by
+// output row so the per-relation scatter-add runs race-free across the
+// tensor worker pool. The plan path is numerically equivalent to the
+// per-graph reference path up to float summation order.
+package rgcn
+
+import (
+	"fmt"
+
+	"pnptuner/internal/programl"
+	"pnptuner/internal/tensor"
+)
+
+// parallelMinWork gates the pooled propagate path: below this volume
+// (edges × feature width) the per-direction scatter runs on the calling
+// goroutine. Tests lower it to force the pool on for small graphs.
+var parallelMinWork = 1 << 14
+
+// csrPlan is one relation-direction's edges regrouped for parallel
+// execution: by destination for the forward gather (propagate) and by
+// source for the backward transpose (propagateT). Each worker owns a
+// disjoint range of output rows, so no scatter-add races.
+type csrPlan struct {
+	dstPtr []int32 // len NumNodes+1; in-neighbours of node i are dstSrc[dstPtr[i]:dstPtr[i+1]]
+	dstSrc []int32
+	srcPtr []int32 // len NumNodes+1; out-neighbours of node i are srcDst[srcPtr[i]:srcPtr[i+1]]
+	srcDst []int32
+}
+
+// buildCSR groups values by key (stable within a key), returning the
+// rowptr/index arrays of a CSR layout over n rows.
+func buildCSR(n int, edges [][2]int32, keyIdx, valIdx int) (ptr, val []int32) {
+	ptr = make([]int32, n+1)
+	for _, e := range edges {
+		ptr[e[keyIdx]+1]++
+	}
+	for i := 0; i < n; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	val = make([]int32, len(edges))
+	next := make([]int32, n)
+	for _, e := range edges {
+		k := e[keyIdx]
+		val[ptr[k]+next[k]] = e[valIdx]
+		next[k]++
+	}
+	return ptr, val
+}
+
+// Finalize precomputes the per-direction CSR execution plans that let
+// propagate and propagateT run across the worker pool. BuildAdjacency
+// leaves the plan unset (the sequential per-graph reference path);
+// NewBatch finalizes its merged adjacency. Finalize is idempotent and
+// returns a for chaining.
+func (a *Adjacency) Finalize() *Adjacency {
+	if a.plans != nil {
+		return a
+	}
+	plans := make([]csrPlan, NumDirections)
+	for d := 0; d < NumDirections; d++ {
+		p := &plans[d]
+		p.dstPtr, p.dstSrc = buildCSR(a.NumNodes, a.Edges[d], 1, 0)
+		p.srcPtr, p.srcDst = buildCSR(a.NumNodes, a.Edges[d], 0, 1)
+	}
+	a.plans = plans
+	return a
+}
+
+// gather computes out[i] = norm[i] · Σ_{src→i} h[src] for every node i,
+// fanning destination rows out across the pool when the volume warrants.
+func (p *csrPlan) gather(norm []float64, h, out *tensor.Matrix) {
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			start, end := p.dstPtr[i], p.dstPtr[i+1]
+			if start == end {
+				continue
+			}
+			orow := out.Row(i)
+			for _, s := range p.dstSrc[start:end] {
+				for c, v := range h.Row(int(s)) {
+					orow[c] += v
+				}
+			}
+			w := norm[i]
+			for c := range orow {
+				orow[c] *= w
+			}
+		}
+	}
+	if len(p.dstSrc)*h.Cols < parallelMinWork {
+		run(0, out.Rows)
+		return
+	}
+	tensor.ParallelFor(out.Rows, run)
+}
+
+// gatherT computes out[i] = Σ_{i→dst} norm[dst] · h[dst] — the transpose
+// of gather, grouped by source so backward scatter is also race-free.
+func (p *csrPlan) gatherT(norm []float64, h, out *tensor.Matrix) {
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			start, end := p.srcPtr[i], p.srcPtr[i+1]
+			if start == end {
+				continue
+			}
+			orow := out.Row(i)
+			for _, dn := range p.srcDst[start:end] {
+				w := norm[dn]
+				for c, v := range h.Row(int(dn)) {
+					orow[c] += w * v
+				}
+			}
+		}
+	}
+	if len(p.srcDst)*h.Cols < parallelMinWork {
+		run(0, out.Rows)
+		return
+	}
+	tensor.ParallelFor(out.Rows, run)
+}
+
+// Batch merges N program graphs into one block-diagonal adjacency so a
+// single forward pass scores the whole minibatch: node i of graph g
+// becomes row Offsets[g]+i of the batched feature matrix, per-relation
+// edge lists concatenate with offset node IDs, and in-degree norms carry
+// over unchanged (block-diagonal merging cannot create new in-edges).
+type Batch struct {
+	Graphs []*programl.Graph
+	// Offsets has len(Graphs)+1 entries; graph g owns feature rows
+	// [Offsets[g], Offsets[g+1]).
+	Offsets []int
+	// Adj is the merged adjacency, finalized for pooled execution.
+	Adj *Adjacency
+}
+
+// NewBatch merges graphs into a batch. adjs may supply prebuilt per-graph
+// adjacencies (index-aligned with graphs, e.g. from a cache); pass nil to
+// build them here.
+func NewBatch(graphs []*programl.Graph, adjs []*Adjacency) *Batch {
+	if adjs != nil && len(adjs) != len(graphs) {
+		panic(fmt.Sprintf("rgcn: %d adjacencies for %d graphs", len(adjs), len(graphs)))
+	}
+	b := &Batch{Graphs: graphs, Offsets: make([]int, len(graphs)+1)}
+	total := 0
+	for i, g := range graphs {
+		b.Offsets[i] = total
+		total += len(g.Nodes)
+	}
+	b.Offsets[len(graphs)] = total
+
+	merged := &Adjacency{NumNodes: total}
+	var nEdges [NumDirections]int
+	for gi, g := range graphs {
+		adj := adjFor(g, adjs, gi)
+		for d := 0; d < NumDirections; d++ {
+			nEdges[d] += len(adj.Edges[d])
+		}
+	}
+	for d := 0; d < NumDirections; d++ {
+		merged.Edges[d] = make([][2]int32, 0, nEdges[d])
+		merged.Norm[d] = make([]float64, total)
+	}
+	for gi, g := range graphs {
+		adj := adjFor(g, adjs, gi)
+		off := int32(b.Offsets[gi])
+		for d := 0; d < NumDirections; d++ {
+			for _, e := range adj.Edges[d] {
+				merged.Edges[d] = append(merged.Edges[d], [2]int32{e[0] + off, e[1] + off})
+			}
+			copy(merged.Norm[d][off:int(off)+adj.NumNodes], adj.Norm[d])
+		}
+	}
+	b.Adj = merged.Finalize()
+	return b
+}
+
+func adjFor(g *programl.Graph, adjs []*Adjacency, i int) *Adjacency {
+	if adjs != nil && adjs[i] != nil {
+		if adjs[i].NumNodes != len(g.Nodes) {
+			panic(fmt.Sprintf("rgcn: adjacency %d has %d nodes, graph has %d",
+				i, adjs[i].NumNodes, len(g.Nodes)))
+		}
+		return adjs[i]
+	}
+	return BuildAdjacency(g)
+}
+
+// NumGraphs returns the number of graphs in the batch.
+func (b *Batch) NumGraphs() int { return len(b.Graphs) }
+
+// NumNodes returns the total node count across the batch.
+func (b *Batch) NumNodes() int { return b.Offsets[len(b.Offsets)-1] }
+
+// Segment returns the feature-row range [lo, hi) of graph g.
+func (b *Batch) Segment(g int) (lo, hi int) { return b.Offsets[g], b.Offsets[g+1] }
+
+// ForwardBatch gathers embedding rows for every node of every graph in
+// the batch; row Offsets[g]+i holds node i of graph g. The cached token
+// list spans the whole batch, so the regular Backward scatters batched
+// gradients into the table correctly.
+func (e *Embedding) ForwardBatch(b *Batch) *tensor.Matrix {
+	n := b.NumNodes()
+	out := tensor.New(n, e.Dim+3)
+	e.tokens = make([]int, n)
+	row := 0
+	for _, g := range b.Graphs {
+		for _, node := range g.Nodes {
+			tok := node.Token
+			if tok < 0 || tok >= e.VocabSize {
+				tok = 0
+			}
+			e.tokens[row] = tok
+			copy(out.Row(row)[:e.Dim], e.Table.W.Row(tok))
+			out.Row(row)[e.Dim+int(node.Kind)] = 1
+			row++
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package rgcn
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"pnptuner/internal/programl"
+	"pnptuner/internal/tensor"
+)
+
+// randomGraph builds a connected-ish random graph with all relations.
+func randomGraph(rng *tensor.RNG, id string) *programl.Graph {
+	n := 3 + rng.Intn(40)
+	g := &programl.Graph{RegionID: id}
+	for i := 0; i < n; i++ {
+		g.Nodes = append(g.Nodes, programl.Node{
+			Kind:  programl.NodeKind(rng.Intn(3)),
+			Token: rng.Intn(50),
+		})
+	}
+	nEdges := n + rng.Intn(3*n)
+	for i := 0; i < nEdges; i++ {
+		g.Edges = append(g.Edges, programl.Edge{
+			Src: rng.Intn(n),
+			Dst: rng.Intn(n),
+			Rel: programl.Relation(rng.Intn(int(programl.NumRelations))),
+		})
+	}
+	return g
+}
+
+func maxAbsDiff(a, b *tensor.Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestFinalizedPropagateMatchesReference checks that the CSR plan path
+// produces the same message passing as the sequential edge-list path.
+func TestFinalizedPropagateMatchesReference(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, "p")
+		ref := BuildAdjacency(g)
+		fin := BuildAdjacency(g).Finalize()
+		h := tensor.New(len(g.Nodes), 7)
+		h.FillUniform(rng, 1)
+		for d := 0; d < NumDirections; d++ {
+			if diff := maxAbsDiff(ref.propagate(d, h), fin.propagate(d, h)); diff > 1e-9 {
+				t.Fatalf("trial %d dir %d: propagate diff %g", trial, d, diff)
+			}
+			if diff := maxAbsDiff(ref.propagateT(d, h), fin.propagateT(d, h)); diff > 1e-9 {
+				t.Fatalf("trial %d dir %d: propagateT diff %g", trial, d, diff)
+			}
+		}
+	}
+}
+
+// TestBatchForwardMatchesPerGraph is the core parity guarantee: one
+// block-diagonal batched forward equals N per-graph forwards within 1e-9.
+func TestBatchForwardMatchesPerGraph(t *testing.T) {
+	rng := tensor.NewRNG(22)
+	var graphs []*programl.Graph
+	for i := 0; i < 9; i++ {
+		graphs = append(graphs, randomGraph(rng, fmt.Sprintf("g%d", i)))
+	}
+	emb := NewEmbedding("e", 50, 12, tensor.NewRNG(5))
+	layer := NewLayer("l", emb.OutDim(), 16, tensor.NewRNG(6))
+
+	batch := NewBatch(graphs, nil)
+	hb := emb.ForwardBatch(batch)
+	layer.SetGraph(batch.Adj)
+	outBatch := layer.Forward(hb)
+
+	for gi, g := range graphs {
+		h := emb.Forward(g)
+		layer.SetGraph(BuildAdjacency(g))
+		out := layer.Forward(h)
+		lo, hi := batch.Segment(gi)
+		if hi-lo != out.Rows {
+			t.Fatalf("graph %d: segment %d rows, forward %d", gi, hi-lo, out.Rows)
+		}
+		for r := 0; r < out.Rows; r++ {
+			for c := 0; c < out.Cols; c++ {
+				if d := math.Abs(out.At(r, c) - outBatch.At(lo+r, c)); d > 1e-9 {
+					t.Fatalf("graph %d node %d col %d: batched %g vs per-graph %g",
+						gi, r, c, outBatch.At(lo+r, c), out.At(r, c))
+				}
+			}
+		}
+	}
+}
+
+// TestBatchBackwardMatchesPerGraph checks gradient parity: the batched
+// backward accumulates the same parameter gradients as N per-graph
+// backwards.
+func TestBatchBackwardMatchesPerGraph(t *testing.T) {
+	rng := tensor.NewRNG(33)
+	var graphs []*programl.Graph
+	for i := 0; i < 6; i++ {
+		graphs = append(graphs, randomGraph(rng, fmt.Sprintf("g%d", i)))
+	}
+	const dim, hidden = 10, 8
+	embA := NewEmbedding("e", 50, dim, tensor.NewRNG(5))
+	embB := NewEmbedding("e", 50, dim, tensor.NewRNG(5))
+	layA := NewLayer("l", embA.OutDim(), hidden, tensor.NewRNG(6))
+	layB := NewLayer("l", embB.OutDim(), hidden, tensor.NewRNG(6))
+
+	batch := NewBatch(graphs, nil)
+	dout := tensor.New(batch.NumNodes(), hidden)
+	dout.FillUniform(rng, 1)
+
+	// Per-graph reference: forward+backward each graph, grads accumulate.
+	for gi, g := range graphs {
+		h := embA.Forward(g)
+		layA.SetGraph(BuildAdjacency(g))
+		layA.Forward(h)
+		lo, hi := batch.Segment(gi)
+		dg := tensor.New(hi-lo, hidden)
+		for r := lo; r < hi; r++ {
+			copy(dg.Row(r-lo), dout.Row(r))
+		}
+		embA.Backward(layA.Backward(dg))
+	}
+
+	// Batched: one pass.
+	hb := embB.ForwardBatch(batch)
+	layB.SetGraph(batch.Adj)
+	layB.Forward(hb)
+	embB.Backward(layB.Backward(dout))
+
+	pa, pb := append(layA.Params(), embA.Params()...), append(layB.Params(), embB.Params()...)
+	for i := range pa {
+		if diff := maxAbsDiff(pa[i].Grad, pb[i].Grad); diff > 1e-9 {
+			t.Fatalf("%s: grad diff %g between per-graph and batched", pa[i].Name, diff)
+		}
+	}
+}
+
+// TestBatchParallelRace drives the batched forward/backward with the
+// worker pool forced on (GOMAXPROCS raised, parallel gate floored) so
+// `go test -race` exercises the concurrent scatter paths.
+func TestBatchParallelRace(t *testing.T) {
+	oldProcs := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(oldProcs)
+	oldMin := parallelMinWork
+	parallelMinWork = 1
+	defer func() { parallelMinWork = oldMin }()
+
+	rng := tensor.NewRNG(44)
+	var graphs []*programl.Graph
+	for i := 0; i < 12; i++ {
+		graphs = append(graphs, randomGraph(rng, fmt.Sprintf("g%d", i)))
+	}
+	emb := NewEmbedding("e", 50, 12, tensor.NewRNG(5))
+	layer := NewLayer("l", emb.OutDim(), 16, tensor.NewRNG(6))
+	batch := NewBatch(graphs, nil)
+
+	for iter := 0; iter < 3; iter++ {
+		h := emb.ForwardBatch(batch)
+		layer.SetGraph(batch.Adj)
+		out := layer.Forward(h)
+		emb.Backward(layer.Backward(out))
+	}
+}
+
+// TestBatchParallelDeterministic checks that worker-pool execution does
+// not change results: the pooled path must be bit-identical across runs
+// and GOMAXPROCS settings, because every output row is owned by exactly
+// one worker.
+func TestBatchParallelDeterministic(t *testing.T) {
+	rng := tensor.NewRNG(55)
+	var graphs []*programl.Graph
+	for i := 0; i < 8; i++ {
+		graphs = append(graphs, randomGraph(rng, fmt.Sprintf("g%d", i)))
+	}
+	emb := NewEmbedding("e", 50, 12, tensor.NewRNG(5))
+	layer := NewLayer("l", emb.OutDim(), 16, tensor.NewRNG(6))
+	batch := NewBatch(graphs, nil)
+
+	run := func() *tensor.Matrix {
+		h := emb.ForwardBatch(batch)
+		layer.SetGraph(batch.Adj)
+		return layer.Forward(h)
+	}
+	ref := run()
+
+	oldMin := parallelMinWork
+	parallelMinWork = 1
+	defer func() { parallelMinWork = oldMin }()
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		got := run()
+		runtime.GOMAXPROCS(old)
+		for i := range ref.Data {
+			if ref.Data[i] != got.Data[i] {
+				t.Fatalf("GOMAXPROCS=%d: element %d differs: %g vs %g",
+					procs, i, got.Data[i], ref.Data[i])
+			}
+		}
+	}
+}
+
+func ExampleBuildAdjacency() {
+	g := &programl.Graph{
+		RegionID: "example",
+		Nodes: []programl.Node{
+			{Kind: programl.KindInstruction, Token: 1},
+			{Kind: programl.KindInstruction, Token: 2},
+			{Kind: programl.KindVariable, Token: 3},
+		},
+		Edges: []programl.Edge{
+			{Src: 0, Dst: 1, Rel: programl.RelControl},
+			{Src: 2, Dst: 1, Rel: programl.RelData},
+		},
+	}
+	adj := BuildAdjacency(g)
+	fmt.Println("nodes:", adj.NumNodes)
+	fmt.Println("control edges:", len(adj.Edges[programl.RelControl]))
+	// Node 1 has one incoming control and one incoming data edge, each
+	// normalized by its per-relation in-degree.
+	fmt.Println("control norm of node 1:", adj.Norm[programl.RelControl][1])
+	// Output:
+	// nodes: 3
+	// control edges: 1
+	// control norm of node 1: 1
+}
+
+func ExampleNewBatch() {
+	a := &programl.Graph{
+		RegionID: "a",
+		Nodes:    []programl.Node{{Token: 1}, {Token: 2}},
+		Edges:    []programl.Edge{{Src: 0, Dst: 1, Rel: programl.RelControl}},
+	}
+	b := &programl.Graph{
+		RegionID: "b",
+		Nodes:    []programl.Node{{Token: 3}, {Token: 4}, {Token: 5}},
+		Edges:    []programl.Edge{{Src: 1, Dst: 2, Rel: programl.RelData}},
+	}
+	batch := NewBatch([]*programl.Graph{a, b}, nil)
+	fmt.Println("graphs:", batch.NumGraphs())
+	fmt.Println("total nodes:", batch.NumNodes())
+	lo, hi := batch.Segment(1)
+	fmt.Printf("graph b owns rows [%d, %d)\n", lo, hi)
+	// The merged adjacency is block-diagonal: b's data edge lands at
+	// offset 2.
+	e := batch.Adj.Edges[programl.RelData][0]
+	fmt.Printf("merged data edge: %d -> %d\n", e[0], e[1])
+	// Output:
+	// graphs: 2
+	// total nodes: 5
+	// graph b owns rows [2, 5)
+	// merged data edge: 3 -> 4
+}

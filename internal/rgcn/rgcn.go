@@ -33,6 +33,10 @@ type Adjacency struct {
 	Edges [NumDirections][][2]int32
 	// Norm[d][i] is 1/indegree(i) under relation-direction d (0 if none).
 	Norm [NumDirections][]float64
+
+	// plans, when set by Finalize, holds per-direction CSR layouts that
+	// route propagate/propagateT through the parallel worker pool.
+	plans []csrPlan
 }
 
 // BuildAdjacency converts a program graph into its normalized adjacency.
@@ -60,9 +64,15 @@ func BuildAdjacency(g *programl.Graph) *Adjacency {
 	return a
 }
 
-// propagate computes out = Â_d·h for one relation-direction.
+// propagate computes out = Â_d·h for one relation-direction. Finalized
+// adjacencies run the CSR plan across the worker pool; unfinalized ones
+// walk the edge list sequentially (the reference path).
 func (a *Adjacency) propagate(d int, h *tensor.Matrix) *tensor.Matrix {
 	out := tensor.New(h.Rows, h.Cols)
+	if a.plans != nil {
+		a.plans[d].gather(a.Norm[d], h, out)
+		return out
+	}
 	norm := a.Norm[d]
 	for _, e := range a.Edges[d] {
 		src, dst := e[0], e[1]
@@ -79,6 +89,17 @@ func (a *Adjacency) propagate(d int, h *tensor.Matrix) *tensor.Matrix {
 // propagateT computes out = Â_dᵀ·h (the backward direction of propagate).
 func (a *Adjacency) propagateT(d int, h *tensor.Matrix) *tensor.Matrix {
 	out := tensor.New(h.Rows, h.Cols)
+	a.propagateTInto(d, h, out)
+	return out
+}
+
+// propagateTInto accumulates out += Â_dᵀ·h, saving the temporary on the
+// backward hot path.
+func (a *Adjacency) propagateTInto(d int, h, out *tensor.Matrix) {
+	if a.plans != nil {
+		a.plans[d].gatherT(a.Norm[d], h, out)
+		return
+	}
 	norm := a.Norm[d]
 	for _, e := range a.Edges[d] {
 		src, dst := e[0], e[1]
@@ -89,7 +110,6 @@ func (a *Adjacency) propagateT(d int, h *tensor.Matrix) *tensor.Matrix {
 			orow[c] += w * v
 		}
 	}
-	return out
 }
 
 // Layer is one relational graph convolution. It is graph-dependent: the
@@ -143,7 +163,7 @@ func (l *Layer) Forward(x *tensor.Matrix) *tensor.Matrix {
 		}
 		msg := l.adj.propagate(d, x)
 		l.msgs[d] = msg
-		out.AddInPlace(tensor.MatMul(msg, l.WRel[d].W))
+		tensor.MatMulAddInto(msg, l.WRel[d].W, out)
 	}
 	out.AddRowVec(l.Bias.W.Data)
 	return out
@@ -156,17 +176,17 @@ func (l *Layer) Backward(dout *tensor.Matrix) *tensor.Matrix {
 		l.Bias.Grad.Data[c] += v
 	}
 	// Self transform.
-	l.WSelf.Grad.AddInPlace(tensor.MatMulTA(l.x, dout))
+	tensor.MatMulTAAddInto(l.x, dout, l.WSelf.Grad)
 	dx := tensor.MatMulTB(dout, l.WSelf.W)
 	// Relational transforms.
 	for d := 0; d < NumDirections; d++ {
 		if l.msgs[d] == nil {
 			continue
 		}
-		l.WRel[d].Grad.AddInPlace(tensor.MatMulTA(l.msgs[d], dout))
+		tensor.MatMulTAAddInto(l.msgs[d], dout, l.WRel[d].Grad)
 		// ∂L/∂x += Â_dᵀ·(dout·W_dᵀ)
 		back := tensor.MatMulTB(dout, l.WRel[d].W)
-		dx.AddInPlace(l.adj.propagateT(d, back))
+		l.adj.propagateTInto(d, back, dx)
 	}
 	return dx
 }
@@ -215,15 +235,10 @@ func (e *Embedding) Forward(g *programl.Graph) *tensor.Matrix {
 // OutDim returns the width of Forward's output.
 func (e *Embedding) OutDim() int { return e.Dim + 3 }
 
-// Backward scatters ∂L/∂features into the table gradient.
+// Backward scatters ∂L/∂features into the table gradient. Large batches
+// scatter in parallel with per-worker scratch tables.
 func (e *Embedding) Backward(dout *tensor.Matrix) {
-	for i, tok := range e.tokens {
-		grow := e.Table.Grad.Row(tok)
-		drow := dout.Row(i)[:e.Dim]
-		for c, v := range drow {
-			grow[c] += v
-		}
-	}
+	tensor.ScatterAddRows(e.Table.Grad, e.tokens, dout, e.Dim)
 }
 
 // Params returns the embedding table.

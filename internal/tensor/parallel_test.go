@@ -1,0 +1,167 @@
+package tensor
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelWorkersCoversRangeExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {7, 3}, {100, 4}, {5, 8}, {16, 1},
+	} {
+		var hits = make([]int32, tc.n)
+		parallelWorkers(tc.n, tc.workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d workers=%d: index %d visited %d times", tc.n, tc.workers, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelWorkersDisjointWorkerIDs(t *testing.T) {
+	const n, workers = 64, 4
+	owner := make([]int32, n)
+	seen := make([]int32, workers)
+	parallelWorkers(n, workers, func(w, lo, hi int) {
+		atomic.AddInt32(&seen[w], 1)
+		for i := lo; i < hi; i++ {
+			atomic.StoreInt32(&owner[i], int32(w))
+		}
+	})
+	for w, s := range seen {
+		if s != 1 {
+			t.Fatalf("worker %d ran %d chunks, want 1", w, s)
+		}
+	}
+	// Chunks are contiguous: owner must be non-decreasing.
+	for i := 1; i < n; i++ {
+		if owner[i] < owner[i-1] {
+			t.Fatalf("non-contiguous ownership at %d: %v", i, owner)
+		}
+	}
+}
+
+// scatterRef is the sequential reference for ScatterAddRows.
+func scatterRef(dst *Matrix, idx []int, src *Matrix, cols int) {
+	for i, tk := range idx {
+		drow := dst.Row(tk)[:cols]
+		for c, v := range src.Row(i)[:cols] {
+			drow[c] += v
+		}
+	}
+}
+
+func TestScatterAddRowsMatchesReference(t *testing.T) {
+	// Force the parallel path even on small inputs by raising GOMAXPROCS
+	// and sizing the scatter above the threshold; run under -race this
+	// also proves the per-worker scratch merge is clean.
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	rng := NewRNG(9)
+	const rows, cols, vocab = 3000, 16, 37
+	src := New(rows, cols+3)
+	src.FillUniform(rng, 1)
+	idx := make([]int, rows)
+	for i := range idx {
+		idx[i] = rng.Intn(vocab)
+	}
+
+	want := New(vocab, cols+3)
+	scatterRef(want, idx, src, cols)
+	got := New(vocab, cols+3)
+	ScatterAddRows(got, idx, src, cols)
+
+	if rows*cols < scatterParallelThreshold {
+		t.Fatalf("test sized below the parallel threshold (%d < %d)", rows*cols, scatterParallelThreshold)
+	}
+	for i := range want.Data {
+		diff := want.Data[i] - got.Data[i]
+		if diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("element %d: parallel %g vs sequential %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestScatterAddRowsDeterministic(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	rng := NewRNG(10)
+	const rows, cols, vocab = 4096, 8, 5
+	src := New(rows, cols)
+	src.FillUniform(rng, 1)
+	idx := make([]int, rows)
+	for i := range idx {
+		idx[i] = rng.Intn(vocab)
+	}
+	first := New(vocab, cols)
+	ScatterAddRows(first, idx, src, cols)
+	for trial := 0; trial < 5; trial++ {
+		again := New(vocab, cols)
+		ScatterAddRows(again, idx, src, cols)
+		for i := range first.Data {
+			if first.Data[i] != again.Data[i] {
+				t.Fatalf("trial %d element %d: %g vs %g — scratch merge is not deterministic",
+					trial, i, again.Data[i], first.Data[i])
+			}
+		}
+	}
+}
+
+// TestReductionsDeterministicAcrossWorkerCounts: chunk boundaries of the
+// scratch-merged reductions depend only on operand shape, so results must
+// be bit-identical whatever GOMAXPROCS or worker cap is in effect — the
+// property that keeps training reproducible across machines.
+func TestReductionsDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := NewRNG(12)
+	a := New(3000, 15)
+	a.FillUniform(rng, 1)
+	b := New(3000, 16)
+	b.FillUniform(rng, 1)
+
+	run := func() *Matrix {
+		out := New(15, 16)
+		MatMulTAAddInto(a, b, out)
+		return out
+	}
+	ref := run()
+	for _, procs := range []int{1, 2, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		got := run()
+		runtime.GOMAXPROCS(old)
+		for i := range ref.Data {
+			if ref.Data[i] != got.Data[i] {
+				t.Fatalf("GOMAXPROCS=%d: element %d: %g vs %g", procs, i, got.Data[i], ref.Data[i])
+			}
+		}
+	}
+	// A worker cap must not change results either.
+	restore := SetWorkerCap(1)
+	capped := run()
+	restore()
+	for i := range ref.Data {
+		if ref.Data[i] != capped.Data[i] {
+			t.Fatalf("capped pool: element %d: %g vs %g", i, capped.Data[i], ref.Data[i])
+		}
+	}
+}
+
+func TestRowMatrixSharesBacking(t *testing.T) {
+	m := New(3, 4)
+	m.Set(1, 2, 7)
+	r := m.RowMatrix(1)
+	if r.Rows != 1 || r.Cols != 4 || r.At(0, 2) != 7 {
+		t.Fatalf("row view wrong: %+v", r)
+	}
+	r.Set(0, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Fatal("row view does not share backing array")
+	}
+}

@@ -7,8 +7,6 @@ package tensor
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
 
 // Matrix is a dense row-major float64 matrix.
@@ -41,6 +39,12 @@ func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
 
 // Row returns a view of row r (shared backing array).
 func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// RowMatrix returns row r as a 1×Cols matrix view (shared backing array),
+// letting single-sample code address one row of a batched result.
+func (m *Matrix) RowMatrix(r int) *Matrix {
+	return &Matrix{Rows: 1, Cols: m.Cols, Data: m.Row(r)}
+}
 
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
@@ -150,17 +154,27 @@ const parallelThreshold = 1 << 16
 
 // MatMul returns a·b.
 func MatMul(a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: matmul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
 	out := New(a.Rows, b.Cols)
+	MatMulAddInto(a, b, out)
+	return out
+}
+
+// MatMulAddInto accumulates out += a·b, fanning rows across the worker
+// pool for large operands. Fusing the accumulation skips the temporary
+// (and its zeroing) that MatMul-then-AddInPlace would allocate — the
+// per-relation transforms of the RGCN hot path hit this many times per
+// layer.
+func MatMulAddInto(a, b, out *Matrix) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul %dx%d · %dx%d into %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
 	work := a.Rows * a.Cols * b.Cols
 	if work < parallelThreshold {
 		matmulRange(a, b, out, 0, a.Rows)
-		return out
+		return
 	}
-	parallelRows(a.Rows, func(lo, hi int) { matmulRange(a, b, out, lo, hi) })
-	return out
+	ParallelFor(a.Rows, func(lo, hi int) { matmulRange(a, b, out, lo, hi) })
 }
 
 // matmulRange computes rows [lo,hi) of out = a·b with an ikj loop order
@@ -183,11 +197,55 @@ func matmulRange(a, b, out *Matrix, lo, hi int) {
 
 // MatMulTA returns aᵀ·b (a is k×m, b is k×n, result m×n).
 func MatMulTA(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("tensor: matmulTA %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
 	out := New(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
+	MatMulTAAddInto(a, b, out)
+	return out
+}
+
+// MatMulTAAddInto accumulates out += aᵀ·b (a is k×m, b is k×n, out m×n)
+// — the shape of every weight-gradient accumulation. Tall operands split
+// their k rows into shape-determined chunks computed into scratch
+// accumulators (out is only m×n) merged in chunk order, so results are
+// bit-identical across worker counts and machines.
+func MatMulTAAddInto(a, b, out *Matrix) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulTA %dx%d · %dx%d into %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold {
+		matmulTARange(a, b, out, 0, a.Rows)
+		return
+	}
+	chunk := reductionChunks(a.Rows, work)
+	nChunks := (a.Rows + chunk - 1) / chunk
+	scratch := make([]*Matrix, nChunks)
+	ParallelFor(nChunks, func(clo, chi int) {
+		for ci := clo; ci < chi; ci++ {
+			s := New(out.Rows, out.Cols)
+			scratch[ci] = s
+			lo, hi := ci*chunk, (ci+1)*chunk
+			if hi > a.Rows {
+				hi = a.Rows
+			}
+			matmulTARange(a, b, s, lo, hi)
+		}
+	})
+	ParallelFor(out.Rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			orow := out.Row(r)
+			for _, s := range scratch {
+				for c, v := range s.Row(r) {
+					orow[c] += v
+				}
+			}
+		}
+	})
+}
+
+// matmulTARange accumulates rows [lo, hi) of a into out += aᵀ·b.
+func matmulTARange(a, b, out *Matrix, lo, hi int) {
+	for k := lo; k < hi; k++ {
 		arow := a.Row(k)
 		brow := b.Row(k)
 		for i, av := range arow {
@@ -200,7 +258,6 @@ func MatMulTA(a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
 }
 
 // MatMulTB returns a·bᵀ (a is m×k, b is n×k, result m×n).
@@ -222,32 +279,6 @@ func MatMulTB(a, b *Matrix) *Matrix {
 		}
 	}
 	return out
-}
-
-// parallelRows splits [0, rows) across GOMAXPROCS goroutines.
-func parallelRows(rows int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > rows {
-		workers = rows
-	}
-	if workers <= 1 {
-		fn(0, rows)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
-	for lo := 0; lo < rows; lo += chunk {
-		hi := lo + chunk
-		if hi > rows {
-			hi = rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 // RNG is a deterministic xoshiro256**-style generator used for
