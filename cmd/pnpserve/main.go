@@ -1,0 +1,116 @@
+// Command pnpserve is the PnP tuner's inference server: it exposes the
+// model registry over HTTP, training (or loading) each requested model
+// once and serving predictions many times. Concurrent requests for the
+// same model funnel through a micro-batching queue into single
+// block-diagonal forward passes, so throughput scales with the batch
+// engine instead of request count.
+//
+// Usage:
+//
+//	pnpserve -addr :8080 -dir ./models
+//	pnpserve -addr :8080 -dir ./models -preload haswell/time,skylake/edp
+//
+// Endpoints:
+//
+//	POST /predict  {"machine","objective","scenario"?,"graph",...} → picks
+//	GET  /healthz  liveness + traffic counters
+//	GET  /models   registry contents (cached + on disk)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"pnptuner/internal/core"
+	"pnptuner/internal/kernels"
+	"pnptuner/internal/registry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "", "on-disk model store (empty = in-memory only)")
+	cacheSize := flag.Int("cache", 8, "max models held in memory (LRU)")
+	epochs := flag.Int("epochs", 0, "override training epochs for train-on-miss")
+	maxBatch := flag.Int("max-batch", 16, "micro-batch window size")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "micro-batch window wait")
+	preload := flag.String("preload", "", "comma-separated machine/objective[/scenario] keys to resolve at startup")
+	flag.Parse()
+
+	cfg := core.DefaultModelConfig()
+	if *epochs > 0 {
+		cfg.Epochs = *epochs
+	}
+
+	reg, err := registry.New(*dir, *cacheSize, registry.DefaultTrainer(cfg))
+	if err != nil {
+		fatal(err)
+	}
+
+	// Serving annotates client graphs with the corpus vocabulary; freeze
+	// it so unknown node texts map to the unknown token instead of minting
+	// ids the trained embeddings have never seen.
+	corpus, err := kernels.Compile()
+	if err != nil {
+		fatal(err)
+	}
+	corpus.Vocab.Freeze()
+
+	srv := registry.NewServer(reg, corpus.Vocab, *maxBatch, *maxWait)
+	defer srv.Close()
+
+	for _, spec := range strings.Split(*preload, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		key, err := parseKey(spec)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("preloading %s ...", key)
+		start := time.Now()
+		if _, err := reg.Get(key); err != nil {
+			fatal(err)
+		}
+		log.Printf("preloaded %s in %s", key, time.Since(start).Round(time.Millisecond))
+	}
+
+	log.Printf("pnpserve listening on %s (store %q, cache %d, batch %d/%s)",
+		*addr, *dir, *cacheSize, *maxBatch, *maxWait)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		// No WriteTimeout: the first /predict for a model trains it
+		// (minutes); slow-client protection comes from the read limits
+		// and the bounded request body.
+		IdleTimeout: 2 * time.Minute,
+	}
+	if err := httpSrv.ListenAndServe(); err != nil {
+		fatal(err)
+	}
+}
+
+// parseKey reads "machine/objective" or "machine/objective/scenario".
+func parseKey(spec string) (registry.Key, error) {
+	parts := strings.SplitN(spec, "/", 3)
+	if len(parts) < 2 {
+		return registry.Key{}, fmt.Errorf("pnpserve: bad preload key %q (want machine/objective[/scenario])", spec)
+	}
+	key := registry.Key{Machine: parts[0], Objective: parts[1], Scenario: registry.ScenarioFull}
+	if len(parts) == 3 {
+		key.Scenario = parts[2]
+	}
+	return key, key.Validate()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pnpserve: %v\n", err)
+	os.Exit(1)
+}

@@ -3,10 +3,16 @@
 // evaluates) and prints the recommended OpenMP configuration for each
 // region of the target application — without executing the target.
 //
+// Trained models are reusable artifacts: -save persists the model after
+// training, and -load serves predictions from a saved model without
+// retraining (the registry and pnpserve build on the same format).
+//
 // Usage:
 //
 //	pnptune -machine haswell -app LULESH -cap 40
 //	pnptune -machine skylake -app gemm -objective edp
+//	pnptune -machine haswell -app LULESH -save lulesh.pnpm
+//	pnptune -machine haswell -app LULESH -load lulesh.pnpm
 //	pnptune -list                      # list corpus applications
 package main
 
@@ -28,6 +34,8 @@ func main() {
 	capW := flag.Float64("cap", 0, "power cap in watts (0 = all Table I caps)")
 	objective := flag.String("objective", "time", "tuning objective: time or edp")
 	epochs := flag.Int("epochs", 0, "override training epochs")
+	savePath := flag.String("save", "", "save the trained model to this path")
+	loadPath := flag.String("load", "", "load a saved model instead of training")
 	list := flag.Bool("list", false, "list corpus applications and exit")
 	flag.Parse()
 
@@ -50,14 +58,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var fold dataset.Fold
-	found := false
-	for _, f := range d.LOOCVFolds() {
-		if f.App == *app {
-			fold, found = f, true
-			break
-		}
-	}
+	fold, found := d.FoldByApp(*app)
 	if !found {
 		fatal(fmt.Errorf("unknown application %q (try -list)", *app))
 	}
@@ -66,19 +67,30 @@ func main() {
 	if *epochs > 0 {
 		cfg.Epochs = *epochs
 	}
+	scenario := "loocv:" + fold.App
 
 	switch *objective {
 	case "time":
-		res := core.TrainPower(d, fold, cfg)
-		fmt.Printf("trained on %d regions in %s (loss %.3f)\n",
-			len(fold.Train), res.Stats.Duration.Round(1e7), res.Stats.FinalLoss)
+		var model *core.Model
+		var meta core.ModelMeta
+		var pred map[string][]int
+		if *loadPath != "" {
+			model, meta = loadModel(*loadPath, d, *objective, scenario)
+			pred = core.PredictPower(d, model, fold.Val)
+		} else {
+			res := core.TrainPower(d, fold, cfg)
+			fmt.Printf("trained on %d regions in %s (loss %.3f)\n",
+				len(fold.Train), res.Stats.Duration.Round(1e7), res.Stats.FinalLoss)
+			model, meta, pred = res.Model, core.MetaFor(d, scenario, *objective), res.Pred
+		}
+		saveModel(model, *savePath, meta)
 		for _, rd := range fold.Val {
 			fmt.Printf("region %s:\n", rd.Region.ID)
 			for ci, cw := range d.Space.Caps() {
 				if *capW != 0 && cw != *capW {
 					continue
 				}
-				pick := res.Pred[rd.Region.ID][ci]
+				pick := pred[rd.Region.ID][ci]
 				cfgP := d.Space.Configs[pick]
 				def := rd.DefaultResult(ci, d.Space).TimeSec
 				got := rd.Results[ci][pick].TimeSec
@@ -87,12 +99,22 @@ func main() {
 			}
 		}
 	case "edp":
-		res := core.TrainEDP(d, fold, cfg)
-		fmt.Printf("trained on %d regions in %s (loss %.3f)\n",
-			len(fold.Train), res.Stats.Duration.Round(1e7), res.Stats.FinalLoss)
+		var model *core.Model
+		var meta core.ModelMeta
+		var pred map[string]int
+		if *loadPath != "" {
+			model, meta = loadModel(*loadPath, d, *objective, scenario)
+			pred = core.PredictEDP(d, model, fold.Val)
+		} else {
+			res := core.TrainEDP(d, fold, cfg)
+			fmt.Printf("trained on %d regions in %s (loss %.3f)\n",
+				len(fold.Train), res.Stats.Duration.Round(1e7), res.Stats.FinalLoss)
+			model, meta, pred = res.Model, core.MetaFor(d, scenario, *objective), res.Pred
+		}
+		saveModel(model, *savePath, meta)
 		tdpIdx := len(d.Space.Caps()) - 1
 		for _, rd := range fold.Val {
-			pick := res.Pred[rd.Region.ID]
+			pick := pred[rd.Region.ID]
 			cw, cfgP := d.Space.At(pick)
 			ci, ki := d.Space.SplitJoint(pick)
 			def := rd.DefaultResult(tdpIdx, d.Space)
@@ -106,6 +128,45 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown objective %q", *objective))
 	}
+}
+
+// loadModel restores a saved model (and its original metadata) and
+// refuses one trained for a different machine, search space, or
+// objective. A scenario mismatch only warns: serving a model for an app
+// it trained on is legitimate, but the printed "vs oracle" numbers are
+// then inflated by training leakage and must not be read as held-out.
+func loadModel(path string, d *dataset.Dataset, objective, wantScenario string) (*core.Model, core.ModelMeta) {
+	m, meta, err := core.LoadModel(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := meta.Check(d); err != nil {
+		fatal(err)
+	}
+	if meta.Objective != objective {
+		fatal(fmt.Errorf("model %s was trained for objective %q, not %q", path, meta.Objective, objective))
+	}
+	if meta.Scenario != wantScenario {
+		fmt.Fprintf(os.Stderr,
+			"pnptune: warning: model was trained for scenario %q, not %q — the target's regions may have been in its training set, so reported improvements are not held-out numbers\n",
+			meta.Scenario, wantScenario)
+	}
+	fmt.Printf("loaded model %s (%s/%s/%s), skipping training\n",
+		path, meta.Machine, meta.Objective, meta.Scenario)
+	return m, meta
+}
+
+// saveModel persists the model when -save was given. meta is the model's
+// true provenance — for a -load'ed model, its original metadata, so
+// re-saving can never relabel what the model was trained on.
+func saveModel(m *core.Model, path string, meta core.ModelMeta) {
+	if path == "" {
+		return
+	}
+	if err := m.Save(path, meta); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("saved model to %s\n", path)
 }
 
 func fatal(err error) {

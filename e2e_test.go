@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"pnptuner/internal/core"
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/hw"
+	"pnptuner/internal/registry"
+)
+
+// tinyCfg keeps e2e training fast without changing any mechanism.
+func tinyCfg() core.ModelConfig {
+	cfg := core.DefaultModelConfig()
+	cfg.EmbedDim = 8
+	cfg.Hidden = 8
+	cfg.Epochs = 4
+	return cfg
+}
+
+// TestE2EGoldenSaveLoad is the end-to-end golden test of the model
+// registry workflow: train a tiny scenario-1 model, Save → LoadModel, and
+// assert the reloaded model's per-region, per-cap predicted config
+// indices are identical to the in-memory model's — on both machines.
+func TestE2EGoldenSaveLoad(t *testing.T) {
+	for _, m := range hw.Machines() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			d := dataset.MustBuild(m)
+			fold := d.LOOCVFolds()[0]
+			res := core.TrainPower(d, fold, tinyCfg())
+
+			path := filepath.Join(t.TempDir(), m.Name+".pnpm")
+			meta := core.MetaFor(d, "loocv:"+fold.App, "time")
+			if err := res.Model.Save(path, meta); err != nil {
+				t.Fatal(err)
+			}
+			loaded, meta2, err := core.LoadModel(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := meta2.Check(d); err != nil {
+				t.Fatal(err)
+			}
+
+			// Every parameter must survive the round trip bit-exactly.
+			src, dst := res.Model.Params(), loaded.Params()
+			if len(src) != len(dst) {
+				t.Fatalf("%d vs %d params", len(src), len(dst))
+			}
+			for i := range src {
+				for j := range src[i].W.Data {
+					if math.Float64bits(src[i].W.Data[j]) != math.Float64bits(dst[i].W.Data[j]) {
+						t.Fatalf("param %s[%d] not bit-exact after Save/Load", src[i].Name, j)
+					}
+				}
+			}
+
+			// And so must the recommendations: identical config indices per
+			// region per cap, against both the train-time predictions and a
+			// fresh in-memory prediction pass.
+			inMem := core.PredictPower(d, res.Model, fold.Val)
+			fromDisk := core.PredictPower(d, loaded, fold.Val)
+			for _, rd := range fold.Val {
+				id := rd.Region.ID
+				for ci := range d.Space.Caps() {
+					if fromDisk[id][ci] != inMem[id][ci] {
+						t.Fatalf("%s cap %d: loaded pick %d != in-memory %d",
+							id, ci, fromDisk[id][ci], inMem[id][ci])
+					}
+					if fromDisk[id][ci] != res.Pred[id][ci] {
+						t.Fatalf("%s cap %d: loaded pick %d != train-time %d",
+							id, ci, fromDisk[id][ci], res.Pred[id][ci])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestE2EGoldenSaveLoadEDP runs the same golden round trip for the
+// scenario-2 (joint cap × config, EDP objective) model.
+func TestE2EGoldenSaveLoadEDP(t *testing.T) {
+	d := dataset.MustBuild(hw.Haswell())
+	fold := d.LOOCVFolds()[1]
+	cfg := tinyCfg()
+	cfg.Epochs = 3
+	res := core.TrainEDP(d, fold, cfg)
+
+	path := filepath.Join(t.TempDir(), "edp.pnpm")
+	if err := res.Model.Save(path, core.MetaFor(d, "loocv:"+fold.App, "edp")); err != nil {
+		t.Fatal(err)
+	}
+	loaded, meta, err := core.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := meta.Check(d); err != nil {
+		t.Fatal(err)
+	}
+	fromDisk := core.PredictEDP(d, loaded, fold.Val)
+	for _, rd := range fold.Val {
+		id := rd.Region.ID
+		if fromDisk[id] != res.Pred[id] {
+			t.Fatalf("%s: loaded joint pick %d != train-time %d", id, fromDisk[id], res.Pred[id])
+		}
+	}
+}
+
+// TestE2ERegistryTrainOnceServeTwice closes the loop at the registry
+// level: the first Get trains and persists, a second registry over the
+// same store serves the identical model from disk, and its predictions
+// match the original's exactly.
+func TestE2ERegistryTrainOnceServeTwice(t *testing.T) {
+	dir := t.TempDir()
+	key := registry.Key{Machine: "haswell", Scenario: "loocv:gemm", Objective: registry.ObjectiveTime}
+
+	reg1, err := registry.New(dir, 2, registry.DefaultTrainer(tinyCfg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := reg1.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, err := registry.New(dir, 2, nil) // no trainer: must come from disk
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := reg2.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := dataset.MustBuild(hw.Haswell())
+	fold, ok := d.FoldByApp("gemm")
+	if !ok {
+		t.Fatal("gemm fold missing")
+	}
+	p1 := core.PredictPower(d, e1.Model, fold.Val)
+	p2 := core.PredictPower(d, e2.Model, fold.Val)
+	for _, rd := range fold.Val {
+		id := rd.Region.ID
+		for ci := range d.Space.Caps() {
+			if p1[id][ci] != p2[id][ci] {
+				t.Fatalf("%s cap %d: trained pick %d != disk-served %d", id, ci, p1[id][ci], p2[id][ci])
+			}
+		}
+	}
+}

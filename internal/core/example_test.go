@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"pnptuner/internal/core"
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/hw"
+)
+
+// ExampleModel_Save demonstrates the train-once/predict-many workflow:
+// train a model, persist it with metadata pinning it to its machine and
+// search space, then reload it elsewhere and predict without retraining.
+func ExampleModel_Save() {
+	d := dataset.MustBuild(hw.Haswell())
+	fold, _ := d.FoldByApp("LULESH")
+
+	cfg := core.DefaultModelConfig()
+	cfg.EmbedDim, cfg.Hidden, cfg.Epochs = 8, 8, 2 // tiny, for the example
+	res := core.TrainPower(d, fold, cfg)
+
+	dir, err := os.MkdirTemp("", "pnp-example")
+	if err != nil {
+		fmt.Println("tempdir:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "lulesh.pnpm")
+	meta := core.MetaFor(d, "loocv:LULESH", "time")
+	if err := res.Model.Save(path, meta); err != nil {
+		fmt.Println("save:", err)
+		return
+	}
+
+	// ... later, in another process: load instead of retraining.
+	m2, meta2, err := core.LoadModel(path)
+	if err != nil {
+		fmt.Println("load:", err)
+		return
+	}
+	if err := meta2.Check(d); err != nil { // refuse a mismatched machine/space
+		fmt.Println("check:", err)
+		return
+	}
+	pred := core.PredictPower(d, m2, fold.Val)
+	fmt.Println("identical predictions:", reflect.DeepEqual(pred, res.Pred))
+	// Output: identical predictions: true
+}

@@ -259,14 +259,26 @@ func (m *Model) Encode(r *kernels.Region, extras []float64) *tensor.Matrix {
 // region's extra features: row i is the dense-head input for regions[i].
 // extras may be nil when the model uses no extra features.
 func (m *Model) EncodeBatch(regions []*kernels.Region, extras [][]float64) *tensor.Matrix {
-	pooled := m.Enc.ForwardBatch(m.Batch(regions))
+	return m.appendExtras(m.Enc.ForwardBatch(m.Batch(regions)), extras)
+}
+
+// EncodeGraphs encodes raw program graphs in one batched pass, bypassing
+// the region adjacency cache — the serving path for graphs that arrive
+// over the wire rather than from the compiled corpus. Row i is the
+// dense-head input for graphs[i].
+func (m *Model) EncodeGraphs(graphs []*programl.Graph, extras [][]float64) *tensor.Matrix {
+	return m.appendExtras(m.Enc.ForwardBatch(rgcn.NewBatch(graphs, nil)), extras)
+}
+
+// appendExtras widens a pooled batch row-wise with per-row extra features.
+func (m *Model) appendExtras(pooled *tensor.Matrix, extras [][]float64) *tensor.Matrix {
 	if m.ExtraDim == 0 {
 		return pooled
 	}
-	full := tensor.New(len(regions), m.Cfg.Hidden+m.ExtraDim)
-	for i := range regions {
+	full := tensor.New(pooled.Rows, m.Cfg.Hidden+m.ExtraDim)
+	for i := 0; i < pooled.Rows; i++ {
 		if len(extras[i]) != m.ExtraDim {
-			panic(fmt.Sprintf("core: %d extra features for region %d, model wants %d",
+			panic(fmt.Sprintf("core: %d extra features for row %d, model wants %d",
 				len(extras[i]), i, m.ExtraDim))
 		}
 		row := full.Row(i)
@@ -274,6 +286,25 @@ func (m *Model) EncodeBatch(regions []*kernels.Region, extras [][]float64) *tens
 		copy(row[m.Cfg.Hidden:], extras[i])
 	}
 	return full
+}
+
+// PredictGraphs scores a batch of raw graphs in one encoder pass and
+// returns, per graph, the argmax class of every head: out[i][h] is head
+// h's pick for graphs[i]. This is the micro-batched serving hot path: N
+// concurrent requests cost one block-diagonal forward instead of N.
+func (m *Model) PredictGraphs(graphs []*programl.Graph, extras [][]float64) [][]int {
+	enc := m.EncodeGraphs(graphs, extras)
+	out := make([][]int, len(graphs))
+	for i := range out {
+		out[i] = make([]int, len(m.Heads))
+	}
+	for h := range m.Heads {
+		logits := m.Logits(enc, h)
+		for i := range graphs {
+			out[i][h] = nn.Argmax(logits, i)
+		}
+	}
+	return out
 }
 
 // Logits computes head h's class scores for an encoded vector.

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/nn"
+	"pnptuner/internal/space"
+)
+
+// Model serialization: a trained Model persists as a single versioned gob
+// blob so training happens once and predictions are served many times
+// (the registry and pnpserve build on this). The format is an outer
+// envelope carrying a magic string, a format version, and a SHA-256
+// digest of the inner payload; the payload holds the ModelConfig, the
+// ModelMeta describing what the model was trained for, the head sizing,
+// and an nn.Checkpoint of every parameter. Loads verify the digest before
+// decoding and restore strictly — a corrupted file, a truncated file, or
+// a checkpoint from a differently shaped model all fail with an error
+// rather than yielding a silently wrong predictor.
+
+const (
+	modelMagic   = "pnptuner-model"
+	modelVersion = 1
+)
+
+// ModelMeta pins a saved model to the context it was trained in: the
+// machine, the (cap, config) search space, the vocabulary size, and the
+// scenario/objective it answers. Check rejects loading a model against a
+// dataset it was not trained for — predictions are config *indices*, so a
+// mismatched space would silently recommend the wrong configurations.
+type ModelMeta struct {
+	Machine    string
+	Scenario   string // e.g. "full" or "loocv:LULESH"
+	Objective  string // "time" (scenario 1) or "edp" (scenario 2)
+	Caps       []float64
+	NumConfigs int
+	NumJoint   int
+	VocabSize  int
+}
+
+// MetaFor builds the metadata pinning a model to dataset d.
+func MetaFor(d *dataset.Dataset, scenario, objective string) ModelMeta {
+	caps := make([]float64, len(d.Space.Caps()))
+	copy(caps, d.Space.Caps())
+	return ModelMeta{
+		Machine:    d.Machine.Name,
+		Scenario:   scenario,
+		Objective:  objective,
+		Caps:       caps,
+		NumConfigs: d.Space.NumConfigs(),
+		NumJoint:   d.Space.NumJoint(),
+		VocabSize:  d.Corpus.Vocab.Size(),
+	}
+}
+
+// Check verifies that a saved model's metadata matches dataset d: same
+// machine, same power caps, same configuration space, same vocabulary.
+func (mm ModelMeta) Check(d *dataset.Dataset) error {
+	if mm.Machine != d.Machine.Name {
+		return fmt.Errorf("core: model trained for machine %q, dataset is %q", mm.Machine, d.Machine.Name)
+	}
+	return mm.CheckSpace(d.Space, d.Corpus.Vocab.Size())
+}
+
+// CheckSpace is the space/vocabulary half of Check, for callers (the
+// registry) that have a search space and vocabulary but no full dataset.
+// Both paths share this one copy of the compatibility invariant.
+func (mm ModelMeta) CheckSpace(sp *space.Space, vocabSize int) error {
+	switch {
+	case mm.NumConfigs != sp.NumConfigs():
+		return fmt.Errorf("core: model trained over %d configs, space has %d", mm.NumConfigs, sp.NumConfigs())
+	case mm.NumJoint != sp.NumJoint():
+		return fmt.Errorf("core: model trained over %d joint points, space has %d", mm.NumJoint, sp.NumJoint())
+	case mm.VocabSize != vocabSize:
+		return fmt.Errorf("core: model vocabulary %d tokens, corpus has %d", mm.VocabSize, vocabSize)
+	case len(mm.Caps) != len(sp.Caps()):
+		return fmt.Errorf("core: model trained at %d caps, space has %d", len(mm.Caps), len(sp.Caps()))
+	}
+	for i, c := range sp.Caps() {
+		if mm.Caps[i] != c {
+			return fmt.Errorf("core: model cap[%d] = %gW, space has %gW", i, mm.Caps[i], c)
+		}
+	}
+	return nil
+}
+
+// modelPayload is the inner gob body of a saved model.
+type modelPayload struct {
+	Cfg      ModelConfig
+	Meta     ModelMeta
+	NumHeads int
+	Classes  int
+	Ck       *nn.Checkpoint
+}
+
+// modelEnvelope is the outer gob body: digest covers Payload bit-for-bit.
+type modelEnvelope struct {
+	Magic   string
+	Version int
+	Digest  [sha256.Size]byte
+	Payload []byte
+}
+
+// Marshal serializes the model and its metadata into the versioned,
+// digest-protected blob format.
+func (m *Model) Marshal(meta ModelMeta) ([]byte, error) {
+	payload := modelPayload{
+		Cfg:      m.Cfg,
+		Meta:     meta,
+		NumHeads: len(m.Heads),
+		Classes:  m.Classes,
+		Ck:       nn.Snapshot(m.Params()),
+	}
+	var inner bytes.Buffer
+	if err := gob.NewEncoder(&inner).Encode(&payload); err != nil {
+		return nil, fmt.Errorf("core: encode model payload: %w", err)
+	}
+	env := modelEnvelope{
+		Magic:   modelMagic,
+		Version: modelVersion,
+		Digest:  sha256.Sum256(inner.Bytes()),
+		Payload: inner.Bytes(),
+	}
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(&env); err != nil {
+		return nil, fmt.Errorf("core: encode model envelope: %w", err)
+	}
+	return out.Bytes(), nil
+}
+
+// decodePayload verifies the envelope (magic, version, digest) and
+// decodes the inner payload — the one validation sequence UnmarshalModel
+// and ReadModelMeta share.
+func decodePayload(data []byte) (*modelPayload, error) {
+	var env modelEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("core: decode model envelope: %w", err)
+	}
+	if env.Magic != modelMagic {
+		return nil, fmt.Errorf("core: not a pnptuner model (magic %q)", env.Magic)
+	}
+	if env.Version != modelVersion {
+		return nil, fmt.Errorf("core: model format version %d, this build reads %d",
+			env.Version, modelVersion)
+	}
+	if got := sha256.Sum256(env.Payload); got != env.Digest {
+		return nil, fmt.Errorf("core: model payload digest mismatch (corrupted file)")
+	}
+	var payload modelPayload
+	if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("core: decode model payload: %w", err)
+	}
+	return &payload, nil
+}
+
+// UnmarshalModel reconstructs a model from a blob produced by Marshal. It
+// verifies the magic, version, and payload digest, rebuilds the network
+// from the stored ModelConfig and sizing, and restores every parameter
+// strictly (checkpoint entries matching no parameter fail the load).
+func UnmarshalModel(data []byte) (*Model, ModelMeta, error) {
+	payload, err := decodePayload(data)
+	if err != nil {
+		return nil, ModelMeta{}, err
+	}
+	if err := checkSizing(payload); err != nil {
+		return nil, ModelMeta{}, err
+	}
+	if payload.Ck == nil {
+		return nil, ModelMeta{}, fmt.Errorf("core: model payload has no checkpoint")
+	}
+	m := NewModel(payload.Cfg, payload.Meta.VocabSize, payload.NumHeads, payload.Classes)
+	params := m.Params()
+	n, err := payload.Ck.RestoreStrict(params)
+	if err != nil {
+		return nil, ModelMeta{}, fmt.Errorf("core: restore model: %w", err)
+	}
+	if n != len(params) {
+		return nil, ModelMeta{}, fmt.Errorf("core: checkpoint restored %d of %d parameters", n, len(params))
+	}
+	return m, payload.Meta, nil
+}
+
+// Sizing ceilings for loaded blobs: a digest only proves the payload
+// matches itself, not that it is sane, and NewModel allocates from these
+// numbers — a crafted or bit-rotted file must fail here, not panic in
+// tensor.New or ask for terabytes. The bounds are orders of magnitude
+// above any real configuration.
+const (
+	maxLoadDim     = 1 << 16 // EmbedDim, Hidden
+	maxLoadLayers  = 1 << 8  // NumRGCN, NumDense
+	maxLoadHeads   = 1 << 12
+	maxLoadClasses = 1 << 20
+	maxLoadVocab   = 1 << 24
+)
+
+// checkSizing bounds every field NewModel sizes allocations from.
+func checkSizing(p *modelPayload) error {
+	cfg := p.Cfg
+	switch {
+	case cfg.EmbedDim < 1 || cfg.EmbedDim > maxLoadDim:
+		return fmt.Errorf("core: model payload EmbedDim %d out of range", cfg.EmbedDim)
+	case cfg.Hidden < 1 || cfg.Hidden > maxLoadDim:
+		return fmt.Errorf("core: model payload Hidden %d out of range", cfg.Hidden)
+	case cfg.NumRGCN < 1 || cfg.NumRGCN > maxLoadLayers:
+		return fmt.Errorf("core: model payload NumRGCN %d out of range", cfg.NumRGCN)
+	case cfg.NumDense < 1 || cfg.NumDense > maxLoadLayers:
+		return fmt.Errorf("core: model payload NumDense %d out of range", cfg.NumDense)
+	case p.NumHeads < 1 || p.NumHeads > maxLoadHeads:
+		return fmt.Errorf("core: model payload head count %d out of range", p.NumHeads)
+	case p.Classes < 1 || p.Classes > maxLoadClasses:
+		return fmt.Errorf("core: model payload class count %d out of range", p.Classes)
+	case p.Meta.VocabSize < 1 || p.Meta.VocabSize > maxLoadVocab:
+		return fmt.Errorf("core: model payload vocabulary %d out of range", p.Meta.VocabSize)
+	}
+	return nil
+}
+
+// Save writes the model and its metadata to path atomically (write to a
+// temp file in the same directory, then rename).
+func (m *Model) Save(path string, meta ModelMeta) error {
+	data, err := m.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".pnpmodel-*")
+	if err != nil {
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a model saved by Save.
+func LoadModel(path string) (*Model, ModelMeta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, ModelMeta{}, fmt.Errorf("core: load model: %w", err)
+	}
+	return UnmarshalModel(data)
+}
+
+// ReadModelMeta returns only the metadata of a saved model, without
+// rebuilding the network — what registry listings use.
+func ReadModelMeta(path string) (ModelMeta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ModelMeta{}, fmt.Errorf("core: read model meta: %w", err)
+	}
+	payload, err := decodePayload(data)
+	if err != nil {
+		return ModelMeta{}, err
+	}
+	return payload.Meta, nil
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/hw"
+	"pnptuner/internal/kernels"
+	"pnptuner/internal/nn"
+	"pnptuner/internal/tensor"
+)
+
+// randomMeta fabricates plausible metadata without building a dataset.
+func randomMeta(vocabSize int, rng *tensor.RNG) ModelMeta {
+	caps := make([]float64, 2+rng.Intn(3))
+	for i := range caps {
+		caps[i] = 40 + 10*float64(i) + rng.Float64()
+	}
+	return ModelMeta{
+		Machine:    "haswell",
+		Scenario:   "loocv:LULESH",
+		Objective:  "time",
+		Caps:       caps,
+		NumConfigs: 1 + rng.Intn(200),
+		NumJoint:   1 + rng.Intn(600),
+		VocabSize:  vocabSize,
+	}
+}
+
+// TestModelRoundTripRandom is the property test: random model sizings and
+// random weight perturbations must survive Marshal/Unmarshal bit-exactly
+// — config, metadata, and every parameter.
+func TestModelRoundTripRandom(t *testing.T) {
+	c := kernels.MustCompile()
+	rng := tensor.NewRNG(0xc0ffee)
+	for trial := 0; trial < 6; trial++ {
+		cfg := DefaultModelConfig()
+		cfg.EmbedDim = 4 + trial
+		cfg.Hidden = 4 + (trial*5)%9
+		cfg.NumRGCN = 1 + trial%4
+		cfg.NumDense = 2 + trial%2
+		cfg.UseCounters = trial%2 == 0
+		cfg.UseCapFeature = trial%3 == 0
+		cfg.Seed = uint64(trial) * 977
+		nHeads := 1 + trial%4
+		classes := 3 + trial*7
+		m := NewModel(cfg, c.Vocab.Size(), nHeads, classes)
+
+		// Perturb every weight so the round-trip can't pass by luck of
+		// deterministic initialization.
+		for _, p := range m.Params() {
+			for i := range p.W.Data {
+				p.W.Data[i] += rng.NormFloat64()
+			}
+		}
+		meta := randomMeta(c.Vocab.Size(), rng)
+
+		data, err := m.Marshal(meta)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		m2, meta2, err := UnmarshalModel(data)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if m2.Cfg != cfg {
+			t.Fatalf("trial %d: cfg %+v != %+v", trial, m2.Cfg, cfg)
+		}
+		if meta2.Machine != meta.Machine || meta2.Scenario != meta.Scenario ||
+			meta2.Objective != meta.Objective || meta2.NumConfigs != meta.NumConfigs ||
+			meta2.NumJoint != meta.NumJoint || meta2.VocabSize != meta.VocabSize ||
+			len(meta2.Caps) != len(meta.Caps) {
+			t.Fatalf("trial %d: meta %+v != %+v", trial, meta2, meta)
+		}
+		if len(m2.Heads) != nHeads || m2.Classes != classes {
+			t.Fatalf("trial %d: sizing %d heads/%d classes", trial, len(m2.Heads), m2.Classes)
+		}
+		src, dst := m.Params(), m2.Params()
+		if len(src) != len(dst) {
+			t.Fatalf("trial %d: %d vs %d params", trial, len(src), len(dst))
+		}
+		for i := range src {
+			if src[i].Name != dst[i].Name {
+				t.Fatalf("trial %d: param %d name %q vs %q", trial, i, src[i].Name, dst[i].Name)
+			}
+			for j := range src[i].W.Data {
+				if math.Float64bits(src[i].W.Data[j]) != math.Float64bits(dst[i].W.Data[j]) {
+					t.Fatalf("trial %d: %s[%d] not bit-exact", trial, src[i].Name, j)
+				}
+			}
+		}
+	}
+}
+
+// TestUnmarshalRejectsCorruption flips single bytes throughout the blob:
+// every corruption must surface as an error, never a panic or a silently
+// wrong model.
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	c := kernels.MustCompile()
+	cfg := testConfig()
+	m := NewModel(cfg, c.Vocab.Size(), 2, 5)
+	data, err := m.Marshal(randomMeta(c.Vocab.Size(), tensor.NewRNG(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(data) / 37
+	if step < 1 {
+		step = 1
+	}
+	for pos := 0; pos < len(data); pos += step {
+		bad := make([]byte, len(data))
+		copy(bad, data)
+		bad[pos] ^= 0x5a
+		m2, _, err := UnmarshalModel(bad)
+		if err == nil {
+			// A flipped byte must never decode: the digest covers the whole
+			// payload and the envelope fields are all checked.
+			t.Fatalf("corruption at byte %d of %d decoded a model %p", pos, len(data), m2)
+		}
+	}
+}
+
+// TestUnmarshalRejectsTruncation cuts the blob at many lengths; every
+// prefix must fail cleanly.
+func TestUnmarshalRejectsTruncation(t *testing.T) {
+	c := kernels.MustCompile()
+	m := NewModel(testConfig(), c.Vocab.Size(), 1, 4)
+	data, err := m.Marshal(randomMeta(c.Vocab.Size(), tensor.NewRNG(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []int{0, 1, 2, 7, 50, 90, 99} {
+		n := len(data) * frac / 100
+		if _, _, err := UnmarshalModel(data[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded a model", n, len(data))
+		}
+	}
+}
+
+// TestUnmarshalRejectsWrongVersionAndMagic crafts envelopes with a future
+// version and a foreign magic string.
+func TestUnmarshalRejectsWrongVersionAndMagic(t *testing.T) {
+	payload := []byte("not a real payload")
+	encode := func(env modelEnvelope) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	futureVersion := encode(modelEnvelope{
+		Magic: modelMagic, Version: modelVersion + 1,
+		Digest: sha256.Sum256(payload), Payload: payload,
+	})
+	if _, _, err := UnmarshalModel(futureVersion); err == nil {
+		t.Fatal("accepted a future format version")
+	}
+	wrongMagic := encode(modelEnvelope{
+		Magic: "something-else", Version: modelVersion,
+		Digest: sha256.Sum256(payload), Payload: payload,
+	})
+	if _, _, err := UnmarshalModel(wrongMagic); err == nil {
+		t.Fatal("accepted a foreign magic string")
+	}
+	emptyPayload := encode(modelEnvelope{
+		Magic: modelMagic, Version: modelVersion,
+		Digest: sha256.Sum256(nil), Payload: nil,
+	})
+	if _, _, err := UnmarshalModel(emptyPayload); err == nil {
+		t.Fatal("accepted an empty payload")
+	}
+}
+
+// TestUnmarshalRejectsInsaneSizing crafts digest-valid blobs whose sizing
+// fields would panic or exhaust memory in NewModel: every one must come
+// back as an error.
+func TestUnmarshalRejectsInsaneSizing(t *testing.T) {
+	c := kernels.MustCompile()
+	m := NewModel(testConfig(), c.Vocab.Size(), 1, 4)
+	rng := tensor.NewRNG(9)
+	for i, mutate := range []func(*modelPayload){
+		func(p *modelPayload) { p.Cfg.Hidden = -1 },
+		func(p *modelPayload) { p.Cfg.EmbedDim = 1 << 40 },
+		func(p *modelPayload) { p.Cfg.NumRGCN = -3 },
+		func(p *modelPayload) { p.Cfg.NumDense = 1 << 30 },
+		func(p *modelPayload) { p.NumHeads = 1 << 30 },
+		func(p *modelPayload) { p.Classes = 0 },
+		func(p *modelPayload) { p.Meta.VocabSize = 1 << 40 },
+	} {
+		payload := modelPayload{
+			Cfg: testConfig(), Meta: randomMeta(c.Vocab.Size(), rng),
+			NumHeads: 1, Classes: 4, Ck: nn.Snapshot(m.Params()),
+		}
+		mutate(&payload)
+		var inner bytes.Buffer
+		if err := gob.NewEncoder(&inner).Encode(&payload); err != nil {
+			t.Fatal(err)
+		}
+		env := modelEnvelope{
+			Magic: modelMagic, Version: modelVersion,
+			Digest: sha256.Sum256(inner.Bytes()), Payload: inner.Bytes(),
+		}
+		var out bytes.Buffer
+		if err := gob.NewEncoder(&out).Encode(&env); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := UnmarshalModel(out.Bytes()); err == nil {
+			t.Fatalf("mutation %d: insane sizing decoded a model", i)
+		}
+	}
+}
+
+// TestSaveLoadFileAndMeta exercises the file path plus ReadModelMeta and
+// the Meta.Check guards against a real dataset.
+func TestSaveLoadFileAndMeta(t *testing.T) {
+	d := dataset.MustBuild(hw.Haswell())
+	cfg := testConfig()
+	m := NewModel(cfg, d.Corpus.Vocab.Size(), len(d.Space.Caps()), d.Space.NumConfigs())
+	meta := MetaFor(d, "loocv:LULESH", "time")
+	path := filepath.Join(t.TempDir(), "model.pnpm")
+	if err := m.Save(path, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadModelMeta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Machine != "haswell" || got.Objective != "time" || got.Scenario != "loocv:LULESH" {
+		t.Fatalf("meta = %+v", got)
+	}
+	m2, meta2, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := meta2.Check(d); err != nil {
+		t.Fatalf("meta failed its own dataset: %v", err)
+	}
+	if err := meta2.Check(dataset.MustBuild(hw.Skylake())); err == nil {
+		t.Fatal("meta accepted the wrong machine")
+	}
+	if len(m2.Heads) != len(d.Space.Caps()) {
+		t.Fatalf("loaded %d heads", len(m2.Heads))
+	}
+	if _, _, err := LoadModel(path + ".missing"); err == nil {
+		t.Fatal("loaded a missing file")
+	}
+}

@@ -205,7 +205,8 @@ func (m *Model) EncoderCheckpoint() *nn.Checkpoint {
 }
 
 // RestoreEncoder loads encoder parameters from a checkpoint (shapes must
-// match: same ModelConfig sizing).
+// match: same ModelConfig sizing). The checkpoint must describe exactly
+// the encoder — entries matching no encoder parameter fail the load.
 func (m *Model) RestoreEncoder(ck *nn.Checkpoint) (int, error) {
-	return ck.Restore(m.Enc.Params())
+	return ck.RestoreStrict(m.Enc.Params())
 }

@@ -146,6 +146,27 @@ func predictPower(d *dataset.Dataset, m *Model, cfg ModelConfig, val []*dataset.
 	return pred
 }
 
+// PredictPower scores validation regions with an already-trained
+// scenario-1 model (e.g. one restored by LoadModel), returning per-region
+// per-cap config picks — the train-once/predict-many path.
+func PredictPower(d *dataset.Dataset, m *Model, val []*dataset.RegionData) map[string][]int {
+	return predictPower(d, m, m.Cfg, val)
+}
+
+// PredictEDP scores validation regions with an already-trained scenario-2
+// model, returning per-region joint (cap, config) picks.
+func PredictEDP(d *dataset.Dataset, m *Model, val []*dataset.RegionData) map[string]int {
+	pred := make(map[string]int, len(val))
+	if len(val) == 0 {
+		return pred
+	}
+	logits := m.Logits(encodeRegions(m, m.Cfg, val, 0), 0)
+	for i, rd := range val {
+		pred[rd.Region.ID] = nn.Argmax(logits, i)
+	}
+	return pred
+}
+
 // EDPResult is a trained scenario-2 model plus its held-out predictions.
 type EDPResult struct {
 	Model *Model
@@ -171,14 +192,7 @@ func TrainEDP(d *dataset.Dataset, fold dataset.Fold, cfg ModelConfig) *EDPResult
 		})
 	}
 	stats := m.Fit(samples)
-	pred := make(map[string]int, len(fold.Val))
-	if len(fold.Val) > 0 {
-		logits := m.Logits(encodeRegions(m, cfg, fold.Val, 0), 0)
-		for i, rd := range fold.Val {
-			pred[rd.Region.ID] = nn.Argmax(logits, i)
-		}
-	}
-	return &EDPResult{Model: m, Stats: stats, Pred: pred}
+	return &EDPResult{Model: m, Stats: stats, Pred: PredictEDP(d, m, fold.Val)}
 }
 
 // UnseenCapResult is a cap-conditioned model evaluated at a power

@@ -179,6 +179,24 @@ func (d *Dataset) LOOCVFolds() []Fold {
 	return folds
 }
 
+// FoldByApp returns the LOOCV fold holding out app, or ok=false if the
+// corpus has no such application.
+func (d *Dataset) FoldByApp(app string) (Fold, bool) {
+	for _, f := range d.LOOCVFolds() {
+		if f.App == app {
+			return f, true
+		}
+	}
+	return Fold{}, false
+}
+
+// FullFold returns the production split: every region trains, nothing is
+// held out. This is what a serving model trains on — LOOCV exists to
+// evaluate the method, not to ship it.
+func (d *Dataset) FullFold() Fold {
+	return Fold{App: "", Train: d.Regions}
+}
+
 // SanityCheck verifies dataset invariants: oracle labels index minimal
 // entries, defaults exist, and every grid cell is populated.
 func (d *Dataset) SanityCheck() error {

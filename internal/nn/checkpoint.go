@@ -5,6 +5,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 )
 
 // Checkpoint is a serializable snapshot of named parameters, used by the
@@ -31,10 +33,14 @@ func Snapshot(params []*Param) *Checkpoint {
 }
 
 // Restore loads checkpointed values into matching parameters (by name and
-// shape). It returns the number of parameters restored and an error if a
-// name matches with a different shape.
-func (ck *Checkpoint) Restore(params []*Param) (int, error) {
-	n := 0
+// shape). It returns the number of parameters restored, the names of
+// checkpoint entries that matched no parameter (sorted — a loud signal
+// that the checkpoint belongs to a different model), and an error if a
+// name matches with a different shape. Callers loading a full model must
+// treat a non-empty unmatched list as a failed load; partial restores
+// (e.g. encoder-only transfer into a larger model) may tolerate it.
+func (ck *Checkpoint) Restore(params []*Param) (restored int, unmatched []string, err error) {
+	used := make(map[string]bool, len(params))
 	for _, p := range params {
 		vals, ok := ck.Values[p.Name]
 		if !ok {
@@ -42,11 +48,33 @@ func (ck *Checkpoint) Restore(params []*Param) (int, error) {
 		}
 		shape := ck.Shapes[p.Name]
 		if shape[0] != p.W.Rows || shape[1] != p.W.Cols {
-			return n, fmt.Errorf("nn: checkpoint %s shape %v vs param %dx%d",
+			return restored, nil, fmt.Errorf("nn: checkpoint %s shape %v vs param %dx%d",
 				p.Name, shape, p.W.Rows, p.W.Cols)
 		}
 		copy(p.W.Data, vals)
-		n++
+		used[p.Name] = true
+		restored++
+	}
+	for name := range ck.Values {
+		if !used[name] {
+			unmatched = append(unmatched, name)
+		}
+	}
+	sort.Strings(unmatched)
+	return restored, unmatched, nil
+}
+
+// RestoreStrict is Restore that additionally fails when any checkpoint
+// entry matches no parameter — the right call when the checkpoint is
+// supposed to describe params exactly (full-model loads).
+func (ck *Checkpoint) RestoreStrict(params []*Param) (int, error) {
+	n, unmatched, err := ck.Restore(params)
+	if err != nil {
+		return n, err
+	}
+	if len(unmatched) > 0 {
+		return n, fmt.Errorf("nn: checkpoint entries matched no parameter: %s",
+			strings.Join(unmatched, ", "))
 	}
 	return n, nil
 }

@@ -322,9 +322,9 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	dst := NewLinear("shared", 4, 6, tensor.NewRNG(99))
-	n, err := ck2.Restore(dst.Params())
-	if err != nil || n != 2 {
-		t.Fatalf("restored %d params, err %v", n, err)
+	n, unmatched, err := ck2.Restore(dst.Params())
+	if err != nil || n != 2 || len(unmatched) != 0 {
+		t.Fatalf("restored %d params, unmatched %v, err %v", n, unmatched, err)
 	}
 	for i := range src.Weight.W.Data {
 		if src.Weight.W.Data[i] != dst.Weight.W.Data[i] {
@@ -333,14 +333,24 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 	// Shape mismatch must error.
 	bad := NewLinear("shared", 4, 7, rng)
-	if _, err := ck2.Restore(bad.Params()); err == nil {
+	if _, _, err := ck2.Restore(bad.Params()); err == nil {
 		t.Fatal("Restore accepted shape mismatch")
 	}
-	// Unknown names are skipped, not errors.
+	// Checkpoint entries matching no parameter are reported, not dropped.
 	other := NewLinear("other", 4, 6, rng)
-	n, err = ck2.Restore(other.Params())
+	n, unmatched, err = ck2.Restore(other.Params())
 	if err != nil || n != 0 {
 		t.Fatalf("unknown name: restored %d, err %v", n, err)
+	}
+	if len(unmatched) != 2 || unmatched[0] != "shared.bias" || unmatched[1] != "shared.weight" {
+		t.Fatalf("unmatched = %v, want sorted [shared.bias shared.weight]", unmatched)
+	}
+	// RestoreStrict turns unmatched entries into a loud failure.
+	if _, err := ck2.RestoreStrict(other.Params()); err == nil {
+		t.Fatal("RestoreStrict accepted a checkpoint for a different model")
+	}
+	if _, err := ck2.RestoreStrict(dst.Params()); err != nil {
+		t.Fatalf("RestoreStrict rejected an exact match: %v", err)
 	}
 }
 
@@ -355,7 +365,7 @@ func TestCheckpointFileIO(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ck.Restore(lin.Params()); err != nil {
+	if _, _, err := ck.Restore(lin.Params()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := LoadCheckpoint(path + ".missing"); err == nil {

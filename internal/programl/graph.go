@@ -82,6 +82,33 @@ type Graph struct {
 // NumNodes returns the vertex count.
 func (g *Graph) NumNodes() int { return len(g.Nodes) }
 
+// Validate checks structural integrity — the guard the serving path runs
+// on client-supplied graphs before they reach the batch engine, whose
+// adjacency builder indexes node arrays without bounds checks.
+func (g *Graph) Validate() error {
+	if len(g.Nodes) == 0 {
+		return fmt.Errorf("programl: %s: graph has no nodes", g.RegionID)
+	}
+	for i, n := range g.Nodes {
+		if n.Kind < KindInstruction || n.Kind > KindConstant {
+			return fmt.Errorf("programl: %s: node %d has unknown kind %d", g.RegionID, i, n.Kind)
+		}
+		if n.Token < 0 {
+			return fmt.Errorf("programl: %s: node %d has negative token %d", g.RegionID, i, n.Token)
+		}
+	}
+	for i, e := range g.Edges {
+		if e.Src < 0 || e.Src >= len(g.Nodes) || e.Dst < 0 || e.Dst >= len(g.Nodes) {
+			return fmt.Errorf("programl: %s: edge %d (%d→%d) out of range [0,%d)",
+				g.RegionID, i, e.Src, e.Dst, len(g.Nodes))
+		}
+		if e.Rel < RelControl || e.Rel >= NumRelations {
+			return fmt.Errorf("programl: %s: edge %d has unknown relation %d", g.RegionID, i, e.Rel)
+		}
+	}
+	return nil
+}
+
 // Stats summarizes the graph for logs and docs.
 func (g *Graph) Stats() string {
 	per := map[Relation]int{}

@@ -1,0 +1,221 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pnptuner/internal/core"
+	"pnptuner/internal/programl"
+)
+
+// ErrClosed is returned by Predict after Close.
+var ErrClosed = errors.New("registry: batcher closed")
+
+// ErrForward marks a server-side failure of the batched forward pass, as
+// opposed to request-validation errors — HTTP handlers map it to 5xx.
+var ErrForward = errors.New("registry: batched forward failed")
+
+// Request is one prediction: a program graph (already token-annotated)
+// plus the extra features the model expects (nil for static models).
+type Request struct {
+	Graph  *programl.Graph
+	Extras []float64
+}
+
+// reply carries one request's result back to its caller.
+type reply struct {
+	picks []int
+	err   error
+}
+
+// request is a queued Request with its reply channel.
+type request struct {
+	req   Request
+	reply chan reply
+}
+
+// Batcher funnels concurrent predictions into micro-batches: the first
+// queued request opens a collection window, further requests join until
+// the batch hits MaxBatch or MaxWait elapses, and the whole window runs
+// as one block-diagonal forward pass on the model. A Model is not
+// goroutine-safe (layers cache per-call state), so the single batcher
+// goroutine is also the serialization point — batching is what turns that
+// constraint into throughput instead of a bottleneck.
+type Batcher struct {
+	model    *core.Model
+	maxBatch int
+	maxWait  time.Duration
+
+	reqs chan *request
+	done chan struct{} // closed by Close after all senders finish
+	exit chan struct{} // closed when the loop goroutine returns
+
+	mu      sync.RWMutex
+	closed  bool
+	senders sync.WaitGroup
+}
+
+// NewBatcher starts a batcher over m. maxBatch bounds the window size
+// (min 1); maxWait bounds how long the first request of a window waits
+// for company.
+func NewBatcher(m *core.Model, maxBatch int, maxWait time.Duration) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if maxWait <= 0 {
+		maxWait = time.Millisecond
+	}
+	b := &Batcher{
+		model:    m,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		reqs:     make(chan *request, 4*maxBatch),
+		done:     make(chan struct{}),
+		exit:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// NumHeads returns the width of every reply (one pick per model head).
+func (b *Batcher) NumHeads() int { return len(b.model.Heads) }
+
+// Predict queues a request and blocks for its result: the argmax class of
+// every model head, index-aligned with the heads (per-cap picks for a
+// scenario-1 model, a single joint pick for scenario 2).
+func (b *Batcher) Predict(req Request) ([]int, error) {
+	if err := b.validate(req); err != nil {
+		return nil, err
+	}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	r := &request{req: req, reply: make(chan reply, 1)}
+	b.senders.Add(1)
+	b.mu.RUnlock()
+	b.reqs <- r
+	b.senders.Done()
+	rep := <-r.reply
+	return rep.picks, rep.err
+}
+
+// validate rejects malformed requests before they can reach (and panic)
+// the batch engine, which would take the whole window down with them.
+func (b *Batcher) validate(req Request) error {
+	if req.Graph == nil {
+		return errors.New("registry: request has no graph")
+	}
+	if err := req.Graph.Validate(); err != nil {
+		return err
+	}
+	// Tokens past the model's vocabulary would silently embed as the
+	// unknown token — a client/model mismatch worth failing loudly.
+	if vocab := b.model.Enc.Emb.VocabSize; vocab > 0 {
+		for i, n := range req.Graph.Nodes {
+			if n.Token >= vocab {
+				return fmt.Errorf("registry: node %d token %d outside the model's %d-token vocabulary",
+					i, n.Token, vocab)
+			}
+		}
+	}
+	if want := b.model.ExtraDim; len(req.Extras) != want {
+		return fmt.Errorf("registry: request has %d extra features, model wants %d",
+			len(req.Extras), want)
+	}
+	return nil
+}
+
+// Close stops the batcher: in-flight requests finish, queued requests are
+// answered ErrClosed, and subsequent Predicts fail fast. Safe to call
+// more than once; blocks until the loop goroutine exits.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	already := b.closed
+	b.closed = true
+	b.mu.Unlock()
+	if !already {
+		b.senders.Wait() // every admitted Predict has finished its send
+		close(b.done)
+	}
+	<-b.exit
+}
+
+// loop is the single consumer: collect a window, run it, repeat.
+func (b *Batcher) loop() {
+	defer close(b.exit)
+	for {
+		var first *request
+		select {
+		case first = <-b.reqs:
+		case <-b.done:
+			b.drain()
+			return
+		}
+		batch := []*request{first}
+		timer := time.NewTimer(b.maxWait)
+	collect:
+		for len(batch) < b.maxBatch {
+			select {
+			case r := <-b.reqs:
+				batch = append(batch, r)
+			case <-timer.C:
+				break collect
+			case <-b.done:
+				break collect
+			}
+		}
+		timer.Stop()
+		b.run(batch)
+	}
+}
+
+// drain answers everything still queued after Close.
+func (b *Batcher) drain() {
+	for {
+		select {
+		case r := <-b.reqs:
+			r.reply <- reply{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// run scores one window in a single batched forward pass and fans the
+// per-head argmaxes back out to the callers. A panic from the model (a
+// malformed graph that slipped past validation) fails the window, not the
+// process.
+func (b *Batcher) run(batch []*request) {
+	graphs := make([]*programl.Graph, len(batch))
+	var extras [][]float64
+	if b.model.ExtraDim > 0 {
+		extras = make([][]float64, len(batch))
+	}
+	for i, r := range batch {
+		graphs[i] = r.req.Graph
+		if extras != nil {
+			extras[i] = r.req.Extras
+		}
+	}
+	picks, err := b.forward(graphs, extras)
+	for i, r := range batch {
+		if err != nil {
+			r.reply <- reply{err: err}
+			continue
+		}
+		r.reply <- reply{picks: picks[i]}
+	}
+}
+
+func (b *Batcher) forward(graphs []*programl.Graph, extras [][]float64) (picks [][]int, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: %v", ErrForward, p)
+		}
+	}()
+	return b.model.PredictGraphs(graphs, extras), nil
+}

@@ -1,0 +1,225 @@
+package registry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pnptuner/internal/core"
+	"pnptuner/internal/kernels"
+	"pnptuner/internal/programl"
+	"pnptuner/internal/tensor"
+)
+
+// corpusGraphs returns a mixed bag of real program graphs.
+func corpusGraphs(t *testing.T, n int) []*programl.Graph {
+	t.Helper()
+	c := kernels.MustCompile()
+	if len(c.Regions) < n {
+		n = len(c.Regions)
+	}
+	graphs := make([]*programl.Graph, n)
+	for i := 0; i < n; i++ {
+		graphs[i] = c.Regions[i*len(c.Regions)/n].Graph
+	}
+	return graphs
+}
+
+// TestBatcherMatchesSingleRequestExactly is the serving-parity contract:
+// N goroutines hammering the micro-batch queue with mixed graphs must get
+// exactly the picks a lone request gets. Runs under -race in CI.
+func TestBatcherMatchesSingleRequestExactly(t *testing.T) {
+	key := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime}
+	m, _ := tinyModel(key)
+	graphs := corpusGraphs(t, 12)
+
+	// Golden picks: one graph per forward pass, before any concurrency.
+	want := make([][]int, len(graphs))
+	for i, g := range graphs {
+		want[i] = m.PredictGraphs([]*programl.Graph{g}, nil)[0]
+	}
+
+	b := NewBatcher(m, 8, 2*time.Millisecond)
+	defer b.Close()
+
+	const workers = 16
+	const perWorker = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := tensor.NewRNG(seed)
+			for i := 0; i < perWorker; i++ {
+				gi := rng.Intn(len(graphs))
+				got, err := b.Predict(Request{Graph: graphs[gi]})
+				if err != nil {
+					t.Errorf("worker %d: %v", seed, err)
+					return
+				}
+				if len(got) != len(want[gi]) {
+					t.Errorf("graph %d: %d picks, want %d", gi, len(got), len(want[gi]))
+					return
+				}
+				for h := range got {
+					if got[h] != want[gi][h] {
+						t.Errorf("graph %d head %d: batched pick %d != single pick %d",
+							gi, h, got[h], want[gi][h])
+						return
+					}
+				}
+			}
+		}(uint64(w) + 1)
+	}
+	wg.Wait()
+}
+
+func TestBatcherValidatesRequests(t *testing.T) {
+	key := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime}
+	m, _ := tinyModel(key)
+	b := NewBatcher(m, 4, time.Millisecond)
+	defer b.Close()
+
+	if _, err := b.Predict(Request{}); err == nil {
+		t.Fatal("accepted a nil graph")
+	}
+	if _, err := b.Predict(Request{Graph: &programl.Graph{}}); err == nil {
+		t.Fatal("accepted an empty graph")
+	}
+	broken := &programl.Graph{
+		RegionID: "broken",
+		Nodes:    []programl.Node{{Kind: programl.KindInstruction, Text: "br"}},
+		Edges:    []programl.Edge{{Src: 0, Dst: 9, Rel: programl.RelControl}},
+	}
+	if _, err := b.Predict(Request{Graph: broken}); err == nil {
+		t.Fatal("accepted an out-of-range edge")
+	}
+	outOfVocab := &programl.Graph{
+		RegionID: "outofvocab",
+		Nodes:    []programl.Node{{Kind: programl.KindInstruction, Text: "br", Token: 1 << 20}},
+	}
+	if _, err := b.Predict(Request{Graph: outOfVocab}); err == nil ||
+		!strings.Contains(err.Error(), "vocabulary") {
+		t.Fatalf("token outside the model vocabulary: err = %v", err)
+	}
+	good := corpusGraphs(t, 1)[0]
+	if _, err := b.Predict(Request{Graph: good, Extras: []float64{1, 2}}); err == nil {
+		t.Fatal("accepted extras on a static model")
+	}
+	if _, err := b.Predict(Request{Graph: good}); err != nil {
+		t.Fatalf("rejected a valid request: %v", err)
+	}
+}
+
+// TestBatcherExtrasModels: models with dynamic features get their extras
+// threaded through the batch correctly.
+func TestBatcherExtrasModels(t *testing.T) {
+	c := kernels.MustCompile()
+	cfg := core.DefaultModelConfig()
+	cfg.EmbedDim, cfg.Hidden, cfg.Epochs = 6, 6, 0
+	cfg.UseCounters = true
+	m := core.NewModel(cfg, c.Vocab.Size(), 2, 8)
+	g := c.Regions[0].Graph
+	ex := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+
+	want := m.PredictGraphs([]*programl.Graph{g}, [][]float64{ex})[0]
+
+	b := NewBatcher(m, 4, time.Millisecond)
+	defer b.Close()
+	got, err := b.Predict(Request{Graph: g, Extras: ex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := range want {
+		if got[h] != want[h] {
+			t.Fatalf("head %d: %d != %d", h, got[h], want[h])
+		}
+	}
+	if _, err := b.Predict(Request{Graph: g}); err == nil {
+		t.Fatal("accepted missing extras on a counters model")
+	}
+}
+
+func TestBatcherClose(t *testing.T) {
+	key := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime}
+	m, _ := tinyModel(key)
+	b := NewBatcher(m, 4, time.Millisecond)
+	g := corpusGraphs(t, 1)[0]
+
+	// Requests racing Close either complete or fail with ErrClosed —
+	// never hang, never panic.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if _, err := b.Predict(Request{Graph: g}); err != nil {
+					if err != ErrClosed {
+						t.Errorf("unexpected error: %v", err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(3 * time.Millisecond)
+	b.Close()
+	b.Close() // idempotent
+	wg.Wait()
+
+	if _, err := b.Predict(Request{Graph: g}); err != ErrClosed {
+		t.Fatalf("Predict after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestBatcherServesManyConcurrent floods a generous window with more
+// requests than one batch holds: every request must answer with an
+// in-range pick (the parity test above proves per-batch correctness).
+func TestBatcherServesManyConcurrent(t *testing.T) {
+	key := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveEDP}
+	m, _ := tinyModel(key)
+	b := NewBatcher(m, 16, 3*time.Millisecond)
+	defer b.Close()
+	graphs := corpusGraphs(t, 6)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			picks, err := b.Predict(Request{Graph: graphs[i%len(graphs)]})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(picks) != 1 || picks[0] < 0 || picks[0] >= 64 {
+				errs <- errInvalidPick
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errInvalidPick = &invalidPickError{}
+
+type invalidPickError struct{}
+
+func (*invalidPickError) Error() string { return "pick out of range" }
+
+// sanity: the error string formatter in validate covers the extras case.
+func TestValidateErrorMentionsExtras(t *testing.T) {
+	key := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime}
+	m, _ := tinyModel(key)
+	b := NewBatcher(m, 1, time.Millisecond)
+	defer b.Close()
+	_, err := b.Predict(Request{Graph: corpusGraphs(t, 1)[0], Extras: []float64{1}})
+	if err == nil || !strings.Contains(err.Error(), "extra features") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+package registry
+
+import "container/list"
+
+// lruCache is the one LRU implementation both the registry's model cache
+// and the server's batcher table use. It is not goroutine-safe — callers
+// hold their own mutex — and it never touches the values it evicts;
+// owners decide what eviction means (the registry just drops entries,
+// the server closes batchers).
+type lruCache struct {
+	capacity int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key → element holding *lruItem
+}
+
+type lruItem struct {
+	key   string
+	value any
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{capacity: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the value for key, marking it most recently used.
+func (c *lruCache) get(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).value, true
+}
+
+// put inserts (or refreshes) key at the front and returns whatever fell
+// off the back past capacity, key and value both.
+func (c *lruCache) put(key string, value any) (evicted []lruItem) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).value = value
+		c.ll.MoveToFront(el)
+		return nil
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, value: value})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		item := back.Value.(*lruItem)
+		c.ll.Remove(back)
+		delete(c.items, item.key)
+		evicted = append(evicted, *item)
+	}
+	return evicted
+}
+
+// len returns the live entry count.
+func (c *lruCache) len() int { return c.ll.Len() }
+
+// all returns every value, most recently used first.
+func (c *lruCache) all() []any {
+	out := make([]any, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruItem).value)
+	}
+	return out
+}
+
+// clear empties the cache and returns everything it held.
+func (c *lruCache) clear() []any {
+	out := c.all()
+	c.ll.Init()
+	c.items = map[string]*list.Element{}
+	return out
+}

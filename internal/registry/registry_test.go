@@ -1,0 +1,285 @@
+package registry
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pnptuner/internal/core"
+	"pnptuner/internal/hw"
+	"pnptuner/internal/kernels"
+	"pnptuner/internal/space"
+)
+
+// tinyModel builds a small deterministic model without training (the
+// seeded initialization is reproducible, which is all registry semantics
+// need) plus metadata consistent with the key and the real search space
+// (so the staleness check on disk loads passes).
+func tinyModel(k Key) (*core.Model, core.ModelMeta) {
+	c := kernels.MustCompile()
+	mach, err := hw.ByName(k.Machine)
+	if err != nil {
+		panic(err)
+	}
+	sp := space.New(mach)
+	cfg := core.DefaultModelConfig()
+	cfg.EmbedDim, cfg.Hidden, cfg.Epochs = 6, 6, 0
+	nHeads, classes := len(sp.Caps()), 16
+	if k.Objective == ObjectiveEDP {
+		nHeads, classes = 1, 64
+	}
+	m := core.NewModel(cfg, c.Vocab.Size(), nHeads, classes)
+	meta := core.ModelMeta{
+		Machine: k.Machine, Scenario: k.Scenario, Objective: k.Objective,
+		Caps:       append([]float64(nil), sp.Caps()...),
+		NumConfigs: sp.NumConfigs(), NumJoint: sp.NumJoint(),
+		VocabSize: c.Vocab.Size(),
+	}
+	return m, meta
+}
+
+// countingTrainer counts invocations and dawdles a little so concurrent
+// Gets genuinely overlap the training window.
+func countingTrainer(calls *atomic.Int32) TrainFunc {
+	return func(k Key) (*core.Model, core.ModelMeta, error) {
+		calls.Add(1)
+		time.Sleep(20 * time.Millisecond)
+		m, meta := tinyModel(k)
+		return m, meta, nil
+	}
+}
+
+func TestKeyIDAndValidate(t *testing.T) {
+	a := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime}
+	if a.ID() != a.ID() || len(a.ID()) != 24 {
+		t.Fatalf("unstable or oddly sized id %q", a.ID())
+	}
+	b := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveEDP}
+	if a.ID() == b.ID() {
+		t.Fatal("distinct keys share an id")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Key{
+		{Machine: "epyc", Scenario: ScenarioFull, Objective: ObjectiveTime},
+		{Machine: "haswell", Scenario: ScenarioFull, Objective: "latency"},
+		{Machine: "haswell", Scenario: "half", Objective: ObjectiveTime},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("key %v validated", bad)
+		}
+	}
+	if err := (Key{Machine: "haswell", Scenario: "loocv:LULESH", Objective: ObjectiveTime}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleFlight is the core concurrency contract: N concurrent Gets of
+// one missing key train exactly once and all observe the same entry.
+func TestSingleFlight(t *testing.T) {
+	var calls atomic.Int32
+	reg, err := New("", 4, countingTrainer(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime}
+	const n = 16
+	entries := make([]*Entry, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := reg.Get(key)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			entries[i] = e
+		}(i)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("trained %d times, want exactly 1", got)
+	}
+	for i := 1; i < n; i++ {
+		if entries[i] != entries[0] {
+			t.Fatal("concurrent Gets observed different entries")
+		}
+	}
+	if st := reg.Stats(); st.Trained != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	var calls atomic.Int32
+	reg, err := New("", 1, countingTrainer(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime}
+	b := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveEDP}
+	if _, err := reg.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get(a); err != nil { // hit
+		t.Fatal(err)
+	}
+	if _, err := reg.Get(b); err != nil { // evicts a
+		t.Fatal(err)
+	}
+	if _, err := reg.Get(a); err != nil { // miss again: no disk store, retrains
+		t.Fatal(err)
+	}
+	st := reg.Stats()
+	if st.Hits != 1 || st.Trained != 3 || st.Evicted < 2 {
+		t.Fatalf("stats = %+v, want 1 hit, 3 trainings, ≥2 evictions", st)
+	}
+}
+
+// TestDiskStoreRoundTrip: a second registry over the same directory must
+// deserialize the stored model instead of retraining, bit-identically.
+func TestDiskStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int32
+	reg1, err := New(dir, 2, countingTrainer(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Machine: "skylake", Scenario: "loocv:gemm", Objective: ObjectiveTime}
+	e1, err := reg1.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, err := New(dir, 2, countingTrainer(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := reg2.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("trained %d times across registries, want 1 (second loads from disk)", got)
+	}
+	if st := reg2.Stats(); st.DiskLoads != 1 || st.Trained != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	p1, p2 := e1.Model.Params(), e2.Model.Params()
+	for i := range p1 {
+		for j := range p1[i].W.Data {
+			if math.Float64bits(p1[i].W.Data[j]) != math.Float64bits(p2[i].W.Data[j]) {
+				t.Fatalf("stored model differs at %s[%d]", p1[i].Name, j)
+			}
+		}
+	}
+}
+
+// TestDiskStoreRejectsStaleModel: a stored model whose metadata no
+// longer matches this binary's search space or vocabulary must fail the
+// load instead of silently recommending wrong config indices.
+func TestDiskStoreRejectsStaleModel(t *testing.T) {
+	dir := t.TempDir()
+	key := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime}
+	m, meta := tinyModel(key)
+	meta.NumConfigs = 99 // a Table I grid this build does not have
+	reg, err := New(dir, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(reg.path(key), meta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get(key); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("served a stale stored model (err %v)", err)
+	}
+}
+
+// TestPersistFailureStillServes: a broken store must not turn successful
+// training into a serving failure — the model serves from memory and the
+// failure is counted.
+func TestPersistFailureStillServes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	var calls atomic.Int32
+	reg, err := New(dir, 2, countingTrainer(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the store directory with a plain file so every Save fails
+	// (works even as root, unlike permission tricks).
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime}
+	e, err := reg.Get(key)
+	if err != nil || e == nil {
+		t.Fatalf("Get with broken store: %v", err)
+	}
+	st := reg.Stats()
+	if st.Trained != 1 || st.PersistFailures != 1 {
+		t.Fatalf("stats = %+v, want 1 trained + 1 persist failure", st)
+	}
+	// The cached entry keeps serving without retraining.
+	if _, err := reg.Get(key); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("retrained despite cache: %d calls", calls.Load())
+	}
+}
+
+func TestGetWithoutTrainerFails(t *testing.T) {
+	reg, err := New("", 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime}
+	if _, err := reg.Get(key); err == nil {
+		t.Fatal("miss with no trainer succeeded")
+	}
+	// A failed resolve must not wedge the key: a later Get retries.
+	if _, err := reg.Get(key); err == nil {
+		t.Fatal("second miss succeeded")
+	}
+}
+
+func TestListShowsCachedAndDisk(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int32
+	reg, err := New(dir, 1, countingTrainer(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime}
+	b := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveEDP}
+	if _, err := reg.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get(b); err != nil { // evicts a from memory; both on disk
+		t.Fatal(err)
+	}
+	infos := reg.List()
+	if len(infos) != 2 {
+		t.Fatalf("listed %d models, want 2: %+v", len(infos), infos)
+	}
+	for _, info := range infos {
+		if !info.OnDisk {
+			t.Fatalf("%s not on disk", info.Key)
+		}
+		cachedWant := info.Key == b
+		if info.Cached != cachedWant {
+			t.Fatalf("%s cached=%v, want %v", info.Key, info.Cached, cachedWant)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pnptuner/internal/programl"
+	"pnptuner/internal/vocab"
+)
+
+// Server is the HTTP face of the registry: a JSON predict endpoint that
+// funnels concurrent requests through per-model micro-batchers, plus
+// /healthz and /models introspection. Live batchers are LRU-bounded by
+// the registry's cache capacity, so the operator's -cache flag bounds
+// resident models, not just registry entries.
+type Server struct {
+	reg      *Registry
+	vocab    *vocab.Vocabulary
+	maxBatch int
+	maxWait  time.Duration
+	start    time.Time
+
+	mu       sync.Mutex
+	closed   bool
+	batchers *lruCache // Key.ID() → *Batcher
+	// closing marks evicted batchers still draining: creating a new
+	// batcher for one of these ids waits on its channel, because the
+	// registry may hand the same (not goroutine-safe) *core.Model back
+	// out and two batchers must never forward on it concurrently.
+	closing map[string]chan struct{}
+
+	served atomic.Int64
+}
+
+// NewServer builds a server over reg. v is the (frozen) corpus vocabulary
+// incoming graphs are token-annotated with; maxBatch/maxWait configure
+// every model's micro-batching window.
+func NewServer(reg *Registry, v *vocab.Vocabulary, maxBatch int, maxWait time.Duration) *Server {
+	return &Server{
+		reg:      reg,
+		vocab:    v,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		start:    time.Now(),
+		batchers: newLRU(reg.Capacity()),
+		closing:  map[string]chan struct{}{},
+	}
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/models", s.handleModels)
+	return mux
+}
+
+// Close stops every batcher and refuses further batcher creation; a
+// handler racing Close gets ErrClosed instead of leaking a goroutine.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	evicted := s.batchers.clear()
+	s.mu.Unlock()
+	for _, v := range evicted {
+		v.(*Batcher).Close()
+	}
+}
+
+// batcherFor returns the micro-batcher serving key, resolving the model
+// through the registry (training on miss) and starting the batcher on
+// first use. Inserting past capacity evicts the least-recently-used
+// batcher: it drains on its own goroutine (no global stall), but its id
+// sits in s.closing until the drain finishes, and only a batcher whose
+// id is fully closed may be recreated — the registry can hand the same
+// (not goroutine-safe) *core.Model back out for an evicted key, and two
+// batchers must never forward on one model concurrently.
+func (s *Server) batcherFor(key Key) (*Batcher, error) {
+	id := key.ID()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if v, ok := s.batchers.get(id); ok {
+		s.mu.Unlock()
+		return v.(*Batcher), nil
+	}
+	s.mu.Unlock()
+
+	// Resolve outside the lock: Get may train for minutes, and other
+	// models must keep serving meanwhile. Registry single-flight already
+	// collapses duplicate resolves.
+	entry, err := s.reg.Get(key)
+	if err != nil {
+		return nil, err
+	}
+
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if v, ok := s.batchers.get(id); ok {
+			s.mu.Unlock()
+			return v.(*Batcher), nil
+		}
+		if ch, ok := s.closing[id]; ok {
+			// Our own previous batcher is still draining; wait it out.
+			s.mu.Unlock()
+			<-ch
+			continue
+		}
+		b := NewBatcher(entry.Model, s.maxBatch, s.maxWait)
+		for _, item := range s.batchers.put(id, b) {
+			ch := make(chan struct{})
+			s.closing[item.key] = ch
+			go func(old *Batcher, evictedID string, done chan struct{}) {
+				old.Close()
+				s.mu.Lock()
+				delete(s.closing, evictedID)
+				s.mu.Unlock()
+				close(done)
+			}(item.value.(*Batcher), item.key, ch)
+		}
+		s.mu.Unlock()
+		return b, nil
+	}
+}
+
+// PredictRequest is the /predict wire format. Graph is the programl JSON
+// export; node tokens are re-annotated server-side from the corpus
+// vocabulary, so clients only need node texts. Counters feed models
+// trained with dynamic features and must be omitted otherwise.
+type PredictRequest struct {
+	Machine   string          `json:"machine"`
+	Objective string          `json:"objective"`
+	Scenario  string          `json:"scenario,omitempty"` // default "full"
+	Graph     json.RawMessage `json:"graph"`
+	Counters  []float64       `json:"counters,omitempty"`
+}
+
+// Pick is one recommended configuration.
+type Pick struct {
+	CapW        float64 `json:"cap_w"`
+	ConfigIndex int     `json:"config_index"`
+	Config      string  `json:"config"`
+}
+
+// PredictResponse is the /predict reply: one pick per power cap for the
+// time objective, a single joint (cap, config) pick for EDP.
+type PredictResponse struct {
+	RegionID  string `json:"region_id"`
+	Machine   string `json:"machine"`
+	Objective string `json:"objective"`
+	Scenario  string `json:"scenario"`
+	Picks     []Pick `json:"picks"`
+}
+
+// Request ceilings: a public endpoint must not let one client exhaust
+// memory or stall the shared batch window. Corpus graphs are hundreds of
+// nodes; these bounds are orders of magnitude above any legitimate use.
+const (
+	maxRequestBytes = 8 << 20
+	maxGraphNodes   = 1 << 19
+	maxGraphEdges   = 1 << 21
+)
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.Scenario == "" {
+		req.Scenario = ScenarioFull
+	}
+	key := Key{Machine: req.Machine, Scenario: req.Scenario, Objective: req.Objective}
+	if err := key.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Graph) == 0 {
+		httpError(w, http.StatusBadRequest, "request has no graph")
+		return
+	}
+	g := &programl.Graph{}
+	if err := json.Unmarshal(req.Graph, g); err != nil {
+		httpError(w, http.StatusBadRequest, "decode graph: %v", err)
+		return
+	}
+	if len(g.Nodes) > maxGraphNodes || len(g.Edges) > maxGraphEdges {
+		httpError(w, http.StatusBadRequest, "graph too large (%d nodes, %d edges)",
+			len(g.Nodes), len(g.Edges))
+		return
+	}
+	s.vocab.Annotate(g)
+
+	sp, err := key.Space()
+	if err != nil {
+		// Unreachable after key.Validate; classified as server-side.
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	b, err := s.batcherFor(key)
+	if err != nil {
+		// The key already validated, so resolve failures are server-side.
+		httpError(w, resolveStatus(err), "%v", err)
+		return
+	}
+	picks, err := b.Predict(Request{Graph: g, Extras: req.Counters})
+	if err != nil {
+		// Validation failures are the client's; forward failures and a
+		// batcher torn down mid-request are not.
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrClosed):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, ErrForward):
+			status = http.StatusInternalServerError
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+
+	resp := PredictResponse{
+		RegionID:  g.RegionID,
+		Machine:   key.Machine,
+		Objective: key.Objective,
+		Scenario:  key.Scenario,
+	}
+	switch key.Objective {
+	case ObjectiveTime:
+		// One head per cap: picks[h] indexes the per-cap config space.
+		for h, pick := range picks {
+			resp.Picks = append(resp.Picks, Pick{
+				CapW:        sp.Caps()[h],
+				ConfigIndex: pick,
+				Config:      sp.Configs[pick].String(),
+			})
+		}
+	case ObjectiveEDP:
+		// Single head over the joint space: decode (cap, config).
+		capW, cfg := sp.At(picks[0])
+		resp.Picks = []Pick{{CapW: capW, ConfigIndex: picks[0], Config: cfg.String()}}
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	nBatchers := s.batchers.len()
+	s.mu.Unlock()
+	st := s.reg.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":           "ok",
+		"uptime_sec":       time.Since(s.start).Seconds(),
+		"served":           s.served.Load(),
+		"batchers":         nBatchers,
+		"cache_hits":       st.Hits,
+		"disk_loads":       st.DiskLoads,
+		"models_trained":   st.Trained,
+		"evicted":          st.Evicted,
+		"persist_failures": st.PersistFailures,
+	})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+func resolveStatus(err error) int {
+	if errors.Is(err, ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

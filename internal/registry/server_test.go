@@ -1,0 +1,307 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"pnptuner/internal/core"
+	"pnptuner/internal/kernels"
+)
+
+// newTestServer wires a registry with the tiny trainer behind httptest.
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	reg, err := New("", 4, func(k Key) (*core.Model, core.ModelMeta, error) {
+		m, meta := tinyModel(k)
+		return m, meta, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := kernels.MustCompile()
+	srv := NewServer(reg, c.Vocab, 8, 2*time.Millisecond)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// predictBody builds a /predict request for a corpus region's graph.
+func predictBody(t *testing.T, machine, objective string, regionIdx int) []byte {
+	t.Helper()
+	c := kernels.MustCompile()
+	graphJSON, err := json.Marshal(c.Regions[regionIdx].Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(PredictRequest{
+		Machine: machine, Objective: objective, Graph: graphJSON,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestServerPredictTimeAndEDP(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, err := http.Post(ts.URL+"/predict", "application/json",
+		bytes.NewReader(predictBody(t, "haswell", ObjectiveTime, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Picks) != 4 { // tiny time model: one head per Haswell cap
+		t.Fatalf("got %d picks, want 4: %+v", len(pr.Picks), pr)
+	}
+	for _, p := range pr.Picks {
+		if p.Config == "" || p.CapW <= 0 {
+			t.Fatalf("bad pick %+v", p)
+		}
+	}
+
+	resp2, err := http.Post(ts.URL+"/predict", "application/json",
+		bytes.NewReader(predictBody(t, "haswell", ObjectiveEDP, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var pr2 PredictResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&pr2); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr2.Picks) != 1 || pr2.Picks[0].CapW <= 0 {
+		t.Fatalf("edp picks = %+v", pr2.Picks)
+	}
+}
+
+// TestServerConcurrentPredictionsDeterministic: the acceptance criterion
+// — concurrent HTTP predictions must equal each other (and therefore the
+// single-request answer) for the same graph.
+func TestServerConcurrentPredictionsDeterministic(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Golden single request.
+	golden := postPredict(t, ts, predictBody(t, "haswell", ObjectiveTime, 2))
+
+	const n = 24
+	results := make([]PredictResponse, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = postPredict(t, ts, predictBody(t, "haswell", ObjectiveTime, 2))
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if len(r.Picks) != len(golden.Picks) {
+			t.Fatalf("request %d: %d picks", i, len(r.Picks))
+		}
+		for h := range r.Picks {
+			if r.Picks[h].ConfigIndex != golden.Picks[h].ConfigIndex {
+				t.Fatalf("request %d head %d: %d != golden %d",
+					i, h, r.Picks[h].ConfigIndex, golden.Picks[h].ConfigIndex)
+			}
+		}
+	}
+}
+
+func postPredict(t *testing.T, ts *httptest.Server, body []byte) PredictResponse {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		do   func() (*http.Response, error)
+		want int
+	}{
+		{"GET /predict", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/predict")
+		}, http.StatusMethodNotAllowed},
+		{"bad JSON", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/predict", "application/json", bytes.NewReader([]byte("{")))
+		}, http.StatusBadRequest},
+		{"unknown machine", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/predict", "application/json",
+				bytes.NewReader(predictBody(t, "epyc", ObjectiveTime, 0)))
+		}, http.StatusBadRequest},
+		{"unknown objective", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/predict", "application/json",
+				bytes.NewReader(predictBody(t, "haswell", "latency", 0)))
+		}, http.StatusBadRequest},
+		{"unknown loocv app", func() (*http.Response, error) {
+			c := kernels.MustCompile()
+			graphJSON, _ := json.Marshal(c.Regions[0].Graph)
+			body, _ := json.Marshal(PredictRequest{
+				Machine: "haswell", Objective: ObjectiveTime,
+				Scenario: "loocv:nosuchapp", Graph: graphJSON,
+			})
+			return http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+		}, http.StatusBadRequest},
+		{"no graph", func() (*http.Response, error) {
+			body, _ := json.Marshal(PredictRequest{Machine: "haswell", Objective: ObjectiveTime})
+			return http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+		}, http.StatusBadRequest},
+		{"oversized body", func() (*http.Response, error) {
+			huge := bytes.Repeat([]byte("x"), maxRequestBytes+1)
+			return http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(huge))
+		}, http.StatusBadRequest},
+		{"counters on static model", func() (*http.Response, error) {
+			c := kernels.MustCompile()
+			graphJSON, _ := json.Marshal(c.Regions[0].Graph)
+			body, _ := json.Marshal(PredictRequest{
+				Machine: "haswell", Objective: ObjectiveTime, Graph: graphJSON,
+				Counters: []float64{1, 2, 3},
+			})
+			return http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := tc.do()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestServerBatcherLRUBounded: the operator's cache capacity bounds live
+// batchers too — serving a third model on a capacity-2 server closes the
+// least-recently-used batcher instead of accumulating all three.
+func TestServerBatcherLRUBounded(t *testing.T) {
+	reg, err := New("", 2, func(k Key) (*core.Model, core.ModelMeta, error) {
+		m, meta := tinyModel(k)
+		return m, meta, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := kernels.MustCompile()
+	srv := NewServer(reg, c.Vocab, 4, time.Millisecond)
+	defer srv.Close()
+
+	keys := []Key{
+		{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime},
+		{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveEDP},
+		{Machine: "skylake", Scenario: ScenarioFull, Objective: ObjectiveTime},
+	}
+	batchers := make([]*Batcher, len(keys))
+	for i, k := range keys {
+		b, err := srv.batcherFor(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchers[i] = b
+	}
+	srv.mu.Lock()
+	live := srv.batchers.len()
+	srv.mu.Unlock()
+	if live != 2 {
+		t.Fatalf("%d live batchers, want 2 (capacity)", live)
+	}
+	// The evicted (oldest) batcher drains and closes on its own
+	// goroutine; poll until it refuses work.
+	g := corpusGraphs(t, 1)[0]
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := batchers[0].Predict(Request{Graph: g}); err == ErrClosed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("evicted batcher never closed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The survivors still serve.
+	if _, err := batchers[2].Predict(Request{Graph: g}); err != nil {
+		t.Fatalf("surviving batcher failed: %v", err)
+	}
+}
+
+// TestServerClosedRefusesNewBatchers: batcherFor racing Close must not
+// leak a live batcher.
+func TestServerClosedRefusesNewBatchers(t *testing.T) {
+	reg, err := New("", 2, func(k Key) (*core.Model, core.ModelMeta, error) {
+		m, meta := tinyModel(k)
+		return m, meta, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := kernels.MustCompile()
+	srv := NewServer(reg, c.Vocab, 4, time.Millisecond)
+	srv.Close()
+	key := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime}
+	if _, err := srv.batcherFor(key); err != ErrClosed {
+		t.Fatalf("batcherFor on a closed server = %v, want ErrClosed", err)
+	}
+}
+
+func TestServerHealthzAndModels(t *testing.T) {
+	_, ts := newTestServer(t)
+	postPredict(t, ts, predictBody(t, "haswell", ObjectiveTime, 0))
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("health = %+v", health)
+	}
+	if health["served"].(float64) < 1 || health["models_trained"].(float64) != 1 {
+		t.Fatalf("health counters = %+v", health)
+	}
+
+	resp2, err := http.Get(ts.URL + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var infos []Info
+	if err := json.NewDecoder(resp2.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || !infos[0].Cached || infos[0].Key.Machine != "haswell" {
+		t.Fatalf("models = %+v", infos)
+	}
+}
