@@ -365,6 +365,45 @@ func BenchmarkBatchedForward(b *testing.B) {
 	})
 }
 
+// BenchmarkFitEpoch measures training epoch throughput on the full
+// scenario-1 corpus: one Fit call with a single epoch — minibatch
+// assembly, block-diagonal encoder forward/backward, head passes, and the
+// optimizer step for every minibatch of the 68-region corpus. This is the
+// headline training hot path the compile-once pipeline exists for; compare
+// against BENCH_3.json with benchstat.
+func BenchmarkFitEpoch(b *testing.B) {
+	d := dataset.MustBuild(hw.Haswell())
+	cfg := core.DefaultModelConfig()
+	cfg.Epochs = 1
+	nCaps := len(d.Space.Caps())
+	m := core.NewModel(cfg, d.Corpus.Vocab.Size(), nCaps, d.Space.NumConfigs())
+	samples := core.PowerSamples(d, d.Regions, cfg)
+	m.Fit(samples) // warm caches so iterations measure steady state
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Fit(samples)
+	}
+}
+
+// BenchmarkPredictSweep measures prediction-sweep throughput: scoring
+// every region of the corpus across every per-cap head (68 regions × 4
+// heads × 127 configs) from raw graphs to config picks — the
+// train-once/predict-many serving shape.
+func BenchmarkPredictSweep(b *testing.B) {
+	d := dataset.MustBuild(hw.Haswell())
+	cfg := core.DefaultModelConfig()
+	cfg.Epochs = 1
+	nCaps := len(d.Space.Caps())
+	m := core.NewModel(cfg, d.Corpus.Vocab.Size(), nCaps, d.Space.NumConfigs())
+	m.Fit(core.PowerSamples(d, d.Regions, cfg))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := core.PredictPower(d, m, d.Regions); len(got) != len(d.Regions) {
+			b.Fatal("sweep dropped regions")
+		}
+	}
+}
+
 // BenchmarkBaselineTuners measures one tuning run of each baseline.
 func BenchmarkBaselineTuners(b *testing.B) {
 	d := dataset.MustBuild(hw.Haswell())

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -39,6 +40,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 16, "micro-batch window size")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "micro-batch window wait")
 	preload := flag.String("preload", "", "comma-separated machine/objective[/scenario] keys to resolve at startup")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ for in-place profiling of the serving hot paths")
 	flag.Parse()
 
 	cfg := core.DefaultModelConfig()
@@ -80,11 +82,28 @@ func main() {
 		log.Printf("preloaded %s in %s", key, time.Since(start).Round(time.Millisecond))
 	}
 
+	// The registry handler owns the API surface; -pprof mounts the
+	// standard profiling endpoints beside it so CPU/heap profiles of the
+	// micro-batched forward pass can be taken from a live server
+	// (go tool pprof http://host:port/debug/pprof/profile).
+	handler := srv.Handler()
+	if *enablePprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+
 	log.Printf("pnpserve listening on %s (store %q, cache %d, batch %d/%s)",
 		*addr, *dir, *cacheSize, *maxBatch, *maxWait)
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		// No WriteTimeout: the first /predict for a model trains it

@@ -15,7 +15,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"pnptuner/internal/kernels"
 	"pnptuner/internal/nn"
@@ -172,18 +171,24 @@ type Model struct {
 	ExtraDim int // counters (+ cap feature) width
 	Classes  int
 
-	adjMu    sync.Mutex
-	adjCache map[string]*rgcn.Adjacency
+	// merger assembles block-diagonal minibatches from compile-once
+	// region artifacts with zero steady-state allocations. It is per-model
+	// state with the same ownership rule as the layers: a Model is not
+	// goroutine-safe.
+	merger rgcn.Merger
+	// cgs and the assembly bufs are reusable scratch for Batch/Encode.
+	cgs      []*rgcn.CompiledGraph
+	extraBuf tensor.Buf
+	scoreBuf tensor.Buf
 }
 
 // NewModel builds a model with nHeads heads of `classes` outputs each.
 func NewModel(cfg ModelConfig, vocabSize, nHeads, classes int) *Model {
 	rng := tensor.NewRNG(cfg.Seed + 0x5eed)
 	m := &Model{
-		Cfg:      cfg,
-		Enc:      NewEncoder(cfg, vocabSize, rng),
-		Classes:  classes,
-		adjCache: map[string]*rgcn.Adjacency{},
+		Cfg:     cfg,
+		Enc:     NewEncoder(cfg, vocabSize, rng),
+		Classes: classes,
 	}
 	if cfg.UseCounters {
 		m.ExtraDim += papi.NumFeatures
@@ -207,31 +212,26 @@ func NewModel(cfg ModelConfig, vocabSize, nHeads, classes int) *Model {
 	return m
 }
 
-// Adjacency returns the cached message-passing structure for a region.
-// Only the cache map is guarded; a Model as a whole is NOT goroutine-safe
-// (layers cache per-call forward state) — concurrent work uses one model
-// per goroutine, as the parallel LOOCV folds do.
+// Adjacency returns the region's message-passing structure — the
+// finalized adjacency of its compile-once artifact, built once per
+// process and shared across models and folds.
 func (m *Model) Adjacency(r *kernels.Region) *rgcn.Adjacency {
-	m.adjMu.Lock()
-	defer m.adjMu.Unlock()
-	if adj, ok := m.adjCache[r.ID]; ok {
-		return adj
-	}
-	adj := rgcn.BuildAdjacency(r.Graph)
-	m.adjCache[r.ID] = adj
-	return adj
+	return r.CompiledGraph().Adj
 }
 
-// Batch merges regions' graphs (with cached adjacencies) into one
-// block-diagonal rgcn.Batch; row i of the batched readout is regions[i].
+// Batch merges regions' compile-once artifacts into one block-diagonal
+// rgcn.Batch; row i of the batched readout is regions[i]. The batch is
+// backed by the model's merger buffers and valid until the next Batch,
+// EncodeBatch, EncodeGraphs, or EncodeCompiled call on this model.
 func (m *Model) Batch(regions []*kernels.Region) *rgcn.Batch {
-	graphs := make([]*programl.Graph, len(regions))
-	adjs := make([]*rgcn.Adjacency, len(regions))
-	for i, r := range regions {
-		graphs[i] = r.Graph
-		adjs[i] = m.Adjacency(r)
+	if cap(m.cgs) < len(regions) {
+		m.cgs = make([]*rgcn.CompiledGraph, len(regions))
 	}
-	return rgcn.NewBatch(graphs, adjs)
+	m.cgs = m.cgs[:len(regions)]
+	for i, r := range regions {
+		m.cgs[i] = r.CompiledGraph()
+	}
+	return m.merger.Merge(m.cgs)
 }
 
 // Assemble concatenates a pooled graph vector with extra features into
@@ -262,12 +262,25 @@ func (m *Model) EncodeBatch(regions []*kernels.Region, extras [][]float64) *tens
 	return m.appendExtras(m.Enc.ForwardBatch(m.Batch(regions)), extras)
 }
 
-// EncodeGraphs encodes raw program graphs in one batched pass, bypassing
-// the region adjacency cache — the serving path for graphs that arrive
-// over the wire rather than from the compiled corpus. Row i is the
-// dense-head input for graphs[i].
+// EncodeGraphs encodes raw program graphs in one batched pass, compiling
+// each graph on the spot — the serving path for graphs that arrive over
+// the wire rather than from the compiled corpus. Row i is the dense-head
+// input for graphs[i]. Callers holding graphs they will score repeatedly
+// should compile once (rgcn.CompileGraph) and use EncodeCompiled.
 func (m *Model) EncodeGraphs(graphs []*programl.Graph, extras [][]float64) *tensor.Matrix {
-	return m.appendExtras(m.Enc.ForwardBatch(rgcn.NewBatch(graphs, nil)), extras)
+	cgs := make([]*rgcn.CompiledGraph, len(graphs))
+	for i, g := range graphs {
+		cgs[i] = rgcn.CompileGraph(g)
+	}
+	return m.EncodeCompiled(cgs, extras)
+}
+
+// EncodeCompiled encodes precompiled graphs in one batched pass: row i is
+// the dense-head input for cgs[i]. This is the zero-rebuild serving hot
+// path — request goroutines compile in parallel, the model merges plans
+// in O(edges) and runs one block-diagonal forward.
+func (m *Model) EncodeCompiled(cgs []*rgcn.CompiledGraph, extras [][]float64) *tensor.Matrix {
+	return m.appendExtras(m.Enc.ForwardBatch(m.merger.Merge(cgs)), extras)
 }
 
 // appendExtras widens a pooled batch row-wise with per-row extra features.
@@ -275,7 +288,7 @@ func (m *Model) appendExtras(pooled *tensor.Matrix, extras [][]float64) *tensor.
 	if m.ExtraDim == 0 {
 		return pooled
 	}
-	full := tensor.New(pooled.Rows, m.Cfg.Hidden+m.ExtraDim)
+	full := m.extraBuf.Get(pooled.Rows, m.Cfg.Hidden+m.ExtraDim)
 	for i := 0; i < pooled.Rows; i++ {
 		if len(extras[i]) != m.ExtraDim {
 			panic(fmt.Sprintf("core: %d extra features for row %d, model wants %d",
@@ -290,21 +303,59 @@ func (m *Model) appendExtras(pooled *tensor.Matrix, extras [][]float64) *tensor.
 
 // PredictGraphs scores a batch of raw graphs in one encoder pass and
 // returns, per graph, the argmax class of every head: out[i][h] is head
-// h's pick for graphs[i]. This is the micro-batched serving hot path: N
-// concurrent requests cost one block-diagonal forward instead of N.
+// h's pick for graphs[i].
 func (m *Model) PredictGraphs(graphs []*programl.Graph, extras [][]float64) [][]int {
-	enc := m.EncodeGraphs(graphs, extras)
-	out := make([][]int, len(graphs))
+	cgs := make([]*rgcn.CompiledGraph, len(graphs))
+	for i, g := range graphs {
+		cgs[i] = rgcn.CompileGraph(g)
+	}
+	return m.PredictCompiled(cgs, extras)
+}
+
+// PredictCompiled scores precompiled graphs in one encoder pass: out[i][h]
+// is head h's pick for cgs[i]. This is the micro-batched serving hot
+// path: N concurrent requests cost one block-diagonal forward instead of
+// N, and each head scores the whole window with a single matrix multiply.
+func (m *Model) PredictCompiled(cgs []*rgcn.CompiledGraph, extras [][]float64) [][]int {
+	enc := m.EncodeCompiled(cgs, extras)
+	out := make([][]int, len(cgs))
+	flat := make([]int, len(cgs)*len(m.Heads))
 	for i := range out {
-		out[i] = make([]int, len(m.Heads))
+		out[i] = flat[i*len(m.Heads) : (i+1)*len(m.Heads)]
 	}
 	for h := range m.Heads {
 		logits := m.Logits(enc, h)
-		for i := range graphs {
+		for i := range cgs {
 			out[i][h] = nn.Argmax(logits, i)
 		}
 	}
 	return out
+}
+
+// ScoreAll broadcasts one pooled graph vector against every candidate's
+// extra-feature row — assembling the full (len(extras) × in) dense-head
+// input in one shot — and scores head h over all candidates with a single
+// matrix multiply (parallelized across the worker pool for large
+// operands), replacing a per-candidate loop of 1-row head passes. Row i
+// of the result is the logits for candidate extras[i]; each row is
+// bit-identical to the 1-row pass on the same inputs. For models with no
+// extra features pass one nil extras row per desired copy. The result is
+// owned by the scored head and valid until its next Forward.
+func (m *Model) ScoreAll(pooled *tensor.Matrix, extras [][]float64, h int) *tensor.Matrix {
+	if pooled.Rows != 1 || pooled.Cols != m.Cfg.Hidden {
+		panic(fmt.Sprintf("core: ScoreAll pooled %dx%d, want 1x%d", pooled.Rows, pooled.Cols, m.Cfg.Hidden))
+	}
+	in := m.scoreBuf.Get(len(extras), m.Cfg.Hidden+m.ExtraDim)
+	for i, ex := range extras {
+		if len(ex) != m.ExtraDim {
+			panic(fmt.Sprintf("core: %d extra features for candidate %d, model wants %d",
+				len(ex), i, m.ExtraDim))
+		}
+		row := in.Row(i)
+		copy(row[:m.Cfg.Hidden], pooled.Data)
+		copy(row[m.Cfg.Hidden:], ex)
+	}
+	return m.Logits(in, h)
 }
 
 // Logits computes head h's class scores for an encoded vector.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"pnptuner/internal/dataset"
@@ -68,30 +69,88 @@ func (m *Model) encodeAll(samples []Sample) *tensor.Matrix {
 	return m.Enc.ForwardBatch(m.Batch(regions))
 }
 
-// headPass runs every labeled case of sample s through its dense head
-// against the pooled graph vector, accumulating head gradients and (when
-// dpool is non-nil) the pooled-vector gradient into dpool. It returns the
-// summed loss and case count.
-func (m *Model) headPass(s Sample, pooled *tensor.Matrix, dpool []float64) (float64, int) {
+// caseRow locates one labeled case inside a minibatch: bi indexes the
+// batch (and the pooled/dpool rows), si/ci the sample and case.
+type caseRow struct {
+	bi, si, ci int
+}
+
+// fitScratch is the epoch-persistent training arena: every buffer the
+// minibatch loop touches lives here and is reused across minibatches and
+// epochs, so steady-state training steps allocate (next to) nothing.
+type fitScratch struct {
+	perm     []int
+	batches  [][]int
+	regions  []*kernels.Region
+	identity []int
+	rows     [][]caseRow // labeled cases grouped per head
+	dpoolBuf tensor.Buf
+	inBuf    tensor.Buf // assembled (cases × in) head input
+	dlBuf    tensor.Buf // (cases × classes) logit gradients
+}
+
+// headPassBatch runs every labeled case of the minibatch through its
+// dense head, vectorized per head: all of head h's cases assemble into
+// one (cases × in) matrix scored and backpropagated in single matrix
+// passes, instead of one 1-row pass per case. poolRow[bi] is the row of
+// pooled holding batch[bi]'s graph encoding. Head gradients accumulate as
+// in the per-case path (same row order, so the sums agree); when dpool is
+// non-nil, each case's input gradient accumulates into dpool row bi. It
+// returns the summed loss and case count.
+func (m *Model) headPassBatch(sc *fitScratch, samples []Sample, batch []int,
+	pooled *tensor.Matrix, poolRow []int, dpool *tensor.Matrix) (float64, int) {
+
+	if sc.rows == nil {
+		sc.rows = make([][]caseRow, len(m.Heads))
+	}
+	for h := range sc.rows {
+		sc.rows[h] = sc.rows[h][:0]
+	}
+	for bi, si := range batch {
+		for ci, cs := range samples[si].Cases {
+			if cs.Label < 0 {
+				continue
+			}
+			sc.rows[cs.Head] = append(sc.rows[cs.Head], caseRow{bi: bi, si: si, ci: ci})
+		}
+	}
+
+	hidden := m.Cfg.Hidden
+	width := hidden + m.ExtraDim
 	loss, n := 0.0, 0
-	for _, cs := range s.Cases {
-		if cs.Label < 0 {
+	for h := range m.Heads {
+		rows := sc.rows[h]
+		if len(rows) == 0 {
 			continue
 		}
-		logits := m.Logits(m.Assemble(pooled, cs.Extras), cs.Head)
-		var l float64
-		var dlogits *tensor.Matrix
-		if cs.Soft != nil {
-			l, dlogits = nn.SoftCrossEntropy(logits, cs.Soft)
-		} else {
-			l, dlogits = nn.SoftmaxCrossEntropy(logits, []int{cs.Label})
+		in := sc.inBuf.Get(len(rows), width)
+		for r, cr := range rows {
+			cs := &samples[cr.si].Cases[cr.ci]
+			if len(cs.Extras) != m.ExtraDim {
+				panic(fmt.Sprintf("core: %d extra features, model wants %d", len(cs.Extras), m.ExtraDim))
+			}
+			row := in.Row(r)
+			copy(row[:hidden], pooled.Row(poolRow[cr.bi]))
+			copy(row[hidden:], cs.Extras)
 		}
-		loss += l
-		n++
-		dIn := m.Heads[cs.Head].Backward(dlogits)
+		logits := m.Heads[h].Forward(in)
+		dlogits := sc.dlBuf.Get(len(rows), m.Classes)
+		for r, cr := range rows {
+			cs := &samples[cr.si].Cases[cr.ci]
+			if cs.Soft != nil {
+				loss += nn.SoftCrossEntropyAt(logits, r, cs.Soft, dlogits)
+			} else {
+				loss += nn.SoftmaxCrossEntropyAt(logits, r, cs.Label, dlogits)
+			}
+			n++
+		}
+		dIn := m.Heads[h].Backward(dlogits)
 		if dpool != nil {
-			for c := 0; c < m.Cfg.Hidden; c++ {
-				dpool[c] += dIn.Data[c]
+			for r, cr := range rows {
+				drow := dpool.Row(cr.bi)
+				for c, v := range dIn.Row(r)[:hidden] {
+					drow[c] += v
+				}
 			}
 		}
 	}
@@ -119,40 +178,36 @@ func (m *Model) fit(samples []Sample, frozen bool) TrainStats {
 		cached = m.encodeAll(samples)
 	}
 
+	sc := &fitScratch{perm: make([]int, len(samples))}
 	stats := TrainStats{Epochs: cfg.Epochs, UpdatedParams: countParams(params)}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		perm := rng.Perm(len(samples))
+		rng.PermInto(sc.perm)
+		sc.batches = dataset.MinibatchesInto(sc.batches, sc.perm, cfg.BatchSize)
 		epochLoss, nLoss := 0.0, 0
-		for _, batch := range dataset.Minibatches(perm, cfg.BatchSize) {
+		for _, batch := range sc.batches {
 			nn.ZeroGrads(params)
 			if frozen {
-				for _, si := range batch {
-					l, n := m.headPass(samples[si], cached.RowMatrix(si), nil)
-					epochLoss += l
-					nLoss += n
-				}
+				// Cached row si holds sample si's encoding.
+				l, n := m.headPassBatch(sc, samples, batch, cached, batch, nil)
+				epochLoss += l
+				nLoss += n
 			} else {
 				// One block-diagonal encoder pass scores the whole
-				// minibatch; per-sample head passes accumulate their
-				// pooled-vector gradients row-wise, and a single batched
-				// backward pass pushes them through the (expensive)
-				// encoder.
-				regions := make([]*kernels.Region, len(batch))
+				// minibatch from compile-once plans; the vectorized head
+				// passes accumulate their pooled-vector gradients
+				// row-wise, and a single batched backward pass pushes
+				// them through the (expensive) encoder.
+				sc.regions = growRegions(sc.regions, len(batch))
+				sc.identity = growIdentity(sc.identity, len(batch))
 				for bi, si := range batch {
-					regions[bi] = samples[si].Region
+					sc.regions[bi] = samples[si].Region
 				}
-				pooled := m.Enc.ForwardBatch(m.Batch(regions))
-				dpool := tensor.New(len(batch), m.Cfg.Hidden)
-				any := false
-				for bi, si := range batch {
-					l, n := m.headPass(samples[si], pooled.RowMatrix(bi), dpool.Row(bi))
-					epochLoss += l
-					nLoss += n
-					if n > 0 {
-						any = true
-					}
-				}
-				if any {
+				pooled := m.Enc.ForwardBatch(m.Batch(sc.regions))
+				dpool := sc.dpoolBuf.GetZeroed(len(batch), cfg.Hidden)
+				l, n := m.headPassBatch(sc, samples, batch, pooled, sc.identity, dpool)
+				epochLoss += l
+				nLoss += n
+				if n > 0 {
 					m.Enc.BackwardBatch(dpool)
 				}
 			}
@@ -166,21 +221,36 @@ func (m *Model) fit(samples []Sample, frozen bool) TrainStats {
 		}
 	}
 
-	// Final training accuracy, over one batched encoding pass.
+	// Final training accuracy, over one batched encoding pass; each
+	// sample's per-head candidate set scores in one ScoreAll pass.
 	if !frozen && len(samples) > 0 {
 		cached = m.encodeAll(samples)
 	}
 	correct, total := 0, 0
-	for i, s := range samples {
+	var exs [][]float64
+	var cis []int
+	for i := range samples {
+		s := &samples[i]
 		pooled := cached.RowMatrix(i)
-		for _, cs := range s.Cases {
-			if cs.Label < 0 {
+		for h := range m.Heads {
+			exs, cis = exs[:0], cis[:0]
+			for ci, cs := range s.Cases {
+				if cs.Label < 0 || cs.Head != h {
+					continue
+				}
+				exs = append(exs, cs.Extras)
+				cis = append(cis, ci)
+			}
+			if len(cis) == 0 {
 				continue
 			}
-			if nn.Argmax(m.Logits(m.Assemble(pooled, cs.Extras), cs.Head), 0) == cs.Label {
-				correct++
+			logits := m.ScoreAll(pooled, exs, h)
+			for r, ci := range cis {
+				if nn.Argmax(logits, r) == s.Cases[ci].Label {
+					correct++
+				}
+				total++
 			}
-			total++
 		}
 	}
 	if total > 0 {
@@ -188,6 +258,27 @@ func (m *Model) fit(samples []Sample, frozen bool) TrainStats {
 	}
 	stats.Duration = time.Since(start)
 	return stats
+}
+
+// growRegions resizes a region scratch slice, reusing its backing array.
+func growRegions(s []*kernels.Region, n int) []*kernels.Region {
+	if cap(s) < n {
+		return make([]*kernels.Region, n)
+	}
+	return s[:n]
+}
+
+// growIdentity resizes an identity-index slice (poolRow for the
+// non-frozen path, where batch row bi pools at row bi).
+func growIdentity(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	s = make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
 }
 
 func countParams(params []*nn.Param) int {

@@ -95,6 +95,14 @@ func pow(x, g float64) float64 {
 	return r
 }
 
+// PowerSamples builds the scenario-1 training set for the given regions:
+// one sample per region, one case per power cap (head). Exported so
+// benchmarks and serving-side retraining can assemble the same set
+// TrainPower trains on.
+func PowerSamples(d *dataset.Dataset, train []*dataset.RegionData, cfg ModelConfig) []Sample {
+	return powerSamples(d, train, cfg)
+}
+
 func powerSamples(d *dataset.Dataset, train []*dataset.RegionData, cfg ModelConfig) []Sample {
 	samples := make([]Sample, 0, len(train))
 	for _, rd := range train {
@@ -124,7 +132,8 @@ func encodeRegions(m *Model, cfg ModelConfig, val []*dataset.RegionData, capNorm
 }
 
 // predictPower scores every validation region in one batched encoder pass,
-// then reads each head's argmax row-wise.
+// then reads each head's argmax row-wise. Per-region pick slices share one
+// flat backing array, so a full sweep costs a handful of allocations.
 func predictPower(d *dataset.Dataset, m *Model, cfg ModelConfig, val []*dataset.RegionData) map[string][]int {
 	pred := make(map[string][]int, len(val))
 	if len(val) == 0 {
@@ -132,15 +141,14 @@ func predictPower(d *dataset.Dataset, m *Model, cfg ModelConfig, val []*dataset.
 	}
 	enc := encodeRegions(m, cfg, val, 0)
 	nCaps := len(d.Space.Caps())
-	picks := make([][]int, len(val))
+	flat := make([]int, len(val)*nCaps)
 	for i, rd := range val {
-		picks[i] = make([]int, nCaps)
-		pred[rd.Region.ID] = picks[i]
+		pred[rd.Region.ID] = flat[i*nCaps : (i+1)*nCaps]
 	}
 	for h := 0; h < nCaps; h++ {
 		logits := m.Logits(enc, h)
 		for i := range val {
-			picks[i][h] = nn.Argmax(logits, i)
+			flat[i*nCaps+h] = nn.Argmax(logits, i)
 		}
 	}
 	return pred
@@ -253,7 +261,8 @@ func TrainUnseenCap(d *dataset.Dataset, fold dataset.Fold, targetCapIdx int, cfg
 // extension the paper's Discussion suggests ("limiting the number of
 // sampling runs").
 func (m *Model) PredictTopK(r *kernels.Region, extraFeats []float64, h, k int) []int {
-	logits := m.Logits(m.Encode(r, extraFeats), h)
+	pooled := m.Enc.Forward(r, m.Adjacency(r))
+	logits := m.ScoreAll(pooled, [][]float64{extraFeats}, h)
 	return nn.TopK(logits, 0, k)
 }
 

@@ -138,18 +138,27 @@ func build(m *hw.Machine, corpus *kernels.Corpus) (*Dataset, error) {
 // batched trainer walks once per epoch: each returned index set becomes
 // one block-diagonal graph batch and one optimizer step.
 func Minibatches(perm []int, size int) [][]int {
+	return MinibatchesInto(nil, perm, size)
+}
+
+// MinibatchesInto is Minibatches reusing dst's backing storage: the
+// trainer passes the previous epoch's slice back in, so the per-epoch
+// re-slicing of a fresh permutation allocates nothing in steady state.
+// The returned batches alias perm, which the caller likewise reuses (see
+// tensor.RNG.PermInto).
+func MinibatchesInto(dst [][]int, perm []int, size int) [][]int {
 	if size < 1 {
 		size = 1
 	}
-	out := make([][]int, 0, (len(perm)+size-1)/size)
+	dst = dst[:0]
 	for lo := 0; lo < len(perm); lo += size {
 		hi := lo + size
 		if hi > len(perm) {
 			hi = len(perm)
 		}
-		out = append(out, perm[lo:hi])
+		dst = append(dst, perm[lo:hi])
 	}
-	return out
+	return dst
 }
 
 // Fold is one leave-one-out cross-validation split: the regions of one

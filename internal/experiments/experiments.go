@@ -28,7 +28,9 @@ import (
 // goroutines — one per LOOCV fold. Each fold trains and evaluates an
 // independent model, so the only coordination is the join; callers merge
 // per-fold outputs sequentially afterwards, keeping results deterministic
-// and identical to the sequential order. While folds run concurrently the
+// and identical to the sequential order. Folds share the corpus's
+// compile-once graph artifacts (kernels.Region.CompiledGraph), so no fold
+// pays graph-compilation cost — each model only merges precompiled plans. While folds run concurrently the
 // tensor kernel pool is divided among them, so total goroutine pressure
 // stays near NumCPU instead of folds×NumCPU (kernel chunking is
 // shape-determined, so the cap never changes numerical results).

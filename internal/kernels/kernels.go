@@ -16,6 +16,7 @@ import (
 	"pnptuner/internal/frontend"
 	"pnptuner/internal/ir"
 	"pnptuner/internal/programl"
+	"pnptuner/internal/rgcn"
 	"pnptuner/internal/vocab"
 )
 
@@ -37,6 +38,19 @@ type Region struct {
 	Graph  *programl.Graph
 	Seed   uint64 // deterministic per-region noise seed
 	Pragma ompPragma
+
+	compileOnce sync.Once
+	compiled    *rgcn.CompiledGraph
+}
+
+// CompiledGraph returns the region's compile-once GNN artifact — gather
+// indices, node-kind tags, and finalized per-relation CSR plans — built on
+// first use and shared by every model, fold, and epoch thereafter (the
+// corpus is cached process-wide, so each region graph is compiled exactly
+// once per process). The artifact is immutable and goroutine-safe.
+func (r *Region) CompiledGraph() *rgcn.CompiledGraph {
+	r.compileOnce.Do(func() { r.compiled = rgcn.CompileGraph(r.Graph) })
+	return r.compiled
 }
 
 // ompPragma records the source-level schedule for reference.

@@ -46,6 +46,12 @@ type Linear struct {
 	Weight  *Param // In×Out
 	Bias    *Param // 1×Out
 	x       *tensor.Matrix
+
+	// Reusable output/gradient buffers: forward and backward results are
+	// valid until the next call on this layer.
+	outBuf  tensor.Buf
+	dxBuf   tensor.Buf
+	colSums []float64
 }
 
 // NewLinear builds a Linear layer with Xavier-initialized weights.
@@ -59,26 +65,36 @@ func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
 	return l
 }
 
-// Forward computes x·W + b.
+// Forward computes x·W + b. The result is owned by the layer and valid
+// until the next Forward.
 func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != l.In {
 		panic(fmt.Sprintf("nn: linear %d→%d got input width %d", l.In, l.Out, x.Cols))
 	}
 	l.x = x
 	// Seed the output with the bias rows, then accumulate x·W in place.
-	y := tensor.New(x.Rows, l.Out)
-	y.AddRowVec(l.Bias.W.Data)
+	y := l.outBuf.Get(x.Rows, l.Out)
+	for r := 0; r < x.Rows; r++ {
+		copy(y.Row(r), l.Bias.W.Data)
+	}
 	tensor.MatMulAddInto(x, l.Weight.W, y)
 	return y
 }
 
-// Backward accumulates dW = xᵀ·dout, db = Σrows dout and returns dx = dout·Wᵀ.
+// Backward accumulates dW = xᵀ·dout, db = Σrows dout and returns
+// dx = dout·Wᵀ, owned by the layer and valid until the next Backward.
 func (l *Linear) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	tensor.MatMulTAAddInto(l.x, dout, l.Weight.Grad)
-	for c, v := range dout.ColSums() {
+	if l.colSums == nil {
+		l.colSums = make([]float64, l.Out)
+	}
+	dout.ColSumsInto(l.colSums)
+	for c, v := range l.colSums {
 		l.Bias.Grad.Data[c] += v
 	}
-	return tensor.MatMulTB(dout, l.Weight.W)
+	dx := l.dxBuf.Get(dout.Rows, l.In)
+	tensor.MatMulTBInto(dout, l.Weight.W, dx)
+	return dx
 }
 
 // Params returns the weight and bias.
@@ -88,6 +104,9 @@ func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
 type LeakyReLU struct {
 	Alpha float64
 	x     *tensor.Matrix
+
+	yBuf  tensor.Buf
+	dxBuf tensor.Buf
 }
 
 // NewLeakyReLU builds the activation with negative-side slope alpha.
@@ -100,45 +119,53 @@ func NewReLU() *LeakyReLU { return &LeakyReLU{} }
 // out across the worker pool (batched node-feature matrices).
 const actParallelThreshold = 1 << 15
 
-// Forward applies the activation.
+// Forward applies the activation. The result is owned by the layer and
+// valid until the next Forward. The sequential path avoids the closure
+// allocation of the pooled path, so single-worker passes allocate
+// nothing; elementwise independence keeps both paths bit-identical.
 func (a *LeakyReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 	a.x = x
-	y := tensor.New(x.Rows, x.Cols)
-	run := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if v := x.Data[i]; v > 0 {
-				y.Data[i] = v
-			} else {
-				y.Data[i] = a.Alpha * v
-			}
-		}
-	}
-	if len(x.Data) < actParallelThreshold {
-		run(0, len(x.Data))
+	y := a.yBuf.Get(x.Rows, x.Cols)
+	if len(x.Data) < actParallelThreshold || tensor.Workers() == 1 {
+		leakyRange(a.Alpha, x.Data, y.Data, 0, len(x.Data))
 	} else {
-		tensor.ParallelFor(len(x.Data), run)
+		tensor.ParallelFor(len(x.Data), func(lo, hi int) { leakyRange(a.Alpha, x.Data, y.Data, lo, hi) })
 	}
 	return y
 }
 
-// Backward gates the upstream gradient by the activation derivative.
-func (a *LeakyReLU) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	dx := tensor.New(dout.Rows, dout.Cols)
-	run := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if a.x.Data[i] > 0 {
-				dx.Data[i] = dout.Data[i]
-			} else {
-				dx.Data[i] = a.Alpha * dout.Data[i]
-			}
+func leakyRange(alpha float64, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if v := x[i]; v > 0 {
+			y[i] = v
+		} else {
+			y[i] = alpha * v
 		}
 	}
-	if len(dout.Data) < actParallelThreshold {
-		run(0, len(dout.Data))
+}
+
+// Backward gates the upstream gradient by the activation derivative. The
+// result is owned by the layer and valid until the next Backward.
+func (a *LeakyReLU) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	dx := a.dxBuf.Get(dout.Rows, dout.Cols)
+	if len(dout.Data) < actParallelThreshold || tensor.Workers() == 1 {
+		leakyGradRange(a.Alpha, a.x.Data, dout.Data, dx.Data, 0, len(dout.Data))
 	} else {
-		tensor.ParallelFor(len(dout.Data), run)
+		tensor.ParallelFor(len(dout.Data), func(lo, hi int) {
+			leakyGradRange(a.Alpha, a.x.Data, dout.Data, dx.Data, lo, hi)
+		})
 	}
 	return dx
+}
+
+func leakyGradRange(alpha float64, x, dout, dx []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if x[i] > 0 {
+			dx[i] = dout[i]
+		} else {
+			dx[i] = alpha * dout[i]
+		}
+	}
 }
 
 // Params returns nil; activations are parameter-free.
@@ -235,33 +262,10 @@ func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.
 	loss := 0.0
 	n := 0
 	for r := 0; r < logits.Rows; r++ {
-		lbl := labels[r]
-		if lbl < 0 {
+		if labels[r] < 0 {
 			continue
 		}
-		if lbl >= logits.Cols {
-			panic(fmt.Sprintf("nn: label %d out of range (%d classes)", lbl, logits.Cols))
-		}
-		row := logits.Row(r)
-		maxv := row[0]
-		for _, v := range row[1:] {
-			if v > maxv {
-				maxv = v
-			}
-		}
-		sum := 0.0
-		g := grad.Row(r)
-		for c, v := range row {
-			e := math.Exp(v - maxv)
-			g[c] = e
-			sum += e
-		}
-		loss += math.Log(sum) - (row[lbl] - maxv)
-		inv := 1 / sum
-		for c := range g {
-			g[c] *= inv
-		}
-		g[lbl] -= 1
+		loss += SoftmaxCrossEntropyAt(logits, r, labels[r], grad)
 		n++
 	}
 	if n == 0 {
@@ -272,14 +276,15 @@ func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.
 	return loss * inv, grad
 }
 
-// SoftCrossEntropy computes cross-entropy of a single-row logits matrix
-// against a soft target distribution: loss = -Σ p·log softmax(z), with
-// gradient softmax(z) - p. Targets must be non-negative and sum to ~1.
-func SoftCrossEntropy(logits *tensor.Matrix, target []float64) (float64, *tensor.Matrix) {
-	if logits.Rows != 1 || len(target) != logits.Cols {
-		panic(fmt.Sprintf("nn: soft CE wants 1x%d logits, got %dx%d", len(target), logits.Rows, logits.Cols))
+// SoftmaxCrossEntropyAt computes the softmax cross-entropy of row r of
+// logits against an integer label, writing the unscaled ∂L/∂row into row
+// r of grad (every entry is overwritten) and returning the row loss. It
+// is the per-row primitive the vectorized head passes build on.
+func SoftmaxCrossEntropyAt(logits *tensor.Matrix, r, label int, grad *tensor.Matrix) float64 {
+	if label < 0 || label >= logits.Cols {
+		panic(fmt.Sprintf("nn: label %d out of range (%d classes)", label, logits.Cols))
 	}
-	row := logits.Row(0)
+	row := logits.Row(r)
 	maxv := row[0]
 	for _, v := range row[1:] {
 		if v > maxv {
@@ -287,8 +292,49 @@ func SoftCrossEntropy(logits *tensor.Matrix, target []float64) (float64, *tensor
 		}
 	}
 	sum := 0.0
+	g := grad.Row(r)
+	for c, v := range row {
+		e := math.Exp(v - maxv)
+		g[c] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for c := range g {
+		g[c] *= inv
+	}
+	g[label] -= 1
+	return math.Log(sum) - (row[label] - maxv)
+}
+
+// SoftCrossEntropy computes cross-entropy of a single-row logits matrix
+// against a soft target distribution: loss = -Σ p·log softmax(z), with
+// gradient softmax(z) - p. Targets must be non-negative and sum to ~1.
+func SoftCrossEntropy(logits *tensor.Matrix, target []float64) (float64, *tensor.Matrix) {
+	if logits.Rows != 1 {
+		panic(fmt.Sprintf("nn: soft CE wants 1-row logits, got %dx%d", logits.Rows, logits.Cols))
+	}
 	grad := tensor.New(1, logits.Cols)
-	g := grad.Row(0)
+	loss := SoftCrossEntropyAt(logits, 0, target, grad)
+	return loss, grad
+}
+
+// SoftCrossEntropyAt computes the cross-entropy of row r of logits
+// against a soft target distribution, writing ∂L/∂row into row r of grad
+// (every entry is overwritten) and returning the row loss — the per-row
+// primitive of SoftCrossEntropy.
+func SoftCrossEntropyAt(logits *tensor.Matrix, r int, target []float64, grad *tensor.Matrix) float64 {
+	if len(target) != logits.Cols {
+		panic(fmt.Sprintf("nn: soft CE target len %d for %d classes", len(target), logits.Cols))
+	}
+	row := logits.Row(r)
+	maxv := row[0]
+	for _, v := range row[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	sum := 0.0
+	g := grad.Row(r)
 	for c, v := range row {
 		e := math.Exp(v - maxv)
 		g[c] = e
@@ -306,7 +352,7 @@ func SoftCrossEntropy(logits *tensor.Matrix, target []float64) (float64, *tensor
 		}
 		g[c] -= p
 	}
-	return loss, grad
+	return loss
 }
 
 // Softmax returns row-wise softmax probabilities of logits.

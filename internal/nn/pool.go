@@ -14,18 +14,22 @@ import (
 type SegmentPool struct {
 	offsets []int
 	cols    int
+
+	outBuf tensor.Buf
+	dxBuf  tensor.Buf
 }
 
 // Forward mean-pools each row segment of x, returning a
 // (len(offsets)-1)×Cols matrix. offsets must be non-decreasing, start at
-// 0, and end at x.Rows.
+// 0, and end at x.Rows. The result is owned by the pool and valid until
+// the next Forward.
 func (p *SegmentPool) Forward(x *tensor.Matrix, offsets []int) *tensor.Matrix {
 	if len(offsets) < 1 || offsets[0] != 0 || offsets[len(offsets)-1] != x.Rows {
 		panic(fmt.Sprintf("nn: segment pool offsets %v over %d rows", offsets, x.Rows))
 	}
 	p.offsets = offsets
 	p.cols = x.Cols
-	out := tensor.New(len(offsets)-1, x.Cols)
+	out := p.outBuf.GetZeroed(len(offsets)-1, x.Cols)
 	for g := 0; g+1 < len(offsets); g++ {
 		lo, hi := offsets[g], offsets[g+1]
 		if lo == hi {
@@ -47,12 +51,13 @@ func (p *SegmentPool) Forward(x *tensor.Matrix, offsets []int) *tensor.Matrix {
 
 // Backward broadcasts each pooled-row gradient back over its segment,
 // scaled by 1/segment size — the batched analogue of MeanPool.Backward.
+// The result is owned by the pool and valid until the next Backward.
 func (p *SegmentPool) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	if dout.Rows != len(p.offsets)-1 || dout.Cols != p.cols {
 		panic(fmt.Sprintf("nn: segment pool backward %dx%d, want %dx%d",
 			dout.Rows, dout.Cols, len(p.offsets)-1, p.cols))
 	}
-	dx := tensor.New(p.offsets[len(p.offsets)-1], p.cols)
+	dx := p.dxBuf.GetZeroed(p.offsets[len(p.offsets)-1], p.cols)
 	for g := 0; g+1 < len(p.offsets); g++ {
 		lo, hi := p.offsets[g], p.offsets[g+1]
 		if lo == hi {

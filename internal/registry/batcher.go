@@ -8,6 +8,7 @@ import (
 
 	"pnptuner/internal/core"
 	"pnptuner/internal/programl"
+	"pnptuner/internal/rgcn"
 )
 
 // ErrClosed is returned by Predict after Close.
@@ -30,9 +31,14 @@ type reply struct {
 	err   error
 }
 
-// request is a queued Request with its reply channel.
+// request is a queued Request with its reply channel. The graph is
+// compiled on the caller's goroutine before queuing, so compilation (CSR
+// plan construction, gather arrays) runs in parallel across concurrent
+// requests while the single batcher goroutine only merges precompiled
+// plans and runs the forward pass.
 type request struct {
 	req   Request
+	cg    *rgcn.CompiledGraph
 	reply chan reply
 }
 
@@ -89,12 +95,21 @@ func (b *Batcher) Predict(req Request) ([]int, error) {
 	if err := b.validate(req); err != nil {
 		return nil, err
 	}
+	// Fast-fail before paying for compilation; the authoritative closed
+	// check below still guards admission.
+	b.mu.RLock()
+	closed := b.closed
+	b.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	cg := rgcn.CompileGraph(req.Graph)
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
 		return nil, ErrClosed
 	}
-	r := &request{req: req, reply: make(chan reply, 1)}
+	r := &request{req: req, cg: cg, reply: make(chan reply, 1)}
 	b.senders.Add(1)
 	b.mu.RUnlock()
 	b.reqs <- r
@@ -185,23 +200,24 @@ func (b *Batcher) drain() {
 	}
 }
 
-// run scores one window in a single batched forward pass and fans the
-// per-head argmaxes back out to the callers. A panic from the model (a
-// malformed graph that slipped past validation) fails the window, not the
-// process.
+// run scores one window in a single batched forward pass — merging the
+// requests' precompiled plans instead of rebuilding adjacencies — and
+// fans the per-head argmaxes back out to the callers. A panic from the
+// model (a malformed graph that slipped past validation) fails the
+// window, not the process.
 func (b *Batcher) run(batch []*request) {
-	graphs := make([]*programl.Graph, len(batch))
+	cgs := make([]*rgcn.CompiledGraph, len(batch))
 	var extras [][]float64
 	if b.model.ExtraDim > 0 {
 		extras = make([][]float64, len(batch))
 	}
 	for i, r := range batch {
-		graphs[i] = r.req.Graph
+		cgs[i] = r.cg
 		if extras != nil {
 			extras[i] = r.req.Extras
 		}
 	}
-	picks, err := b.forward(graphs, extras)
+	picks, err := b.forward(cgs, extras)
 	for i, r := range batch {
 		if err != nil {
 			r.reply <- reply{err: err}
@@ -211,11 +227,11 @@ func (b *Batcher) run(batch []*request) {
 	}
 }
 
-func (b *Batcher) forward(graphs []*programl.Graph, extras [][]float64) (picks [][]int, err error) {
+func (b *Batcher) forward(cgs []*rgcn.CompiledGraph, extras [][]float64) (picks [][]int, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("%w: %v", ErrForward, p)
 		}
 	}()
-	return b.model.PredictGraphs(graphs, extras), nil
+	return b.model.PredictCompiled(cgs, extras), nil
 }

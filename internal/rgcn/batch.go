@@ -30,6 +30,9 @@ type csrPlan struct {
 	srcDst []int32
 }
 
+// edgeCount returns the number of edges the plan routes.
+func (p *csrPlan) edgeCount() int { return len(p.dstSrc) }
+
 // buildCSR groups values by key (stable within a key), returning the
 // rowptr/index arrays of a CSR layout over n rows.
 func buildCSR(n int, edges [][2]int32, keyIdx, valIdx int) (ptr, val []int32) {
@@ -71,55 +74,60 @@ func (a *Adjacency) Finalize() *Adjacency {
 
 // gather computes out[i] = norm[i] · Σ_{src→i} h[src] for every node i,
 // fanning destination rows out across the pool when the volume warrants.
+// The sequential path calls the range helper directly (no closure), so a
+// single-worker pass allocates nothing; per-row independence makes both
+// paths bit-identical.
 func (p *csrPlan) gather(norm []float64, h, out *tensor.Matrix) {
-	run := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			start, end := p.dstPtr[i], p.dstPtr[i+1]
-			if start == end {
-				continue
-			}
-			orow := out.Row(i)
-			for _, s := range p.dstSrc[start:end] {
-				for c, v := range h.Row(int(s)) {
-					orow[c] += v
-				}
-			}
-			w := norm[i]
-			for c := range orow {
-				orow[c] *= w
-			}
-		}
-	}
-	if len(p.dstSrc)*h.Cols < parallelMinWork {
-		run(0, out.Rows)
+	if len(p.dstSrc)*h.Cols < parallelMinWork || tensor.Workers() == 1 {
+		p.gatherRange(norm, h, out, 0, out.Rows)
 		return
 	}
-	tensor.ParallelFor(out.Rows, run)
+	tensor.ParallelFor(out.Rows, func(lo, hi int) { p.gatherRange(norm, h, out, lo, hi) })
+}
+
+func (p *csrPlan) gatherRange(norm []float64, h, out *tensor.Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		start, end := p.dstPtr[i], p.dstPtr[i+1]
+		if start == end {
+			continue
+		}
+		orow := out.Row(i)
+		for _, s := range p.dstSrc[start:end] {
+			for c, v := range h.Row(int(s)) {
+				orow[c] += v
+			}
+		}
+		w := norm[i]
+		for c := range orow {
+			orow[c] *= w
+		}
+	}
 }
 
 // gatherT computes out[i] = Σ_{i→dst} norm[dst] · h[dst] — the transpose
 // of gather, grouped by source so backward scatter is also race-free.
 func (p *csrPlan) gatherT(norm []float64, h, out *tensor.Matrix) {
-	run := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			start, end := p.srcPtr[i], p.srcPtr[i+1]
-			if start == end {
-				continue
-			}
-			orow := out.Row(i)
-			for _, dn := range p.srcDst[start:end] {
-				w := norm[dn]
-				for c, v := range h.Row(int(dn)) {
-					orow[c] += w * v
-				}
+	if len(p.srcDst)*h.Cols < parallelMinWork || tensor.Workers() == 1 {
+		p.gatherTRange(norm, h, out, 0, out.Rows)
+		return
+	}
+	tensor.ParallelFor(out.Rows, func(lo, hi int) { p.gatherTRange(norm, h, out, lo, hi) })
+}
+
+func (p *csrPlan) gatherTRange(norm []float64, h, out *tensor.Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		start, end := p.srcPtr[i], p.srcPtr[i+1]
+		if start == end {
+			continue
+		}
+		orow := out.Row(i)
+		for _, dn := range p.srcDst[start:end] {
+			w := norm[dn]
+			for c, v := range h.Row(int(dn)) {
+				orow[c] += w * v
 			}
 		}
 	}
-	if len(p.srcDst)*h.Cols < parallelMinWork {
-		run(0, out.Rows)
-		return
-	}
-	tensor.ParallelFor(out.Rows, run)
 }
 
 // Batch merges N program graphs into one block-diagonal adjacency so a
@@ -128,12 +136,20 @@ func (p *csrPlan) gatherT(norm []float64, h, out *tensor.Matrix) {
 // edge lists concatenate with offset node IDs, and in-degree norms carry
 // over unchanged (block-diagonal merging cannot create new in-edges).
 type Batch struct {
+	// Graphs holds the source graphs when the batch was built from raw
+	// graphs (NewBatch); batches merged from compiled artifacts
+	// (MergeCompiled) leave it nil and carry Tokens/Kinds instead.
 	Graphs []*programl.Graph
-	// Offsets has len(Graphs)+1 entries; graph g owns feature rows
+	// Offsets has NumGraphs+1 entries; graph g owns feature rows
 	// [Offsets[g], Offsets[g+1]).
 	Offsets []int
 	// Adj is the merged adjacency, finalized for pooled execution.
 	Adj *Adjacency
+	// Tokens and Kinds, when set, are the batch-wide embedding gather
+	// arrays (node i of graph g at index Offsets[g]+i) — the compiled fast
+	// path ForwardBatch uses instead of walking Graphs.
+	Tokens []int32
+	Kinds  []uint8
 }
 
 // NewBatch merges graphs into a batch. adjs may supply prebuilt per-graph
@@ -189,7 +205,7 @@ func adjFor(g *programl.Graph, adjs []*Adjacency, i int) *Adjacency {
 }
 
 // NumGraphs returns the number of graphs in the batch.
-func (b *Batch) NumGraphs() int { return len(b.Graphs) }
+func (b *Batch) NumGraphs() int { return len(b.Offsets) - 1 }
 
 // NumNodes returns the total node count across the batch.
 func (b *Batch) NumNodes() int { return b.Offsets[len(b.Offsets)-1] }
@@ -200,23 +216,50 @@ func (b *Batch) Segment(g int) (lo, hi int) { return b.Offsets[g], b.Offsets[g+1
 // ForwardBatch gathers embedding rows for every node of every graph in
 // the batch; row Offsets[g]+i holds node i of graph g. The cached token
 // list spans the whole batch, so the regular Backward scatters batched
-// gradients into the table correctly.
+// gradients into the table correctly. Compiled batches (Tokens set)
+// gather straight from the flat token/kind arrays; both paths write into
+// the embedding's reusable output buffer, which stays valid until the
+// next Forward/ForwardBatch on this embedding.
 func (e *Embedding) ForwardBatch(b *Batch) *tensor.Matrix {
 	n := b.NumNodes()
-	out := tensor.New(n, e.Dim+3)
-	e.tokens = make([]int, n)
-	row := 0
+	out := e.out.Get(n, e.Dim+3)
+	e.tokens = growInts(e.tokens, n)
+	if b.Tokens != nil {
+		for i, t := range b.Tokens {
+			tok := int(t)
+			if tok >= e.VocabSize {
+				tok = 0
+			}
+			e.tokens[i] = tok
+			row := out.Row(i)
+			copy(row[:e.Dim], e.Table.W.Row(tok))
+			row[e.Dim], row[e.Dim+1], row[e.Dim+2] = 0, 0, 0
+			row[e.Dim+int(b.Kinds[i])] = 1
+		}
+		return out
+	}
+	i := 0
 	for _, g := range b.Graphs {
 		for _, node := range g.Nodes {
 			tok := node.Token
 			if tok < 0 || tok >= e.VocabSize {
 				tok = 0
 			}
-			e.tokens[row] = tok
-			copy(out.Row(row)[:e.Dim], e.Table.W.Row(tok))
-			out.Row(row)[e.Dim+int(node.Kind)] = 1
-			row++
+			e.tokens[i] = tok
+			row := out.Row(i)
+			copy(row[:e.Dim], e.Table.W.Row(tok))
+			row[e.Dim], row[e.Dim+1], row[e.Dim+2] = 0, 0, 0
+			row[e.Dim+int(node.Kind)] = 1
+			i++
 		}
 	}
 	return out
+}
+
+// growInts returns s resized to n, reusing its backing array when it fits.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }

@@ -79,7 +79,9 @@ func TestBatchForwardMatchesPerGraph(t *testing.T) {
 	batch := NewBatch(graphs, nil)
 	hb := emb.ForwardBatch(batch)
 	layer.SetGraph(batch.Adj)
-	outBatch := layer.Forward(hb)
+	// Forward results live in layer-owned buffers, so snapshot the batched
+	// output before running the per-graph passes.
+	outBatch := layer.Forward(hb).Clone()
 
 	for gi, g := range graphs {
 		h := emb.Forward(g)

@@ -64,14 +64,31 @@ func BuildAdjacency(g *programl.Graph) *Adjacency {
 	return a
 }
 
+// EdgeCount returns the number of edges of relation-direction d. Merged
+// batches carry only CSR plans (no edge lists), so the plan is
+// authoritative when present.
+func (a *Adjacency) EdgeCount(d int) int {
+	if a.plans != nil {
+		return a.plans[d].edgeCount()
+	}
+	return len(a.Edges[d])
+}
+
 // propagate computes out = Â_d·h for one relation-direction. Finalized
 // adjacencies run the CSR plan across the worker pool; unfinalized ones
 // walk the edge list sequentially (the reference path).
 func (a *Adjacency) propagate(d int, h *tensor.Matrix) *tensor.Matrix {
 	out := tensor.New(h.Rows, h.Cols)
+	a.propagateInto(d, h, out)
+	return out
+}
+
+// propagateInto accumulates out += Â_d·h into a zeroed target — the
+// buffer-reusing form of propagate on the forward hot path.
+func (a *Adjacency) propagateInto(d int, h, out *tensor.Matrix) {
 	if a.plans != nil {
 		a.plans[d].gather(a.Norm[d], h, out)
-		return out
+		return
 	}
 	norm := a.Norm[d]
 	for _, e := range a.Edges[d] {
@@ -83,7 +100,6 @@ func (a *Adjacency) propagate(d int, h *tensor.Matrix) *tensor.Matrix {
 			orow[c] += w * v
 		}
 	}
-	return out
 }
 
 // propagateT computes out = Â_dᵀ·h (the backward direction of propagate).
@@ -125,6 +141,16 @@ type Layer struct {
 	// caches for backward
 	x    *tensor.Matrix
 	msgs [NumDirections]*tensor.Matrix
+
+	// Epoch-persistent scratch: each activation the layer produces lives
+	// in a buffer that grows to the largest minibatch seen, so steady-state
+	// forward/backward passes allocate nothing. Outputs are valid until
+	// the next Forward/Backward on this layer.
+	outBuf  tensor.Buf
+	msgBufs [NumDirections]tensor.Buf
+	dxBuf   tensor.Buf
+	backBuf tensor.Buf
+	colSums []float64
 }
 
 // NewLayer builds an RGCN layer with Xavier-initialized transforms.
@@ -146,7 +172,8 @@ func NewLayer(name string, in, out int, rng *tensor.RNG) *Layer {
 // forward/backward pair.
 func (l *Layer) SetGraph(adj *Adjacency) { l.adj = adj }
 
-// Forward computes the relational convolution for the bound graph.
+// Forward computes the relational convolution for the bound graph. The
+// returned matrix is owned by the layer and valid until the next Forward.
 func (l *Layer) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if l.adj == nil {
 		panic("rgcn: Forward before SetGraph")
@@ -155,13 +182,15 @@ func (l *Layer) Forward(x *tensor.Matrix) *tensor.Matrix {
 		panic(fmt.Sprintf("rgcn: %d feature rows for %d nodes", x.Rows, l.adj.NumNodes))
 	}
 	l.x = x
-	out := tensor.MatMul(x, l.WSelf.W)
+	out := l.outBuf.GetZeroed(x.Rows, l.Out)
+	tensor.MatMulAddInto(x, l.WSelf.W, out)
 	for d := 0; d < NumDirections; d++ {
-		if len(l.adj.Edges[d]) == 0 {
+		if l.adj.EdgeCount(d) == 0 {
 			l.msgs[d] = nil
 			continue
 		}
-		msg := l.adj.propagate(d, x)
+		msg := l.msgBufs[d].GetZeroed(x.Rows, x.Cols)
+		l.adj.propagateInto(d, x, msg)
 		l.msgs[d] = msg
 		tensor.MatMulAddInto(msg, l.WRel[d].W, out)
 	}
@@ -169,15 +198,22 @@ func (l *Layer) Forward(x *tensor.Matrix) *tensor.Matrix {
 	return out
 }
 
-// Backward accumulates parameter gradients and returns ∂L/∂x.
+// Backward accumulates parameter gradients and returns ∂L/∂x. The
+// returned gradient is owned by the layer and valid until the next
+// Backward.
 func (l *Layer) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	// Bias gradient.
-	for c, v := range dout.ColSums() {
+	if l.colSums == nil {
+		l.colSums = make([]float64, l.Out)
+	}
+	dout.ColSumsInto(l.colSums)
+	for c, v := range l.colSums {
 		l.Bias.Grad.Data[c] += v
 	}
 	// Self transform.
 	tensor.MatMulTAAddInto(l.x, dout, l.WSelf.Grad)
-	dx := tensor.MatMulTB(dout, l.WSelf.W)
+	dx := l.dxBuf.Get(dout.Rows, l.In)
+	tensor.MatMulTBInto(dout, l.WSelf.W, dx)
 	// Relational transforms.
 	for d := 0; d < NumDirections; d++ {
 		if l.msgs[d] == nil {
@@ -185,7 +221,8 @@ func (l *Layer) Backward(dout *tensor.Matrix) *tensor.Matrix {
 		}
 		tensor.MatMulTAAddInto(l.msgs[d], dout, l.WRel[d].Grad)
 		// ∂L/∂x += Â_dᵀ·(dout·W_dᵀ)
-		back := tensor.MatMulTB(dout, l.WRel[d].W)
+		back := l.backBuf.Get(dout.Rows, l.In)
+		tensor.MatMulTBInto(dout, l.WRel[d].W, back)
 		l.adj.propagateTInto(d, back, dx)
 	}
 	return dx
@@ -205,6 +242,8 @@ type Embedding struct {
 	VocabSize, Dim int
 	Table          *nn.Param
 	tokens         []int
+	// out is the reusable gather target for ForwardBatch.
+	out tensor.Buf
 }
 
 // NewEmbedding builds a learnable token-embedding table.
@@ -219,7 +258,7 @@ func NewEmbedding(name string, vocabSize, dim int, rng *tensor.RNG) *Embedding {
 func (e *Embedding) Forward(g *programl.Graph) *tensor.Matrix {
 	n := len(g.Nodes)
 	out := tensor.New(n, e.Dim+3)
-	e.tokens = make([]int, n)
+	e.tokens = growInts(e.tokens, n)
 	for i, node := range g.Nodes {
 		tok := node.Token
 		if tok < 0 || tok >= e.VocabSize {

@@ -1,0 +1,37 @@
+// Scratch-buffer support for the allocation-free hot paths: a Buf is a
+// reusable matrix whose backing array persists across calls and grows
+// monotonically to the largest shape requested. Layers keep one Buf per
+// activation they produce, so steady-state training epochs and prediction
+// sweeps run without allocating — the shape of each minibatch changes, but
+// the capacity high-water mark is reached after the first few batches.
+package tensor
+
+// Buf is a growable scratch matrix. Each Get invalidates the matrix
+// returned by the previous Get on the same Buf (they share storage), so a
+// Buf must back exactly one live tensor at a time — one Buf per distinct
+// activation role, never one Buf for two operands of the same expression.
+type Buf struct{ m Matrix }
+
+// Get returns a rows×cols matrix backed by the buffer WITHOUT clearing
+// previous contents — for outputs every element of which is about to be
+// overwritten. The returned pointer is stable across calls.
+func (b *Buf) Get(rows, cols int) *Matrix {
+	n := rows * cols
+	if cap(b.m.Data) < n {
+		b.m.Data = make([]float64, n)
+	}
+	b.m.Data = b.m.Data[:n]
+	b.m.Rows, b.m.Cols = rows, cols
+	return &b.m
+}
+
+// GetZeroed returns a zeroed rows×cols matrix backed by the buffer — for
+// accumulation targets that assume a zero start (MatMulAddInto and the
+// scatter kernels).
+func (b *Buf) GetZeroed(rows, cols int) *Matrix {
+	m := b.Get(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}

@@ -116,13 +116,25 @@ func (m *Matrix) AddRowVec(v []float64) {
 // ColSums returns the per-column sums (used for bias gradients).
 func (m *Matrix) ColSums() []float64 {
 	out := make([]float64, m.Cols)
+	m.ColSumsInto(out)
+	return out
+}
+
+// ColSumsInto overwrites dst (len Cols) with the per-column sums — the
+// allocation-free form for layer-owned scratch.
+func (m *Matrix) ColSumsInto(dst []float64) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: col sums into len %d, want %d", len(dst), m.Cols))
+	}
+	for c := range dst {
+		dst[c] = 0
+	}
 	for r := 0; r < m.Rows; r++ {
 		row := m.Row(r)
 		for c, x := range row {
-			out[c] += x
+			dst[c] += x
 		}
 	}
-	return out
 }
 
 // MeanRow returns the column-wise mean as a 1×Cols matrix (mean pooling).
@@ -170,7 +182,7 @@ func MatMulAddInto(a, b, out *Matrix) {
 			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
 	}
 	work := a.Rows * a.Cols * b.Cols
-	if work < parallelThreshold {
+	if work < parallelThreshold || Workers() == 1 {
 		matmulRange(a, b, out, 0, a.Rows)
 		return
 	}
@@ -262,11 +274,30 @@ func matmulTARange(a, b, out *Matrix, lo, hi int) {
 
 // MatMulTB returns a·bᵀ (a is m×k, b is n×k, result m×n).
 func MatMulTB(a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmulTB %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
 	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
+	MatMulTBInto(a, b, out)
+	return out
+}
+
+// MatMulTBInto overwrites out = a·bᵀ (a is m×k, b is n×k, out m×n),
+// fanning rows across the worker pool for large operands. Every output
+// row is an independent dot-product sweep, so the parallel split is
+// bit-identical to the sequential one.
+func MatMulTBInto(a, b, out *Matrix) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulTB %dx%d · %dx%d into %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	if a.Rows*a.Cols*b.Rows < parallelThreshold || Workers() == 1 {
+		matmulTBRange(a, b, out, 0, a.Rows)
+		return
+	}
+	ParallelFor(a.Rows, func(lo, hi int) { matmulTBRange(a, b, out, lo, hi) })
+}
+
+// matmulTBRange computes rows [lo, hi) of out = a·bᵀ.
+func matmulTBRange(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for j := 0; j < b.Rows; j++ {
@@ -278,7 +309,6 @@ func MatMulTB(a, b *Matrix) *Matrix {
 			orow[j] = s
 		}
 	}
-	return out
 }
 
 // RNG is a deterministic xoshiro256**-style generator used for
@@ -344,14 +374,22 @@ func (r *RNG) Intn(n int) int {
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a random permutation of [0, len(p)) in place —
+// Perm without the allocation, for the per-epoch shuffle. It consumes the
+// same RNG stream as Perm, so swapping one for the other never changes a
+// seeded run.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(p) - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}
-	return p
 }
 
 // FillUniform fills m with uniform values in [-a, a].
