@@ -13,6 +13,7 @@ import (
 	"io"
 	"testing"
 
+	"pnptuner/internal/autotune"
 	"pnptuner/internal/bliss"
 	"pnptuner/internal/core"
 	"pnptuner/internal/dataset"
@@ -404,18 +405,68 @@ func BenchmarkPredictSweep(b *testing.B) {
 	}
 }
 
-// BenchmarkBaselineTuners measures one tuning run of each baseline.
+// BenchmarkBaselineTuners measures one engine-driven tuning run of each
+// baseline strategy.
 func BenchmarkBaselineTuners(b *testing.B) {
 	d := dataset.MustBuild(hw.Haswell())
 	rd := d.Regions[0]
+	task := func(seed uint64) autotune.Task {
+		return autotune.Task{
+			Problem:  autotune.Problem{Obj: autotune.TimeUnderCap{Cap: 0}, Space: d.Space, Seed: seed},
+			RegionID: rd.Region.ID,
+		}
+	}
 	b.Run("bliss", func(b *testing.B) {
+		entry := bliss.Entry("BLISS")
 		for i := 0; i < b.N; i++ {
-			bliss.New(uint64(i)).TuneTime(rd, 0, d.Space)
+			autotune.RunEntry(entry, rd, task(uint64(i)))
 		}
 	})
 	b.Run("opentuner", func(b *testing.B) {
+		entry := opentuner.Entry("OpenTuner")
 		for i := 0; i < b.N; i++ {
-			opentuner.New(uint64(i)).TuneTime(rd, 0, d.Space)
+			autotune.RunEntry(entry, rd, task(uint64(i)))
 		}
 	})
+}
+
+// BenchmarkEngineSession measures one full autotune engine session per
+// strategy on a fixed tuning task (Haswell region 0, lowest cap): the
+// zero-execution GNN pick, the hybrid shortlist refinement, and the two
+// search baselines under their paper budgets. This is the perf
+// trajectory point the bench-smoke CI job tracks (BENCH_4.json).
+func BenchmarkEngineSession(b *testing.B) {
+	d := dataset.MustBuild(hw.Haswell())
+	rd := d.Regions[0]
+	cfg := core.DefaultModelConfig()
+	cfg.Epochs = 1
+	nCaps := len(d.Space.Caps())
+	m := core.NewModel(cfg, d.Corpus.Vocab.Size(), nCaps, d.Space.NumConfigs())
+	m.Fit(core.PowerSamples(d, d.Regions, cfg))
+	topk := core.TopKPower(d, m, d.Regions[:1], experiments.HybridK)
+
+	task := func(seed uint64) autotune.Task {
+		return autotune.Task{
+			Problem:  autotune.Problem{Obj: autotune.TimeUnderCap{Cap: 0}, Space: d.Space, Seed: seed},
+			RegionID: rd.Region.ID,
+		}
+	}
+	entries := map[string]autotune.Entry{
+		"gnn": autotune.FixedEntry("gnn", func(t autotune.Task) int {
+			return topk[t.RegionID][0][0]
+		}),
+		"hybrid": autotune.HybridEntry("hybrid", func(t autotune.Task) []int {
+			return topk[t.RegionID][0]
+		}),
+		"bliss":     bliss.Entry("BLISS"),
+		"opentuner": opentuner.Entry("OpenTuner"),
+	}
+	for _, name := range []string{"gnn", "hybrid", "bliss", "opentuner"} {
+		entry := entries[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				autotune.RunEntry(entry, rd, task(uint64(i)))
+			}
+		})
+	}
 }

@@ -1,7 +1,13 @@
-// Command pnptune is the end-to-end PnP tuner CLI: it trains the GNN on
-// every corpus application except the target (leave-one-out, as the paper
-// evaluates) and prints the recommended OpenMP configuration for each
-// region of the target application — without executing the target.
+// Command pnptune is the end-to-end PnP tuner CLI: one front door to
+// every tuning strategy of the unified autotune engine.
+//
+// The default strategy ("gnn") trains the GNN on every corpus
+// application except the target (leave-one-out, as the paper evaluates)
+// and prints the recommended OpenMP configuration for each region of the
+// target application — without executing the target. "hybrid" lets the
+// model shortlist top candidates and validates them with a few noisy
+// executions; "bliss" and "opentuner" run the search baselines under
+// their execution budgets, no model at all.
 //
 // Trained models are reusable artifacts: -save persists the model after
 // training, and -load serves predictions from a saved model without
@@ -11,6 +17,9 @@
 //
 //	pnptune -machine haswell -app LULESH -cap 40
 //	pnptune -machine skylake -app gemm -objective edp
+//	pnptune -machine haswell -app LULESH -strategy hybrid -budget 3
+//	pnptune -machine haswell -app XSBench -strategy bliss -budget 20
+//	pnptune -machine haswell -app gemm -strategy opentuner -objective energy
 //	pnptune -machine haswell -app LULESH -save lulesh.pnpm
 //	pnptune -machine haswell -app LULESH -load lulesh.pnpm
 //	pnptune -list                      # list corpus applications
@@ -20,19 +29,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 
+	"pnptuner/internal/autotune"
+	"pnptuner/internal/bliss"
 	"pnptuner/internal/core"
 	"pnptuner/internal/dataset"
+	"pnptuner/internal/experiments"
 	"pnptuner/internal/hw"
 	"pnptuner/internal/kernels"
 	"pnptuner/internal/metrics"
+	"pnptuner/internal/opentuner"
+)
+
+// Valid flag values, also the rejection messages' contents.
+var (
+	validObjectives = []string{"time", "edp", "energy"}
+	validStrategies = []string{"gnn", "bliss", "opentuner", "hybrid"}
 )
 
 func main() {
 	machine := flag.String("machine", "haswell", "machine model: haswell or skylake")
 	app := flag.String("app", "", "target application (see -list)")
 	capW := flag.Float64("cap", 0, "power cap in watts (0 = all Table I caps)")
-	objective := flag.String("objective", "time", "tuning objective: time or edp")
+	objective := flag.String("objective", "time", "tuning objective: "+strings.Join(validObjectives, ", "))
+	strategy := flag.String("strategy", "gnn", "tuning strategy: "+strings.Join(validStrategies, ", "))
+	budget := flag.Int("budget", 0, "execution budget per tuning task (0 = strategy default)")
 	epochs := flag.Int("epochs", 0, "override training epochs")
 	savePath := flag.String("save", "", "save the trained model to this path")
 	loadPath := flag.String("load", "", "load a saved model instead of training")
@@ -44,6 +67,21 @@ func main() {
 			fmt.Println(name)
 		}
 		return
+	}
+	// Reject unknown enum flags loudly, listing the valid values —
+	// never fall back to a default silently.
+	if !slices.Contains(validObjectives, *objective) {
+		fatal(fmt.Errorf("unknown objective %q (valid: %s)", *objective, strings.Join(validObjectives, ", ")))
+	}
+	if !slices.Contains(validStrategies, *strategy) {
+		fatal(fmt.Errorf("unknown strategy %q (valid: %s)", *strategy, strings.Join(validStrategies, ", ")))
+	}
+	modelDriven := *strategy == "gnn" || *strategy == "hybrid"
+	if *objective == "energy" && modelDriven {
+		fatal(fmt.Errorf("objective \"energy\" has no trained model; use -strategy bliss or opentuner"))
+	}
+	if *budget < 0 {
+		fatal(fmt.Errorf("negative budget %d", *budget))
 	}
 	if *app == "" {
 		fmt.Fprintln(os.Stderr, "pnptune: -app is required (try -list)")
@@ -69,64 +107,203 @@ func main() {
 	}
 	scenario := "loocv:" + fold.App
 
-	switch *objective {
+	switch *strategy {
+	case "gnn":
+		runGNN(d, fold, cfg, scenario, *objective, *capW, *loadPath, *savePath)
+	case "hybrid":
+		runHybrid(d, fold, cfg, scenario, *objective, *capW, *loadPath, *savePath, pick(*budget, experiments.HybridK))
+	case "bliss":
+		runSearch(d, fold, bliss.Entry("BLISS"), *objective, *capW, pick(*budget, bliss.Budget))
+	case "opentuner":
+		runSearch(d, fold, opentuner.Entry("OpenTuner"), *objective, *capW, pick(*budget, opentuner.Budget))
+	}
+}
+
+func pick(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+// runGNN is the paper's zero-execution scenario: train (or load) and
+// predict.
+func runGNN(d *dataset.Dataset, fold dataset.Fold, cfg core.ModelConfig, scenario, objective string, capW float64, loadPath, savePath string) {
+	switch objective {
 	case "time":
 		var model *core.Model
 		var meta core.ModelMeta
 		var pred map[string][]int
-		if *loadPath != "" {
-			model, meta = loadModel(*loadPath, d, *objective, scenario)
+		if loadPath != "" {
+			model, meta = loadModel(loadPath, d, objective, scenario)
 			pred = core.PredictPower(d, model, fold.Val)
 		} else {
 			res := core.TrainPower(d, fold, cfg)
 			fmt.Printf("trained on %d regions in %s (loss %.3f)\n",
 				len(fold.Train), res.Stats.Duration.Round(1e7), res.Stats.FinalLoss)
-			model, meta, pred = res.Model, core.MetaFor(d, scenario, *objective), res.Pred
+			model, meta, pred = res.Model, core.MetaFor(d, scenario, objective), res.Pred
 		}
-		saveModel(model, *savePath, meta)
-		for _, rd := range fold.Val {
-			fmt.Printf("region %s:\n", rd.Region.ID)
-			for ci, cw := range d.Space.Caps() {
-				if *capW != 0 && cw != *capW {
-					continue
-				}
-				pick := pred[rd.Region.ID][ci]
-				cfgP := d.Space.Configs[pick]
-				def := rd.DefaultResult(ci, d.Space).TimeSec
-				got := rd.Results[ci][pick].TimeSec
-				fmt.Printf("  %3.0fW: %-22s speedup vs default %.2fx (oracle %.2fx)\n",
-					cw, cfgP, metrics.Speedup(def, got), metrics.Speedup(def, rd.BestTime(ci)))
-			}
-		}
+		saveModel(model, savePath, meta)
+		printTimePicks(d, fold, capW, func(id string, ci int) (int, int) { return pred[id][ci], 0 })
 	case "edp":
 		var model *core.Model
 		var meta core.ModelMeta
 		var pred map[string]int
-		if *loadPath != "" {
-			model, meta = loadModel(*loadPath, d, *objective, scenario)
+		if loadPath != "" {
+			model, meta = loadModel(loadPath, d, objective, scenario)
 			pred = core.PredictEDP(d, model, fold.Val)
 		} else {
 			res := core.TrainEDP(d, fold, cfg)
 			fmt.Printf("trained on %d regions in %s (loss %.3f)\n",
 				len(fold.Train), res.Stats.Duration.Round(1e7), res.Stats.FinalLoss)
-			model, meta, pred = res.Model, core.MetaFor(d, scenario, *objective), res.Pred
+			model, meta, pred = res.Model, core.MetaFor(d, scenario, objective), res.Pred
 		}
-		saveModel(model, *savePath, meta)
-		tdpIdx := len(d.Space.Caps()) - 1
-		for _, rd := range fold.Val {
-			pick := pred[rd.Region.ID]
-			cw, cfgP := d.Space.At(pick)
-			ci, ki := d.Space.SplitJoint(pick)
-			def := rd.DefaultResult(tdpIdx, d.Space)
-			got := rd.Results[ci][ki]
-			fmt.Printf("region %s: cap %3.0fW, %-22s EDP improvement %.2fx, speedup %.2fx, greenup %.2fx\n",
+		saveModel(model, savePath, meta)
+		printJointPicks(d, fold, autotune.EDP{}, func(id string) (int, int) { return pred[id], 0 })
+	}
+}
+
+// runHybrid trains (or loads) the model, then refines its top-k
+// shortlist with a small noisy execution budget per tuning task.
+func runHybrid(d *dataset.Dataset, fold dataset.Fold, cfg core.ModelConfig, scenario, objective string, capW float64, loadPath, savePath string, k int) {
+	var model *core.Model
+	var meta core.ModelMeta
+	if loadPath != "" {
+		model, meta = loadModel(loadPath, d, objective, scenario)
+	} else {
+		var stats core.TrainStats
+		switch objective {
+		case "time":
+			res := core.TrainPower(d, fold, cfg)
+			model, stats = res.Model, res.Stats
+		case "edp":
+			res := core.TrainEDP(d, fold, cfg)
+			model, stats = res.Model, res.Stats
+		}
+		fmt.Printf("trained on %d regions in %s (loss %.3f)\n",
+			len(fold.Train), stats.Duration.Round(1e7), stats.FinalLoss)
+		meta = core.MetaFor(d, scenario, objective)
+	}
+	saveModel(model, savePath, meta)
+	fmt.Printf("hybrid tuning: model shortlists top-%d, %d validation runs per task\n", k, k)
+
+	switch objective {
+	case "time":
+		topk := core.TopKPower(d, model, fold.Val, k)
+		entry := autotune.HybridEntry(experiments.TunerPnPHybrid, func(t autotune.Task) []int {
+			return topk[t.RegionID][t.Obj.(autotune.TimeUnderCap).Cap]
+		})
+		entry.Budget = k
+		printTimePicks(d, fold, capW, func(id string, ci int) (int, int) {
+			rd := d.Region(id)
+			res := autotune.RunEntry(entry, rd, timeTask(d, rd, ci))
+			return res.Best, res.Evals
+		})
+	case "edp":
+		topk := core.TopKEDP(d, model, fold.Val, k)
+		entry := autotune.HybridEntry(experiments.TunerPnPHybrid, func(t autotune.Task) []int { return topk[t.RegionID] })
+		entry.Budget = k
+		printJointPicks(d, fold, autotune.EDP{}, func(id string) (int, int) {
+			rd := d.Region(id)
+			res := autotune.RunEntry(entry, rd, jointTask(d, rd, autotune.EDP{}))
+			return res.Best, res.Evals
+		})
+	}
+}
+
+// runSearch runs a model-free search baseline under its execution budget.
+func runSearch(d *dataset.Dataset, fold dataset.Fold, entry autotune.Entry, objective string, capW float64, budget int) {
+	entry.Budget = budget
+	fmt.Printf("strategy %s: %d executions per tuning task, no model\n", entry.Name, budget)
+	switch objective {
+	case "time":
+		printTimePicks(d, fold, capW, func(id string, ci int) (int, int) {
+			rd := d.Region(id)
+			res := autotune.RunEntry(entry, rd, timeTask(d, rd, ci))
+			return res.Best, res.Evals
+		})
+	case "edp":
+		printJointPicks(d, fold, autotune.EDP{}, func(id string) (int, int) {
+			rd := d.Region(id)
+			res := autotune.RunEntry(entry, rd, jointTask(d, rd, autotune.EDP{}))
+			return res.Best, res.Evals
+		})
+	case "energy":
+		printJointPicks(d, fold, autotune.Energy{}, func(id string) (int, int) {
+			rd := d.Region(id)
+			res := autotune.RunEntry(entry, rd, jointTask(d, rd, autotune.Energy{}))
+			return res.Best, res.Evals
+		})
+	}
+}
+
+func timeTask(d *dataset.Dataset, rd *dataset.RegionData, ci int) autotune.Task {
+	return autotune.Task{
+		Problem:  autotune.Problem{Obj: autotune.TimeUnderCap{Cap: ci}, Space: d.Space, Seed: rd.Region.Seed},
+		RegionID: rd.Region.ID,
+	}
+}
+
+func jointTask(d *dataset.Dataset, rd *dataset.RegionData, obj autotune.Objective) autotune.Task {
+	return autotune.Task{
+		Problem:  autotune.Problem{Obj: obj, Space: d.Space, Seed: rd.Region.Seed},
+		RegionID: rd.Region.ID,
+	}
+}
+
+// printTimePicks prints the per-cap recommendations of the target's
+// regions; pickAt returns (config index, executions spent).
+func printTimePicks(d *dataset.Dataset, fold dataset.Fold, capW float64, pickAt func(id string, ci int) (int, int)) {
+	for _, rd := range fold.Val {
+		fmt.Printf("region %s:\n", rd.Region.ID)
+		for ci, cw := range d.Space.Caps() {
+			if capW != 0 && cw != capW {
+				continue
+			}
+			idx, evals := pickAt(rd.Region.ID, ci)
+			cfgP := d.Space.Configs[idx]
+			def := rd.DefaultResult(ci, d.Space).TimeSec
+			got := rd.Results[ci][idx].TimeSec
+			runs := ""
+			if evals > 0 {
+				runs = fmt.Sprintf(" [%d runs]", evals)
+			}
+			fmt.Printf("  %3.0fW: %-22s speedup vs default %.2fx (oracle %.2fx)%s\n",
+				cw, cfgP, metrics.Speedup(def, got), metrics.Speedup(def, rd.BestTime(ci)), runs)
+		}
+	}
+}
+
+// printJointPicks prints joint (cap, config) recommendations for a
+// joint-space objective, with improvement vs default at TDP and fraction
+// of the oracle.
+func printJointPicks(d *dataset.Dataset, fold dataset.Fold, obj autotune.Objective, pickOf func(id string) (int, int)) {
+	tdpIdx := len(d.Space.Caps()) - 1
+	for _, rd := range fold.Val {
+		idx, evals := pickOf(rd.Region.ID)
+		cw, cfgP := d.Space.At(idx)
+		ci, ki := d.Space.SplitJoint(idx)
+		def := rd.DefaultResult(tdpIdx, d.Space)
+		got := rd.Results[ci][ki]
+		runs := ""
+		if evals > 0 {
+			runs = fmt.Sprintf(" [%d runs]", evals)
+		}
+		switch obj.(type) {
+		case autotune.Energy:
+			_, oracleV := autotune.Oracle(rd, d.Space, obj)
+			fmt.Printf("region %s: cap %3.0fW, %-22s greenup %.2fx, speedup %.2fx, oracle frac %.2f%s\n",
+				rd.Region.ID, cw, cfgP,
+				metrics.Greenup(def.EnergyJ(), got.EnergyJ()),
+				metrics.Speedup(def.TimeSec, got.TimeSec),
+				oracleV/obj.Value(rd, d.Space, idx), runs)
+		default:
+			fmt.Printf("region %s: cap %3.0fW, %-22s EDP improvement %.2fx, speedup %.2fx, greenup %.2fx%s\n",
 				rd.Region.ID, cw, cfgP,
 				metrics.EDPImprovement(def.EDP(), got.EDP()),
 				metrics.Speedup(def.TimeSec, got.TimeSec),
-				metrics.Greenup(def.EnergyJ(), got.EnergyJ()))
+				metrics.Greenup(def.EnergyJ(), got.EnergyJ()), runs)
 		}
-	default:
-		fatal(fmt.Errorf("unknown objective %q", *objective))
 	}
 }
 

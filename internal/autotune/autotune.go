@@ -1,0 +1,92 @@
+// Package autotune is the unified tuning engine: one propose/observe/best
+// loop that every tuner — the paper's search-based baselines (BLISS,
+// OpenTuner), the zero-execution GNN predictor, and the hybrid
+// GNN-predict-then-search extension — plugs into as a Strategy. The
+// engine owns what the siloed implementations used to duplicate: the
+// measurement budget, the seeded RNG streams, and how candidates are
+// measured (an Evaluator: noisy dataset replay, a noise-free oracle, or a
+// hook a real RAPL/variorum runner can satisfy). Objectives
+// (time-under-cap, EDP, energy) are first-class and shared between
+// training labels, search, and reporting, so a tuning trace is
+// reproducible from (strategy, seed, budget) alone.
+package autotune
+
+// Strategy is an iterative tuning policy. The engine alternates Propose
+// and Observe until the budget is spent or the strategy has nothing left
+// to propose, then takes Best as the recommendation.
+//
+// Strategies never measure anything themselves — they see the candidate
+// space through the Problem they were constructed from and learn values
+// only through Observe. A zero-execution strategy (a trained model)
+// simply proposes nothing, or proposes candidates it is happy to have
+// validated.
+type Strategy interface {
+	// Propose returns up to k candidate indices to measure next, in
+	// order. Returning an empty slice ends the session early (the
+	// candidate space is exhausted or the strategy is done).
+	Propose(k int) []int
+	// Observe reports the measured value of one proposed candidate.
+	// Candidates are observed in proposal order, before the next
+	// Propose call.
+	Observe(config int, value float64)
+	// Best returns the strategy's recommendation given everything
+	// observed so far.
+	Best() int
+}
+
+// Observation is one measured candidate of a session trace.
+type Observation struct {
+	Config int
+	Value  float64
+}
+
+// Result is the outcome of one engine session.
+type Result struct {
+	// Best is the recommended candidate index.
+	Best int
+	// Evals is how many measurements were spent.
+	Evals int
+	// Trace is the full (config, value) measurement sequence; with a
+	// deterministic evaluator it is reproducible from
+	// (strategy, seed, budget) alone.
+	Trace []Observation
+}
+
+// Engine drives one tuning session: it owns the measurement budget and
+// the evaluator, and runs the propose/observe loop. The zero value (no
+// evaluator, zero budget) runs zero-execution sessions.
+type Engine struct {
+	// Eval measures proposed candidates. It may be nil when Budget is 0.
+	Eval Evaluator
+	// Budget is the maximum number of measurements.
+	Budget int
+}
+
+// Run drives s until the budget is spent or s stops proposing, then
+// returns s's recommendation and the measurement trace.
+func (e Engine) Run(s Strategy) Result {
+	var res Result
+	for res.Evals < e.Budget {
+		cands := s.Propose(e.Budget - res.Evals)
+		if len(cands) == 0 {
+			break
+		}
+		for _, c := range cands {
+			if res.Evals >= e.Budget {
+				break
+			}
+			v := e.Eval.Measure(c)
+			s.Observe(c, v)
+			res.Trace = append(res.Trace, Observation{Config: c, Value: v})
+			res.Evals++
+		}
+	}
+	res.Best = s.Best()
+	return res
+}
+
+// Run is the convenience form of Engine.Run: one session over problem p,
+// measuring through eval.
+func Run(p Problem, eval Evaluator, s Strategy) Result {
+	return Engine{Eval: eval, Budget: p.Budget}.Run(s)
+}

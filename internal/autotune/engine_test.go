@@ -1,0 +1,157 @@
+package autotune_test
+
+import (
+	"math"
+	"testing"
+
+	"pnptuner/internal/autotune"
+	"pnptuner/internal/bliss"
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/hw"
+	"pnptuner/internal/opentuner"
+)
+
+// strategyEntries returns one entry per strategy family, including the
+// model-shaped ones (Fixed, Shortlist) with synthetic proposals.
+func strategyEntries() []autotune.Entry {
+	return []autotune.Entry{
+		bliss.Entry("bliss"),
+		opentuner.Entry("opentuner"),
+		func() autotune.Entry {
+			e := autotune.HybridEntry("hybrid", func(t autotune.Task) []int { return []int{5, 17, 2} })
+			return e
+		}(),
+		autotune.FixedEntry("fixed", func(t autotune.Task) int { return 9 }),
+	}
+}
+
+// TestTraceDeterminism is the reproducibility contract: for every
+// strategy, the same (seed, budget) produces a bit-identical
+// proposal/observation trace and final pick.
+func TestTraceDeterminism(t *testing.T) {
+	d := dataset.MustBuild(hw.Haswell())
+	rd := d.Regions[3]
+	for _, en := range strategyEntries() {
+		for _, seed := range []uint64{1, 42, rd.Region.Seed} {
+			task := autotune.Task{
+				Problem:  autotune.Problem{Obj: autotune.TimeUnderCap{Cap: 2}, Space: d.Space, Seed: seed},
+				RegionID: rd.Region.ID,
+			}
+			a := autotune.RunEntry(en, rd, task)
+			b := autotune.RunEntry(en, rd, task)
+			if a.Best != b.Best || a.Evals != b.Evals || len(a.Trace) != len(b.Trace) {
+				t.Fatalf("%s seed %d: sessions diverge (%d/%d evals, best %d/%d)",
+					en.Name, seed, a.Evals, b.Evals, a.Best, b.Best)
+			}
+			for i := range a.Trace {
+				if a.Trace[i] != b.Trace[i] {
+					t.Fatalf("%s seed %d: trace[%d] = %+v vs %+v",
+						en.Name, seed, i, a.Trace[i], b.Trace[i])
+				}
+			}
+			if a.Evals != en.Budget {
+				// Search strategies must spend exactly their budget on a
+				// 127-point space; zero-execution ones spend nothing.
+				t.Fatalf("%s: spent %d evals, budget %d", en.Name, a.Evals, en.Budget)
+			}
+		}
+	}
+}
+
+// TestEngineBudgetIsHardCap pins the engine's accounting: an
+// over-proposing strategy is truncated at the budget.
+func TestEngineBudgetIsHardCap(t *testing.T) {
+	s := autotune.NewShortlist([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	evals := 0
+	res := autotune.Engine{
+		Eval:   autotune.EvaluatorFunc(func(c int) float64 { evals++; return float64(c) }),
+		Budget: 3,
+	}.Run(s)
+	if evals != 3 || res.Evals != 3 {
+		t.Fatalf("spent %d/%d evals, budget 3", evals, res.Evals)
+	}
+	if res.Best != 0 {
+		t.Fatalf("best = %d, want cheapest measured 0", res.Best)
+	}
+}
+
+// TestShortlistDegeneratesToStatic: with no budget the shortlist head is
+// the recommendation — the pure zero-execution scenario.
+func TestShortlistDegeneratesToStatic(t *testing.T) {
+	s := autotune.NewShortlist([]int{42, 7, 1})
+	res := autotune.Engine{}.Run(s)
+	if res.Best != 42 || res.Evals != 0 {
+		t.Fatalf("zero-budget shortlist: best %d evals %d, want 42/0", res.Best, res.Evals)
+	}
+}
+
+// TestOracleMatchesDatasetLabels: the generic grid scan reproduces the
+// dataset's precomputed per-cap and EDP labels.
+func TestOracleMatchesDatasetLabels(t *testing.T) {
+	d := dataset.MustBuild(hw.Haswell())
+	for _, rd := range d.Regions[:10] {
+		for ci := range d.Space.Caps() {
+			best, v := autotune.Oracle(rd, d.Space, autotune.TimeUnderCap{Cap: ci})
+			if want := rd.BestTimeCfg[ci]; rd.Results[ci][best].TimeSec != rd.Results[ci][want].TimeSec {
+				t.Fatalf("%s cap %d: oracle %d (%g) != label %d", rd.Region.ID, ci, best, v, want)
+			}
+		}
+		best, _ := autotune.Oracle(rd, d.Space, autotune.EDP{})
+		bc, bk := d.Space.SplitJoint(best)
+		if rd.Results[bc][bk].EDP() != rd.BestEDP(d.Space) {
+			t.Fatalf("%s: EDP oracle %d != label %d", rd.Region.ID, best, rd.BestEDPJoint)
+		}
+	}
+}
+
+// TestEnergyObjective: the label-free objective stays consistent with
+// the grid and its oracle is the grid minimum.
+func TestEnergyObjective(t *testing.T) {
+	d := dataset.MustBuild(hw.Haswell())
+	rd := d.Regions[0]
+	obj := autotune.Energy{}
+	best, v := autotune.Oracle(rd, d.Space, obj)
+	if v <= 0 {
+		t.Fatalf("oracle energy %g", v)
+	}
+	for j := 0; j < d.Space.NumJoint(); j++ {
+		if obj.Value(rd, d.Space, j) < v {
+			t.Fatalf("candidate %d beats the energy oracle %d", j, best)
+		}
+	}
+}
+
+// TestNoiseIsUnbiasedAndSpread checks the shared measurement-noise
+// stream: unit mean, the configured relative spread, and stream
+// independence between the BLISS and OpenTuner mix constants.
+func TestNoiseIsUnbiasedAndSpread(t *testing.T) {
+	for _, sd := range []float64{0.15, 0.20} {
+		sum, sumsq := 0.0, 0.0
+		n := 5000
+		for i := 0; i < n; i++ {
+			v := autotune.Noise(3, autotune.ReplayMix, uint64(i), sd)
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / float64(n)
+		got := math.Sqrt(sumsq/float64(n) - mean*mean)
+		if math.Abs(mean-1) > 0.02 {
+			t.Fatalf("sd %g: noise mean = %g, want ~1", sd, mean)
+		}
+		if got < sd-0.05 || got > sd+0.05 {
+			t.Fatalf("noise sd = %g, want ~%g", got, sd)
+		}
+	}
+	// Different mixes must decorrelate at the same (seed, key).
+	same := 0
+	for i := 0; i < 100; i++ {
+		a := autotune.Noise(7, bliss.NoiseMix, uint64(i), 0.15)
+		b := autotune.Noise(7, opentuner.NoiseMix, uint64(i), 0.15)
+		if a == b {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("%d/100 identical draws across noise streams", same)
+	}
+}

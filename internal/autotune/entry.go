@@ -1,0 +1,76 @@
+package autotune
+
+import "pnptuner/internal/dataset"
+
+// Entry is one strategy column of a comparison: a display name plus how
+// to build the strategy, its evaluator, and its execution budget for a
+// task. Figure drivers iterate a []Entry instead of hardcoding tuner
+// calls, so a new strategy (or a real-hardware evaluator) is a new entry,
+// not a fork of the driver.
+type Entry struct {
+	// Name labels the column (figure legends, CLI output).
+	Name string
+	// Budget is the number of candidate executions granted per task
+	// (0 = zero-execution).
+	Budget int
+	// New constructs the strategy for one task.
+	New func(t Task) Strategy
+	// Eval builds the evaluator measuring this entry's executions for
+	// one region task; nil uses the noise-free replay oracle. Search
+	// baselines install noisy replay here, a hardware runner would
+	// install its execution hook.
+	Eval func(rd *dataset.RegionData, t Task) Evaluator
+}
+
+// Hybrid scenario defaults: the GNN shortlists HybridK candidates and
+// the same number of validation executions picks the winner, each
+// execution carrying HybridNoiseSD relative measurement noise on its own
+// stream — the accuracy/cost point between the zero-execution static
+// scenario and the baselines' 20-execution searches.
+const (
+	HybridK        = 3
+	HybridNoiseSD  = 0.15
+	HybridNoiseMix = uint64(0x94d049bb133111eb)
+)
+
+// HybridEntry builds the GNN-predict-then-search entry: topk looks up
+// the model's shortlist for a task, and HybridK noisy executions refine
+// it. Callers override Budget for a different k.
+func HybridEntry(name string, topk func(t Task) []int) Entry {
+	return Entry{
+		Name:   name,
+		Budget: HybridK,
+		New: func(t Task) Strategy {
+			return NewShortlist(topk(t))
+		},
+		Eval: func(rd *dataset.RegionData, t Task) Evaluator {
+			return NewReplay(rd, t.Space, t.Obj, t.Seed, HybridNoiseSD, HybridNoiseMix)
+		},
+	}
+}
+
+// FixedEntry builds a zero-execution entry from a per-task prediction —
+// how trained-model argmaxes and the default configuration enter
+// comparisons.
+func FixedEntry(name string, pick func(t Task) int) Entry {
+	return Entry{
+		Name: name,
+		New: func(t Task) Strategy {
+			return Fixed(pick(t))
+		},
+	}
+}
+
+// RunEntry runs one engine session for entry e on region rd: the entry's
+// budget overrides the task's, its evaluator measures, and its strategy
+// searches.
+func RunEntry(e Entry, rd *dataset.RegionData, t Task) Result {
+	t.Budget = e.Budget
+	var eval Evaluator
+	if e.Eval != nil {
+		eval = e.Eval(rd, t)
+	} else {
+		eval = NewOracle(rd, t.Space, t.Obj)
+	}
+	return Run(t.Problem, eval, e.New(t))
+}

@@ -1,0 +1,107 @@
+package autotune
+
+import (
+	"math"
+
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/space"
+)
+
+// Evaluator measures candidates for the engine. Implementations range
+// from dataset replay (the simulated testbed) to a hook a real
+// RAPL/variorum runner satisfies by executing the region and reading
+// energy counters.
+type Evaluator interface {
+	// Measure returns the observed objective value of one candidate
+	// (lower is better). Deterministic evaluators make whole tuning
+	// traces reproducible.
+	Measure(config int) float64
+}
+
+// EvaluatorFunc adapts a measurement function — e.g. a closure around
+// hw/rapl region execution — to the Evaluator interface.
+type EvaluatorFunc func(config int) float64
+
+// Measure calls f.
+func (f EvaluatorFunc) Measure(config int) float64 { return f(config) }
+
+// ReplayMix is the default stream constant of Replay measurement noise;
+// strategies replaying pre-refactor traces pass their historical one.
+const ReplayMix uint64 = 0x9e3779b97f4a7c15
+
+// Replay measures candidates by replaying the exhaustive dataset grid,
+// optionally under multiplicative log-normal run-to-run noise — what the
+// baseline tuners see in place of real repeated executions (turbo, cache
+// state, interference keep best-of-N sampling away from the true
+// optimum). NoiseSD 0 replays the grid verbatim (the noise-free oracle
+// evaluator). Noise is deterministic per (Seed, Mix, candidate), so a
+// trace depends only on (strategy, seed, budget).
+type Replay struct {
+	RD  *dataset.RegionData
+	S   *space.Space
+	Obj Objective
+	// NoiseSD is the relative measurement noise of one execution
+	// (0 = noise-free).
+	NoiseSD float64
+	// Seed decorrelates tuning runs; Mix decorrelates the noise streams
+	// of different consumers at the same seed (0 = ReplayMix).
+	Seed uint64
+	Mix  uint64
+}
+
+// NewReplay builds the noisy replay evaluator the baseline comparisons
+// use.
+func NewReplay(rd *dataset.RegionData, s *space.Space, obj Objective, seed uint64, noiseSD float64, mix uint64) *Replay {
+	return &Replay{RD: rd, S: s, Obj: obj, NoiseSD: noiseSD, Seed: seed, Mix: mix}
+}
+
+// NewOracle builds the noise-free replay evaluator: every measurement is
+// the true grid value.
+func NewOracle(rd *dataset.RegionData, s *space.Space, obj Objective) *Replay {
+	return &Replay{RD: rd, S: s, Obj: obj}
+}
+
+// Measure replays candidate config, with noise when configured.
+func (r *Replay) Measure(config int) float64 {
+	v := r.Obj.Value(r.RD, r.S, config)
+	if r.NoiseSD <= 0 {
+		return v
+	}
+	mix := r.Mix
+	if mix == 0 {
+		mix = ReplayMix
+	}
+	return v * Noise(r.Seed, mix, r.Obj.NoiseKey(config), r.NoiseSD)
+}
+
+// Noise returns the deterministic multiplicative noise factor of one
+// simulated execution: log-normal with unit mean and relative spread sd,
+// keyed so every (seed, measurement) pair has its own draw. mix selects
+// an independent stream at the same seed.
+func Noise(seed, mix, key uint64, sd float64) float64 {
+	r := NewRNG(seed ^ (key * mix))
+	u1 := float64(r.Next()>>11) / (1 << 53)
+	u2 := float64(r.Next()>>11) / (1 << 53)
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return math.Exp(sd*z - sd*sd/2)
+}
+
+// RNG is the tiny deterministic (splitmix64) generator behind every
+// engine stream. Strategies draw their decisions from one seeded by the
+// engine, so a session is reproducible from its seed.
+type RNG struct{ x uint64 }
+
+// NewRNG returns an RNG seeded for one stream.
+func NewRNG(seed uint64) *RNG { return &RNG{x: seed} }
+
+// Next returns the next pseudo-random 64-bit value.
+func (s *RNG) Next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,34 @@
+package autotune_test
+
+import (
+	"fmt"
+	"math"
+
+	"pnptuner/internal/autotune"
+)
+
+// ExampleEngine runs one full propose/observe/best session: a Shortlist
+// strategy proposes its candidates in rank order, the evaluator (here a
+// toy cost function standing in for dataset replay or a RAPL runner)
+// measures them, and the engine returns the best measured candidate with
+// the full reproducible trace.
+func ExampleEngine() {
+	strategy := autotune.NewShortlist([]int{2, 9, 7, 4})
+	evaluator := autotune.EvaluatorFunc(func(config int) float64 {
+		return math.Abs(float64(config-7)) + 1 // config 7 is optimal
+	})
+
+	result := autotune.Engine{Eval: evaluator, Budget: 3}.Run(strategy)
+
+	fmt.Println("evals:", result.Evals)
+	for _, obs := range result.Trace {
+		fmt.Printf("observed config %d -> cost %.0f\n", obs.Config, obs.Value)
+	}
+	fmt.Println("best:", result.Best)
+	// Output:
+	// evals: 3
+	// observed config 2 -> cost 6
+	// observed config 9 -> cost 3
+	// observed config 7 -> cost 1
+	// best: 7
+}

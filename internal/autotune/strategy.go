@@ -1,0 +1,69 @@
+package autotune
+
+// Fixed is a zero-execution strategy: it proposes nothing and always
+// recommends the same candidate. Trained-model predictions and the
+// default configuration enter figures as Fixed entries.
+type Fixed int
+
+// Propose never proposes; a Fixed strategy spends no budget.
+func (f Fixed) Propose(int) []int { return nil }
+
+// Observe ignores measurements.
+func (f Fixed) Observe(int, float64) {}
+
+// Best returns the fixed candidate.
+func (f Fixed) Best() int { return int(f) }
+
+// Shortlist proposes a precomputed candidate list in rank order and
+// recommends the best measured one — the refinement half of the hybrid
+// GNN-predict-then-search scenario: the model shortlists top-k
+// configurations, a small execution budget validates them. With no
+// budget it degenerates to the pure static pick (the list head).
+type Shortlist struct {
+	cands []int
+	next  int
+
+	measured bool
+	best     int
+	bestV    float64
+}
+
+// NewShortlist builds a Shortlist over cands (best-first; must be
+// non-empty).
+func NewShortlist(cands []int) *Shortlist {
+	if len(cands) == 0 {
+		panic("autotune: empty shortlist")
+	}
+	return &Shortlist{cands: cands}
+}
+
+// Propose returns the next up-to-k unproposed candidates in list order.
+func (s *Shortlist) Propose(k int) []int {
+	if s.next >= len(s.cands) || k <= 0 {
+		return nil
+	}
+	hi := s.next + k
+	if hi > len(s.cands) {
+		hi = len(s.cands)
+	}
+	out := s.cands[s.next:hi]
+	s.next = hi
+	return out
+}
+
+// Observe keeps the best measured candidate (first measurement wins
+// ties, preserving the list's rank order).
+func (s *Shortlist) Observe(config int, value float64) {
+	if !s.measured || value < s.bestV {
+		s.measured, s.best, s.bestV = true, config, value
+	}
+}
+
+// Best returns the best measured candidate, or the list head if nothing
+// was measured.
+func (s *Shortlist) Best() int {
+	if !s.measured {
+		return s.cands[0]
+	}
+	return s.best
+}

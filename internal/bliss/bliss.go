@@ -8,156 +8,175 @@
 // the paper's setup — which is exactly the cost the PnP tuner's static
 // approach avoids.
 //
-// Tuner-visible measurements carry multiplicative run-to-run noise, as
-// real repeated executions do; the final choice is the best *measured*
-// configuration, which with noise need not be the true optimum.
+// BLISS plugs into the autotune engine as a Strategy: the engine owns
+// the budget, the seeded RNG stream, and the evaluator (noisy dataset
+// replay in the paper's comparison), so a tuning trace is reproducible
+// from (strategy, seed, budget) alone.
 package bliss
 
 import (
 	"math"
 	"sort"
 
+	"pnptuner/internal/autotune"
 	"pnptuner/internal/dataset"
-	"pnptuner/internal/space"
 )
 
-// Tuner is a BLISS instance.
-type Tuner struct {
-	// Budget is the number of sampling executions per tuning task
-	// (20 in the paper's comparison).
-	Budget int
-	// NoiseSD is the relative measurement noise of one execution.
-	NoiseSD float64
-	// Seed decorrelates tuning runs.
-	Seed uint64
+// Paper-comparison defaults: 20 sampling executions per tuning task, and
+// 15% relative measurement noise — the run-to-run variance of short
+// OpenMP regions on real hardware (turbo, cache state, interference)
+// that keeps best-of-20 sampling away from the true optimum.
+const (
+	Budget  = 20
+	NoiseSD = 0.15
+)
+
+// NoiseMix is BLISS's replay-noise stream constant (autotune.Replay.Mix),
+// kept distinct from other tuners' so their measurements decorrelate at
+// equal seeds.
+const NoiseMix uint64 = 0x9e3779b97f4a7c15
+
+// Entry returns the engine entry the figure drivers run: the BLISS
+// strategy under its paper budget, measured by noisy dataset replay.
+func Entry(name string) autotune.Entry {
+	return autotune.Entry{
+		Name:   name,
+		Budget: Budget,
+		New:    New,
+		Eval: func(rd *dataset.RegionData, t autotune.Task) autotune.Evaluator {
+			return autotune.NewReplay(rd, t.Space, t.Obj, t.Seed, NoiseSD, NoiseMix)
+		},
+	}
 }
 
-// New returns a BLISS tuner with the paper's budget. The 15% measurement
-// noise reflects run-to-run variance of short OpenMP regions on real
-// hardware (turbo, cache state, interference), which is what keeps
-// best-of-20 sampling away from the true optimum.
-func New(seed uint64) *Tuner {
-	return &Tuner{Budget: 20, NoiseSD: 0.15, Seed: seed}
+// Strategy is one BLISS tuning session: bootstrap with stratified random
+// samples, then alternate surrogate-guided exploitation with random
+// exploration; the recommendation is the best measured point.
+type Strategy struct {
+	n      int
+	feats  [][]float64
+	budget int // internal pacing bound (the engine still enforces its own)
+	boot   int
+
+	rng      *autotune.RNG
+	visited  map[int]bool
+	proposed int
+
+	xs   [][]float64
+	ys   []float64 // log-scale observations
+	idxs []int
 }
 
-// TuneTime tunes the per-cap configuration space for minimum execution
-// time, returning the chosen config index.
-func (t *Tuner) TuneTime(rd *dataset.RegionData, capIdx int, s *space.Space) int {
-	n := s.NumConfigs()
-	measure := func(i int) float64 {
-		true_ := rd.Results[capIdx][i].TimeSec
-		return true_ * t.noise(uint64(capIdx)*1000+uint64(i))
-	}
-	feats := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		feats[i] = s.ConfigFeatures(i)
-	}
-	return t.search(n, feats, measure)
-}
+// New constructs the BLISS strategy for one task (autotune.Entry.New).
+func New(t autotune.Task) autotune.Strategy { return NewStrategy(t.Problem) }
 
-// TuneEDP tunes the joint (cap × config) space for minimum energy-delay
-// product, returning the chosen joint index.
-func (t *Tuner) TuneEDP(rd *dataset.RegionData, s *space.Space) int {
-	n := s.NumJoint()
-	measure := func(j int) float64 {
-		ci, ki := s.SplitJoint(j)
-		return rd.Results[ci][ki].EDP() * t.noise(uint64(j))
-	}
-	feats := make([][]float64, n)
-	for j := 0; j < n; j++ {
-		ci, ki := s.SplitJoint(j)
-		f := s.ConfigFeatures(ki)
-		capf := s.Caps()[ci] / s.M.TDP
-		feats[j] = append(append([]float64{}, f...), capf)
-	}
-	return t.search(n, feats, measure)
-}
-
-// search runs the BLISS loop: bootstrap with random samples, then
-// alternate surrogate-guided picks with exploration until the budget is
-// spent; return the best measured point.
-func (t *Tuner) search(n int, feats [][]float64, measure func(int) float64) int {
-	budget := t.Budget
+// NewStrategy sizes a BLISS session from the problem: candidate features
+// come from the objective, the bootstrap fraction from the budget, and
+// every random decision from the problem seed.
+func NewStrategy(p autotune.Problem) *Strategy {
+	n := p.N()
+	budget := p.Budget
 	if budget < 4 {
 		budget = 4
 	}
 	if budget > n {
 		budget = n
 	}
-	rng := newSplitMix(t.Seed)
-
-	visited := map[int]bool{}
-	var xs [][]float64
-	var ys []float64 // log-scale objective
-	var idxs []int
-	sample := func(i int) {
-		if visited[i] {
-			return
-		}
-		visited[i] = true
-		v := measure(i)
-		xs = append(xs, feats[i])
-		ys = append(ys, math.Log(v))
-		idxs = append(idxs, i)
-	}
-
-	// Bootstrap: stratified random third of the budget.
 	boot := budget / 3
 	if boot < 3 {
 		boot = 3
 	}
-	for len(idxs) < boot {
-		sample(int(rng.next() % uint64(n)))
+	feats := make([][]float64, n)
+	for i := range feats {
+		feats[i] = p.Obj.Features(p.Space, i)
+	}
+	return &Strategy{
+		n:       n,
+		feats:   feats,
+		budget:  budget,
+		boot:    boot,
+		rng:     autotune.NewRNG(p.Seed),
+		visited: map[int]bool{},
+	}
+}
+
+// Propose returns the next candidates to measure: the remaining
+// bootstrap draws, then one surrogate-guided pick plus (budget allowing)
+// one random exploration point per round.
+func (s *Strategy) Propose(k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	var out []int
+	mark := func(i int) {
+		if s.visited[i] {
+			return
+		}
+		s.visited[i] = true
+		out = append(out, i)
 	}
 
-	for len(idxs) < budget {
-		model := bestModel(xs, ys)
-		// Exploit: the model's best unvisited candidate.
-		bestI, bestPred := -1, math.Inf(1)
-		for i := 0; i < n; i++ {
-			if visited[i] {
-				continue
-			}
-			if p := model.predict(feats[i]); p < bestPred {
-				bestPred, bestI = p, i
-			}
+	if s.proposed < s.boot {
+		// Bootstrap: random draws until the boot count of distinct
+		// points is met.
+		for s.proposed+len(out) < s.boot && len(out) < k {
+			mark(int(s.rng.Next() % uint64(s.n)))
 		}
-		if bestI >= 0 {
-			sample(bestI)
+		s.proposed += len(out)
+		return out
+	}
+	if s.proposed >= s.budget {
+		return nil
+	}
+
+	// Exploit: the best-of-pool surrogate's best unvisited candidate.
+	model := bestModel(s.xs, s.ys)
+	bestI, bestPred := -1, math.Inf(1)
+	for i := 0; i < s.n; i++ {
+		if s.visited[i] {
+			continue
 		}
-		// Explore: one random unvisited point every other round.
-		if len(idxs) < budget {
-			for tries := 0; tries < 32; tries++ {
-				i := int(rng.next() % uint64(n))
-				if !visited[i] {
-					sample(i)
-					break
-				}
+		if p := model.predict(s.feats[i]); p < bestPred {
+			bestPred, bestI = p, i
+		}
+	}
+	if bestI >= 0 {
+		mark(bestI)
+	}
+	// Explore: one random unvisited point, budget allowing.
+	if s.proposed+len(out) < s.budget && len(out) < k {
+		for tries := 0; tries < 32; tries++ {
+			i := int(s.rng.Next() % uint64(s.n))
+			if !s.visited[i] {
+				mark(i)
+				break
 			}
 		}
 	}
+	s.proposed += len(out)
+	return out
+}
 
-	// Return the best measured point.
-	best := idxs[0]
-	bestY := ys[0]
-	for k, y := range ys {
+// Observe records one measurement on log scale for the surrogate pool.
+func (s *Strategy) Observe(config int, value float64) {
+	s.xs = append(s.xs, s.feats[config])
+	s.ys = append(s.ys, math.Log(value))
+	s.idxs = append(s.idxs, config)
+}
+
+// Best returns the best measured point — which, with noisy measurements,
+// need not be the true optimum.
+func (s *Strategy) Best() int {
+	if len(s.idxs) == 0 {
+		return 0
+	}
+	best, bestY := s.idxs[0], s.ys[0]
+	for k, y := range s.ys {
 		if y < bestY {
-			bestY, best = y, idxs[k]
+			bestY, best = y, s.idxs[k]
 		}
 	}
 	return best
-}
-
-// noise returns a deterministic multiplicative noise factor ~ 1 ± NoiseSD.
-func (t *Tuner) noise(key uint64) float64 {
-	r := newSplitMix(t.Seed ^ (key * 0x9e3779b97f4a7c15))
-	u1 := float64(r.next()>>11) / (1 << 53)
-	u2 := float64(r.next()>>11) / (1 << 53)
-	if u1 < 1e-12 {
-		u1 = 1e-12
-	}
-	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
-	return math.Exp(t.NoiseSD*z - t.NoiseSD*t.NoiseSD/2)
 }
 
 // --- Lightweight model pool ---------------------------------------------
@@ -326,17 +345,4 @@ func (m *knn) predict(x []float64) float64 {
 		s += ds[i].y
 	}
 	return s / float64(k)
-}
-
-// splitMix is a tiny deterministic RNG.
-type splitMix struct{ x uint64 }
-
-func newSplitMix(seed uint64) *splitMix { return &splitMix{x: seed} }
-
-func (s *splitMix) next() uint64 {
-	s.x += 0x9e3779b97f4a7c15
-	z := s.x
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
 }

@@ -4,21 +4,31 @@ import (
 	"math"
 	"testing"
 
+	"pnptuner/internal/autotune"
 	"pnptuner/internal/dataset"
 	"pnptuner/internal/hw"
 )
 
+// timeTask builds a scenario-1 tuning task at capIdx.
+func timeTask(d *dataset.Dataset, capIdx int, seed uint64, budget int) autotune.Problem {
+	return autotune.Problem{
+		Obj:    autotune.TimeUnderCap{Cap: capIdx},
+		Space:  d.Space,
+		Budget: budget,
+		Seed:   seed,
+	}
+}
+
 func TestTuneTimeRespectsBudgetAndRange(t *testing.T) {
 	d := dataset.MustBuild(hw.Haswell())
 	rd := d.Regions[0]
-	tuner := New(1)
-	evals := 0
-	// Wrap: count measurements through a probe tuner with tiny budget.
-	tuner.Budget = 10
-	pick := tuner.TuneTime(rd, 0, d.Space)
-	_ = evals
-	if pick < 0 || pick >= d.Space.NumConfigs() {
-		t.Fatalf("pick %d out of range", pick)
+	p := timeTask(d, 0, 1, 10)
+	res := autotune.Run(p, autotune.NewReplay(rd, d.Space, p.Obj, p.Seed, NoiseSD, NoiseMix), NewStrategy(p))
+	if res.Evals > 10 {
+		t.Fatalf("session spent %d evals, budget 10", res.Evals)
+	}
+	if res.Best < 0 || res.Best >= d.Space.NumConfigs() {
+		t.Fatalf("pick %d out of range", res.Best)
 	}
 }
 
@@ -29,9 +39,11 @@ func TestTuneFindsGoodConfig(t *testing.T) {
 	// already near-optimal, noisy best-of-20 selection can tip below it,
 	// which is exactly the behaviour the paper's comparison exposes).
 	d := dataset.MustBuild(hw.Haswell())
+	entry := Entry("BLISS")
 	var sps []float64
 	for _, rd := range d.Regions {
-		pick := New(rd.Region.Seed).TuneTime(rd, 0, d.Space)
+		task := autotune.Task{Problem: timeTask(d, 0, rd.Region.Seed, Budget), RegionID: rd.Region.ID}
+		pick := autotune.RunEntry(entry, rd, task).Best
 		got := rd.Results[0][pick].TimeSec
 		def := rd.DefaultResult(0, d.Space).TimeSec
 		sps = append(sps, def/got)
@@ -48,7 +60,8 @@ func TestTuneFindsGoodConfig(t *testing.T) {
 
 func TestTuneEDPRange(t *testing.T) {
 	d := dataset.MustBuild(hw.Haswell())
-	pick := New(7).TuneEDP(d.Regions[3], d.Space)
+	task := autotune.Task{Problem: autotune.Problem{Obj: autotune.EDP{}, Space: d.Space, Seed: 7}}
+	pick := autotune.RunEntry(Entry("BLISS"), d.Regions[3], task).Best
 	if pick < 0 || pick >= d.Space.NumJoint() {
 		t.Fatalf("joint pick %d out of range", pick)
 	}
@@ -57,29 +70,11 @@ func TestTuneEDPRange(t *testing.T) {
 func TestDeterministicGivenSeed(t *testing.T) {
 	d := dataset.MustBuild(hw.Haswell())
 	rd := d.Regions[5]
-	a := New(42).TuneTime(rd, 1, d.Space)
-	b := New(42).TuneTime(rd, 1, d.Space)
+	task := autotune.Task{Problem: timeTask(d, 1, 42, Budget)}
+	a := autotune.RunEntry(Entry("BLISS"), rd, task).Best
+	b := autotune.RunEntry(Entry("BLISS"), rd, task).Best
 	if a != b {
 		t.Fatal("same seed gave different picks")
-	}
-}
-
-func TestNoiseIsUnbiasedAndSpread(t *testing.T) {
-	tu := New(3)
-	sum, sumsq := 0.0, 0.0
-	n := 5000
-	for i := 0; i < n; i++ {
-		v := tu.noise(uint64(i))
-		sum += v
-		sumsq += v * v
-	}
-	mean := sum / float64(n)
-	sd := math.Sqrt(sumsq/float64(n) - mean*mean)
-	if math.Abs(mean-1) > 0.02 {
-		t.Fatalf("noise mean = %g, want ~1", mean)
-	}
-	if sd < 0.10 || sd > 0.20 {
-		t.Fatalf("noise sd = %g, want ~0.15", sd)
 	}
 }
 

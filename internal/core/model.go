@@ -332,6 +332,25 @@ func (m *Model) PredictCompiled(cgs []*rgcn.CompiledGraph, extras [][]float64) [
 	return out
 }
 
+// TopKCompiled scores precompiled graphs in one encoder pass and
+// returns each graph's k best classes per head, best first: out[i][h]
+// lists head h's top-k picks for cgs[i]. k=1 reproduces PredictCompiled;
+// larger k feeds hybrid tuning sessions their proposal shortlists.
+func (m *Model) TopKCompiled(cgs []*rgcn.CompiledGraph, extras [][]float64, k int) [][][]int {
+	enc := m.EncodeCompiled(cgs, extras)
+	out := make([][][]int, len(cgs))
+	for i := range out {
+		out[i] = make([][]int, len(m.Heads))
+	}
+	for h := range m.Heads {
+		logits := m.Logits(enc, h)
+		for i := range cgs {
+			out[i][h] = nn.TopK(logits, i, k)
+		}
+	}
+	return out
+}
+
 // ScoreAll broadcasts one pooled graph vector against every candidate's
 // extra-feature row — assembling the full (len(extras) × in) dense-head
 // input in one shot — and scores head h over all candidates with a single

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"pnptuner/internal/autotune"
 	"pnptuner/internal/dataset"
 	"pnptuner/internal/kernels"
 	"pnptuner/internal/nn"
@@ -109,9 +110,11 @@ func powerSamples(d *dataset.Dataset, train []*dataset.RegionData, cfg ModelConf
 		s := Sample{Region: rd.Region}
 		ex := extras(cfg, rd.Counters, 0)
 		for h, lbl := range rd.BestTimeCfg {
-			res := rd.Results[h]
-			soft := softTargets(cfg, func(i int) float64 { return res[i].TimeSec },
-				d.Space.NumConfigs(), res[lbl].TimeSec)
+			// Labels and soft targets read the same objective the engine
+			// searches and the figures report.
+			obj := autotune.TimeUnderCap{Cap: h}
+			soft := softTargets(cfg, func(i int) float64 { return obj.Value(rd, d.Space, i) },
+				d.Space.NumConfigs(), obj.Value(rd, d.Space, lbl))
 			s.Cases = append(s.Cases, Case{Extras: ex, Head: h, Label: lbl, Soft: soft})
 		}
 		samples = append(samples, s)
@@ -188,12 +191,11 @@ type EDPResult struct {
 // minimum energy-delay product.
 func TrainEDP(d *dataset.Dataset, fold dataset.Fold, cfg ModelConfig) *EDPResult {
 	m := NewModel(cfg, d.Corpus.Vocab.Size(), 1, d.Space.NumJoint())
+	obj := autotune.EDP{}
 	samples := make([]Sample, 0, len(fold.Train))
 	for _, rd := range fold.Train {
-		soft := softTargets(cfg, func(j int) float64 {
-			ci, ki := d.Space.SplitJoint(j)
-			return rd.Results[ci][ki].EDP()
-		}, d.Space.NumJoint(), rd.BestEDP(d.Space))
+		soft := softTargets(cfg, func(j int) float64 { return obj.Value(rd, d.Space, j) },
+			d.Space.NumJoint(), rd.BestEDP(d.Space))
 		samples = append(samples, Sample{
 			Region: rd.Region,
 			Cases:  []Case{{Extras: extras(cfg, rd.Counters, 0), Head: 0, Label: rd.BestEDPJoint, Soft: soft}},
@@ -230,9 +232,9 @@ func TrainUnseenCap(d *dataset.Dataset, fold dataset.Fold, targetCapIdx int, cfg
 			if ci == targetCapIdx {
 				continue
 			}
-			res := rd.Results[ci]
-			soft := softTargets(cfg, func(i int) float64 { return res[i].TimeSec },
-				d.Space.NumConfigs(), res[rd.BestTimeCfg[ci]].TimeSec)
+			obj := autotune.TimeUnderCap{Cap: ci}
+			soft := softTargets(cfg, func(i int) float64 { return obj.Value(rd, d.Space, i) },
+				d.Space.NumConfigs(), obj.Value(rd, d.Space, rd.BestTimeCfg[ci]))
 			s.Cases = append(s.Cases, Case{
 				Extras: extras(cfg, rd.Counters, caps[ci]/tdp),
 				Head:   0,
@@ -266,32 +268,76 @@ func (m *Model) PredictTopK(r *kernels.Region, extraFeats []float64, h, k int) [
 	return nn.TopK(logits, 0, k)
 }
 
-// HybridPower picks, per validation region and cap, the best of the
-// model's top-k candidates by actually measuring them (k executions per
-// cap instead of BLISS's 20 per region). All validation regions encode in
-// one batched pass.
-func HybridPower(d *dataset.Dataset, res *PowerResult, fold dataset.Fold, k int) map[string][]int {
-	out := make(map[string][]int, len(fold.Val))
-	if len(fold.Val) == 0 {
+// Strategy wraps the trained model as an autotune.Strategy for one
+// region: a shortlist of head h's top-k predictions, best-first. With a
+// zero engine budget it is the paper's zero-execution static scenario
+// (Best is the top-1 prediction); under a small budget it is the hybrid
+// GNN-predict-then-search scenario (the engine measures the shortlist
+// and the best measured candidate wins).
+func (m *Model) Strategy(r *kernels.Region, extraFeats []float64, h, k int) autotune.Strategy {
+	return autotune.NewShortlist(m.PredictTopK(r, extraFeats, h, k))
+}
+
+// TopKPower returns, per validation region and cap, the model's k
+// highest-scoring config indices (best first) from one batched encoder
+// pass — the proposal shortlists hybrid tuning sessions refine by
+// measurement.
+func TopKPower(d *dataset.Dataset, m *Model, val []*dataset.RegionData, k int) map[string][][]int {
+	out := make(map[string][][]int, len(val))
+	if len(val) == 0 {
 		return out
 	}
-	enc := encodeRegions(res.Model, res.Model.Cfg, fold.Val, 0)
-	logits := make([]*tensor.Matrix, len(d.Space.Caps()))
-	for ci := range logits {
-		logits[ci] = res.Model.Logits(enc, ci)
+	enc := encodeRegions(m, m.Cfg, val, 0)
+	nCaps := len(d.Space.Caps())
+	lists := make([][][]int, len(val))
+	for i, rd := range val {
+		lists[i] = make([][]int, nCaps)
+		out[rd.Region.ID] = lists[i]
 	}
-	for vi, rd := range fold.Val {
-		picks := make([]int, len(d.Space.Caps()))
+	for h := 0; h < nCaps; h++ {
+		logits := m.Logits(enc, h)
+		for i := range val {
+			lists[i][h] = nn.TopK(logits, i, k)
+		}
+	}
+	return out
+}
+
+// TopKEDP returns, per validation region, the scenario-2 model's k
+// highest-scoring joint (cap, config) labels, best first, from one
+// batched encoder pass.
+func TopKEDP(d *dataset.Dataset, m *Model, val []*dataset.RegionData, k int) map[string][]int {
+	out := make(map[string][]int, len(val))
+	if len(val) == 0 {
+		return out
+	}
+	logits := m.Logits(encodeRegions(m, m.Cfg, val, 0), 0)
+	for i, rd := range val {
+		out[rd.Region.ID] = nn.TopK(logits, i, k)
+	}
+	return out
+}
+
+// HybridPower picks, per validation region and cap, the best of the
+// model's top-k candidates by measuring them through a noise-free engine
+// session (k executions per cap instead of BLISS's 20 per region). All
+// validation regions encode in one batched pass; only the per-(region,
+// cap) refinement runs through the engine.
+func HybridPower(d *dataset.Dataset, res *PowerResult, fold dataset.Fold, k int) map[string][]int {
+	topk := TopKPower(d, res.Model, fold.Val, k)
+	out := make(map[string][]int, len(fold.Val))
+	nCaps := len(d.Space.Caps())
+	for _, rd := range fold.Val {
+		picks := make([]int, nCaps)
 		for ci := range picks {
-			cands := nn.TopK(logits[ci], vi, k)
-			best := cands[0]
-			bestT := rd.Results[ci][best].TimeSec
-			for _, c := range cands[1:] {
-				if t := rd.Results[ci][c].TimeSec; t < bestT {
-					best, bestT = c, t
-				}
+			p := autotune.Problem{
+				Obj:    autotune.TimeUnderCap{Cap: ci},
+				Space:  d.Space,
+				Budget: k,
+				Seed:   rd.Region.Seed,
 			}
-			picks[ci] = best
+			eval := autotune.NewOracle(rd, d.Space, p.Obj)
+			picks[ci] = autotune.Run(p, eval, autotune.NewShortlist(topk[rd.Region.ID][ci])).Best
 		}
 		out[rd.Region.ID] = picks
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"pnptuner/internal/autotune"
 	"pnptuner/internal/bliss"
 	"pnptuner/internal/core"
 	"pnptuner/internal/dataset"
@@ -201,10 +202,11 @@ func Fig6And7(w io.Writer, m *hw.Machine, opts Options) (*EDPFigure, error) {
 	}
 
 	// Per-fold EDP models are independent: train in parallel, merge in
-	// fold order. Only the prediction maps are retained.
+	// fold order. Only the prediction maps and shortlists are retained.
 	type foldOut struct {
 		static  map[string]int
 		dynamic map[string]int
+		topk    map[string][]int
 	}
 	outs := make([]foldOut, len(folds))
 	parallelFolds(len(folds), func(fi int) {
@@ -212,18 +214,32 @@ func Fig6And7(w io.Writer, m *hw.Machine, opts Options) (*EDPFigure, error) {
 		outs[fi] = foldOut{
 			static:  static.Pred,
 			dynamic: core.RefineEDPWithCounters(d, folds[fi], static.Pred, opts.Threshold, opts.Model),
+			topk:    core.TopKEDP(d, static.Model, folds[fi].Val, HybridK),
 		}
 	})
 
 	for fi, fold := range folds {
-		static, dynamic := outs[fi].static, outs[fi].dynamic
+		o := outs[fi]
+		// One engine entry per tuner column over the joint space.
+		entries := []autotune.Entry{
+			autotune.FixedEntry(TunerDefault, func(t autotune.Task) int {
+				return d.Space.JointIndex(tdpIdx, d.Space.DefaultIndex())
+			}),
+			autotune.FixedEntry(TunerPnPStatic, func(t autotune.Task) int { return o.static[t.RegionID] }),
+			autotune.FixedEntry(TunerPnPDyn, func(t autotune.Task) int { return o.dynamic[t.RegionID] }),
+			autotune.HybridEntry(TunerPnPHybrid, func(t autotune.Task) []int { return o.topk[t.RegionID] }),
+			bliss.Entry(TunerBLISS),
+			opentuner.Entry(TunerOpenTuner),
+		}
 		for _, rd := range fold.Val {
 			present[rd.Region.App] = true
-			record(TunerDefault, rd, d.Space.JointIndex(tdpIdx, d.Space.DefaultIndex()))
-			record(TunerPnPStatic, rd, static[rd.Region.ID])
-			record(TunerPnPDyn, rd, dynamic[rd.Region.ID])
-			record(TunerBLISS, rd, bliss.New(rd.Region.Seed).TuneEDP(rd, d.Space))
-			record(TunerOpenTuner, rd, opentuner.New(rd.Region.Seed).TuneEDP(rd, d.Space))
+			task := autotune.Task{
+				Problem:  autotune.Problem{Obj: autotune.EDP{}, Space: d.Space, Seed: rd.Region.Seed},
+				RegionID: rd.Region.ID,
+			}
+			for _, en := range entries {
+				record(en.Name, rd, autotune.RunEntry(en, rd, task).Best)
+			}
 		}
 	}
 
@@ -255,11 +271,13 @@ func Fig6And7(w io.Writer, m *hw.Machine, opts Options) (*EDPFigure, error) {
 		fmt.Fprintf(w, "%s %.2fx  ", tn, ef.EDPImprovement[tn])
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "  EDP within 5%%/20%% of oracle: PnP(Static) %.0f%%/%.0f%%, PnP(Dynamic) %.0f%%/%.0f%%, BLISS %.0f%%/%.0f%%, OpenTuner %.0f%%/%.0f%%\n",
+	fmt.Fprintf(w, "  EDP within 5%%/20%% of oracle: PnP(Static) %.0f%%/%.0f%%, PnP(Dynamic) %.0f%%/%.0f%%, PnP(Hybrid) %.0f%%/%.0f%%, BLISS %.0f%%/%.0f%%, OpenTuner %.0f%%/%.0f%%\n",
 		100*metrics.FractionAtLeast(ef.RegionNormEDP[TunerPnPStatic], 0.95),
 		100*metrics.FractionAtLeast(ef.RegionNormEDP[TunerPnPStatic], 0.80),
 		100*metrics.FractionAtLeast(ef.RegionNormEDP[TunerPnPDyn], 0.95),
 		100*metrics.FractionAtLeast(ef.RegionNormEDP[TunerPnPDyn], 0.80),
+		100*metrics.FractionAtLeast(ef.RegionNormEDP[TunerPnPHybrid], 0.95),
+		100*metrics.FractionAtLeast(ef.RegionNormEDP[TunerPnPHybrid], 0.80),
 		100*metrics.FractionAtLeast(ef.RegionNormEDP[TunerBLISS], 0.95),
 		100*metrics.FractionAtLeast(ef.RegionNormEDP[TunerBLISS], 0.80),
 		100*metrics.FractionAtLeast(ef.RegionNormEDP[TunerOpenTuner], 0.95),

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 
+	"pnptuner/internal/autotune"
 	"pnptuner/internal/bliss"
 	"pnptuner/internal/core"
 	"pnptuner/internal/dataset"
@@ -90,12 +91,36 @@ const (
 	TunerDefault   = "Default"
 	TunerPnPStatic = "PnP(Static)"
 	TunerPnPDyn    = "PnP(Dynamic)"
+	TunerPnPHybrid = "PnP(Hybrid)"
 	TunerBLISS     = "BLISS"
 	TunerOpenTuner = "OpenTuner"
 )
 
-// Tuners lists the legend order.
-var Tuners = []string{TunerDefault, TunerPnPStatic, TunerPnPDyn, TunerBLISS, TunerOpenTuner}
+// Tuners lists the legend order. PnP(Hybrid) is this reproduction's
+// extension scenario: the GNN shortlists top-k configurations and a
+// k-execution budget validates them — between the paper's zero-execution
+// static scenario and the baselines' 20-execution searches.
+var Tuners = []string{TunerDefault, TunerPnPStatic, TunerPnPDyn, TunerPnPHybrid, TunerBLISS, TunerOpenTuner}
+
+// HybridK re-exports the engine's hybrid shortlist size — the k the
+// figures' PnP(Hybrid) column spends per tuning task.
+const HybridK = autotune.HybridK
+
+// timeEntries assembles the scenario-1 strategy columns for one fold:
+// zero-execution entries from the default config and the static/dynamic
+// prediction maps, the hybrid shortlist entry, and the engine-driven
+// search baselines.
+func timeEntries(d *dataset.Dataset, static, dynamic map[string][]int, topk map[string][][]int) []autotune.Entry {
+	capOf := func(t autotune.Task) int { return t.Obj.(autotune.TimeUnderCap).Cap }
+	return []autotune.Entry{
+		autotune.FixedEntry(TunerDefault, func(t autotune.Task) int { return d.Space.DefaultIndex() }),
+		autotune.FixedEntry(TunerPnPStatic, func(t autotune.Task) int { return static[t.RegionID][capOf(t)] }),
+		autotune.FixedEntry(TunerPnPDyn, func(t autotune.Task) int { return dynamic[t.RegionID][capOf(t)] }),
+		autotune.HybridEntry(TunerPnPHybrid, func(t autotune.Task) []int { return topk[t.RegionID][capOf(t)] }),
+		bliss.Entry(TunerBLISS),
+		opentuner.Entry(TunerOpenTuner),
+	}
+}
 
 // --- Table I and Table II ------------------------------------------------
 
@@ -131,6 +156,10 @@ type MotivationResult struct {
 	// SpeedupAtCap is the oracle speedup over the default config at each
 	// Haswell cap for ApplyAccelerationBoundaryConditionsForNodes.
 	SpeedupAtCap []float64
+	// TunerNorm[tuner][capIdx] is the fraction of the oracle speedup each
+	// model-free engine entry (Default, BLISS, OpenTuner) reaches on the
+	// motivating kernel.
+	TunerNorm map[string][]float64
 	// BestEnergyGreenup and BestEnergySpeedup compare the most
 	// energy-efficient point against default at TDP.
 	BestEnergyGreenup float64
@@ -158,13 +187,43 @@ func Motivation(w io.Writer) (*MotivationResult, error) {
 	if rd == nil {
 		return nil, fmt.Errorf("experiments: LULESH boundary kernel missing")
 	}
-	res := &MotivationResult{}
+	res := &MotivationResult{TunerNorm: map[string][]float64{}}
 	fmt.Fprintln(w, "Motivating example (§I): LULESH ApplyAccelerationBoundaryConditionsForNodes, Haswell")
 	for ci, capW := range d.Space.Caps() {
 		def := rd.DefaultResult(ci, d.Space).TimeSec
 		sp := metrics.Speedup(def, rd.BestTime(ci))
 		res.SpeedupAtCap = append(res.SpeedupAtCap, sp)
 		fmt.Fprintf(w, "  exhaustive best speedup vs default at %3.0fW: %.2fx\n", capW, sp)
+	}
+	// What the model-free strategies recover of those gains: one engine
+	// session per (entry, cap) on the motivating kernel.
+	entries := []autotune.Entry{
+		autotune.FixedEntry(TunerDefault, func(t autotune.Task) int { return d.Space.DefaultIndex() }),
+		bliss.Entry(TunerBLISS),
+		opentuner.Entry(TunerOpenTuner),
+	}
+	for _, en := range entries {
+		norms := make([]float64, len(d.Space.Caps()))
+		for ci := range d.Space.Caps() {
+			task := autotune.Task{
+				Problem: autotune.Problem{
+					Obj:   autotune.TimeUnderCap{Cap: ci},
+					Space: d.Space,
+					Seed:  rd.Region.Seed,
+				},
+				RegionID: rd.Region.ID,
+			}
+			pick := autotune.RunEntry(en, rd, task).Best
+			def := rd.DefaultResult(ci, d.Space).TimeSec
+			sp := metrics.Speedup(def, rd.Results[ci][pick].TimeSec)
+			norms[ci] = metrics.Normalize(sp, metrics.Speedup(def, rd.BestTime(ci)))
+		}
+		res.TunerNorm[en.Name] = norms
+		fmt.Fprintf(w, "  %-10s fraction of oracle per cap:", en.Name)
+		for _, v := range norms {
+			fmt.Fprintf(w, " %5.2f", v)
+		}
+		fmt.Fprintln(w)
 	}
 	// Most energy-efficient point across the whole joint space.
 	tdpIdx := len(d.Space.Caps()) - 1
@@ -286,6 +345,7 @@ func powerFigure(w io.Writer, m *hw.Machine, transferSrc *core.PowerResult, opts
 	type foldOut struct {
 		static           map[string][]int
 		dynamic          map[string][]int
+		topk             map[string][][]int
 		fullDur, xferDur float64
 		err              error
 	}
@@ -310,6 +370,7 @@ func powerFigure(w io.Writer, m *hw.Machine, transferSrc *core.PowerResult, opts
 		}
 		o.static = res.Pred
 		o.dynamic = core.RefineWithCounters(d, fold, res.Pred, opts.Threshold, opts.Model)
+		o.topk = core.TopKPower(d, res.Model, fold.Val, HybridK)
 	})
 
 	var fullDur, xferDur float64
@@ -318,25 +379,32 @@ func powerFigure(w io.Writer, m *hw.Machine, transferSrc *core.PowerResult, opts
 		if o.err != nil {
 			return nil, o.err
 		}
-		static, dynamic := o.static, o.dynamic
 		fullDur += o.fullDur
 		xferDur += o.xferDur
 
+		// Every tuner column is one engine entry: the predictions become
+		// zero-execution Fixed strategies, the hybrid shortlist gets its
+		// k-execution refinement budget, and the search baselines run
+		// their full noisy-replay sessions.
+		entries := timeEntries(d, o.static, o.dynamic, o.topk)
 		for _, rd := range fold.Val {
 			for ci := range pf.Caps {
 				def := rd.DefaultResult(ci, d.Space).TimeSec
 				best := rd.BestTime(ci)
 				oracleSp := metrics.Speedup(def, best)
-				eval := func(tuner string, cfgIdx int) {
-					tm := rd.Results[ci][cfgIdx].TimeSec
-					sp := metrics.Speedup(def, tm)
-					addRegion(tuner, rd.Region.App, ci, metrics.Normalize(sp, oracleSp), sp)
+				task := autotune.Task{
+					Problem: autotune.Problem{
+						Obj:   autotune.TimeUnderCap{Cap: ci},
+						Space: d.Space,
+						Seed:  rd.Region.Seed,
+					},
+					RegionID: rd.Region.ID,
 				}
-				addRegion(TunerDefault, rd.Region.App, ci, metrics.Normalize(1, oracleSp), 1)
-				eval(TunerPnPStatic, static[rd.Region.ID][ci])
-				eval(TunerPnPDyn, dynamic[rd.Region.ID][ci])
-				eval(TunerBLISS, bliss.New(rd.Region.Seed).TuneTime(rd, ci, d.Space))
-				eval(TunerOpenTuner, opentuner.New(rd.Region.Seed).TuneTime(rd, ci, d.Space))
+				for _, en := range entries {
+					pick := autotune.RunEntry(en, rd, task).Best
+					sp := metrics.Speedup(def, rd.Results[ci][pick].TimeSec)
+					addRegion(en.Name, rd.Region.App, ci, metrics.Normalize(sp, oracleSp), sp)
+				}
 			}
 		}
 	}
@@ -408,8 +476,8 @@ func printPowerFigure(w io.Writer, title string, pf *PowerFigure) {
 		}
 		fmt.Fprintln(w)
 	}
-	fmt.Fprintf(w, "  >=0.95 oracle: PnP(Static) %.0f%%, PnP(Dynamic) %.0f%%, BLISS %.0f%%, OpenTuner %.0f%%\n",
-		100*pf.Frac95(TunerPnPStatic), 100*pf.Frac95(TunerPnPDyn),
+	fmt.Fprintf(w, "  >=0.95 oracle: PnP(Static) %.0f%%, PnP(Dynamic) %.0f%%, PnP(Hybrid) %.0f%%, BLISS %.0f%%, OpenTuner %.0f%%\n",
+		100*pf.Frac95(TunerPnPStatic), 100*pf.Frac95(TunerPnPDyn), 100*pf.Frac95(TunerPnPHybrid),
 		100*pf.Frac95(TunerBLISS), 100*pf.Frac95(TunerOpenTuner))
 	fmt.Fprintf(w, "  PnP beats BLISS in %.0f%% and OpenTuner in %.0f%% of cases\n",
 		100*pf.BeatsFraction(TunerPnPStatic, TunerBLISS),

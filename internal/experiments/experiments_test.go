@@ -78,6 +78,12 @@ func TestFig2QuickShape(t *testing.T) {
 	if !strings.Contains(b.String(), "geomean speedups over default") {
 		t.Error("figure print incomplete")
 	}
+	// The hybrid scenario buys headroom with its k validation runs: its
+	// fraction-of-oracle at the figures' reporting threshold must be at
+	// least the pure static prediction's.
+	if hy, st := pf.Frac95(TunerPnPHybrid), pf.Frac95(TunerPnPStatic); hy < st {
+		t.Errorf("hybrid frac@0.95 = %.3f below pure-GNN %.3f", hy, st)
+	}
 }
 
 func TestFig5QuickShape(t *testing.T) {

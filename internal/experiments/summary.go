@@ -97,6 +97,11 @@ func (all *AllResults) Summary(w io.Writer) {
 			fmt.Sprintf("%.0f%%", 100*metrics.FractionAtLeast(both, 0.95)))
 		row("PnP(Dynamic) within 5% of oracle", "87.5% (refined cases)",
 			fmt.Sprintf("%.0f%%", 100*metrics.FractionAtLeast(bothDyn, 0.95)))
+		bothHybrid := append(append([]float64{}, all.Fig2.RegionNorm[TunerPnPHybrid]...),
+			all.Fig3.RegionNorm[TunerPnPHybrid]...)
+		row(fmt.Sprintf("PnP(Hybrid) within 5%% of oracle (k=%d runs)", HybridK),
+			"n/a (this repo's extension)",
+			fmt.Sprintf("%.0f%%", 100*metrics.FractionAtLeast(bothHybrid, 0.95)))
 		row("BLISS within 5% of oracle", "51%",
 			fmt.Sprintf("%.0f%%", 100*metrics.FractionAtLeast(bothBliss, 0.95)))
 		row("OpenTuner within 5% of oracle", "34%",

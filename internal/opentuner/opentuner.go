@@ -5,68 +5,52 @@
 // multi-armed bandit that allocates trials to whichever technique has
 // been paying off (the "AUC bandit meta-technique").
 //
-// Like BLISS it must execute candidate configurations; the paper drives
-// it with a "stop-after" wall-clock budget, which at region granularity
-// corresponds to a fixed number of sampling executions.
+// Like BLISS it must execute candidate configurations; it plugs into the
+// autotune engine as a Strategy, with the engine owning the budget (the
+// paper's "stop-after" wall-clock budget expressed in region
+// executions), the seeded RNG stream, and the noisy replay evaluator.
 package opentuner
 
 import (
 	"math"
 
+	"pnptuner/internal/autotune"
 	"pnptuner/internal/dataset"
 	"pnptuner/internal/space"
 )
 
-// Tuner is an OpenTuner instance.
-type Tuner struct {
-	// Budget is the number of candidate executions (the paper's
-	// stop-after budget expressed in region executions).
-	Budget int
-	// NoiseSD is the relative measurement noise of one execution.
-	NoiseSD float64
-	Seed    uint64
+// Paper-comparison defaults: 20 candidate executions, and 20% relative
+// measurement noise — greedy search reacts to every noisy sample (unlike
+// BLISS's pooled surrogate), so the same hardware variance hurts it
+// more.
+const (
+	Budget  = 20
+	NoiseSD = 0.20
+)
+
+// NoiseMix is OpenTuner's replay-noise stream constant
+// (autotune.Replay.Mix), distinct from BLISS's so their measurements
+// decorrelate at equal seeds.
+const NoiseMix uint64 = 0xbf58476d1ce4e5b9
+
+// Entry returns the engine entry the figure drivers run: the OpenTuner
+// strategy under its paper budget, measured by noisy dataset replay.
+func Entry(name string) autotune.Entry {
+	return autotune.Entry{
+		Name:   name,
+		Budget: Budget,
+		New:    New,
+		Eval: func(rd *dataset.RegionData, t autotune.Task) autotune.Evaluator {
+			return autotune.NewReplay(rd, t.Space, t.Obj, t.Seed, NoiseSD, NoiseMix)
+		},
+	}
 }
 
-// New returns an OpenTuner with the comparison budget used in §IV. Greedy
-// search reacts to every noisy sample (unlike BLISS's pooled surrogate),
-// so the same hardware variance hurts it more.
-func New(seed uint64) *Tuner {
-	return &Tuner{Budget: 20, NoiseSD: 0.20, Seed: seed}
-}
-
-// point is a lattice coordinate: (thread, sched, chunk[, cap]) indices,
-// with the final lattice cell standing for the default configuration.
+// point is a lattice coordinate over the objective's dims — for the
+// per-cap space (thread, sched, chunk) indices, for the joint space a
+// leading cap index. The lattice excludes the trailing default
+// configuration, exactly as the original tuner searched.
 type point []int
-
-// TuneTime tunes the per-cap space for minimum time.
-func (t *Tuner) TuneTime(rd *dataset.RegionData, capIdx int, s *space.Space) int {
-	dims := []int{len(s.M.ThreadCounts), len(space.Schedules), len(space.Chunks)}
-	decode := func(p point) int {
-		return (p[0]*len(space.Schedules)+p[1])*len(space.Chunks) + p[2]
-	}
-	measure := func(p point) float64 {
-		i := decode(p)
-		return rd.Results[capIdx][i].TimeSec * t.noise(uint64(capIdx*1000+i))
-	}
-	best := t.search(dims, measure)
-	return decode(best)
-}
-
-// TuneEDP tunes the joint space for minimum EDP.
-func (t *Tuner) TuneEDP(rd *dataset.RegionData, s *space.Space) int {
-	dims := []int{len(s.Caps()), len(s.M.ThreadCounts), len(space.Schedules), len(space.Chunks)}
-	decode := func(p point) int {
-		cfg := (p[1]*len(space.Schedules)+p[2])*len(space.Chunks) + p[3]
-		return s.JointIndex(p[0], cfg)
-	}
-	measure := func(p point) float64 {
-		j := decode(p)
-		ci, ki := s.SplitJoint(j)
-		return rd.Results[ci][ki].EDP() * t.noise(uint64(j))
-	}
-	best := t.search(dims, measure)
-	return decode(best)
-}
 
 // technique identifiers for the bandit.
 const (
@@ -77,131 +61,203 @@ const (
 	numTechniques
 )
 
-// search runs the AUC-bandit loop and returns the best measured point.
-func (t *Tuner) search(dims []int, measure func(point) float64) point {
-	rng := newSplitMix(t.Seed)
-	randPoint := func() point {
-		p := make(point, len(dims))
-		for d, n := range dims {
-			p[d] = int(rng.next() % uint64(n))
-		}
-		return p
-	}
-	clamp := func(p point) {
-		for d, n := range dims {
-			if p[d] < 0 {
-				p[d] = 0
-			}
-			if p[d] >= n {
-				p[d] = n - 1
-			}
-		}
-	}
+// Strategy is one OpenTuner session: the AUC-bandit loop over the
+// technique ensemble, recommending the best measured point.
+type Strategy struct {
+	obj   autotune.Objective
+	sp    *space.Space
+	dims  []int
+	total int
 
-	var history []eval
-	seen := map[string]bool{}
-	key := func(p point) string {
-		b := make([]byte, len(p))
-		for i, v := range p {
-			b[i] = byte(v)
-		}
-		return string(b)
-	}
-	run := func(p point) float64 {
-		y := measure(p)
-		history = append(history, eval{append(point{}, p...), y})
-		seen[key(p)] = true
-		return y
-	}
+	rng *autotune.RNG
 
-	totalCells := 1
+	history []eval
+	seen    map[string]bool
+	best    point
+	bestY   float64
+
+	trials []float64
+	credit []float64
+
+	started     bool
+	pending     point
+	pendingTech int
+}
+
+// New constructs the OpenTuner strategy for one task (autotune.Entry.New).
+func New(t autotune.Task) autotune.Strategy { return NewStrategy(t.Problem) }
+
+// NewStrategy sizes an OpenTuner session from the problem: the lattice
+// shape comes from the objective, every random decision from the problem
+// seed.
+func NewStrategy(p autotune.Problem) *Strategy {
+	dims := p.Obj.Dims(p.Space)
+	total := 1
 	for _, n := range dims {
-		totalCells *= n
+		total *= n
 	}
-
-	best := randPoint()
-	bestY := run(best)
-
-	// Bandit state: per-technique trials and rolling credit.
-	trials := make([]float64, numTechniques)
-	credit := make([]float64, numTechniques)
-	pick := func() int {
-		total := 0.0
-		for _, n := range trials {
-			total += n
-		}
-		bestTech, bestScore := 0, math.Inf(-1)
-		for k := 0; k < numTechniques; k++ {
-			if trials[k] == 0 {
-				return k
-			}
-			score := credit[k]/trials[k] + math.Sqrt(2*math.Log(total+1)/trials[k])
-			if score > bestScore {
-				bestScore, bestTech = score, k
-			}
-		}
-		return bestTech
+	return &Strategy{
+		obj:    p.Obj,
+		sp:     p.Space,
+		dims:   dims,
+		total:  total,
+		rng:    autotune.NewRNG(p.Seed),
+		seen:   map[string]bool{},
+		trials: make([]float64, numTechniques),
+		credit: make([]float64, numTechniques),
 	}
+}
 
-	for len(history) < t.Budget && len(seen) < totalCells {
-		tech := pick()
-		var cand point
-		switch tech {
-		case techRandom:
-			cand = randPoint()
-		case techHillClimb:
-			cand = append(point{}, best...)
-			d := int(rng.next() % uint64(len(dims)))
-			if rng.next()%2 == 0 {
-				cand[d]++
+func (s *Strategy) randPoint() point {
+	p := make(point, len(s.dims))
+	for d, n := range s.dims {
+		p[d] = int(s.rng.Next() % uint64(n))
+	}
+	return p
+}
+
+func (s *Strategy) clamp(p point) {
+	for d, n := range s.dims {
+		if p[d] < 0 {
+			p[d] = 0
+		}
+		if p[d] >= n {
+			p[d] = n - 1
+		}
+	}
+}
+
+func key(p point) string {
+	b := make([]byte, len(p))
+	for i, v := range p {
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+// pick is the AUC bandit: play each technique once, then maximize
+// credit rate plus an upper-confidence exploration bonus.
+func (s *Strategy) pick() int {
+	total := 0.0
+	for _, n := range s.trials {
+		total += n
+	}
+	bestTech, bestScore := 0, math.Inf(-1)
+	for k := 0; k < numTechniques; k++ {
+		if s.trials[k] == 0 {
+			return k
+		}
+		score := s.credit[k]/s.trials[k] + math.Sqrt(2*math.Log(total+1)/s.trials[k])
+		if score > bestScore {
+			bestScore, bestTech = score, k
+		}
+	}
+	return bestTech
+}
+
+// generate produces one candidate with the given technique.
+func (s *Strategy) generate(tech int) point {
+	var cand point
+	switch tech {
+	case techRandom:
+		cand = s.randPoint()
+	case techHillClimb:
+		cand = append(point{}, s.best...)
+		d := int(s.rng.Next() % uint64(len(s.dims)))
+		if s.rng.Next()%2 == 0 {
+			cand[d]++
+		} else {
+			cand[d]--
+		}
+		s.clamp(cand)
+	case techPattern:
+		cand = append(point{}, s.best...)
+		d := int(s.rng.Next() % uint64(len(s.dims)))
+		step := 2
+		if s.rng.Next()%2 == 0 {
+			step = -2
+		}
+		cand[d] += step
+		s.clamp(cand)
+	case techGenetic:
+		// Crossover of two of the best-4 evaluations plus mutation.
+		top := topK(s.history, 4)
+		a := top[int(s.rng.Next()%uint64(len(top)))]
+		b := top[int(s.rng.Next()%uint64(len(top)))]
+		cand = make(point, len(s.dims))
+		for d := range s.dims {
+			if s.rng.Next()%2 == 0 {
+				cand[d] = a.p[d]
 			} else {
-				cand[d]--
-			}
-			clamp(cand)
-		case techPattern:
-			cand = append(point{}, best...)
-			d := int(rng.next() % uint64(len(dims)))
-			step := 2
-			if rng.next()%2 == 0 {
-				step = -2
-			}
-			cand[d] += step
-			clamp(cand)
-		case techGenetic:
-			// Crossover of two of the best-4 evaluations plus mutation.
-			top := topK(history, 4)
-			a := top[int(rng.next()%uint64(len(top)))]
-			b := top[int(rng.next()%uint64(len(top)))]
-			cand = make(point, len(dims))
-			for d := range dims {
-				if rng.next()%2 == 0 {
-					cand[d] = a.p[d]
-				} else {
-					cand[d] = b.p[d]
-				}
-			}
-			if rng.next()%3 == 0 {
-				d := int(rng.next() % uint64(len(dims)))
-				cand[d] = int(rng.next() % uint64(dims[d]))
+				cand[d] = b.p[d]
 			}
 		}
-		// Skip duplicates by falling back to a fresh random point.
-		if seen[key(cand)] {
-			cand = randPoint()
-			if seen[key(cand)] {
-				trials[tech]++
+		if s.rng.Next()%3 == 0 {
+			d := int(s.rng.Next() % uint64(len(s.dims)))
+			cand[d] = int(s.rng.Next() % uint64(s.dims[d]))
+		}
+	}
+	return cand
+}
+
+// Propose returns the next point to measure: the opening random sample,
+// then one bandit-selected technique candidate per call (duplicate
+// candidates fall back to a fresh random point, and a doubly-duplicate
+// round charges the technique a trial without spending budget — the
+// original loop's behaviour).
+func (s *Strategy) Propose(k int) []int {
+	if k <= 0 || len(s.seen) >= s.total {
+		return nil
+	}
+	if !s.started {
+		s.started = true
+		s.pending, s.pendingTech = s.randPoint(), -1
+		return []int{s.obj.Decode(s.sp, s.pending)}
+	}
+	for {
+		if len(s.seen) >= s.total {
+			return nil
+		}
+		tech := s.pick()
+		cand := s.generate(tech)
+		if s.seen[key(cand)] {
+			cand = s.randPoint()
+			if s.seen[key(cand)] {
+				s.trials[tech]++
 				continue
 			}
 		}
-		y := run(cand)
-		trials[tech]++
-		if y < bestY {
-			bestY = y
-			best = append(point{}, cand...)
-			credit[tech]++
-		}
+		s.pending, s.pendingTech = cand, tech
+		return []int{s.obj.Decode(s.sp, cand)}
 	}
-	return best
+}
+
+// Observe records the pending candidate's measurement, updates the
+// bandit's trial/credit state, and tracks the best measured point.
+func (s *Strategy) Observe(config int, value float64) {
+	p := append(point{}, s.pending...)
+	s.history = append(s.history, eval{p, value})
+	s.seen[key(p)] = true
+	if s.pendingTech < 0 {
+		// The opening sample seeds the incumbent before the bandit runs.
+		s.best, s.bestY = p, value
+		return
+	}
+	s.trials[s.pendingTech]++
+	if value < s.bestY {
+		s.bestY = value
+		s.best = append(point{}, p...)
+		s.credit[s.pendingTech]++
+	}
+}
+
+// Best returns the best measured point — which, with noisy measurements,
+// need not be the true optimum.
+func (s *Strategy) Best() int {
+	if len(s.history) == 0 {
+		return 0
+	}
+	return s.obj.Decode(s.sp, s.best)
 }
 
 // eval is one measured candidate.
@@ -226,28 +282,4 @@ func topK(history []eval, k int) []eval {
 		k = len(out)
 	}
 	return out[:k]
-}
-
-// noise returns a deterministic multiplicative noise factor ~ 1 ± NoiseSD.
-func (t *Tuner) noise(key uint64) float64 {
-	r := newSplitMix(t.Seed ^ (key * 0xbf58476d1ce4e5b9))
-	u1 := float64(r.next()>>11) / (1 << 53)
-	u2 := float64(r.next()>>11) / (1 << 53)
-	if u1 < 1e-12 {
-		u1 = 1e-12
-	}
-	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
-	return math.Exp(t.NoiseSD*z - t.NoiseSD*t.NoiseSD/2)
-}
-
-type splitMix struct{ x uint64 }
-
-func newSplitMix(seed uint64) *splitMix { return &splitMix{x: seed} }
-
-func (s *splitMix) next() uint64 {
-	s.x += 0x9e3779b97f4a7c15
-	z := s.x
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
 }

@@ -3,13 +3,22 @@ package opentuner
 import (
 	"testing"
 
+	"pnptuner/internal/autotune"
 	"pnptuner/internal/dataset"
 	"pnptuner/internal/hw"
 )
 
+func timeTask(d *dataset.Dataset, capIdx int, seed uint64) autotune.Task {
+	return autotune.Task{Problem: autotune.Problem{
+		Obj:   autotune.TimeUnderCap{Cap: capIdx},
+		Space: d.Space,
+		Seed:  seed,
+	}}
+}
+
 func TestTuneTimeRange(t *testing.T) {
 	d := dataset.MustBuild(hw.Haswell())
-	pick := New(1).TuneTime(d.Regions[0], 0, d.Space)
+	pick := autotune.RunEntry(Entry("OpenTuner"), d.Regions[0], timeTask(d, 0, 1)).Best
 	if pick < 0 || pick >= d.Space.NumConfigs() {
 		t.Fatalf("pick %d out of range", pick)
 	}
@@ -17,7 +26,8 @@ func TestTuneTimeRange(t *testing.T) {
 
 func TestTuneEDPRange(t *testing.T) {
 	d := dataset.MustBuild(hw.Haswell())
-	pick := New(2).TuneEDP(d.Regions[1], d.Space)
+	task := autotune.Task{Problem: autotune.Problem{Obj: autotune.EDP{}, Space: d.Space, Seed: 2}}
+	pick := autotune.RunEntry(Entry("OpenTuner"), d.Regions[1], task).Best
 	if pick < 0 || pick >= d.Space.NumJoint() {
 		t.Fatalf("joint pick %d out of range", pick)
 	}
@@ -26,7 +36,9 @@ func TestTuneEDPRange(t *testing.T) {
 func TestDeterministicGivenSeed(t *testing.T) {
 	d := dataset.MustBuild(hw.Haswell())
 	rd := d.Regions[7]
-	if New(9).TuneTime(rd, 2, d.Space) != New(9).TuneTime(rd, 2, d.Space) {
+	task := timeTask(d, 2, 9)
+	if autotune.RunEntry(Entry("OpenTuner"), rd, task).Best !=
+		autotune.RunEntry(Entry("OpenTuner"), rd, task).Best {
 		t.Fatal("same seed gave different picks")
 	}
 }
@@ -36,16 +48,15 @@ func TestSearchImprovesOverFirstSample(t *testing.T) {
 	d := dataset.MustBuild(hw.Haswell())
 	better, worse := 0, 0
 	for _, rd := range d.Regions[:25] {
-		tu := New(rd.Region.Seed)
-		pick := tu.TuneTime(rd, 0, d.Space)
+		pick := autotune.RunEntry(Entry("OpenTuner"), rd, timeTask(d, 0, rd.Region.Seed)).Best
 		got := rd.Results[0][pick].TimeSec
 		// Reconstruct the first random point the search would draw.
-		rng := newSplitMix(rd.Region.Seed)
+		rng := autotune.NewRNG(rd.Region.Seed)
 		dims := []int{len(d.Machine.ThreadCounts), 3, 7}
 		first := 0
 		mult := []int{21, 7, 1}
 		for dd, n := range dims {
-			first += int(rng.next()%uint64(n)) * mult[dd]
+			first += int(rng.Next()%uint64(n)) * mult[dd]
 		}
 		fy := rd.Results[0][first].TimeSec
 		if got < fy {
@@ -60,16 +71,17 @@ func TestSearchImprovesOverFirstSample(t *testing.T) {
 }
 
 func TestBudgetBoundsEvaluations(t *testing.T) {
-	tu := New(3)
-	tu.Budget = 12
+	d := dataset.MustBuild(hw.Haswell())
+	task := timeTask(d, 0, 3)
+	task.Budget = 12
 	evals := 0
-	dims := []int{4, 3, 7}
-	tu.search(dims, func(p point) float64 {
+	eval := autotune.EvaluatorFunc(func(c int) float64 {
 		evals++
-		return float64(p[0] + p[1] + p[2])
+		return float64(c + 1)
 	})
-	if evals > 12 {
-		t.Fatalf("search ran %d evaluations, budget 12", evals)
+	res := autotune.Run(task.Problem, eval, NewStrategy(task.Problem))
+	if evals > 12 || res.Evals > 12 {
+		t.Fatalf("session ran %d evaluations, budget 12", evals)
 	}
 }
 
@@ -88,16 +100,18 @@ func TestTopK(t *testing.T) {
 	}
 }
 
-func TestClampViaHillClimbStaysInRange(t *testing.T) {
-	tu := New(5)
-	tu.Budget = 40
-	dims := []int{2, 2, 2}
-	tu.search(dims, func(p point) float64 {
-		for d, n := range dims {
-			if p[d] < 0 || p[d] >= n {
-				t.Fatalf("point %v out of range", p)
-			}
+func TestProposalsStayInRange(t *testing.T) {
+	// Hill climbing and pattern steps must clamp to the lattice: every
+	// proposed candidate decodes to a valid per-cap config index.
+	d := dataset.MustBuild(hw.Haswell())
+	task := timeTask(d, 1, 5)
+	task.Budget = 40
+	n := d.Space.NumConfigs()
+	eval := autotune.EvaluatorFunc(func(c int) float64 {
+		if c < 0 || c >= n {
+			t.Fatalf("candidate %d out of range", c)
 		}
 		return 1
 	})
+	autotune.Run(task.Problem, eval, NewStrategy(task.Problem))
 }

@@ -20,14 +20,18 @@ var ErrForward = errors.New("registry: batched forward failed")
 
 // Request is one prediction: a program graph (already token-annotated)
 // plus the extra features the model expects (nil for static models).
+// TopK > 1 additionally requests each head's k best classes (hybrid
+// tuning shortlists); 0 asks for argmax picks only.
 type Request struct {
 	Graph  *programl.Graph
 	Extras []float64
+	TopK   int
 }
 
 // reply carries one request's result back to its caller.
 type reply struct {
 	picks []int
+	topk  [][]int
 	err   error
 }
 
@@ -92,8 +96,33 @@ func (b *Batcher) NumHeads() int { return len(b.model.Heads) }
 // every model head, index-aligned with the heads (per-cap picks for a
 // scenario-1 model, a single joint pick for scenario 2).
 func (b *Batcher) Predict(req Request) ([]int, error) {
-	if err := b.validate(req); err != nil {
+	req.TopK = 0
+	rep, err := b.submit(req)
+	if err != nil {
 		return nil, err
+	}
+	return rep.picks, nil
+}
+
+// PredictTopK queues a request and blocks for each head's k best
+// classes, best first — the model-as-proposer path hybrid tuning
+// sessions build their shortlists from. It batches with concurrent
+// Predict traffic; the window runs one shared forward either way.
+func (b *Batcher) PredictTopK(req Request, k int) ([][]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("registry: top-k request with k=%d", k)
+	}
+	req.TopK = k
+	rep, err := b.submit(req)
+	if err != nil {
+		return nil, err
+	}
+	return rep.topk, nil
+}
+
+func (b *Batcher) submit(req Request) (reply, error) {
+	if err := b.validate(req); err != nil {
+		return reply{}, err
 	}
 	// Fast-fail before paying for compilation; the authoritative closed
 	// check below still guards admission.
@@ -101,13 +130,13 @@ func (b *Batcher) Predict(req Request) ([]int, error) {
 	closed := b.closed
 	b.mu.RUnlock()
 	if closed {
-		return nil, ErrClosed
+		return reply{}, ErrClosed
 	}
 	cg := rgcn.CompileGraph(req.Graph)
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
-		return nil, ErrClosed
+		return reply{}, ErrClosed
 	}
 	r := &request{req: req, cg: cg, reply: make(chan reply, 1)}
 	b.senders.Add(1)
@@ -115,7 +144,7 @@ func (b *Batcher) Predict(req Request) ([]int, error) {
 	b.reqs <- r
 	b.senders.Done()
 	rep := <-r.reply
-	return rep.picks, rep.err
+	return rep, rep.err
 }
 
 // validate rejects malformed requests before they can reach (and panic)
@@ -202,8 +231,10 @@ func (b *Batcher) drain() {
 
 // run scores one window in a single batched forward pass — merging the
 // requests' precompiled plans instead of rebuilding adjacencies — and
-// fans the per-head argmaxes back out to the callers. A panic from the
-// model (a malformed graph that slipped past validation) fails the
+// fans the per-head results back out to the callers: argmax picks for
+// Predict requests, per-head shortlists for PredictTopK ones (the window
+// computes the widest k any member asked for and slices). A panic from
+// the model (a malformed graph that slipped past validation) fails the
 // window, not the process.
 func (b *Batcher) run(batch []*request) {
 	cgs := make([]*rgcn.CompiledGraph, len(batch))
@@ -211,27 +242,47 @@ func (b *Batcher) run(batch []*request) {
 	if b.model.ExtraDim > 0 {
 		extras = make([][]float64, len(batch))
 	}
+	maxK := 1
 	for i, r := range batch {
 		cgs[i] = r.cg
 		if extras != nil {
 			extras[i] = r.req.Extras
 		}
+		if r.req.TopK > maxK {
+			maxK = r.req.TopK
+		}
 	}
-	picks, err := b.forward(cgs, extras)
+	lists, err := b.forward(cgs, extras, maxK)
 	for i, r := range batch {
 		if err != nil {
 			r.reply <- reply{err: err}
 			continue
 		}
-		r.reply <- reply{picks: picks[i]}
+		if k := r.req.TopK; k > 0 {
+			topk := make([][]int, len(lists[i]))
+			for h, l := range lists[i] {
+				if k < len(l) {
+					l = l[:k]
+				}
+				topk[h] = l
+			}
+			r.reply <- reply{topk: topk}
+			continue
+		}
+		picks := make([]int, len(lists[i]))
+		for h, l := range lists[i] {
+			picks[h] = l[0]
+		}
+		r.reply <- reply{picks: picks}
 	}
 }
 
-func (b *Batcher) forward(cgs []*rgcn.CompiledGraph, extras [][]float64) (picks [][]int, err error) {
+func (b *Batcher) forward(cgs []*rgcn.CompiledGraph, extras [][]float64, k int) (lists [][][]int, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("%w: %v", ErrForward, p)
 		}
 	}()
-	return b.model.PredictCompiled(cgs, extras), nil
+	// k=1 is exactly the argmax of PredictCompiled (first-max tie-break).
+	return b.model.TopKCompiled(cgs, extras, k), nil
 }

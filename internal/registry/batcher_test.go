@@ -223,3 +223,46 @@ func TestValidateErrorMentionsExtras(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+// TestBatcherPredictTopK pins the shortlist contract: k=1 equals the
+// argmax pick, larger k returns rank-ordered prefixes of the same
+// per-head scoring, and mixed Predict/PredictTopK traffic shares windows
+// without cross-talk.
+func TestBatcherPredictTopK(t *testing.T) {
+	key := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime}
+	m, _ := tinyModel(key)
+	graphs := corpusGraphs(t, 6)
+
+	b := NewBatcher(m, 8, 2*time.Millisecond)
+	defer b.Close()
+
+	for _, g := range graphs {
+		picks, err := b.Predict(Request{Graph: g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		top1, err := b.PredictTopK(Request{Graph: g}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top3, err := b.PredictTopK(Request{Graph: g}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(top1) != len(picks) || len(top3) != len(picks) {
+			t.Fatalf("head counts diverge: %d picks, %d top1, %d top3", len(picks), len(top1), len(top3))
+		}
+		for h := range picks {
+			if top1[h][0] != picks[h] {
+				t.Fatalf("head %d: top-1 %d != argmax %d", h, top1[h][0], picks[h])
+			}
+			if len(top3[h]) != 3 || top3[h][0] != picks[h] {
+				t.Fatalf("head %d: top-3 %v must lead with argmax %d", h, top3[h], picks[h])
+			}
+		}
+	}
+
+	if _, err := b.PredictTopK(Request{Graph: graphs[0]}, 0); err == nil {
+		t.Fatal("k=0 top-k request must fail")
+	}
+}

@@ -9,6 +9,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pnptuner/internal/autotune"
+	"pnptuner/internal/bliss"
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/hw"
+	"pnptuner/internal/opentuner"
+	"pnptuner/internal/papi"
 	"pnptuner/internal/programl"
 	"pnptuner/internal/vocab"
 )
@@ -56,6 +62,7 @@ func NewServer(reg *Registry, v *vocab.Vocabulary, maxBatch int, maxWait time.Du
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/tune", s.handleTune)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/models", s.handleModels)
 	return mux
@@ -258,6 +265,255 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	s.served.Add(1)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// TuneRequest is the /tune wire format: run a bounded autotune engine
+// session for one corpus region. Strategies "gnn" and "hybrid" resolve
+// the (machine, objective, scenario) model through the registry and
+// shortlist through the micro-batcher; "bliss" and "opentuner" are
+// model-free searches. The evaluator is noisy dataset replay — the
+// simulated stand-in for executing the region under RAPL.
+type TuneRequest struct {
+	Machine   string `json:"machine"`
+	Objective string `json:"objective"`
+	Strategy  string `json:"strategy"`
+	Scenario  string `json:"scenario,omitempty"` // default "full"
+	RegionID  string `json:"region_id"`
+	// Budget is the executions granted per tuning task (0 = the
+	// strategy's default; capped at MaxTuneBudget).
+	Budget int `json:"budget,omitempty"`
+	// Seed decorrelates tuning runs (0 = the region's corpus seed).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// TunePick is one recommended configuration with its session cost and
+// quality.
+type TunePick struct {
+	CapW        float64 `json:"cap_w"`
+	ConfigIndex int     `json:"config_index"`
+	Config      string  `json:"config"`
+	Evals       int     `json:"evals"`
+	// OracleFrac is the achieved fraction of the exhaustive-search
+	// optimum (1 = oracle).
+	OracleFrac float64 `json:"oracle_frac"`
+}
+
+// TuneResponse is the /tune reply: one pick per power cap for the time
+// objective, a single joint pick otherwise.
+type TuneResponse struct {
+	RegionID  string     `json:"region_id"`
+	Machine   string     `json:"machine"`
+	Objective string     `json:"objective"`
+	Strategy  string     `json:"strategy"`
+	Budget    int        `json:"budget"`
+	Picks     []TunePick `json:"picks"`
+}
+
+// MaxTuneBudget bounds one /tune session's replay executions; a public
+// endpoint must not let a single request monopolize the server.
+const MaxTuneBudget = 256
+
+// tuneStrategies maps the wire names to their default budgets.
+var tuneStrategies = map[string]int{
+	"gnn":       0,
+	"hybrid":    autotune.HybridK,
+	"bliss":     bliss.Budget,
+	"opentuner": opentuner.Budget,
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req TuneRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	defBudget, ok := tuneStrategies[req.Strategy]
+	if !ok {
+		httpError(w, http.StatusBadRequest,
+			"unknown strategy %q (valid: gnn, bliss, opentuner, hybrid)", req.Strategy)
+		return
+	}
+	if req.Budget < 0 || req.Budget > MaxTuneBudget {
+		httpError(w, http.StatusBadRequest, "budget %d outside [0, %d]", req.Budget, MaxTuneBudget)
+		return
+	}
+	budget := req.Budget
+	if budget == 0 {
+		budget = defBudget
+	}
+	if req.Scenario == "" {
+		req.Scenario = ScenarioFull
+	}
+	modelDriven := req.Strategy == "gnn" || req.Strategy == "hybrid"
+
+	// Objective validation: model strategies serve the registry's
+	// objectives; the searches additionally tune raw energy.
+	var joint autotune.Objective
+	switch req.Objective {
+	case ObjectiveTime:
+	case ObjectiveEDP:
+		joint = autotune.EDP{}
+	case "energy":
+		if modelDriven {
+			httpError(w, http.StatusBadRequest,
+				"objective \"energy\" has no trained model; use strategy bliss or opentuner")
+			return
+		}
+		joint = autotune.Energy{}
+	default:
+		httpError(w, http.StatusBadRequest, "unknown objective %q (valid: time, edp, energy)", req.Objective)
+		return
+	}
+
+	m, err := hw.ByName(req.Machine)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The exhaustive sweep backing the replay evaluator; built once per
+	// machine and cached process-wide.
+	d, err := dataset.Build(m)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	rd := d.Region(req.RegionID)
+	if rd == nil {
+		httpError(w, http.StatusBadRequest,
+			"unknown region %q: /tune replays the measurement corpus, so the region must be a corpus region ID", req.RegionID)
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = rd.Region.Seed
+	}
+
+	// Model-driven strategies shortlist through the micro-batcher (the
+	// model is not goroutine-safe; the batcher is its serialization
+	// point). k=1 is the pure static pick.
+	var shortlists [][]int
+	if modelDriven {
+		key := Key{Machine: req.Machine, Scenario: req.Scenario, Objective: req.Objective}
+		if err := key.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		k := 1
+		if req.Strategy == "hybrid" {
+			k = budget
+		}
+		shortlists, err = s.modelShortlists(key, rd, k)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			httpError(w, status, "%v", err)
+			return
+		}
+	}
+
+	entry := s.tuneEntry(req.Strategy, budget, shortlists)
+	resp := TuneResponse{
+		RegionID:  req.RegionID,
+		Machine:   req.Machine,
+		Objective: req.Objective,
+		Strategy:  req.Strategy,
+		Budget:    entry.Budget,
+	}
+	session := func(obj autotune.Objective) autotune.Result {
+		task := autotune.Task{
+			Problem:  autotune.Problem{Obj: obj, Space: d.Space, Seed: seed},
+			RegionID: req.RegionID,
+		}
+		return autotune.RunEntry(entry, rd, task)
+	}
+	if req.Objective == ObjectiveTime {
+		// One session per power cap, mirroring /predict's shape.
+		for ci, capW := range d.Space.Caps() {
+			obj := autotune.TimeUnderCap{Cap: ci}
+			res := session(obj)
+			_, oracleV := autotune.Oracle(rd, d.Space, obj)
+			resp.Picks = append(resp.Picks, TunePick{
+				CapW:        capW,
+				ConfigIndex: res.Best,
+				Config:      d.Space.Configs[res.Best].String(),
+				Evals:       res.Evals,
+				OracleFrac:  oracleV / obj.Value(rd, d.Space, res.Best),
+			})
+		}
+	} else {
+		res := session(joint)
+		capW, cfg := d.Space.At(res.Best)
+		_, oracleV := autotune.Oracle(rd, d.Space, joint)
+		resp.Picks = []TunePick{{
+			CapW:        capW,
+			ConfigIndex: res.Best,
+			Config:      cfg.String(),
+			Evals:       res.Evals,
+			OracleFrac:  oracleV / joint.Value(rd, d.Space, res.Best),
+		}}
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// tuneEntry builds the engine entry for a /tune session. shortlists is
+// the per-head model proposal list for model-driven strategies (head =
+// cap index for the time objective, a single joint head otherwise).
+func (s *Server) tuneEntry(strategy string, budget int, shortlists [][]int) autotune.Entry {
+	switch strategy {
+	case "gnn":
+		return autotune.FixedEntry("gnn", func(t autotune.Task) int {
+			return shortlists[tuneHead(t)][0]
+		})
+	case "hybrid":
+		e := autotune.HybridEntry("hybrid", func(t autotune.Task) []int {
+			return shortlists[tuneHead(t)]
+		})
+		e.Budget = budget
+		return e
+	case "bliss":
+		e := bliss.Entry("bliss")
+		e.Budget = budget
+		return e
+	default:
+		e := opentuner.Entry("opentuner")
+		e.Budget = budget
+		return e
+	}
+}
+
+// tuneHead maps a task's objective to the serving model's head index.
+func tuneHead(t autotune.Task) int {
+	if o, ok := t.Obj.(autotune.TimeUnderCap); ok {
+		return o.Cap
+	}
+	return 0
+}
+
+// modelShortlists resolves the key's model and returns each head's top-k
+// classes for the region's graph, routed through the micro-batcher so
+// /tune traffic batches with /predict traffic on the shared model.
+func (s *Server) modelShortlists(key Key, rd *dataset.RegionData, k int) ([][]int, error) {
+	b, err := s.batcherFor(key)
+	if err != nil {
+		return nil, err
+	}
+	var extras []float64
+	switch b.model.ExtraDim {
+	case 0:
+	case papi.NumFeatures:
+		f := rd.Counters.Features()
+		extras = f[:]
+	default:
+		return nil, fmt.Errorf("registry: model %s wants %d extra features; /tune can only supply corpus counters", key, b.model.ExtraDim)
+	}
+	return b.PredictTopK(Request{Graph: rd.Region.Graph, Extras: extras}, k)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

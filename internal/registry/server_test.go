@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -303,5 +304,137 @@ func TestServerHealthzAndModels(t *testing.T) {
 	}
 	if len(infos) != 1 || !infos[0].Cached || infos[0].Key.Machine != "haswell" {
 		t.Fatalf("models = %+v", infos)
+	}
+}
+
+// tuneBody builds a /tune request for a corpus region.
+func tuneBody(t *testing.T, req TuneRequest) []byte {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postTune(t *testing.T, url string, body []byte) (*http.Response, TuneResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/tune", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var tr TuneResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, tr
+}
+
+// TestServerTuneStrategies runs one bounded engine session per strategy
+// through /tune and checks shape, budgets, and determinism.
+func TestServerTuneStrategies(t *testing.T) {
+	_, ts := newTestServer(t)
+	c := kernels.MustCompile()
+	region := c.Regions[0].ID
+
+	// gnn: zero-execution, one pick per Haswell cap.
+	resp, tr := postTune(t, ts.URL, tuneBody(t, TuneRequest{
+		Machine: "haswell", Objective: ObjectiveTime, Strategy: "gnn", RegionID: region,
+	}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gnn status %d", resp.StatusCode)
+	}
+	if len(tr.Picks) != 4 {
+		t.Fatalf("gnn picks = %d, want 4", len(tr.Picks))
+	}
+	for _, p := range tr.Picks {
+		if p.Evals != 0 {
+			t.Fatalf("gnn spent %d evals, want 0", p.Evals)
+		}
+		if p.OracleFrac <= 0 || p.OracleFrac > 1.0001 {
+			t.Fatalf("gnn oracle frac %g out of range", p.OracleFrac)
+		}
+	}
+
+	// hybrid: the shortlist budget is spent per cap, and sessions are
+	// reproducible from (strategy, seed, budget).
+	hybridReq := tuneBody(t, TuneRequest{
+		Machine: "haswell", Objective: ObjectiveTime, Strategy: "hybrid", RegionID: region, Budget: 3,
+	})
+	resp, tr = postTune(t, ts.URL, hybridReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hybrid status %d", resp.StatusCode)
+	}
+	for _, p := range tr.Picks {
+		if p.Evals != 3 {
+			t.Fatalf("hybrid spent %d evals, want 3", p.Evals)
+		}
+	}
+	_, tr2 := postTune(t, ts.URL, hybridReq)
+	for i := range tr.Picks {
+		if tr.Picks[i] != tr2.Picks[i] {
+			t.Fatalf("hybrid not reproducible: %+v vs %+v", tr.Picks[i], tr2.Picks[i])
+		}
+	}
+
+	// bliss over the model-free energy objective: one joint pick.
+	resp, tr = postTune(t, ts.URL, tuneBody(t, TuneRequest{
+		Machine: "haswell", Objective: "energy", Strategy: "bliss", RegionID: region,
+	}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bliss/energy status %d", resp.StatusCode)
+	}
+	if len(tr.Picks) != 1 || tr.Picks[0].Evals == 0 || tr.Budget == 0 {
+		t.Fatalf("bliss/energy picks = %+v (budget %d)", tr.Picks, tr.Budget)
+	}
+
+	// opentuner over EDP with an explicit budget.
+	resp, tr = postTune(t, ts.URL, tuneBody(t, TuneRequest{
+		Machine: "haswell", Objective: ObjectiveEDP, Strategy: "opentuner", RegionID: region, Budget: 8,
+	}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("opentuner status %d", resp.StatusCode)
+	}
+	if len(tr.Picks) != 1 || tr.Picks[0].Evals > 8 {
+		t.Fatalf("opentuner picks = %+v", tr.Picks)
+	}
+}
+
+// TestServerTuneRejections pins the /tune validation surface.
+func TestServerTuneRejections(t *testing.T) {
+	_, ts := newTestServer(t)
+	c := kernels.MustCompile()
+	region := c.Regions[0].ID
+
+	cases := []struct {
+		name string
+		req  TuneRequest
+		want string
+	}{
+		{"unknown strategy", TuneRequest{Machine: "haswell", Objective: "time", Strategy: "annealing", RegionID: region}, "valid: gnn"},
+		{"unknown objective", TuneRequest{Machine: "haswell", Objective: "latency", Strategy: "bliss", RegionID: region}, "valid: time"},
+		{"energy needs search", TuneRequest{Machine: "haswell", Objective: "energy", Strategy: "gnn", RegionID: region}, "no trained model"},
+		{"unknown region", TuneRequest{Machine: "haswell", Objective: "time", Strategy: "bliss", RegionID: "nope#9"}, "unknown region"},
+		{"oversized budget", TuneRequest{Machine: "haswell", Objective: "time", Strategy: "bliss", RegionID: region, Budget: MaxTuneBudget + 1}, "budget"},
+		{"bad machine", TuneRequest{Machine: "epyc", Objective: "time", Strategy: "bliss", RegionID: region}, ""},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/tune", "application/json", bytes.NewReader(tuneBody(t, tc.req)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]string
+		json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%v)", tc.name, resp.StatusCode, body)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(body["error"], tc.want) {
+			t.Errorf("%s: error %q missing %q", tc.name, body["error"], tc.want)
+		}
 	}
 }

@@ -69,6 +69,18 @@ func (s *Space) At(joint int) (capW float64, cfg omp.Config) {
 	return s.Caps()[ci], s.Configs[ki]
 }
 
+// ConfigIndex returns the per-cap index of cfg, inverting Configs —
+// how external tooling (serving requests, trace replay) maps a concrete
+// OpenMP configuration back into the search space.
+func (s *Space) ConfigIndex(cfg omp.Config) (int, error) {
+	for i, c := range s.Configs {
+		if c == cfg {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("space: %s is not a Table I configuration on %s", cfg, s.M.Name)
+}
+
 // CapIndex returns the index of capW in the machine's power limits.
 func (s *Space) CapIndex(capW float64) (int, error) {
 	for i, c := range s.Caps() {

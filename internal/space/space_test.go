@@ -68,6 +68,37 @@ func TestJointIndexRoundTrip(t *testing.T) {
 	}
 }
 
+// TestQuickConfigIndexRoundTrip is the index ↔ omp.Config round-trip
+// property: every valid index maps to a configuration that maps back to
+// the same index, on both machines.
+func TestQuickConfigIndexRoundTrip(t *testing.T) {
+	spaces := []*Space{New(hw.Haswell()), New(hw.Skylake())}
+	f := func(seed uint64) bool {
+		s := spaces[seed%2]
+		i := int((seed >> 8) % uint64(s.NumConfigs()))
+		cfg := s.Configs[i]
+		j, err := s.ConfigIndex(cfg)
+		return err == nil && j == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConfigIndexRejectsForeignConfig pins the inverse's error path.
+func TestConfigIndexRejectsForeignConfig(t *testing.T) {
+	s := New(hw.Haswell())
+	if _, err := s.ConfigIndex(omp.Config{Threads: 5, Sched: omp.ScheduleStatic, Chunk: 3}); err == nil {
+		t.Fatal("ConfigIndex accepted a configuration outside Table I")
+	}
+	// The default configuration (chunk 0) must resolve to DefaultIndex,
+	// not a grid point.
+	def := omp.DefaultConfig(hw.Haswell())
+	if i, err := s.ConfigIndex(def); err != nil || i != s.DefaultIndex() {
+		t.Fatalf("ConfigIndex(default) = %d, %v; want %d", i, err, s.DefaultIndex())
+	}
+}
+
 func TestAtResolvesCapAndConfig(t *testing.T) {
 	s := New(hw.Haswell())
 	j := s.JointIndex(2, 5)
