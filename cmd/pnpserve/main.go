@@ -1,30 +1,42 @@
 // Command pnpserve is the PnP tuner's inference server: it exposes the
-// model registry over HTTP, training (or loading) each requested model
-// once and serving predictions many times. Concurrent requests for the
-// same model funnel through a micro-batching queue into single
-// block-diagonal forward passes, so throughput scales with the batch
-// engine instead of request count.
+// model registry over the versioned v1 HTTP API (internal/api), training
+// (or loading) each requested model once and serving predictions many
+// times. Concurrent requests for the same model funnel through a
+// micro-batching queue into single block-diagonal forward passes, and
+// async tuning sessions run on a bounded job-store worker pool, so
+// throughput scales with the batch engine instead of request count.
 //
 // Usage:
 //
 //	pnpserve -addr :8080 -dir ./models
 //	pnpserve -addr :8080 -dir ./models -preload haswell/time,skylake/edp
 //
-// Endpoints:
+// Endpoints (legacy pre-versioning aliases in parentheses):
 //
-//	POST /predict  {"machine","objective","scenario"?,"graph",...} → picks
-//	GET  /healthz  liveness + traffic counters
-//	GET  /models   registry contents (cached + on disk)
+//	POST   /v1/predict    (/predict)  {"machine","objective","graph",...} → picks
+//	POST   /v1/tune       (/tune)     bounded engine session; "async":true → job
+//	GET    /v1/jobs[/{id}]            list / poll async tuning jobs
+//	DELETE /v1/jobs/{id}              cancel an async tuning job
+//	GET    /v1/models     (/models)   registry contents (cached + on disk)
+//	GET    /v1/healthz    (/healthz)  liveness + traffic + per-route counters
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops,
+// in-flight requests finish, running tune jobs drain until
+// -shutdown-timeout, then everything is cancelled and batchers close.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"pnptuner/internal/core"
@@ -39,6 +51,11 @@ func main() {
 	epochs := flag.Int("epochs", 0, "override training epochs for train-on-miss")
 	maxBatch := flag.Int("max-batch", 16, "micro-batch window size")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "micro-batch window wait")
+	jobWorkers := flag.Int("job-workers", 2, "concurrent async tune sessions")
+	jobQueue := flag.Int("job-queue", 32, "max async tune jobs awaiting a worker")
+	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "finished-job retention before GC")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second,
+		"grace period for in-flight requests and running jobs on SIGINT/SIGTERM")
 	preload := flag.String("preload", "", "comma-separated machine/objective[/scenario] keys to resolve at startup")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ for in-place profiling of the serving hot paths")
 	flag.Parse()
@@ -62,8 +79,15 @@ func main() {
 	}
 	corpus.Vocab.Freeze()
 
-	srv := registry.NewServer(reg, corpus.Vocab, *maxBatch, *maxWait)
-	defer srv.Close()
+	srv := registry.NewServer(reg, corpus.Vocab, registry.ServerConfig{
+		MaxBatch: *maxBatch,
+		MaxWait:  *maxWait,
+		Jobs: registry.JobStoreConfig{
+			Workers: *jobWorkers,
+			Queue:   *jobQueue,
+			TTL:     *jobTTL,
+		},
+	})
 
 	for _, spec := range strings.Split(*preload, ",") {
 		spec = strings.TrimSpace(spec)
@@ -99,21 +123,42 @@ func main() {
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
 
-	log.Printf("pnpserve listening on %s (store %q, cache %d, batch %d/%s)",
-		*addr, *dir, *cacheSize, *maxBatch, *maxWait)
+	log.Printf("pnpserve listening on %s (store %q, cache %d, batch %d/%s, jobs %d×%d)",
+		*addr, *dir, *cacheSize, *maxBatch, *maxWait, *jobWorkers, *jobQueue)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
-		// No WriteTimeout: the first /predict for a model trains it
+		// No WriteTimeout: the first /v1/predict for a model trains it
 		// (minutes); slow-client protection comes from the read limits
 		// and the bounded request body.
 		IdleTimeout: 2 * time.Minute,
 	}
-	if err := httpSrv.ListenAndServe(); err != nil {
+
+	// Graceful shutdown: stop the listener first so no new requests race
+	// the drain, let in-flight requests and running jobs finish within
+	// the grace period, then cancel what remains and close the batchers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		got := <-sig
+		log.Printf("received %s, shutting down (grace %s)", got, *shutdownTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		srv.Shutdown(ctx)
+		log.Printf("drained; bye")
+	}()
+
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	<-done
 }
 
 // parseKey reads "machine/objective" or "machine/objective/scenario".

@@ -23,17 +23,30 @@
 //	pnptune -machine haswell -app LULESH -save lulesh.pnpm
 //	pnptune -machine haswell -app LULESH -load lulesh.pnpm
 //	pnptune -list                      # list corpus applications
+//
+// With -remote, pnptune becomes a thin front-end to a running pnpserve:
+// every region of the target application is tuned server-side through
+// the v1 API (the server trains or loads the models), and -async routes
+// each session through the async job endpoints instead of blocking the
+// request.
+//
+//	pnptune -machine haswell -app gemm -remote http://localhost:8080
+//	pnptune -machine haswell -app gemm -strategy hybrid -remote http://localhost:8080 -async
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"slices"
 	"strings"
+	"time"
 
+	"pnptuner/internal/api"
 	"pnptuner/internal/autotune"
 	"pnptuner/internal/bliss"
+	"pnptuner/internal/client"
 	"pnptuner/internal/core"
 	"pnptuner/internal/dataset"
 	"pnptuner/internal/experiments"
@@ -59,6 +72,8 @@ func main() {
 	epochs := flag.Int("epochs", 0, "override training epochs")
 	savePath := flag.String("save", "", "save the trained model to this path")
 	loadPath := flag.String("load", "", "load a saved model instead of training")
+	remote := flag.String("remote", "", "pnpserve base URL: tune server-side via the v1 API instead of in-process models")
+	async := flag.Bool("async", false, "with -remote, run each session as an async job (submit → poll → result)")
 	list := flag.Bool("list", false, "list corpus applications and exit")
 	flag.Parse()
 
@@ -86,6 +101,13 @@ func main() {
 	if *app == "" {
 		fmt.Fprintln(os.Stderr, "pnptune: -app is required (try -list)")
 		os.Exit(2)
+	}
+	if *async && *remote == "" {
+		fatal(fmt.Errorf("-async only applies with -remote"))
+	}
+	if *remote != "" {
+		runRemote(*remote, *machine, *app, *objective, *strategy, *capW, *budget, *async)
+		return
 	}
 
 	m, err := hw.ByName(*machine)
@@ -344,6 +366,89 @@ func saveModel(m *core.Model, path string, meta core.ModelMeta) {
 		fatal(err)
 	}
 	fmt.Printf("saved model to %s\n", path)
+}
+
+// runRemote tunes every region of the target application through a
+// running pnpserve: the same leave-one-out scenario as local mode, but
+// the server owns the models and the engine sessions. With async, each
+// session goes submit → poll → result through the job endpoints (the
+// finished job's result is bit-identical to the synchronous reply).
+func runRemote(base, machine, app, objective, strategy string, capW float64, budget int, async bool) {
+	corpus, err := kernels.Compile()
+	if err != nil {
+		fatal(err)
+	}
+	regions, ok := corpus.ByApp[app]
+	if !ok {
+		fatal(fmt.Errorf("unknown application %q (try -list)", app))
+	}
+
+	c := client.New(base, client.WithRetries(3, 200*time.Millisecond))
+	ctx := context.Background()
+	mode := "sync"
+	if async {
+		mode = "async jobs"
+	}
+	fmt.Printf("remote tuning via %s (%s): machine %s, strategy %s, objective %s\n",
+		base, mode, machine, strategy, objective)
+
+	for _, region := range regions {
+		req := api.TuneRequest{
+			Machine:   machine,
+			Objective: objective,
+			Strategy:  strategy,
+			Scenario:  "loocv:" + app,
+			RegionID:  region.ID,
+			Budget:    budget,
+		}
+		var resp *api.TuneResponse
+		if async {
+			job, err := c.TuneAsync(ctx, req)
+			if err != nil {
+				fatal(remoteErr(err))
+			}
+			fin, err := c.Wait(ctx, job.ID, 100*time.Millisecond)
+			if err != nil {
+				fatal(remoteErr(err))
+			}
+			switch fin.Status {
+			case api.JobDone:
+				resp = fin.Result
+			case api.JobFailed:
+				fatal(fmt.Errorf("job %s failed: %v", fin.ID, fin.Error))
+			default:
+				fatal(fmt.Errorf("job %s ended %s", fin.ID, fin.Status))
+			}
+		} else {
+			resp, err = c.Tune(ctx, req)
+			if err != nil {
+				fatal(remoteErr(err))
+			}
+		}
+
+		fmt.Printf("region %s:\n", resp.RegionID)
+		for _, p := range resp.Picks {
+			if capW != 0 && p.CapW != capW {
+				continue
+			}
+			runs := ""
+			if p.Evals > 0 {
+				runs = fmt.Sprintf(" [%d runs]", p.Evals)
+			}
+			fmt.Printf("  %3.0fW: %-22s oracle frac %.2f%s\n", p.CapW, p.Config, p.OracleFrac, runs)
+		}
+	}
+}
+
+// remoteErr decorates API failures with an actionable hint.
+func remoteErr(err error) error {
+	switch client.ErrorCode(err) {
+	case api.CodeModelNotFound:
+		return fmt.Errorf("%w\n(the server has no trainer for this model; preload it or start pnpserve with training enabled)", err)
+	case "":
+		return fmt.Errorf("%w\n(is pnpserve running at the -remote URL?)", err)
+	}
+	return err
 }
 
 func fatal(err error) {

@@ -1,0 +1,182 @@
+// Command servesmoke is the serving smoke test: it drives a running
+// pnpserve through the Go client SDK and exits non-zero on the first
+// contract violation. CI boots pnpserve against a tiny trained model and
+// runs this binary; operators can point it at a live deployment as a
+// post-deploy check.
+//
+// It exercises the whole v1 surface: health, model listing, /v1/predict,
+// a synchronous /v1/tune, the async job lifecycle (submit → poll →
+// result, with sync/async parity asserted bit-for-bit), cancellation of
+// an unknown job, and legacy-alias parity (/predict and /tune must
+// return byte-identical bodies to their /v1 equivalents).
+//
+// Usage:
+//
+//	servesmoke -base http://localhost:8080 [-machine haswell] [-timeout 5m]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"reflect"
+	"time"
+
+	"pnptuner/internal/api"
+	"pnptuner/internal/client"
+	"pnptuner/internal/kernels"
+)
+
+func main() {
+	base := flag.String("base", "http://localhost:8080", "pnpserve base URL")
+	machine := flag.String("machine", "haswell", "machine model to exercise")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline (covers train-on-first-request)")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := client.New(*base, client.WithRetries(5, 500*time.Millisecond))
+
+	corpus, err := kernels.Compile()
+	check(err, "compile corpus")
+	region := corpus.Regions[0]
+	graphJSON, err := json.Marshal(region.Graph)
+	check(err, "marshal graph")
+
+	// 1. The server is up and reporting.
+	waitHealthy(ctx, c)
+
+	// 2. Prediction (trains the model on first request).
+	step("POST /v1/predict (first request may train)")
+	pred, err := c.Predict(ctx, api.PredictRequest{
+		Machine: *machine, Objective: "time", Graph: graphJSON,
+	})
+	check(err, "predict")
+	if len(pred.Picks) == 0 || pred.Picks[0].Config == "" {
+		fail("predict returned no usable picks: %+v", pred)
+	}
+	fmt.Printf("  %d picks, first: %3.0fW → %s\n", len(pred.Picks), pred.Picks[0].CapW, pred.Picks[0].Config)
+
+	// 3. Synchronous tune.
+	treq := api.TuneRequest{
+		Machine: *machine, Objective: "time", Strategy: "hybrid",
+		RegionID: region.ID, Budget: 3, Seed: 12345,
+	}
+	step("POST /v1/tune (sync)")
+	sync, err := c.Tune(ctx, treq)
+	check(err, "sync tune")
+	if len(sync.Picks) == 0 || sync.Picks[0].Evals != 3 {
+		fail("sync tune shape wrong: %+v", sync)
+	}
+
+	// 4. Async job lifecycle + parity with sync.
+	step("POST /v1/tune (async) → poll → result")
+	job, err := c.TuneAsync(ctx, treq)
+	check(err, "submit async tune")
+	fin, err := c.Wait(ctx, job.ID, 200*time.Millisecond)
+	check(err, "wait for job")
+	if fin.Status != api.JobDone || fin.Result == nil {
+		fail("job did not finish cleanly: %+v", fin)
+	}
+	if !reflect.DeepEqual(*fin.Result, *sync) {
+		fail("async result diverges from sync:\n%+v\n%+v", *fin.Result, *sync)
+	}
+	fmt.Printf("  job %s done, result identical to sync\n", fin.ID)
+
+	// 5. Stable error codes.
+	step("error codes")
+	if _, err := c.Job(ctx, "nosuchjob"); !client.IsCode(err, api.CodeJobNotFound) {
+		fail("unknown job code = %q, want job_not_found (%v)", client.ErrorCode(err), err)
+	}
+	if _, err := c.Tune(ctx, api.TuneRequest{
+		Machine: *machine, Objective: "time", Strategy: "bliss",
+		RegionID: region.ID, Budget: api.MaxTuneBudget + 1,
+	}); !client.IsCode(err, api.CodeBudgetExceeded) {
+		fail("oversized budget code = %q, want budget_exceeded (%v)", client.ErrorCode(err), err)
+	}
+
+	// 6. Legacy aliases answer byte-identically to v1.
+	step("legacy-alias parity")
+	legacyParity(ctx, *base, "/predict", api.PathPredict, api.PredictRequest{
+		Machine: *machine, Objective: "time", Graph: graphJSON,
+	})
+	legacyParity(ctx, *base, "/tune", api.PathTune, treq)
+
+	// 7. Model listing includes what we just trained.
+	step("GET /v1/models")
+	models, err := c.ListModels(ctx)
+	check(err, "list models")
+	if len(models) == 0 {
+		fail("no models listed after serving")
+	}
+
+	health, err := c.Health(ctx)
+	check(err, "final health")
+	fmt.Printf("smoke OK: served=%d trained=%d jobs_done=%d\n",
+		health.Served, health.ModelsTrained, health.Jobs.Done)
+}
+
+// waitHealthy polls /v1/healthz until the server answers.
+func waitHealthy(ctx context.Context, c *client.Client) {
+	step("GET /v1/healthz (waiting for the server)")
+	for {
+		h, err := c.Health(ctx)
+		if err == nil && h.Status == "ok" {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			fail("server never became healthy: %v", err)
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+}
+
+// legacyParity posts the same body to the legacy path and its v1
+// successor and requires byte-identical response bodies plus the
+// deprecation headers on the alias.
+func legacyParity(ctx context.Context, base, legacyPath, v1Path string, reqBody any) {
+	payload, err := json.Marshal(reqBody)
+	check(err, "marshal parity body")
+	do := func(path string) ([]byte, *http.Response) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(payload))
+		check(err, "build parity request")
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		check(err, "POST "+path)
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		check(err, "read "+path)
+		if resp.StatusCode != http.StatusOK {
+			fail("%s status %d: %s", path, resp.StatusCode, body)
+		}
+		return body, resp
+	}
+	v1Body, _ := do(v1Path)
+	legacyBody, legacyResp := do(legacyPath)
+	if !bytes.Equal(v1Body, legacyBody) {
+		fail("%s diverges from %s:\n%s\n%s", legacyPath, v1Path, legacyBody, v1Body)
+	}
+	if legacyResp.Header.Get("Deprecation") != "true" {
+		fail("%s not flagged deprecated", legacyPath)
+	}
+	fmt.Printf("  %s ≡ %s (%d bytes)\n", legacyPath, v1Path, len(v1Body))
+}
+
+func step(name string) { fmt.Println("==>", name) }
+
+func check(err error, what string) {
+	if err != nil {
+		fail("%s: %v", what, err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "servesmoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,253 @@
+// Package api is the versioned wire contract of the pnptuner serving
+// API: every request, response, and error body exchanged over HTTP lives
+// here, shared by the server (internal/registry) and the Go client SDK
+// (internal/client) so the two can never drift apart. The package has no
+// dependencies on the rest of the module — it is pure data.
+//
+// # Versioning
+//
+// All endpoints are mounted under the Version prefix ("/v1"). Breaking
+// changes to any type in this package require a new version prefix; the
+// old prefix keeps serving the old contract for at least one release.
+// The pre-versioning paths (/predict, /tune, /healthz, /models) remain
+// as deprecated aliases of their /v1 equivalents: same handlers, same
+// bodies, plus a Deprecation response header.
+//
+// # Errors
+//
+// Every non-2xx response carries an ErrorBody envelope with a stable
+// machine-readable code (see the Code* constants); clients switch on the
+// code, never on message text.
+package api
+
+import "time"
+
+// Version is the current API version prefix.
+const Version = "/v1"
+
+// Endpoint paths under Version. PathJobs is a prefix: one job is
+// addressed as PathJobs + "/" + id.
+const (
+	PathPredict = Version + "/predict"
+	PathTune    = Version + "/tune"
+	PathJobs    = Version + "/jobs"
+	PathModels  = Version + "/models"
+	PathHealthz = Version + "/healthz"
+)
+
+// Request ceilings, part of the public contract: a serving deployment
+// must not let one client exhaust memory or stall the shared batch
+// window. Corpus graphs are hundreds of nodes; these bounds are orders
+// of magnitude above any legitimate use.
+const (
+	// MaxRequestBytes bounds any request body.
+	MaxRequestBytes = 8 << 20
+	// MaxGraphNodes / MaxGraphEdges bound one prediction graph; beyond
+	// them the server answers CodeGraphTooLarge.
+	MaxGraphNodes = 1 << 19
+	MaxGraphEdges = 1 << 21
+	// MaxTuneBudget bounds one tuning session's replay executions;
+	// beyond it the server answers CodeBudgetExceeded.
+	MaxTuneBudget = 256
+)
+
+// PredictRequest is the POST /v1/predict body. Graph is the programl
+// JSON export; node tokens are re-annotated server-side from the corpus
+// vocabulary, so clients only need node texts. Counters feed models
+// trained with dynamic features and must be omitted otherwise.
+type PredictRequest struct {
+	Machine   string `json:"machine"`
+	Objective string `json:"objective"`
+	Scenario  string `json:"scenario,omitempty"` // default "full"
+	// Graph is the programl.Graph JSON export, kept raw so this package
+	// stays dependency-free; the server decodes it.
+	Graph    RawObject `json:"graph"`
+	Counters []float64 `json:"counters,omitempty"`
+}
+
+// RawObject is a pass-through JSON value, the api-local equivalent of
+// json.RawMessage (redeclared so the package stays import-light and the
+// field marshals verbatim in both directions).
+type RawObject []byte
+
+// MarshalJSON returns r verbatim (or null when empty).
+func (r RawObject) MarshalJSON() ([]byte, error) {
+	if len(r) == 0 {
+		return []byte("null"), nil
+	}
+	return r, nil
+}
+
+// UnmarshalJSON stores data verbatim.
+func (r *RawObject) UnmarshalJSON(data []byte) error {
+	*r = append((*r)[:0], data...)
+	return nil
+}
+
+// Pick is one recommended configuration.
+type Pick struct {
+	CapW        float64 `json:"cap_w"`
+	ConfigIndex int     `json:"config_index"`
+	Config      string  `json:"config"`
+}
+
+// PredictResponse is the /v1/predict reply: one pick per power cap for
+// the time objective, a single joint (cap, config) pick for EDP.
+type PredictResponse struct {
+	RegionID  string `json:"region_id"`
+	Machine   string `json:"machine"`
+	Objective string `json:"objective"`
+	Scenario  string `json:"scenario"`
+	Picks     []Pick `json:"picks"`
+}
+
+// TuneRequest is the POST /v1/tune body: run a bounded autotune engine
+// session for one corpus region. Strategies "gnn" and "hybrid" resolve
+// the (machine, objective, scenario) model through the registry and
+// shortlist through the micro-batcher; "bliss" and "opentuner" are
+// model-free searches. The evaluator is noisy dataset replay — the
+// simulated stand-in for executing the region under RAPL.
+type TuneRequest struct {
+	Machine   string `json:"machine"`
+	Objective string `json:"objective"`
+	Strategy  string `json:"strategy"`
+	Scenario  string `json:"scenario,omitempty"` // default "full"
+	RegionID  string `json:"region_id"`
+	// Budget is the executions granted per tuning task (0 = the
+	// strategy's default; capped at MaxTuneBudget).
+	Budget int `json:"budget,omitempty"`
+	// Seed decorrelates tuning runs (0 = the region's corpus seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Async submits the session as a job: the server answers 202 with a
+	// Job immediately and the session runs off-request; poll
+	// GET /v1/jobs/{id} for status/trace/result. The finished job's
+	// Result is bit-identical to the synchronous response for the same
+	// request.
+	Async bool `json:"async,omitempty"`
+}
+
+// TracePoint is one measured candidate of a tuning session, in
+// measurement order.
+type TracePoint struct {
+	ConfigIndex int     `json:"config_index"`
+	Value       float64 `json:"value"`
+}
+
+// TunePick is one recommended configuration with its session cost,
+// quality, and full measurement trace.
+type TunePick struct {
+	CapW        float64 `json:"cap_w"`
+	ConfigIndex int     `json:"config_index"`
+	Config      string  `json:"config"`
+	Evals       int     `json:"evals"`
+	// OracleFrac is the achieved fraction of the exhaustive-search
+	// optimum (1 = oracle).
+	OracleFrac float64 `json:"oracle_frac"`
+	// Trace is the session's (config, value) measurement sequence; with
+	// the deterministic replay evaluator it is reproducible from
+	// (strategy, seed, budget) alone. Empty for zero-execution sessions.
+	Trace []TracePoint `json:"trace,omitempty"`
+}
+
+// TuneResponse is the synchronous /v1/tune reply (and the Result of a
+// finished async Job): one pick per power cap for the time objective, a
+// single joint pick otherwise.
+type TuneResponse struct {
+	RegionID  string     `json:"region_id"`
+	Machine   string     `json:"machine"`
+	Objective string     `json:"objective"`
+	Strategy  string     `json:"strategy"`
+	Budget    int        `json:"budget"`
+	Picks     []TunePick `json:"picks"`
+}
+
+// ModelKey identifies one servable model.
+type ModelKey struct {
+	Machine   string `json:"machine"`
+	Scenario  string `json:"scenario"`
+	Objective string `json:"objective"`
+}
+
+// ModelInfo describes one known model in /v1/models listings. Meta is
+// the model's provenance metadata (core.ModelMeta), kept raw here so the
+// contract package stays dependency-free.
+type ModelInfo struct {
+	Key    ModelKey  `json:"key"`
+	ID     string    `json:"id"`
+	Cached bool      `json:"cached"`
+	OnDisk bool      `json:"on_disk"`
+	Meta   RawObject `json:"meta"`
+}
+
+// RouteStats is one route's traffic counters in Health.
+type RouteStats struct {
+	// Count is requests served (any status).
+	Count int64 `json:"count"`
+	// Errors is responses with status ≥ 400.
+	Errors int64 `json:"errors"`
+	// AvgMillis is the mean handler latency.
+	AvgMillis float64 `json:"avg_ms"`
+}
+
+// JobStats is the async job subsystem's snapshot in Health.
+type JobStats struct {
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+}
+
+// Health is the GET /v1/healthz reply: liveness plus traffic counters.
+type Health struct {
+	Status          string                `json:"status"`
+	UptimeSec       float64               `json:"uptime_sec"`
+	Served          int64                 `json:"served"`
+	Batchers        int                   `json:"batchers"`
+	CacheHits       int64                 `json:"cache_hits"`
+	DiskLoads       int64                 `json:"disk_loads"`
+	ModelsTrained   int64                 `json:"models_trained"`
+	Evicted         int64                 `json:"evicted"`
+	PersistFailures int64                 `json:"persist_failures"`
+	Jobs            JobStats              `json:"jobs"`
+	Routes          map[string]RouteStats `json:"routes,omitempty"`
+}
+
+// Job statuses. Terminal statuses are JobDone, JobFailed, JobCancelled.
+const (
+	JobQueued    = "queued"
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// Job is one async tuning session: returned by POST /v1/tune with
+// async:true (202) and polled via GET /v1/jobs/{id}.
+type Job struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	// Request echoes the submitted tune request (with Async cleared —
+	// the job's result is the synchronous response for this request).
+	Request    TuneRequest `json:"request"`
+	CreatedAt  time.Time   `json:"created_at"`
+	StartedAt  *time.Time  `json:"started_at,omitempty"`
+	FinishedAt *time.Time  `json:"finished_at,omitempty"`
+	// CancelRequested is set once DELETE /v1/jobs/{id} has been seen; a
+	// running session stops at its next measurement and the status then
+	// becomes JobCancelled.
+	CancelRequested bool `json:"cancel_requested,omitempty"`
+	// Result is the finished session's response (status JobDone only).
+	Result *TuneResponse `json:"result,omitempty"`
+	// Error is why the session failed (status JobFailed only).
+	Error *ErrorInfo `json:"error,omitempty"`
+}
+
+// Terminal reports whether the job has reached a final status.
+func (j *Job) Terminal() bool {
+	switch j.Status {
+	case JobDone, JobFailed, JobCancelled:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestErrorBodyGolden pins the error envelope's wire shape: the contract
+// clients switch on.
+func TestErrorBodyGolden(t *testing.T) {
+	body := ErrorBody{Error: ErrorInfo{Code: CodeModelNotFound, Message: "no model"}, RequestID: "r-1"}
+	got, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"error":{"code":"model_not_found","message":"no model"},"request_id":"r-1"}`
+	if string(got) != want {
+		t.Fatalf("envelope = %s, want %s", got, want)
+	}
+	var back ErrorBody
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != body {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+// TestStatusFor pins every code's canonical HTTP status.
+func TestStatusFor(t *testing.T) {
+	cases := map[string]int{
+		CodeBadRequest:       http.StatusBadRequest,
+		CodeMethodNotAllowed: http.StatusMethodNotAllowed,
+		CodeNotFound:         http.StatusNotFound,
+		CodeModelNotFound:    http.StatusNotFound,
+		CodeRegionNotFound:   http.StatusNotFound,
+		CodeGraphTooLarge:    http.StatusRequestEntityTooLarge,
+		CodeBudgetExceeded:   http.StatusBadRequest,
+		CodeJobNotFound:      http.StatusNotFound,
+		CodeQueueFull:        http.StatusTooManyRequests,
+		CodeUnavailable:      http.StatusServiceUnavailable,
+		CodeInternal:         http.StatusInternalServerError,
+		"some_future_code":   http.StatusInternalServerError,
+	}
+	for code, want := range cases {
+		if got := StatusFor(code); got != want {
+			t.Errorf("StatusFor(%q) = %d, want %d", code, got, want)
+		}
+	}
+}
+
+// TestPredictRequestGraphRoundTrip: the raw graph field passes through
+// marshalling byte-for-byte in both directions.
+func TestPredictRequestGraphRoundTrip(t *testing.T) {
+	graph := `{"nodes":[{"text":"add"}],"edges":[]}`
+	req := PredictRequest{Machine: "haswell", Objective: "time", Graph: RawObject(graph)}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"graph":`+graph) {
+		t.Fatalf("graph not embedded verbatim: %s", b)
+	}
+	var back PredictRequest
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if string(back.Graph) != graph {
+		t.Fatalf("graph = %s", back.Graph)
+	}
+}
+
+// TestJobTerminal: exactly done/failed/cancelled are terminal.
+func TestJobTerminal(t *testing.T) {
+	terminal := map[string]bool{
+		JobQueued: false, JobRunning: false,
+		JobDone: true, JobFailed: true, JobCancelled: true,
+	}
+	for status, want := range terminal {
+		j := Job{Status: status}
+		if got := j.Terminal(); got != want {
+			t.Errorf("Terminal(%s) = %v, want %v", status, got, want)
+		}
+	}
+}
+
+// TestJobGoldenShape pins the async job's wire field names.
+func TestJobGoldenShape(t *testing.T) {
+	now := time.Date(2026, 7, 28, 0, 0, 0, 0, time.UTC)
+	j := Job{
+		ID: "j-1", Status: JobRunning,
+		Request:         TuneRequest{Machine: "haswell", Objective: "time", Strategy: "gnn", RegionID: "r#0"},
+		CreatedAt:       now,
+		StartedAt:       &now,
+		CancelRequested: true,
+	}
+	b, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"id":"j-1"`, `"status":"running"`, `"request":`, `"created_at":`,
+		`"started_at":`, `"cancel_requested":true`, `"region_id":"r#0"`,
+	} {
+		if !strings.Contains(string(b), field) {
+			t.Errorf("job JSON missing %s: %s", field, b)
+		}
+	}
+	if strings.Contains(string(b), "finished_at") || strings.Contains(string(b), "result") {
+		t.Errorf("unset optional fields leaked: %s", b)
+	}
+}

@@ -11,6 +11,8 @@
 // reproducible from (strategy, seed, budget) alone.
 package autotune
 
+import "context"
+
 // Strategy is an iterative tuning policy. The engine alternates Propose
 // and Observe until the budget is spent or the strategy has nothing left
 // to propose, then takes Best as the recommendation.
@@ -60,19 +62,27 @@ type Engine struct {
 	Eval Evaluator
 	// Budget is the maximum number of measurements.
 	Budget int
+	// Ctx, when non-nil, cancels a running session: the engine checks it
+	// before every measurement (the promptness a replay evaluator needs;
+	// a real-hardware evaluator should additionally watch the context
+	// inside Measure) and returns early with whatever was observed so
+	// far. A nil context never cancels, so traces of uncancelled
+	// sessions are bit-identical with or without one.
+	Ctx context.Context
 }
 
-// Run drives s until the budget is spent or s stops proposing, then
-// returns s's recommendation and the measurement trace.
+// Run drives s until the budget is spent, s stops proposing, or the
+// engine's context is cancelled, then returns s's recommendation and the
+// measurement trace.
 func (e Engine) Run(s Strategy) Result {
 	var res Result
-	for res.Evals < e.Budget {
+	for res.Evals < e.Budget && !e.cancelled() {
 		cands := s.Propose(e.Budget - res.Evals)
 		if len(cands) == 0 {
 			break
 		}
 		for _, c := range cands {
-			if res.Evals >= e.Budget {
+			if res.Evals >= e.Budget || e.cancelled() {
 				break
 			}
 			v := e.Eval.Measure(c)
@@ -85,8 +95,18 @@ func (e Engine) Run(s Strategy) Result {
 	return res
 }
 
+func (e Engine) cancelled() bool {
+	return e.Ctx != nil && e.Ctx.Err() != nil
+}
+
 // Run is the convenience form of Engine.Run: one session over problem p,
 // measuring through eval.
 func Run(p Problem, eval Evaluator, s Strategy) Result {
 	return Engine{Eval: eval, Budget: p.Budget}.Run(s)
+}
+
+// RunContext is Run with a cancellation context: a cancelled ctx stops
+// the session before its next measurement.
+func RunContext(ctx context.Context, p Problem, eval Evaluator, s Strategy) Result {
+	return Engine{Eval: eval, Budget: p.Budget, Ctx: ctx}.Run(s)
 }

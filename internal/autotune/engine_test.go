@@ -1,6 +1,7 @@
 package autotune_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -153,5 +154,55 @@ func TestNoiseIsUnbiasedAndSpread(t *testing.T) {
 	}
 	if same > 1 {
 		t.Fatalf("%d/100 identical draws across noise streams", same)
+	}
+}
+
+// TestRunContextCancellation: a cancelled context stops a session before
+// its next measurement — including mid-batch — and an uncancelled
+// context changes nothing about the trace (the async-job cancellation
+// contract of the serving layer).
+func TestRunContextCancellation(t *testing.T) {
+	d := dataset.MustBuild(hw.Haswell())
+	rd := d.Regions[3]
+	task := autotune.Task{
+		Problem:  autotune.Problem{Obj: autotune.TimeUnderCap{Cap: 1}, Space: d.Space, Seed: 7},
+		RegionID: rd.Region.ID,
+	}
+	for _, en := range strategyEntries() {
+		// Parity: a live context is invisible.
+		plain := autotune.RunEntry(en, rd, task)
+		withCtx := autotune.RunEntryContext(context.Background(), en, rd, task)
+		if plain.Best != withCtx.Best || plain.Evals != withCtx.Evals || len(plain.Trace) != len(withCtx.Trace) {
+			t.Fatalf("%s: live context changed the session (%d/%d evals)", en.Name, plain.Evals, withCtx.Evals)
+		}
+
+		// Already-cancelled: zero measurements, but still a recommendation.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res := autotune.RunEntryContext(ctx, en, rd, task)
+		if res.Evals != 0 || len(res.Trace) != 0 {
+			t.Fatalf("%s: cancelled session spent %d evals", en.Name, res.Evals)
+		}
+	}
+
+	// Cancel mid-session, from inside the evaluator: the engine must stop
+	// at the next measurement check, not run out the budget.
+	const stopAfter = 3
+	ctx, cancel := context.WithCancel(context.Background())
+	evals := 0
+	eval := autotune.EvaluatorFunc(func(config int) float64 {
+		evals++
+		if evals == stopAfter {
+			cancel()
+		}
+		return float64(config)
+	})
+	p := autotune.Problem{Obj: autotune.TimeUnderCap{Cap: 0}, Space: d.Space, Seed: 1, Budget: 50}
+	res := autotune.RunContext(ctx, p, eval, autotune.NewShortlist([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}))
+	if res.Evals != stopAfter {
+		t.Fatalf("session spent %d evals after cancel at %d", res.Evals, stopAfter)
+	}
+	if res.Best != 1 {
+		t.Fatalf("best = %d, want the lowest measured value's config", res.Best)
 	}
 }

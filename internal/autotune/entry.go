@@ -1,6 +1,10 @@
 package autotune
 
-import "pnptuner/internal/dataset"
+import (
+	"context"
+
+	"pnptuner/internal/dataset"
+)
 
 // Entry is one strategy column of a comparison: a display name plus how
 // to build the strategy, its evaluator, and its execution budget for a
@@ -65,6 +69,13 @@ func FixedEntry(name string, pick func(t Task) int) Entry {
 // budget overrides the task's, its evaluator measures, and its strategy
 // searches.
 func RunEntry(e Entry, rd *dataset.RegionData, t Task) Result {
+	return RunEntryContext(context.Background(), e, rd, t)
+}
+
+// RunEntryContext is RunEntry with a cancellation context: a cancelled
+// ctx stops the session before its next measurement, which is how async
+// serving jobs abort engine sessions promptly.
+func RunEntryContext(ctx context.Context, e Entry, rd *dataset.RegionData, t Task) Result {
 	t.Budget = e.Budget
 	var eval Evaluator
 	if e.Eval != nil {
@@ -72,5 +83,5 @@ func RunEntry(e Entry, rd *dataset.RegionData, t Task) Result {
 	} else {
 		eval = NewOracle(rd, t.Space, t.Obj)
 	}
-	return Run(t.Problem, eval, e.New(t))
+	return RunContext(ctx, t.Problem, eval, e.New(t))
 }

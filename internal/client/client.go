@@ -1,0 +1,302 @@
+// Package client is the typed Go SDK for the pnptuner v1 serving API:
+// a thin, context-aware HTTP client over the shared wire contract
+// (internal/api), so programs drive a remote pnpserve exactly like the
+// in-process libraries — predictions, sync and async tuning sessions,
+// job polling, model listings, and health.
+//
+// Every method takes a context and honours its deadline/cancellation.
+// Transient failures are retried with exponential backoff up to the
+// configured attempt count: a 503 unavailable response (a server
+// draining a batcher or shutting down — answered before acting, so safe
+// for every method) and, for idempotent methods only, connection-level
+// errors (a broken connection after a POST may have already created a
+// job, so POSTs never retry at the transport level). Every other
+// non-2xx response surfaces as an *APIError carrying the server's
+// stable error code.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"pnptuner/internal/api"
+)
+
+// Client talks to one pnpserve base URL. The zero value is not usable;
+// construct with New.
+type Client struct {
+	base      string
+	http      *http.Client
+	retries   int
+	retryWait time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient swaps the underlying HTTP client (custom transports,
+// test doubles). The default has no client-side timeout: serving a cold
+// model trains it, and per-call bounds belong to the caller's context.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// WithRetries sets how many times a transient failure (connection
+// error, 503) is retried beyond the first attempt, and the initial
+// backoff between attempts (doubled each retry). Default: 2 retries,
+// 100ms.
+func WithRetries(n int, wait time.Duration) Option {
+	return func(c *Client) { c.retries, c.retryWait = n, wait }
+}
+
+// New builds a client for the server at baseURL (e.g.
+// "http://localhost:8080"). The version prefix is appended internally —
+// pass the bare host base, not ".../v1".
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:      strings.TrimRight(baseURL, "/"),
+		http:      &http.Client{},
+		retries:   2,
+		retryWait: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response: the server's stable error code plus
+// the HTTP status it arrived under.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Info is the decoded error envelope (Code is one of the api.Code*
+	// constants).
+	Info api.ErrorInfo
+	// RequestID is the correlation ID the failing request was served
+	// under.
+	RequestID string
+}
+
+// Error renders the failure for logs.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("pnpserve: %d %s: %s", e.Status, e.Info.Code, e.Info.Message)
+}
+
+// ErrorCode extracts the stable API error code from err, or "" when err
+// is not an *APIError (connection failures, context cancellation).
+func ErrorCode(err error) string {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Info.Code
+	}
+	return ""
+}
+
+// IsCode reports whether err is an *APIError with the given code.
+func IsCode(err error, code string) bool { return ErrorCode(err) == code }
+
+// Predict asks for the model's recommended configurations for one
+// program graph.
+func (c *Client) Predict(ctx context.Context, req api.PredictRequest) (*api.PredictResponse, error) {
+	var out api.PredictResponse
+	if err := c.do(ctx, http.MethodPost, api.PathPredict, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Tune runs one synchronous tuning session and blocks for its result.
+// The Async flag is forced off; use TuneAsync for job submission.
+func (c *Client) Tune(ctx context.Context, req api.TuneRequest) (*api.TuneResponse, error) {
+	req.Async = false
+	var out api.TuneResponse
+	if err := c.do(ctx, http.MethodPost, api.PathTune, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TuneAsync submits a tuning session as a job and returns immediately
+// with its handle; poll with Job or block with Wait. The finished job's
+// Result is bit-identical to what Tune would have returned.
+func (c *Client) TuneAsync(ctx context.Context, req api.TuneRequest) (*api.Job, error) {
+	req.Async = true
+	var out api.Job
+	if err := c.do(ctx, http.MethodPost, api.PathTune, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job fetches one job's current snapshot.
+func (c *Client) Job(ctx context.Context, id string) (*api.Job, error) {
+	var out api.Job
+	if err := c.do(ctx, http.MethodGet, api.PathJobs+"/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CancelJob requests cancellation of a queued or running job and
+// returns its snapshot. Cancelling a finished job is a no-op.
+func (c *Client) CancelJob(ctx context.Context, id string) (*api.Job, error) {
+	var out api.Job
+	if err := c.do(ctx, http.MethodDelete, api.PathJobs+"/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ListJobs returns every job the server retains, oldest first.
+func (c *Client) ListJobs(ctx context.Context) ([]api.Job, error) {
+	var out []api.Job
+	if err := c.do(ctx, http.MethodGet, api.PathJobs, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Wait polls job id every poll interval (default 50ms when
+// non-positive) until it reaches a terminal status or ctx expires. It
+// returns the terminal snapshot; inspect Status for done vs failed vs
+// cancelled.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*api.Job, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		job, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if job.Terminal() {
+			return job, nil
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("pnpserve: waiting for job %s: %w", id, ctx.Err())
+		}
+	}
+}
+
+// ListModels returns the registry's contents (cached and on-disk).
+func (c *Client) ListModels(ctx context.Context) ([]api.ModelInfo, error) {
+	var out []api.ModelInfo
+	if err := c.do(ctx, http.MethodGet, api.PathModels, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Health returns the server's liveness and traffic counters.
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var out api.Health
+	if err := c.do(ctx, http.MethodGet, api.PathHealthz, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// do runs one API call: marshal in, retry transient failures, decode
+// out (or the error envelope).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("pnpserve: encode request: %w", err)
+		}
+	}
+
+	wait := c.retryWait
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(wait):
+				wait *= 2
+			case <-ctx.Done():
+				return fmt.Errorf("pnpserve: %s %s: %w (last: %v)", method, path, ctx.Err(), lastErr)
+			}
+		}
+		retryable, err := c.once(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// once performs a single HTTP exchange. retryable marks transient
+// failures worth another attempt.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (retryable bool, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return false, fmt.Errorf("pnpserve: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		// Connection-level failure: the server may be restarting. Only
+		// idempotent methods are safe to retry here — the request may
+		// have been processed before the connection broke, and
+		// re-POSTing /v1/tune would double-submit a job. A 503 *response*
+		// (below) is different: the server answered before acting, so
+		// every method retries on it.
+		idempotent := method == http.MethodGet || method == http.MethodDelete
+		return idempotent, fmt.Errorf("pnpserve: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			return false, nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return false, fmt.Errorf("pnpserve: decode %s response: %w", path, err)
+		}
+		return false, nil
+	}
+
+	apiErr := &APIError{Status: resp.StatusCode, RequestID: resp.Header.Get("X-Request-ID")}
+	var envelope api.ErrorBody
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if jsonErr := json.Unmarshal(raw, &envelope); jsonErr == nil && envelope.Error.Code != "" {
+		apiErr.Info = envelope.Error
+		if envelope.RequestID != "" {
+			apiErr.RequestID = envelope.RequestID
+		}
+	} else {
+		// Not the v1 envelope (a proxy, or a pre-v1 server): synthesize
+		// a code from the status so callers can still switch.
+		apiErr.Info = api.ErrorInfo{Code: api.CodeInternal, Message: strings.TrimSpace(string(raw))}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			apiErr.Info.Code = api.CodeUnavailable
+		}
+	}
+	return apiErr.Info.Code == api.CodeUnavailable, apiErr
+}

@@ -1,0 +1,64 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"pnptuner/internal/api"
+	"pnptuner/internal/client"
+)
+
+// Example drives the three serving flows against a running pnpserve:
+// a prediction, a synchronous tuning session, and an async job that is
+// submitted, awaited, and read back. Error handling switches on the
+// stable v1 error codes, never on message text.
+func Example() {
+	c := client.New("http://localhost:8080", client.WithRetries(3, 200*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Zero-execution prediction for an exported PROGRAML graph.
+	graphJSON := []byte(`{"region_id":"gemm.kernel_gemm#0","nodes":[],"edges":[]}`)
+	pred, err := c.Predict(ctx, api.PredictRequest{
+		Machine:   "haswell",
+		Objective: "time",
+		Graph:     graphJSON,
+	})
+	if client.IsCode(err, api.CodeModelNotFound) {
+		log.Fatal("train or preload the model first")
+	} else if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pred.Picks {
+		fmt.Printf("%3.0fW → %s\n", p.CapW, p.Config)
+	}
+
+	// Synchronous tuning session: model shortlist + 3 validation runs.
+	tuned, err := c.Tune(ctx, api.TuneRequest{
+		Machine: "haswell", Objective: "edp", Strategy: "hybrid",
+		RegionID: "gemm.kernel_gemm#0", Budget: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best %s after %d evals\n", tuned.Picks[0].Config, tuned.Picks[0].Evals)
+
+	// The same session as an async job: submit, poll to completion, and
+	// read the bit-identical result.
+	job, err := c.TuneAsync(ctx, api.TuneRequest{
+		Machine: "haswell", Objective: "edp", Strategy: "opentuner",
+		RegionID: "gemm.kernel_gemm#0", Budget: 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	done, err := c.Wait(ctx, job.ID, 500*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if done.Status == api.JobDone {
+		fmt.Printf("job %s: best %s\n", done.ID, done.Result.Picks[0].Config)
+	}
+}

@@ -1,0 +1,299 @@
+package registry
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"pnptuner/internal/api"
+)
+
+// okRunner returns a trivial successful session result.
+func okRunner(region string) JobRunner {
+	return func(ctx context.Context) (*api.TuneResponse, *api.ErrorInfo) {
+		return &api.TuneResponse{RegionID: region, Picks: []api.TunePick{{ConfigIndex: 7}}}, nil
+	}
+}
+
+// waitTerminal polls until job id reaches a terminal status.
+func waitTerminal(t *testing.T, js *JobStore, id string) api.Job {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		j, errInfo := js.Get(id)
+		if errInfo != nil {
+			t.Fatalf("get %s: %v", id, errInfo)
+		}
+		if j.Terminal() {
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished: %+v", id, j)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestJobStoreLifecycle(t *testing.T) {
+	js := NewJobStore(JobStoreConfig{Workers: 2, Queue: 8})
+	defer js.Stop(context.Background())
+
+	j, errInfo := js.Submit(api.TuneRequest{RegionID: "r#0", Async: true}, okRunner("r#0"))
+	if errInfo != nil {
+		t.Fatal(errInfo)
+	}
+	if j.ID == "" || j.Status != api.JobQueued || j.Request.Async {
+		t.Fatalf("submitted job = %+v", j)
+	}
+	fin := waitTerminal(t, js, j.ID)
+	if fin.Status != api.JobDone || fin.Result == nil || fin.Result.Picks[0].ConfigIndex != 7 {
+		t.Fatalf("finished job = %+v", fin)
+	}
+	if fin.StartedAt == nil || fin.FinishedAt == nil {
+		t.Fatalf("missing timestamps: %+v", fin)
+	}
+
+	// Failure is a terminal status carrying the wire error.
+	jf, _ := js.Submit(api.TuneRequest{RegionID: "r#1"}, func(ctx context.Context) (*api.TuneResponse, *api.ErrorInfo) {
+		return nil, api.Errorf(api.CodeInternal, "boom")
+	})
+	fin = waitTerminal(t, js, jf.ID)
+	if fin.Status != api.JobFailed || fin.Error == nil || fin.Error.Code != api.CodeInternal {
+		t.Fatalf("failed job = %+v", fin)
+	}
+
+	if _, errInfo := js.Get("nope"); errInfo == nil || errInfo.Code != api.CodeJobNotFound {
+		t.Fatalf("unknown job error = %v", errInfo)
+	}
+}
+
+// TestJobStoreCancelRunning: cancelling a running job cancels its
+// context, the session stops promptly, and the status reads cancelled —
+// the contract the engine's per-measurement ctx check backs.
+func TestJobStoreCancelRunning(t *testing.T) {
+	js := NewJobStore(JobStoreConfig{Workers: 1, Queue: 8})
+	defer js.Stop(context.Background())
+
+	started := make(chan struct{})
+	j, errInfo := js.Submit(api.TuneRequest{RegionID: "slow"}, func(ctx context.Context) (*api.TuneResponse, *api.ErrorInfo) {
+		close(started)
+		<-ctx.Done() // a long engine session observing its context
+		return &api.TuneResponse{RegionID: "slow"}, nil
+	})
+	if errInfo != nil {
+		t.Fatal(errInfo)
+	}
+	<-started
+	got, errInfo := js.Cancel(j.ID)
+	if errInfo != nil {
+		t.Fatal(errInfo)
+	}
+	if !got.CancelRequested {
+		t.Fatalf("cancel snapshot = %+v", got)
+	}
+	fin := waitTerminal(t, js, j.ID)
+	if fin.Status != api.JobCancelled || fin.Result != nil {
+		t.Fatalf("cancelled job = %+v", fin)
+	}
+	// Cancelling a finished job is a no-op, not an error.
+	again, errInfo := js.Cancel(j.ID)
+	if errInfo != nil || again.Status != api.JobCancelled {
+		t.Fatalf("re-cancel = %+v, %v", again, errInfo)
+	}
+}
+
+// TestJobStoreCancelQueued: with the lone worker busy, a queued job
+// cancels immediately without ever running.
+func TestJobStoreCancelQueued(t *testing.T) {
+	js := NewJobStore(JobStoreConfig{Workers: 1, Queue: 8})
+	defer js.Stop(context.Background())
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	blocker, _ := js.Submit(api.TuneRequest{RegionID: "blocker"}, func(ctx context.Context) (*api.TuneResponse, *api.ErrorInfo) {
+		close(started)
+		<-release
+		return &api.TuneResponse{}, nil
+	})
+	<-started
+	queued, errInfo := js.Submit(api.TuneRequest{RegionID: "queued"}, okRunner("queued"))
+	if errInfo != nil {
+		t.Fatal(errInfo)
+	}
+	got, errInfo := js.Cancel(queued.ID)
+	if errInfo != nil {
+		t.Fatal(errInfo)
+	}
+	if got.Status != api.JobCancelled {
+		t.Fatalf("queued cancel status = %s", got.Status)
+	}
+	close(release)
+	fin := waitTerminal(t, js, blocker.ID)
+	if fin.Status != api.JobDone {
+		t.Fatalf("blocker = %+v", fin)
+	}
+	// The worker must skip the cancelled job, never run it.
+	if fin, _ := js.Get(queued.ID); fin.StartedAt != nil {
+		t.Fatalf("cancelled queued job ran: %+v", fin)
+	}
+}
+
+// TestJobStoreQueueFull: queue depth bounds admissions with a stable
+// error code.
+func TestJobStoreQueueFull(t *testing.T) {
+	js := NewJobStore(JobStoreConfig{Workers: 1, Queue: 2})
+	defer js.Stop(context.Background())
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	js.Submit(api.TuneRequest{}, func(ctx context.Context) (*api.TuneResponse, *api.ErrorInfo) {
+		close(started)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return &api.TuneResponse{}, nil
+	})
+	<-started
+	blocked := func(ctx context.Context) (*api.TuneResponse, *api.ErrorInfo) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return &api.TuneResponse{}, nil
+	}
+	js.Submit(api.TuneRequest{}, blocked)
+	js.Submit(api.TuneRequest{}, blocked)
+	if _, errInfo := js.Submit(api.TuneRequest{}, blocked); errInfo == nil || errInfo.Code != api.CodeQueueFull {
+		t.Fatalf("overflow error = %v", errInfo)
+	}
+	close(release)
+}
+
+// TestJobStoreGC: finished jobs expire after their TTL; unfinished ones
+// never do.
+func TestJobStoreGC(t *testing.T) {
+	js := NewJobStore(JobStoreConfig{Workers: 1, Queue: 8, TTL: 20 * time.Millisecond})
+	defer js.Stop(context.Background())
+
+	j, _ := js.Submit(api.TuneRequest{RegionID: "gc"}, okRunner("gc"))
+	waitTerminal(t, js, j.ID)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, errInfo := js.Get(j.ID); errInfo != nil && errInfo.Code == api.CodeJobNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("finished job never GC'd")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobStoreMaxJobs: the retained-job cap evicts the oldest finished
+// jobs before their TTL.
+func TestJobStoreMaxJobs(t *testing.T) {
+	js := NewJobStore(JobStoreConfig{Workers: 2, Queue: 8, TTL: time.Hour, MaxJobs: 3})
+	defer js.Stop(context.Background())
+
+	var ids []string
+	for i := 0; i < 6; i++ {
+		j, errInfo := js.Submit(api.TuneRequest{}, okRunner("x"))
+		if errInfo != nil {
+			t.Fatal(errInfo)
+		}
+		waitTerminal(t, js, j.ID)
+		ids = append(ids, j.ID)
+	}
+	if n := len(js.List()); n > 3 {
+		t.Fatalf("%d jobs retained, cap 3", n)
+	}
+	// The newest job always survives.
+	if _, errInfo := js.Get(ids[len(ids)-1]); errInfo != nil {
+		t.Fatalf("newest job evicted: %v", errInfo)
+	}
+}
+
+// TestJobStoreStopDrains: Stop cancels queued jobs, drains the running
+// one, and refuses later submissions.
+func TestJobStoreStopDrains(t *testing.T) {
+	js := NewJobStore(JobStoreConfig{Workers: 1, Queue: 8})
+
+	started := make(chan struct{})
+	running, _ := js.Submit(api.TuneRequest{RegionID: "run"}, func(ctx context.Context) (*api.TuneResponse, *api.ErrorInfo) {
+		close(started)
+		// Finishes on its own: Stop must wait for it, not kill it.
+		time.Sleep(10 * time.Millisecond)
+		return &api.TuneResponse{RegionID: "run"}, nil
+	})
+	<-started
+	queued, _ := js.Submit(api.TuneRequest{RegionID: "q"}, okRunner("q"))
+
+	js.Stop(context.Background())
+
+	if j, _ := js.Get(running.ID); j.Status != api.JobDone {
+		t.Fatalf("running job after drain = %+v", j)
+	}
+	if j, _ := js.Get(queued.ID); j.Status != api.JobCancelled {
+		t.Fatalf("queued job after stop = %+v", j)
+	}
+	if _, errInfo := js.Submit(api.TuneRequest{}, okRunner("late")); errInfo == nil || errInfo.Code != api.CodeUnavailable {
+		t.Fatalf("submit after stop = %v", errInfo)
+	}
+	js.Stop(context.Background()) // idempotent
+}
+
+// TestJobStoreStopDeadline: a session that ignores completion but
+// honours its context is cancelled once the drain deadline passes.
+func TestJobStoreStopDeadline(t *testing.T) {
+	js := NewJobStore(JobStoreConfig{Workers: 1, Queue: 8})
+	started := make(chan struct{})
+	j, _ := js.Submit(api.TuneRequest{RegionID: "stuck"}, func(ctx context.Context) (*api.TuneResponse, *api.ErrorInfo) {
+		close(started)
+		<-ctx.Done()
+		return nil, api.Errorf(api.CodeInternal, "interrupted")
+	})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	js.Stop(ctx)
+	fin, _ := js.Get(j.ID)
+	if fin.Status != api.JobCancelled {
+		t.Fatalf("deadline-cancelled job = %+v", fin)
+	}
+}
+
+// TestJobStoreConcurrent is the -race exercise: many goroutines
+// submitting, polling, listing, and cancelling at once.
+func TestJobStoreConcurrent(t *testing.T) {
+	js := NewJobStore(JobStoreConfig{Workers: 4, Queue: 64, TTL: 50 * time.Millisecond})
+	defer js.Stop(context.Background())
+
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, errInfo := js.Submit(api.TuneRequest{RegionID: "r"}, okRunner("r"))
+			if errInfo != nil {
+				return // queue_full under pressure is legitimate
+			}
+			if i%3 == 0 {
+				js.Cancel(j.ID)
+			}
+			waitTerminal(t, js, j.ID)
+			js.List()
+			js.Stats()
+		}(i)
+	}
+	wg.Wait()
+	st := js.Stats()
+	if st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("stats after drain = %+v", st)
+	}
+	if st.Done+st.Cancelled+st.Failed == 0 {
+		t.Fatalf("no jobs accounted: %+v", st)
+	}
+}

@@ -10,6 +10,7 @@ package registry
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -35,6 +36,11 @@ const (
 // ScenarioFull is the production training split: all corpus regions, no
 // holdout. LOOCV scenarios are spelled "loocv:<App>".
 const ScenarioFull = "full"
+
+// ErrModelNotFound marks a resolve miss that cannot self-heal: the model
+// is neither cached nor on disk and no trainer is configured. The HTTP
+// layer maps it to api.CodeModelNotFound.
+var ErrModelNotFound = errors.New("model not found")
 
 // Key identifies one servable model.
 type Key struct {
@@ -243,7 +249,7 @@ func (r *Registry) resolve(key Key) (e *Entry, fromDisk bool, err error) {
 		}
 	}
 	if r.train == nil {
-		return nil, false, fmt.Errorf("registry: model %s not in store and no trainer configured", key)
+		return nil, false, fmt.Errorf("registry: model %s not in store and no trainer configured: %w", key, ErrModelNotFound)
 	}
 	m, meta, err := r.train(key)
 	if err != nil {

@@ -1,35 +1,45 @@
 package registry
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"pnptuner/internal/autotune"
-	"pnptuner/internal/bliss"
-	"pnptuner/internal/dataset"
-	"pnptuner/internal/hw"
-	"pnptuner/internal/opentuner"
-	"pnptuner/internal/papi"
+	"pnptuner/internal/api"
 	"pnptuner/internal/programl"
 	"pnptuner/internal/vocab"
 )
 
-// Server is the HTTP face of the registry: a JSON predict endpoint that
-// funnels concurrent requests through per-model micro-batchers, plus
-// /healthz and /models introspection. Live batchers are LRU-bounded by
-// the registry's cache capacity, so the operator's -cache flag bounds
-// resident models, not just registry entries.
+// Server is the HTTP face of the registry, serving the versioned v1
+// contract (internal/api): a JSON predict endpoint that funnels
+// concurrent requests through per-model micro-batchers, sync and async
+// tuning sessions (the latter on a bounded job store), plus health and
+// model introspection. Live batchers are LRU-bounded by the registry's
+// cache capacity, so the operator's -cache flag bounds resident models,
+// not just registry entries.
+//
+// Routes (legacy pre-versioning aliases in parentheses):
+//
+//	POST   /v1/predict    (/predict)  micro-batched model predictions
+//	POST   /v1/tune       (/tune)     engine session; async:true → 202 + Job
+//	GET    /v1/jobs                   list retained jobs
+//	GET    /v1/jobs/{id}              poll one job's status/trace/result
+//	DELETE /v1/jobs/{id}              cancel a queued or running job
+//	GET    /v1/models     (/models)   registry contents
+//	GET    /v1/healthz    (/healthz)  liveness, traffic and route counters
 type Server struct {
 	reg      *Registry
 	vocab    *vocab.Vocabulary
 	maxBatch int
 	maxWait  time.Duration
 	start    time.Time
+	jobs     *JobStore
+	metrics  *routeMetrics
 
 	mu       sync.Mutex
 	closed   bool
@@ -43,34 +53,85 @@ type Server struct {
 	served atomic.Int64
 }
 
-// NewServer builds a server over reg. v is the (frozen) corpus vocabulary
-// incoming graphs are token-annotated with; maxBatch/maxWait configure
-// every model's micro-batching window.
-func NewServer(reg *Registry, v *vocab.Vocabulary, maxBatch int, maxWait time.Duration) *Server {
+// ServerConfig tunes a server. Zero values get defaults.
+type ServerConfig struct {
+	// MaxBatch bounds every model's micro-batching window size
+	// (default 16).
+	MaxBatch int
+	// MaxWait bounds how long the first request of a window waits for
+	// company (default 2ms).
+	MaxWait time.Duration
+	// Jobs bounds the async tune job subsystem.
+	Jobs JobStoreConfig
+}
+
+// NewServer builds a server over reg. v is the (frozen) corpus
+// vocabulary incoming graphs are token-annotated with.
+func NewServer(reg *Registry, v *vocab.Vocabulary, cfg ServerConfig) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 16
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 2 * time.Millisecond
+	}
 	return &Server{
 		reg:      reg,
 		vocab:    v,
-		maxBatch: maxBatch,
-		maxWait:  maxWait,
+		maxBatch: cfg.MaxBatch,
+		maxWait:  cfg.MaxWait,
 		start:    time.Now(),
+		jobs:     NewJobStore(cfg.Jobs),
+		metrics:  newRouteMetrics(),
 		batchers: newLRU(reg.Capacity()),
 		closing:  map[string]chan struct{}{},
 	}
 }
 
-// Handler returns the route mux.
+// Handler returns the route mux: the v1 surface, the deprecated legacy
+// aliases, and the request-ID + per-route-metrics middleware around
+// everything.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", s.handlePredict)
-	mux.HandleFunc("/tune", s.handleTune)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/models", s.handleModels)
-	return mux
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.metrics.wrap(pattern, h))
+	}
+	route(api.PathPredict, s.handlePredict)
+	route(api.PathTune, s.handleTune)
+	route(api.PathJobs, s.handleJobs)
+	route(api.PathJobs+"/", s.handleJob)
+	route(api.PathModels, s.handleModels)
+	route(api.PathHealthz, s.handleHealthz)
+
+	// Legacy pre-versioning aliases: same handlers, same bodies, plus
+	// deprecation headers pointing at the successor route.
+	legacy := func(pattern string, successor string, h http.HandlerFunc) {
+		route(pattern, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+			h(w, r)
+		})
+	}
+	legacy("/predict", api.PathPredict, s.handlePredict)
+	legacy("/tune", api.PathTune, s.handleTune)
+	legacy("/models", api.PathModels, s.handleModels)
+	legacy("/healthz", api.PathHealthz, s.handleHealthz)
+
+	mux.HandleFunc("/", s.metrics.wrap("(unmatched)", func(w http.ResponseWriter, r *http.Request) {
+		s.writeErr(w, r, api.Errorf(api.CodeNotFound, "no route %s %s", r.Method, r.URL.Path))
+	}))
+	return withRequestID(mux)
 }
 
-// Close stops every batcher and refuses further batcher creation; a
-// handler racing Close gets ErrClosed instead of leaking a goroutine.
-func (s *Server) Close() {
+// Shutdown stops the server gracefully: the job store drains (queued
+// jobs cancel immediately, running sessions finish until ctx expires and
+// are then cancelled via their contexts), then every batcher closes and
+// further requests get CodeUnavailable. Call after http.Server.Shutdown
+// so no new requests race the drain.
+func (s *Server) Shutdown(ctx context.Context) {
+	// Jobs first: running sessions shortlist through the batchers, which
+	// must outlive them.
+	s.jobs.Stop(ctx)
+
 	s.mu.Lock()
 	s.closed = true
 	evicted := s.batchers.clear()
@@ -78,6 +139,15 @@ func (s *Server) Close() {
 	for _, v := range evicted {
 		v.(*Batcher).Close()
 	}
+}
+
+// Close stops the server immediately: running jobs are cancelled rather
+// than drained. A handler racing Close gets CodeUnavailable instead of
+// leaking a goroutine.
+func (s *Server) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Shutdown(ctx)
 }
 
 // batcherFor returns the micro-batcher serving key, resolving the model
@@ -142,52 +212,14 @@ func (s *Server) batcherFor(key Key) (*Batcher, error) {
 	}
 }
 
-// PredictRequest is the /predict wire format. Graph is the programl JSON
-// export; node tokens are re-annotated server-side from the corpus
-// vocabulary, so clients only need node texts. Counters feed models
-// trained with dynamic features and must be omitted otherwise.
-type PredictRequest struct {
-	Machine   string          `json:"machine"`
-	Objective string          `json:"objective"`
-	Scenario  string          `json:"scenario,omitempty"` // default "full"
-	Graph     json.RawMessage `json:"graph"`
-	Counters  []float64       `json:"counters,omitempty"`
-}
-
-// Pick is one recommended configuration.
-type Pick struct {
-	CapW        float64 `json:"cap_w"`
-	ConfigIndex int     `json:"config_index"`
-	Config      string  `json:"config"`
-}
-
-// PredictResponse is the /predict reply: one pick per power cap for the
-// time objective, a single joint (cap, config) pick for EDP.
-type PredictResponse struct {
-	RegionID  string `json:"region_id"`
-	Machine   string `json:"machine"`
-	Objective string `json:"objective"`
-	Scenario  string `json:"scenario"`
-	Picks     []Pick `json:"picks"`
-}
-
-// Request ceilings: a public endpoint must not let one client exhaust
-// memory or stall the shared batch window. Corpus graphs are hundreds of
-// nodes; these bounds are orders of magnitude above any legitimate use.
-const (
-	maxRequestBytes = 8 << 20
-	maxGraphNodes   = 1 << 19
-	maxGraphEdges   = 1 << 21
-)
-
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+	if info := requireMethod(r, http.MethodPost); info != nil {
+		s.writeErr(w, r, info)
 		return
 	}
-	var req PredictRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+	var req api.PredictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, api.MaxRequestBytes)).Decode(&req); err != nil {
+		s.writeErr(w, r, decodeErrInfo(err))
 		return
 	}
 	if req.Scenario == "" {
@@ -195,21 +227,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	key := Key{Machine: req.Machine, Scenario: req.Scenario, Objective: req.Objective}
 	if err := key.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		s.writeErr(w, r, api.Errorf(api.CodeBadRequest, "%v", err))
 		return
 	}
-	if len(req.Graph) == 0 {
-		httpError(w, http.StatusBadRequest, "request has no graph")
+	if len(req.Graph) == 0 || string(req.Graph) == "null" {
+		s.writeErr(w, r, api.Errorf(api.CodeBadRequest, "request has no graph"))
 		return
 	}
 	g := &programl.Graph{}
 	if err := json.Unmarshal(req.Graph, g); err != nil {
-		httpError(w, http.StatusBadRequest, "decode graph: %v", err)
+		s.writeErr(w, r, api.Errorf(api.CodeBadRequest, "decode graph: %v", err))
 		return
 	}
-	if len(g.Nodes) > maxGraphNodes || len(g.Edges) > maxGraphEdges {
-		httpError(w, http.StatusBadRequest, "graph too large (%d nodes, %d edges)",
-			len(g.Nodes), len(g.Edges))
+	if len(g.Nodes) > api.MaxGraphNodes || len(g.Edges) > api.MaxGraphEdges {
+		s.writeErr(w, r, api.Errorf(api.CodeGraphTooLarge,
+			"graph too large (%d nodes, %d edges; limits %d, %d)",
+			len(g.Nodes), len(g.Edges), api.MaxGraphNodes, api.MaxGraphEdges))
 		return
 	}
 	s.vocab.Annotate(g)
@@ -217,32 +250,33 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	sp, err := key.Space()
 	if err != nil {
 		// Unreachable after key.Validate; classified as server-side.
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		s.writeErr(w, r, api.Errorf(api.CodeInternal, "%v", err))
 		return
 	}
 
 	b, err := s.batcherFor(key)
 	if err != nil {
-		// The key already validated, so resolve failures are server-side.
-		httpError(w, resolveStatus(err), "%v", err)
+		// The key already validated, so resolve failures are server-side
+		// (or the model is genuinely absent and untrainable).
+		s.writeErr(w, r, resolveErrInfo(err))
 		return
 	}
 	picks, err := b.Predict(Request{Graph: g, Extras: req.Counters})
 	if err != nil {
 		// Validation failures are the client's; forward failures and a
 		// batcher torn down mid-request are not.
-		status := http.StatusBadRequest
+		info := api.Errorf(api.CodeBadRequest, "%v", err)
 		switch {
 		case errors.Is(err, ErrClosed):
-			status = http.StatusServiceUnavailable
+			info.Code = api.CodeUnavailable
 		case errors.Is(err, ErrForward):
-			status = http.StatusInternalServerError
+			info.Code = api.CodeInternal
 		}
-		httpError(w, status, "%v", err)
+		s.writeErr(w, r, info)
 		return
 	}
 
-	resp := PredictResponse{
+	resp := api.PredictResponse{
 		RegionID:  g.RegionID,
 		Machine:   key.Machine,
 		Objective: key.Objective,
@@ -252,7 +286,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	case ObjectiveTime:
 		// One head per cap: picks[h] indexes the per-cap config space.
 		for h, pick := range picks {
-			resp.Picks = append(resp.Picks, Pick{
+			resp.Picks = append(resp.Picks, api.Pick{
 				CapW:        sp.Caps()[h],
 				ConfigIndex: pick,
 				Config:      sp.Configs[pick].String(),
@@ -261,296 +295,166 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	case ObjectiveEDP:
 		// Single head over the joint space: decode (cap, config).
 		capW, cfg := sp.At(picks[0])
-		resp.Picks = []Pick{{CapW: capW, ConfigIndex: picks[0], Config: cfg.String()}}
+		resp.Picks = []api.Pick{{CapW: capW, ConfigIndex: picks[0], Config: cfg.String()}}
 	}
 	s.served.Add(1)
 	writeJSON(w, http.StatusOK, resp)
-}
-
-// TuneRequest is the /tune wire format: run a bounded autotune engine
-// session for one corpus region. Strategies "gnn" and "hybrid" resolve
-// the (machine, objective, scenario) model through the registry and
-// shortlist through the micro-batcher; "bliss" and "opentuner" are
-// model-free searches. The evaluator is noisy dataset replay — the
-// simulated stand-in for executing the region under RAPL.
-type TuneRequest struct {
-	Machine   string `json:"machine"`
-	Objective string `json:"objective"`
-	Strategy  string `json:"strategy"`
-	Scenario  string `json:"scenario,omitempty"` // default "full"
-	RegionID  string `json:"region_id"`
-	// Budget is the executions granted per tuning task (0 = the
-	// strategy's default; capped at MaxTuneBudget).
-	Budget int `json:"budget,omitempty"`
-	// Seed decorrelates tuning runs (0 = the region's corpus seed).
-	Seed uint64 `json:"seed,omitempty"`
-}
-
-// TunePick is one recommended configuration with its session cost and
-// quality.
-type TunePick struct {
-	CapW        float64 `json:"cap_w"`
-	ConfigIndex int     `json:"config_index"`
-	Config      string  `json:"config"`
-	Evals       int     `json:"evals"`
-	// OracleFrac is the achieved fraction of the exhaustive-search
-	// optimum (1 = oracle).
-	OracleFrac float64 `json:"oracle_frac"`
-}
-
-// TuneResponse is the /tune reply: one pick per power cap for the time
-// objective, a single joint pick otherwise.
-type TuneResponse struct {
-	RegionID  string     `json:"region_id"`
-	Machine   string     `json:"machine"`
-	Objective string     `json:"objective"`
-	Strategy  string     `json:"strategy"`
-	Budget    int        `json:"budget"`
-	Picks     []TunePick `json:"picks"`
-}
-
-// MaxTuneBudget bounds one /tune session's replay executions; a public
-// endpoint must not let a single request monopolize the server.
-const MaxTuneBudget = 256
-
-// tuneStrategies maps the wire names to their default budgets.
-var tuneStrategies = map[string]int{
-	"gnn":       0,
-	"hybrid":    autotune.HybridK,
-	"bliss":     bliss.Budget,
-	"opentuner": opentuner.Budget,
 }
 
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+	if info := requireMethod(r, http.MethodPost); info != nil {
+		s.writeErr(w, r, info)
 		return
 	}
-	var req TuneRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+	var req api.TuneRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, api.MaxRequestBytes)).Decode(&req); err != nil {
+		s.writeErr(w, r, decodeErrInfo(err))
 		return
 	}
-	defBudget, ok := tuneStrategies[req.Strategy]
-	if !ok {
-		httpError(w, http.StatusBadRequest,
-			"unknown strategy %q (valid: gnn, bliss, opentuner, hybrid)", req.Strategy)
+	// Model-free strategies never touch the batchers, so without this
+	// check a drained server would still run full engine sessions.
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		s.writeErr(w, r, api.Errorf(api.CodeUnavailable, "server is shutting down"))
 		return
 	}
-	if req.Budget < 0 || req.Budget > MaxTuneBudget {
-		httpError(w, http.StatusBadRequest, "budget %d outside [0, %d]", req.Budget, MaxTuneBudget)
+	ts, info := s.prepTune(req)
+	if info != nil {
+		s.writeErr(w, r, info)
 		return
 	}
-	budget := req.Budget
-	if budget == 0 {
-		budget = defBudget
-	}
-	if req.Scenario == "" {
-		req.Scenario = ScenarioFull
-	}
-	modelDriven := req.Strategy == "gnn" || req.Strategy == "hybrid"
-
-	// Objective validation: model strategies serve the registry's
-	// objectives; the searches additionally tune raw energy.
-	var joint autotune.Objective
-	switch req.Objective {
-	case ObjectiveTime:
-	case ObjectiveEDP:
-		joint = autotune.EDP{}
-	case "energy":
-		if modelDriven {
-			httpError(w, http.StatusBadRequest,
-				"objective \"energy\" has no trained model; use strategy bliss or opentuner")
+	if req.Async {
+		job, info := s.jobs.Submit(ts.req, ts.run)
+		if info != nil {
+			s.writeErr(w, r, info)
 			return
 		}
-		joint = autotune.Energy{}
-	default:
-		httpError(w, http.StatusBadRequest, "unknown objective %q (valid: time, edp, energy)", req.Objective)
+		s.served.Add(1)
+		writeJSON(w, http.StatusAccepted, job)
 		return
 	}
-
-	m, err := hw.ByName(req.Machine)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+	resp, info := ts.run(r.Context())
+	if info != nil {
+		s.writeErr(w, r, info)
 		return
-	}
-	// The exhaustive sweep backing the replay evaluator; built once per
-	// machine and cached process-wide.
-	d, err := dataset.Build(m)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	rd := d.Region(req.RegionID)
-	if rd == nil {
-		httpError(w, http.StatusBadRequest,
-			"unknown region %q: /tune replays the measurement corpus, so the region must be a corpus region ID", req.RegionID)
-		return
-	}
-	seed := req.Seed
-	if seed == 0 {
-		seed = rd.Region.Seed
-	}
-
-	// Model-driven strategies shortlist through the micro-batcher (the
-	// model is not goroutine-safe; the batcher is its serialization
-	// point). k=1 is the pure static pick.
-	var shortlists [][]int
-	if modelDriven {
-		key := Key{Machine: req.Machine, Scenario: req.Scenario, Objective: req.Objective}
-		if err := key.Validate(); err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		k := 1
-		if req.Strategy == "hybrid" {
-			k = budget
-		}
-		shortlists, err = s.modelShortlists(key, rd, k)
-		if err != nil {
-			status := http.StatusInternalServerError
-			if errors.Is(err, ErrClosed) {
-				status = http.StatusServiceUnavailable
-			}
-			httpError(w, status, "%v", err)
-			return
-		}
-	}
-
-	entry := s.tuneEntry(req.Strategy, budget, shortlists)
-	resp := TuneResponse{
-		RegionID:  req.RegionID,
-		Machine:   req.Machine,
-		Objective: req.Objective,
-		Strategy:  req.Strategy,
-		Budget:    entry.Budget,
-	}
-	session := func(obj autotune.Objective) autotune.Result {
-		task := autotune.Task{
-			Problem:  autotune.Problem{Obj: obj, Space: d.Space, Seed: seed},
-			RegionID: req.RegionID,
-		}
-		return autotune.RunEntry(entry, rd, task)
-	}
-	if req.Objective == ObjectiveTime {
-		// One session per power cap, mirroring /predict's shape.
-		for ci, capW := range d.Space.Caps() {
-			obj := autotune.TimeUnderCap{Cap: ci}
-			res := session(obj)
-			_, oracleV := autotune.Oracle(rd, d.Space, obj)
-			resp.Picks = append(resp.Picks, TunePick{
-				CapW:        capW,
-				ConfigIndex: res.Best,
-				Config:      d.Space.Configs[res.Best].String(),
-				Evals:       res.Evals,
-				OracleFrac:  oracleV / obj.Value(rd, d.Space, res.Best),
-			})
-		}
-	} else {
-		res := session(joint)
-		capW, cfg := d.Space.At(res.Best)
-		_, oracleV := autotune.Oracle(rd, d.Space, joint)
-		resp.Picks = []TunePick{{
-			CapW:        capW,
-			ConfigIndex: res.Best,
-			Config:      cfg.String(),
-			Evals:       res.Evals,
-			OracleFrac:  oracleV / joint.Value(rd, d.Space, res.Best),
-		}}
 	}
 	s.served.Add(1)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// tuneEntry builds the engine entry for a /tune session. shortlists is
-// the per-head model proposal list for model-driven strategies (head =
-// cap index for the time objective, a single joint head otherwise).
-func (s *Server) tuneEntry(strategy string, budget int, shortlists [][]int) autotune.Entry {
-	switch strategy {
-	case "gnn":
-		return autotune.FixedEntry("gnn", func(t autotune.Task) int {
-			return shortlists[tuneHead(t)][0]
-		})
-	case "hybrid":
-		e := autotune.HybridEntry("hybrid", func(t autotune.Task) []int {
-			return shortlists[tuneHead(t)]
-		})
-		e.Budget = budget
-		return e
-	case "bliss":
-		e := bliss.Entry("bliss")
-		e.Budget = budget
-		return e
-	default:
-		e := opentuner.Entry("opentuner")
-		e.Budget = budget
-		return e
+// handleJobs lists retained jobs, oldest first.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if info := requireMethod(r, http.MethodGet); info != nil {
+		s.writeErr(w, r, info)
+		return
 	}
+	writeJSON(w, http.StatusOK, s.jobs.List())
 }
 
-// tuneHead maps a task's objective to the serving model's head index.
-func tuneHead(t autotune.Task) int {
-	if o, ok := t.Obj.(autotune.TimeUnderCap); ok {
-		return o.Cap
+// handleJob polls (GET) or cancels (DELETE) one job by ID.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, api.PathJobs+"/")
+	if id == "" || strings.Contains(id, "/") {
+		s.writeErr(w, r, api.Errorf(api.CodeNotFound, "no route %s", r.URL.Path))
+		return
 	}
-	return 0
-}
-
-// modelShortlists resolves the key's model and returns each head's top-k
-// classes for the region's graph, routed through the micro-batcher so
-// /tune traffic batches with /predict traffic on the shared model.
-func (s *Server) modelShortlists(key Key, rd *dataset.RegionData, k int) ([][]int, error) {
-	b, err := s.batcherFor(key)
-	if err != nil {
-		return nil, err
-	}
-	var extras []float64
-	switch b.model.ExtraDim {
-	case 0:
-	case papi.NumFeatures:
-		f := rd.Counters.Features()
-		extras = f[:]
+	var job api.Job
+	var info *api.ErrorInfo
+	switch r.Method {
+	case http.MethodGet:
+		job, info = s.jobs.Get(id)
+	case http.MethodDelete:
+		job, info = s.jobs.Cancel(id)
 	default:
-		return nil, fmt.Errorf("registry: model %s wants %d extra features; /tune can only supply corpus counters", key, b.model.ExtraDim)
+		info = api.Errorf(api.CodeMethodNotAllowed, "%s not allowed (want GET or DELETE)", r.Method)
 	}
-	return b.PredictTopK(Request{Graph: rd.Region.Graph, Extras: extras}, k)
+	if info != nil {
+		s.writeErr(w, r, info)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if info := requireMethod(r, http.MethodGet); info != nil {
+		s.writeErr(w, r, info)
+		return
+	}
 	s.mu.Lock()
 	nBatchers := s.batchers.len()
 	s.mu.Unlock()
 	st := s.reg.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":           "ok",
-		"uptime_sec":       time.Since(s.start).Seconds(),
-		"served":           s.served.Load(),
-		"batchers":         nBatchers,
-		"cache_hits":       st.Hits,
-		"disk_loads":       st.DiskLoads,
-		"models_trained":   st.Trained,
-		"evicted":          st.Evicted,
-		"persist_failures": st.PersistFailures,
+	writeJSON(w, http.StatusOK, api.Health{
+		Status:          "ok",
+		UptimeSec:       time.Since(s.start).Seconds(),
+		Served:          s.served.Load(),
+		Batchers:        nBatchers,
+		CacheHits:       st.Hits,
+		DiskLoads:       st.DiskLoads,
+		ModelsTrained:   st.Trained,
+		Evicted:         st.Evicted,
+		PersistFailures: st.PersistFailures,
+		Jobs:            s.jobs.Stats(),
+		Routes:          s.metrics.snapshot(),
 	})
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.reg.List())
+	if info := requireMethod(r, http.MethodGet); info != nil {
+		s.writeErr(w, r, info)
+		return
+	}
+	infos := s.reg.List()
+	out := make([]api.ModelInfo, 0, len(infos))
+	for _, info := range infos {
+		meta, err := json.Marshal(info.Meta)
+		if err != nil {
+			meta = nil
+		}
+		out = append(out, api.ModelInfo{
+			Key: api.ModelKey{
+				Machine:   info.Key.Machine,
+				Scenario:  info.Key.Scenario,
+				Objective: info.Key.Objective,
+			},
+			ID:     info.ID,
+			Cached: info.Cached,
+			OnDisk: info.OnDisk,
+			Meta:   meta,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
-func resolveStatus(err error) int {
-	if errors.Is(err, ErrClosed) {
-		return http.StatusServiceUnavailable
+// requireMethod returns the method_not_allowed error when r's method
+// isn't want.
+func requireMethod(r *http.Request, want string) *api.ErrorInfo {
+	if r.Method != want {
+		return api.Errorf(api.CodeMethodNotAllowed, "%s not allowed (want %s)", r.Method, want)
 	}
-	return http.StatusInternalServerError
+	return nil
+}
+
+// decodeErrInfo classifies a request-body decode failure: an oversized
+// body trips the contract ceiling, everything else is malformed JSON.
+func decodeErrInfo(err error) *api.ErrorInfo {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return api.Errorf(api.CodeGraphTooLarge, "request body over %d bytes", api.MaxRequestBytes)
+	}
+	return api.Errorf(api.CodeBadRequest, "decode request: %v", err)
+}
+
+// writeErr renders the v1 error envelope with the request's correlation
+// ID and the code's canonical status.
+func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, info *api.ErrorInfo) {
+	writeJSON(w, api.StatusFor(info.Code), api.ErrorBody{Error: *info, RequestID: requestID(r)})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

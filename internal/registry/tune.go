@@ -1,0 +1,264 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"pnptuner/internal/api"
+	"pnptuner/internal/autotune"
+	"pnptuner/internal/bliss"
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/hw"
+	"pnptuner/internal/opentuner"
+	"pnptuner/internal/papi"
+)
+
+// tuneStrategies maps the wire names to their default budgets.
+var tuneStrategies = map[string]int{
+	"gnn":       0,
+	"hybrid":    autotune.HybridK,
+	"bliss":     bliss.Budget,
+	"opentuner": opentuner.Budget,
+}
+
+// tuneSession is one fully validated tune request, ready to run. The
+// split matters for async jobs: prepTune runs on the request goroutine
+// so malformed requests fail with 4xx before a job is ever created,
+// while run — which may train a model and replays engine sessions —
+// runs wherever the caller wants (inline for sync, a job-store worker
+// for async) under a cancellable context.
+type tuneSession struct {
+	s     *Server
+	req   api.TuneRequest    // normalized: scenario defaulted, budget resolved
+	joint autotune.Objective // nil for the per-cap time objective
+	d     *dataset.Dataset
+	rd    *dataset.RegionData
+	seed  uint64
+}
+
+// prepTune validates req and binds it to its corpus region. Every error
+// here is the client's (a stable 4xx code); failures after it are
+// server-side.
+func (s *Server) prepTune(req api.TuneRequest) (*tuneSession, *api.ErrorInfo) {
+	defBudget, ok := tuneStrategies[req.Strategy]
+	if !ok {
+		return nil, api.Errorf(api.CodeBadRequest,
+			"unknown strategy %q (valid: gnn, bliss, opentuner, hybrid)", req.Strategy)
+	}
+	if req.Budget < 0 || req.Budget > api.MaxTuneBudget {
+		return nil, api.Errorf(api.CodeBudgetExceeded,
+			"budget %d outside [0, %d]", req.Budget, api.MaxTuneBudget)
+	}
+	if req.Budget == 0 {
+		req.Budget = defBudget
+	}
+	if req.Scenario == "" {
+		req.Scenario = ScenarioFull
+	}
+	modelDriven := req.Strategy == "gnn" || req.Strategy == "hybrid"
+
+	// Objective validation: model strategies serve the registry's
+	// objectives; the searches additionally tune raw energy.
+	var joint autotune.Objective
+	switch req.Objective {
+	case ObjectiveTime:
+	case ObjectiveEDP:
+		joint = autotune.EDP{}
+	case "energy":
+		if modelDriven {
+			return nil, api.Errorf(api.CodeBadRequest,
+				"objective \"energy\" has no trained model; use strategy bliss or opentuner")
+		}
+		joint = autotune.Energy{}
+	default:
+		return nil, api.Errorf(api.CodeBadRequest,
+			"unknown objective %q (valid: time, edp, energy)", req.Objective)
+	}
+	if modelDriven {
+		key := Key{Machine: req.Machine, Scenario: req.Scenario, Objective: req.Objective}
+		if err := key.Validate(); err != nil {
+			return nil, api.Errorf(api.CodeBadRequest, "%v", err)
+		}
+	}
+
+	m, err := hw.ByName(req.Machine)
+	if err != nil {
+		return nil, api.Errorf(api.CodeBadRequest, "%v", err)
+	}
+	// The exhaustive sweep backing the replay evaluator; built once per
+	// machine and cached process-wide.
+	d, err := dataset.Build(m)
+	if err != nil {
+		return nil, api.Errorf(api.CodeInternal, "%v", err)
+	}
+	rd := d.Region(req.RegionID)
+	if rd == nil {
+		return nil, api.Errorf(api.CodeRegionNotFound,
+			"unknown region %q: tuning replays the measurement corpus, so the region must be a corpus region ID", req.RegionID)
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = rd.Region.Seed
+	}
+	return &tuneSession{s: s, req: req, joint: joint, d: d, rd: rd, seed: seed}, nil
+}
+
+// run executes the session's engine sessions under ctx: model-driven
+// strategies first shortlist through the micro-batcher (training the
+// model on first use), then each head's session runs the
+// propose/observe loop, which checks ctx before every measurement. The
+// response is bit-identical for the same request whether run inline
+// (sync /v1/tune, legacy /tune) or on a job-store worker (async).
+func (ts *tuneSession) run(ctx context.Context) (*api.TuneResponse, *api.ErrorInfo) {
+	req, d, rd := ts.req, ts.d, ts.rd
+	modelDriven := req.Strategy == "gnn" || req.Strategy == "hybrid"
+
+	// Model-driven strategies shortlist through the micro-batcher (the
+	// model is not goroutine-safe; the batcher is its serialization
+	// point). k=1 is the pure static pick.
+	var shortlists [][]int
+	if modelDriven {
+		key := Key{Machine: req.Machine, Scenario: req.Scenario, Objective: req.Objective}
+		k := 1
+		if req.Strategy == "hybrid" {
+			k = req.Budget
+		}
+		var err error
+		shortlists, err = ts.s.modelShortlists(key, rd, k)
+		if err != nil {
+			return nil, resolveErrInfo(err)
+		}
+	}
+
+	entry := tuneEntry(req.Strategy, req.Budget, shortlists)
+	resp := &api.TuneResponse{
+		RegionID:  req.RegionID,
+		Machine:   req.Machine,
+		Objective: req.Objective,
+		Strategy:  req.Strategy,
+		Budget:    entry.Budget,
+	}
+	session := func(obj autotune.Objective) autotune.Result {
+		task := autotune.Task{
+			Problem:  autotune.Problem{Obj: obj, Space: d.Space, Seed: ts.seed},
+			RegionID: req.RegionID,
+		}
+		return autotune.RunEntryContext(ctx, entry, rd, task)
+	}
+	if req.Objective == ObjectiveTime {
+		// One session per power cap, mirroring /v1/predict's shape.
+		for ci, capW := range d.Space.Caps() {
+			if ctx.Err() != nil {
+				return nil, api.Errorf(api.CodeUnavailable, "session cancelled: %v", ctx.Err())
+			}
+			obj := autotune.TimeUnderCap{Cap: ci}
+			res := session(obj)
+			_, oracleV := autotune.Oracle(rd, d.Space, obj)
+			resp.Picks = append(resp.Picks, api.TunePick{
+				CapW:        capW,
+				ConfigIndex: res.Best,
+				Config:      d.Space.Configs[res.Best].String(),
+				Evals:       res.Evals,
+				OracleFrac:  oracleV / obj.Value(rd, d.Space, res.Best),
+				Trace:       tracePoints(res.Trace),
+			})
+		}
+	} else {
+		res := session(ts.joint)
+		capW, cfg := d.Space.At(res.Best)
+		_, oracleV := autotune.Oracle(rd, d.Space, ts.joint)
+		resp.Picks = []api.TunePick{{
+			CapW:        capW,
+			ConfigIndex: res.Best,
+			Config:      cfg.String(),
+			Evals:       res.Evals,
+			OracleFrac:  oracleV / ts.joint.Value(rd, d.Space, res.Best),
+			Trace:       tracePoints(res.Trace),
+		}}
+	}
+	if ctx.Err() != nil {
+		// Cancelled mid-way: a truncated session's picks must not
+		// masquerade as the real result.
+		return nil, api.Errorf(api.CodeUnavailable, "session cancelled: %v", ctx.Err())
+	}
+	return resp, nil
+}
+
+// tracePoints converts an engine trace to the wire shape.
+func tracePoints(trace []autotune.Observation) []api.TracePoint {
+	if len(trace) == 0 {
+		return nil
+	}
+	out := make([]api.TracePoint, len(trace))
+	for i, o := range trace {
+		out[i] = api.TracePoint{ConfigIndex: o.Config, Value: o.Value}
+	}
+	return out
+}
+
+// tuneEntry builds the engine entry for a tune session. shortlists is
+// the per-head model proposal list for model-driven strategies (head =
+// cap index for the time objective, a single joint head otherwise).
+func tuneEntry(strategy string, budget int, shortlists [][]int) autotune.Entry {
+	switch strategy {
+	case "gnn":
+		return autotune.FixedEntry("gnn", func(t autotune.Task) int {
+			return shortlists[tuneHead(t)][0]
+		})
+	case "hybrid":
+		e := autotune.HybridEntry("hybrid", func(t autotune.Task) []int {
+			return shortlists[tuneHead(t)]
+		})
+		e.Budget = budget
+		return e
+	case "bliss":
+		e := bliss.Entry("bliss")
+		e.Budget = budget
+		return e
+	default:
+		e := opentuner.Entry("opentuner")
+		e.Budget = budget
+		return e
+	}
+}
+
+// tuneHead maps a task's objective to the serving model's head index.
+func tuneHead(t autotune.Task) int {
+	if o, ok := t.Obj.(autotune.TimeUnderCap); ok {
+		return o.Cap
+	}
+	return 0
+}
+
+// modelShortlists resolves the key's model and returns each head's top-k
+// classes for the region's graph, routed through the micro-batcher so
+// tuning traffic batches with /v1/predict traffic on the shared model.
+func (s *Server) modelShortlists(key Key, rd *dataset.RegionData, k int) ([][]int, error) {
+	b, err := s.batcherFor(key)
+	if err != nil {
+		return nil, err
+	}
+	var extras []float64
+	switch b.model.ExtraDim {
+	case 0:
+	case papi.NumFeatures:
+		f := rd.Counters.Features()
+		extras = f[:]
+	default:
+		return nil, fmt.Errorf("registry: model %s wants %d extra features; tuning can only supply corpus counters", key, b.model.ExtraDim)
+	}
+	return b.PredictTopK(Request{Graph: rd.Region.Graph, Extras: extras}, k)
+}
+
+// resolveErrInfo maps a model-resolve or batcher failure to its wire
+// error.
+func resolveErrInfo(err error) *api.ErrorInfo {
+	switch {
+	case errors.Is(err, ErrModelNotFound):
+		return api.Errorf(api.CodeModelNotFound, "%v", err)
+	case errors.Is(err, ErrClosed):
+		return api.Errorf(api.CodeUnavailable, "%v", err)
+	}
+	return api.Errorf(api.CodeInternal, "%v", err)
+}
