@@ -1,0 +1,103 @@
+// Command pnpgate is the multi-replica serving router: it fronts N
+// shared-nothing pnpserve replicas behind the same /v1 API surface,
+// consistent-hashing each model key (machine, scenario, objective) to
+// an owning replica, probing replica health in the background, failing
+// retryable requests over to the next replica in the key's preference
+// order, and single-flighting cold-model warm-up so one replica trains
+// while its peers later fetch the blob.
+//
+// Usage:
+//
+//	pnpgate -addr :8090 -replicas http://host1:8080,http://host2:8080,http://host3:8080
+//
+// Endpoints (all under /v1, same contract as one replica):
+//
+//	POST   /v1/predict     routed by model key, failover on transport errors
+//	POST   /v1/tune        sync routed like predict; async creates a job on
+//	                       the owner and returns its "r<replica>-" scoped ID
+//	GET    /v1/jobs        merged listing across live replicas
+//	GET    /v1/jobs/{id}   routed to the owning replica by ID prefix
+//	DELETE /v1/jobs/{id}   likewise
+//	GET    /v1/models      merged listing, each entry tagged with its replica
+//	GET    /v1/healthz     gate liveness + per-replica breaker states
+//
+// SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pnptuner/internal/gate"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated pnpserve base URLs (order is the stable replica index)")
+	vnodes := flag.Int("vnodes", gate.DefaultVNodes, "virtual nodes per replica on the hash ring")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive transport failures that mark a replica down")
+	recoverOKs := flag.Int("recover-successes", 2, "consecutive successes a half-open replica needs to be up")
+	probeInterval := flag.Duration("probe-interval", time.Second, "background health-probe period")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	g, err := gate.New(gate.Config{
+		Replicas: urls,
+		VNodes:   *vnodes,
+		Health: gate.TrackerConfig{
+			FailThreshold:    *failThreshold,
+			RecoverSuccesses: *recoverOKs,
+			ProbeInterval:    *probeInterval,
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnpgate: %v\n", err)
+		os.Exit(1)
+	}
+
+	log.Printf("pnpgate listening on %s, routing %d replicas (%s)", *addr, len(urls), strings.Join(urls, ", "))
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           g.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		got := <-sig
+		log.Printf("received %s, draining (grace %s)", got, *shutdownTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		g.Close()
+		log.Printf("drained; bye")
+	}()
+
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "pnpgate: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+}

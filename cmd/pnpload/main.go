@@ -1,0 +1,107 @@
+// Command pnpload is an open-loop load generator for a pnpgate (or a
+// single pnpserve): Poisson arrivals at a fixed offered rate, a
+// weighted predict / sync-tune / async-job traffic mix drawn uniformly
+// over a configurable model-key space, and HDR-style log-linear
+// latency histograms. The run's report — per-op p50/p90/p99/mean/max,
+// throughput, and error counts by stable API code — is written as JSON
+// for benchmark artifacts like BENCH_6.json.
+//
+// Usage:
+//
+//	pnpload -target http://localhost:8090 -rate 100 -duration 30s -out report.json
+//	pnpload -target http://localhost:8090 -scenarios full,loocv:lu,loocv:mg -max-error-rate 0
+//
+// Open-loop means arrivals never wait for completions: if the target
+// slows down, latency and in-flight count grow instead of the load
+// quietly throttling itself, which is what makes the quantiles honest.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pnptuner/internal/loadgen"
+)
+
+func main() {
+	target := flag.String("target", "http://localhost:8090", "base URL of the gate or replica under load")
+	rate := flag.Float64("rate", 50, "offered arrival rate (requests/second, Poisson)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to generate arrivals")
+	inflight := flag.Int("inflight", 256, "max concurrent requests before arrivals are shed")
+	seed := flag.Int64("seed", 1, "rng seed for arrivals and traffic mix")
+	predictW := flag.Float64("predict", 0.8, "predict traffic weight")
+	tuneW := flag.Float64("tune", 0.1, "synchronous tune traffic weight")
+	jobW := flag.Float64("job", 0.1, "async tune job traffic weight")
+	machines := flag.String("machines", "haswell,skylake", "comma-separated machines")
+	objectives := flag.String("objectives", "time,edp", "comma-separated objectives")
+	scenarios := flag.String("scenarios", "full", "comma-separated scenarios (e.g. full,loocv:lu)")
+	budget := flag.Int("budget", 2, "execution budget per tune")
+	regions := flag.Int("regions", 4, "distinct corpus regions to cycle through")
+	withHist := flag.Bool("hist", true, "include raw histogram buckets in the report")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	maxErrRate := flag.Float64("max-error-rate", 1.0, "exit nonzero when errors/sent exceeds this fraction")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		Target:        *target,
+		Rate:          *rate,
+		Duration:      *duration,
+		MaxInFlight:   *inflight,
+		Seed:          *seed,
+		PredictWeight: *predictW,
+		TuneWeight:    *tuneW,
+		JobWeight:     *jobW,
+		Machines:      split(*machines),
+		Objectives:    split(*objectives),
+		Scenarios:     split(*scenarios),
+		Budget:        *budget,
+		Regions:       *regions,
+	}, *withHist)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnpload: %v\n", err)
+		os.Exit(1)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnpload: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "pnpload: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "pnpload: %d sent, %d ok, %d errors, %d shed, %.1f req/s; predict p50=%.2fms p99=%.2fms\n",
+		rep.Sent, rep.Completed, rep.Errors, rep.Shed, rep.ThroughputRPS,
+		rep.Ops[loadgen.OpPredict].P50Millis, rep.Ops[loadgen.OpPredict].P99Millis)
+
+	if rep.Sent > 0 && float64(rep.Errors)/float64(rep.Sent) > *maxErrRate {
+		fmt.Fprintf(os.Stderr, "pnpload: error rate %.3f exceeds -max-error-rate %.3f\n",
+			float64(rep.Errors)/float64(rep.Sent), *maxErrRate)
+		os.Exit(1)
+	}
+}
+
+func split(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

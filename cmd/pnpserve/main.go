@@ -30,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -39,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"pnptuner/internal/client"
 	"pnptuner/internal/core"
 	"pnptuner/internal/kernels"
 	"pnptuner/internal/registry"
@@ -57,6 +59,7 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second,
 		"grace period for in-flight requests and running jobs on SIGINT/SIGTERM")
 	preload := flag.String("preload", "", "comma-separated machine/objective[/scenario] keys to resolve at startup")
+	peers := flag.String("peers", "", "comma-separated peer replica base URLs to fetch cold models from before training")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ for in-place profiling of the serving hot paths")
 	flag.Parse()
 
@@ -68,6 +71,32 @@ func main() {
 	reg, err := registry.New(*dir, *cacheSize, registry.DefaultTrainer(cfg))
 	if err != nil {
 		fatal(err)
+	}
+
+	// In a cluster, a registry miss first asks the peer replicas for the
+	// model's content-addressed blob (one of them may have trained it
+	// already) and only trains when no peer has it. ImportBlob verifies
+	// the content address, so a bad peer cannot poison the store.
+	if peerURLs := splitList(*peers); len(peerURLs) > 0 {
+		pool := client.NewPool(client.WithRetries(0, time.Millisecond))
+		reg.SetFetcher(func(k registry.Key) ([]byte, error) {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			for _, peer := range peerURLs {
+				rc, err := pool.Get(peer).ModelBlob(ctx, k.ID())
+				if err != nil {
+					continue // peer lacks it or is down: try the next
+				}
+				data, err := io.ReadAll(rc)
+				rc.Close()
+				if err == nil && len(data) > 0 {
+					log.Printf("fetched model %s (%s) from peer %s", k, k.ID(), peer)
+					return data, nil
+				}
+			}
+			return nil, nil // no peer has it: train locally
+		})
+		log.Printf("peer model fetch enabled (%s)", strings.Join(peerURLs, ", "))
 	}
 
 	// Serving annotates client graphs with the corpus vocabulary; freeze
@@ -159,6 +188,17 @@ func main() {
 		fatal(err)
 	}
 	<-done
+}
+
+// splitList reads a comma-separated flag into its non-empty parts.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // parseKey reads "machine/objective" or "machine/objective/scenario".

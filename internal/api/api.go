@@ -35,6 +35,14 @@ const (
 	PathHealthz = Version + "/healthz"
 )
 
+// PathModelBlob returns the export/import endpoint for one model's
+// serialized blob: GET streams the content-addressed bytes, PUT imports
+// them into the replica's store. This is how shared-nothing replicas
+// replicate a model one of them trained.
+func PathModelBlob(id string) string {
+	return PathModels + "/" + id + "/blob"
+}
+
 // Request ceilings, part of the public contract: a serving deployment
 // must not let one client exhaust memory or stall the shared batch
 // window. Corpus graphs are hundreds of nodes; these bounds are orders
@@ -49,6 +57,10 @@ const (
 	// MaxTuneBudget bounds one tuning session's replay executions;
 	// beyond it the server answers CodeBudgetExceeded.
 	MaxTuneBudget = 256
+	// MaxBlobBytes bounds one serialized model blob on the import path
+	// (PUT model blob). Far above any real model; it only exists so a
+	// malicious peer cannot stream unbounded bytes into a replica.
+	MaxBlobBytes = 1 << 29
 )
 
 // PredictRequest is the POST /v1/predict body. Graph is the programl
@@ -177,6 +189,9 @@ type ModelInfo struct {
 	Cached bool      `json:"cached"`
 	OnDisk bool      `json:"on_disk"`
 	Meta   RawObject `json:"meta"`
+	// Replica is the base URL of the replica holding this model, set
+	// only in gate-merged listings (single replicas leave it empty).
+	Replica string `json:"replica,omitempty"`
 }
 
 // RouteStats is one route's traffic counters in Health.
@@ -207,10 +222,53 @@ type Health struct {
 	CacheHits       int64                 `json:"cache_hits"`
 	DiskLoads       int64                 `json:"disk_loads"`
 	ModelsTrained   int64                 `json:"models_trained"`
+	ModelsFetched   int64                 `json:"models_fetched"`
+	ModelsImported  int64                 `json:"models_imported"`
 	Evicted         int64                 `json:"evicted"`
 	PersistFailures int64                 `json:"persist_failures"`
 	Jobs            JobStats              `json:"jobs"`
 	Routes          map[string]RouteStats `json:"routes,omitempty"`
+}
+
+// Replica health states reported by the gate. A replica is routable
+// while ReplicaUp or ReplicaHalfOpen; ReplicaDown replicas receive no
+// traffic until a background probe succeeds.
+const (
+	ReplicaUp       = "up"
+	ReplicaHalfOpen = "half-open"
+	ReplicaDown     = "down"
+)
+
+// ReplicaStatus is one replica's entry in the gate's health reply.
+type ReplicaStatus struct {
+	// Index is the replica's stable position in the gate's configured
+	// replica list; job IDs issued through the gate are prefixed
+	// "r<index>-" so polls route back to the owning replica.
+	Index int    `json:"index"`
+	URL   string `json:"url"`
+	State string `json:"state"`
+	// ConsecutiveFails counts transport-level failures (traffic or
+	// probe) since the last success; FailThreshold of them mark the
+	// replica down.
+	ConsecutiveFails int `json:"consecutive_fails"`
+	// Probes / ProbeFailures count background health probes.
+	Probes        int64 `json:"probes"`
+	ProbeFailures int64 `json:"probe_failures"`
+}
+
+// GateHealth is the gate's GET /v1/healthz reply: the gate is not a
+// replica, so instead of model counters it reports the cluster view.
+type GateHealth struct {
+	Status    string          `json:"status"`
+	UptimeSec float64         `json:"uptime_sec"`
+	Served    int64           `json:"served"`
+	Replicas  []ReplicaStatus `json:"replicas"`
+	// Retries counts requests the gate re-sent to another replica after
+	// a retryable failure; Failovers counts requests that ultimately
+	// succeeded on a non-first-choice replica.
+	Retries   int64                 `json:"retries"`
+	Failovers int64                 `json:"failovers"`
+	Routes    map[string]RouteStats `json:"routes,omitempty"`
 }
 
 // Job statuses. Terminal statuses are JobDone, JobFailed, JobCancelled.

@@ -32,23 +32,33 @@ func TestErrorBodyGolden(t *testing.T) {
 // TestStatusFor pins every code's canonical HTTP status.
 func TestStatusFor(t *testing.T) {
 	cases := map[string]int{
-		CodeBadRequest:       http.StatusBadRequest,
-		CodeMethodNotAllowed: http.StatusMethodNotAllowed,
-		CodeNotFound:         http.StatusNotFound,
-		CodeModelNotFound:    http.StatusNotFound,
-		CodeRegionNotFound:   http.StatusNotFound,
-		CodeGraphTooLarge:    http.StatusRequestEntityTooLarge,
-		CodeBudgetExceeded:   http.StatusBadRequest,
-		CodeJobNotFound:      http.StatusNotFound,
-		CodeQueueFull:        http.StatusTooManyRequests,
-		CodeUnavailable:      http.StatusServiceUnavailable,
-		CodeInternal:         http.StatusInternalServerError,
-		"some_future_code":   http.StatusInternalServerError,
+		CodeBadRequest:         http.StatusBadRequest,
+		CodeMethodNotAllowed:   http.StatusMethodNotAllowed,
+		CodeNotFound:           http.StatusNotFound,
+		CodeModelNotFound:      http.StatusNotFound,
+		CodeRegionNotFound:     http.StatusNotFound,
+		CodeGraphTooLarge:      http.StatusRequestEntityTooLarge,
+		CodeBudgetExceeded:     http.StatusBadRequest,
+		CodeJobNotFound:        http.StatusNotFound,
+		CodeQueueFull:          http.StatusTooManyRequests,
+		CodeUnavailable:        http.StatusServiceUnavailable,
+		CodeNoReplica:          http.StatusServiceUnavailable,
+		CodeReplicaUnavailable: http.StatusBadGateway,
+		CodeInternal:           http.StatusInternalServerError,
+		"some_future_code":     http.StatusInternalServerError,
 	}
 	for code, want := range cases {
 		if got := StatusFor(code); got != want {
 			t.Errorf("StatusFor(%q) = %d, want %d", code, got, want)
 		}
+	}
+}
+
+// TestPathModelBlob pins the blob endpoint shape replicas replicate
+// through.
+func TestPathModelBlob(t *testing.T) {
+	if got, want := PathModelBlob("abc123"), "/v1/models/abc123/blob"; got != want {
+		t.Fatalf("PathModelBlob = %q, want %q", got, want)
 	}
 }
 

@@ -32,6 +32,13 @@ const (
 	// CodeUnavailable: the server is shutting down or the model's
 	// batcher is draining; safe to retry.
 	CodeUnavailable = "unavailable"
+	// CodeNoReplica: the gate has no healthy replica for the key (all
+	// marked down, or the ring is empty); safe to retry once replicas
+	// recover.
+	CodeNoReplica = "no_replica"
+	// CodeReplicaUnavailable: the gate picked a replica but every
+	// eligible one failed at the transport level before answering.
+	CodeReplicaUnavailable = "replica_unavailable"
 	// CodeInternal: a server-side failure (model forward pass, dataset
 	// build); not the client's fault.
 	CodeInternal = "internal"
@@ -51,8 +58,10 @@ func StatusFor(code string) int {
 		return http.StatusRequestEntityTooLarge
 	case CodeQueueFull:
 		return http.StatusTooManyRequests
-	case CodeUnavailable:
+	case CodeUnavailable, CodeNoReplica:
 		return http.StatusServiceUnavailable
+	case CodeReplicaUnavailable:
+		return http.StatusBadGateway
 	}
 	return http.StatusInternalServerError
 }

@@ -36,6 +36,7 @@ type Client struct {
 	http      *http.Client
 	retries   int
 	retryWait time.Duration
+	policy    RetryPolicy
 }
 
 // Option configures a Client.
@@ -56,6 +57,14 @@ func WithRetries(n int, wait time.Duration) Option {
 	return func(c *Client) { c.retries, c.retryWait = n, wait }
 }
 
+// WithRetryPolicy swaps the transient-failure decision table (default
+// DefaultRetryPolicy). The gate uses this with a zero RetryPolicy to
+// disable in-client retries entirely and drive failover across replicas
+// itself — consulting the same table.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *Client) { c.policy = p }
+}
+
 // New builds a client for the server at baseURL (e.g.
 // "http://localhost:8080"). The version prefix is appended internally —
 // pass the bare host base, not ".../v1".
@@ -65,6 +74,7 @@ func New(baseURL string, opts ...Option) *Client {
 		http:      &http.Client{},
 		retries:   2,
 		retryWait: 100 * time.Millisecond,
+		policy:    DefaultRetryPolicy(),
 	}
 	for _, o := range opts {
 		o(c)
@@ -190,6 +200,104 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*api.
 	}
 }
 
+// ModelBlob streams one model's serialized blob (the content-addressed
+// registry wire format) from the server. id is the model's content
+// address (api.ModelInfo.ID / registry Key.ID()). The caller owns the
+// returned reader and must Close it; a missing model surfaces as an
+// *APIError with code model_not_found. GET is idempotent, so transient
+// failures retry per the policy table before the stream starts.
+func (c *Client) ModelBlob(ctx context.Context, id string) (io.ReadCloser, error) {
+	wait := c.retryWait
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(wait):
+				wait *= 2
+			case <-ctx.Done():
+				return nil, fmt.Errorf("pnpserve: GET model blob: %w (last: %v)", ctx.Err(), lastErr)
+			}
+		}
+		rc, class, err := c.blobOnce(ctx, id)
+		if err == nil {
+			return rc, nil
+		}
+		lastErr = err
+		if !c.policy.ShouldRetry(class, true) || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) blobOnce(ctx context.Context, id string) (io.ReadCloser, FailureClass, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+api.PathModelBlob(id), nil)
+	if err != nil {
+		return nil, FailOther, fmt.Errorf("pnpserve: build request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, FailTransport, fmt.Errorf("pnpserve: GET %s: %w", api.PathModelBlob(id), err)
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return resp.Body, FailOther, nil
+	}
+	defer resp.Body.Close()
+	apiErr := decodeAPIError(resp)
+	return nil, Classify(apiErr), apiErr
+}
+
+// PushModelBlob imports a serialized model blob into the server's
+// store. id must be the blob's own content address; the server rejects
+// mismatches, so a corrupted transfer can never install a model under
+// the wrong key.
+func (c *Client) PushModelBlob(ctx context.Context, id string, blob []byte) (*api.ModelInfo, error) {
+	idempotent := true // PUT of content-addressed bytes: re-sending converges
+	wait := c.retryWait
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(wait):
+				wait *= 2
+			case <-ctx.Done():
+				return nil, fmt.Errorf("pnpserve: PUT model blob: %w (last: %v)", ctx.Err(), lastErr)
+			}
+		}
+		info, class, err := c.pushBlobOnce(ctx, id, blob)
+		if err == nil {
+			return info, nil
+		}
+		lastErr = err
+		if !c.policy.ShouldRetry(class, idempotent) || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) pushBlobOnce(ctx context.Context, id string, blob []byte) (*api.ModelInfo, FailureClass, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+api.PathModelBlob(id), bytes.NewReader(blob))
+	if err != nil {
+		return nil, FailOther, fmt.Errorf("pnpserve: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, FailTransport, fmt.Errorf("pnpserve: PUT %s: %w", api.PathModelBlob(id), err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		var info api.ModelInfo
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			return nil, FailOther, fmt.Errorf("pnpserve: decode blob import response: %w", err)
+		}
+		return &info, FailOther, nil
+	}
+	apiErr := decodeAPIError(resp)
+	return nil, Classify(apiErr), apiErr
+}
+
 // ListModels returns the registry's contents (cached and on-disk).
 func (c *Client) ListModels(ctx context.Context) ([]api.ModelInfo, error) {
 	var out []api.ModelInfo
@@ -208,8 +316,19 @@ func (c *Client) Health(ctx context.Context) (*api.Health, error) {
 	return &out, nil
 }
 
-// do runs one API call: marshal in, retry transient failures, decode
-// out (or the error envelope).
+// GateHealth returns a pnpgate's healthz: the same endpoint as Health,
+// decoded as the gate's cluster-view shape (replica states, failover
+// counters) instead of a replica's model counters.
+func (c *Client) GateHealth(ctx context.Context) (*api.GateHealth, error) {
+	var out api.GateHealth
+	if err := c.do(ctx, http.MethodGet, api.PathHealthz, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// do runs one API call: marshal in, retry transient failures per the
+// RetryPolicy table, decode out (or the error envelope).
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body []byte
 	if in != nil {
@@ -219,6 +338,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 	}
 
+	idempotent := MethodIdempotent(method)
 	wait := c.retryWait
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
@@ -230,12 +350,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 				return fmt.Errorf("pnpserve: %s %s: %w (last: %v)", method, path, ctx.Err(), lastErr)
 			}
 		}
-		retryable, err := c.once(ctx, method, path, body, out)
+		class, err := c.once(ctx, method, path, body, out)
 		if err == nil {
 			return nil
 		}
 		lastErr = err
-		if !retryable {
+		if !c.policy.ShouldRetry(class, idempotent) {
 			return err
 		}
 		if ctx.Err() != nil {
@@ -245,43 +365,47 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return lastErr
 }
 
-// once performs a single HTTP exchange. retryable marks transient
-// failures worth another attempt.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (retryable bool, err error) {
+// once performs a single HTTP exchange and classifies any failure for
+// the retry table.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (FailureClass, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return false, fmt.Errorf("pnpserve: build request: %w", err)
+		return FailOther, fmt.Errorf("pnpserve: build request: %w", err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		// Connection-level failure: the server may be restarting. Only
-		// idempotent methods are safe to retry here — the request may
-		// have been processed before the connection broke, and
-		// re-POSTing /v1/tune would double-submit a job. A 503 *response*
-		// (below) is different: the server answered before acting, so
-		// every method retries on it.
-		idempotent := method == http.MethodGet || method == http.MethodDelete
-		return idempotent, fmt.Errorf("pnpserve: %s %s: %w", method, path, err)
+		// Connection-level failure: the request may have been processed
+		// before the connection broke, so the table only re-sends
+		// idempotent work. A 503 *response* (below) is different: the
+		// server answered before acting, so every method retries on it.
+		return FailTransport, fmt.Errorf("pnpserve: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		if out == nil {
-			return false, nil
+			return FailOther, nil
 		}
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return false, fmt.Errorf("pnpserve: decode %s response: %w", path, err)
+			return FailOther, fmt.Errorf("pnpserve: decode %s response: %w", path, err)
 		}
-		return false, nil
+		return FailOther, nil
 	}
+	apiErr := decodeAPIError(resp)
+	return Classify(apiErr), apiErr
+}
 
+// decodeAPIError turns a non-2xx response into an *APIError, decoding
+// the v1 envelope when present and synthesizing a code from the status
+// otherwise (a proxy, or a pre-v1 server).
+func decodeAPIError(resp *http.Response) *APIError {
 	apiErr := &APIError{Status: resp.StatusCode, RequestID: resp.Header.Get("X-Request-ID")}
 	var envelope api.ErrorBody
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
@@ -291,12 +415,10 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 			apiErr.RequestID = envelope.RequestID
 		}
 	} else {
-		// Not the v1 envelope (a proxy, or a pre-v1 server): synthesize
-		// a code from the status so callers can still switch.
 		apiErr.Info = api.ErrorInfo{Code: api.CodeInternal, Message: strings.TrimSpace(string(raw))}
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			apiErr.Info.Code = api.CodeUnavailable
 		}
 	}
-	return apiErr.Info.Code == api.CodeUnavailable, apiErr
+	return apiErr
 }

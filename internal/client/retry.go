@@ -1,0 +1,120 @@
+package client
+
+import (
+	"errors"
+	"net/http"
+
+	"pnptuner/internal/api"
+)
+
+// FailureClass buckets one failed HTTP exchange for retry decisions.
+// The classes matter because they differ in what the server may have
+// already done when the failure surfaced:
+//
+//   - FailTransport: the connection broke before a response arrived, so
+//     the request may or may not have executed — only idempotent work
+//     is safe to re-send.
+//   - FailUnavailable: the server answered 503 before acting (draining
+//     batcher, shutdown, no healthy replica), so nothing happened and
+//     every method may retry.
+//   - FailOther: a definitive response (4xx, other 5xx) or a local
+//     failure (encode, decode, cancelled context); retrying cannot
+//     change the outcome.
+type FailureClass int
+
+const (
+	FailTransport FailureClass = iota
+	FailUnavailable
+	FailOther
+)
+
+// String names the class for logs and tests.
+func (c FailureClass) String() string {
+	switch c {
+	case FailTransport:
+		return "transport"
+	case FailUnavailable:
+		return "unavailable"
+	}
+	return "other"
+}
+
+// Classify buckets an error returned by a client call (or by one raw
+// exchange) into its FailureClass. An *APIError carrying the
+// unavailable or no_replica code is FailUnavailable; any other
+// *APIError is FailOther; nil is FailOther (nothing to retry);
+// everything else — connection resets, refused connections, broken
+// pipes — is FailTransport.
+func Classify(err error) FailureClass {
+	if err == nil {
+		return FailOther
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.Info.Code {
+		case api.CodeUnavailable, api.CodeNoReplica:
+			return FailUnavailable
+		}
+		return FailOther
+	}
+	return FailTransport
+}
+
+// MethodIdempotent reports whether an HTTP method is idempotent by
+// default (RFC 9110 §9.2.2): re-sending it cannot compound a side
+// effect. POST is not on the list — re-POSTing /v1/tune with async:true
+// would double-submit a job — but a caller that knows better (the gate
+// knows /v1/predict is a pure read) may pass its own idempotency to
+// RetryPolicy.ShouldRetry instead of this default.
+func MethodIdempotent(method string) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodDelete, http.MethodPut, http.MethodOptions:
+		return true
+	}
+	return false
+}
+
+// RetryPolicy is the one decision table for transient-failure retries,
+// shared by the SDK's backoff loop and the gate's retry-on-next-replica
+// loop so the two can never drift apart:
+//
+//	failure class     idempotent call    non-idempotent call
+//	transport         retry              give up
+//	unavailable       retry              retry
+//	other             give up            give up
+//
+// The zero value retries nothing; use DefaultRetryPolicy.
+type RetryPolicy struct {
+	// Transport / Unavailable hold the [idempotent][class] decisions;
+	// FailOther is never retried.
+	TransportIdempotentOnly bool
+	RetryTransport          bool
+	RetryUnavailable        bool
+}
+
+// DefaultRetryPolicy returns the table above: unavailable responses
+// retry for every method (the server answered before acting), transport
+// failures retry only when the call is idempotent (the request may have
+// executed).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		RetryTransport:          true,
+		TransportIdempotentOnly: true,
+		RetryUnavailable:        true,
+	}
+}
+
+// ShouldRetry consults the table: is a failure of class c worth another
+// attempt, given whether the call being retried is idempotent?
+func (p RetryPolicy) ShouldRetry(c FailureClass, idempotent bool) bool {
+	switch c {
+	case FailTransport:
+		if p.TransportIdempotentOnly && !idempotent {
+			return false
+		}
+		return p.RetryTransport
+	case FailUnavailable:
+		return p.RetryUnavailable
+	}
+	return false
+}

@@ -1,0 +1,187 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pnptuner/internal/api"
+)
+
+// TestRetryPolicyTable pins the decision table itself: every
+// (failure class × idempotency) cell.
+func TestRetryPolicyTable(t *testing.T) {
+	p := DefaultRetryPolicy()
+	cases := []struct {
+		class      FailureClass
+		idempotent bool
+		want       bool
+	}{
+		{FailTransport, true, true},
+		{FailTransport, false, false},
+		{FailUnavailable, true, true},
+		{FailUnavailable, false, true},
+		{FailOther, true, false},
+		{FailOther, false, false},
+	}
+	for _, tc := range cases {
+		if got := p.ShouldRetry(tc.class, tc.idempotent); got != tc.want {
+			t.Errorf("ShouldRetry(%s, idempotent=%v) = %v, want %v", tc.class, tc.idempotent, got, tc.want)
+		}
+	}
+	var zero RetryPolicy
+	for _, tc := range cases {
+		if zero.ShouldRetry(tc.class, tc.idempotent) {
+			t.Errorf("zero policy retries (%s, %v)", tc.class, tc.idempotent)
+		}
+	}
+}
+
+// TestClassify buckets the error kinds a call can return.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want FailureClass
+	}{
+		{"nil", nil, FailOther},
+		{"transport", errors.New("connection refused"), FailTransport},
+		{"503 unavailable", &APIError{Status: 503, Info: api.ErrorInfo{Code: api.CodeUnavailable}}, FailUnavailable},
+		{"503 no_replica", &APIError{Status: 503, Info: api.ErrorInfo{Code: api.CodeNoReplica}}, FailUnavailable},
+		{"400", &APIError{Status: 400, Info: api.ErrorInfo{Code: api.CodeBadRequest}}, FailOther},
+		{"502 replica_unavailable", &APIError{Status: 502, Info: api.ErrorInfo{Code: api.CodeReplicaUnavailable}}, FailOther},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("%s: Classify = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestMethodIdempotent pins the default method classification the SDK
+// retry loop uses.
+func TestMethodIdempotent(t *testing.T) {
+	for method, want := range map[string]bool{
+		http.MethodGet: true, http.MethodHead: true, http.MethodDelete: true,
+		http.MethodPut: true, http.MethodOptions: true,
+		http.MethodPost: false, http.MethodPatch: false,
+	} {
+		if got := MethodIdempotent(method); got != want {
+			t.Errorf("MethodIdempotent(%s) = %v, want %v", method, got, want)
+		}
+	}
+}
+
+// TestRetryMatrix503: a 503 response (the server answered before
+// acting) is retried for EVERY method — the response-level half of the
+// policy matrix.
+func TestRetryMatrix503(t *testing.T) {
+	for _, method := range []string{http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete} {
+		t.Run(method, func(t *testing.T) {
+			var calls atomic.Int32
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.Method != method {
+					t.Errorf("server saw %s, want %s", r.Method, method)
+				}
+				if calls.Add(1) <= 2 {
+					w.Header().Set("Content-Type", "application/json")
+					w.WriteHeader(http.StatusServiceUnavailable)
+					json.NewEncoder(w).Encode(api.ErrorBody{Error: api.ErrorInfo{Code: api.CodeUnavailable, Message: "draining"}})
+					return
+				}
+				w.Write([]byte(`{}`))
+			}))
+			defer ts.Close()
+
+			c := New(ts.URL, WithRetries(3, time.Millisecond))
+			var out map[string]any
+			if err := c.do(context.Background(), method, "/v1/x", nil, &out); err != nil {
+				t.Fatalf("%s after 503s: %v", method, err)
+			}
+			if calls.Load() != 3 {
+				t.Fatalf("%s: %d attempts, want 3", method, calls.Load())
+			}
+		})
+	}
+}
+
+// TestRetryMatrixTransport: a connection-level failure (the request may
+// have executed) is retried only for idempotent methods — the
+// transport half of the policy matrix. POST must surface the error
+// after exactly one attempt; GET/PUT/DELETE must recover.
+func TestRetryMatrixTransport(t *testing.T) {
+	cases := []struct {
+		method     string
+		wantRetry  bool
+		wantCalls  int32
+		wantFinish bool
+	}{
+		{http.MethodGet, true, 3, true},
+		{http.MethodPut, true, 3, true},
+		{http.MethodDelete, true, 3, true},
+		{http.MethodPost, false, 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.method, func(t *testing.T) {
+			var calls atomic.Int32
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if calls.Add(1) <= 2 {
+					// Kill the connection before any response bytes: the
+					// client sees a transport error, not a status.
+					hj, ok := w.(http.Hijacker)
+					if !ok {
+						t.Fatal("recorder cannot hijack")
+					}
+					conn, _, err := hj.Hijack()
+					if err != nil {
+						t.Fatal(err)
+					}
+					conn.Close()
+					return
+				}
+				w.Write([]byte(`{}`))
+			}))
+			defer ts.Close()
+
+			c := New(ts.URL, WithRetries(3, time.Millisecond))
+			var out map[string]any
+			err := c.do(context.Background(), tc.method, "/v1/x", nil, &out)
+			if tc.wantFinish {
+				if err != nil {
+					t.Fatalf("%s did not recover: %v", tc.method, err)
+				}
+			} else {
+				if err == nil {
+					t.Fatalf("%s recovered — transport errors must not retry non-idempotent calls", tc.method)
+				}
+				if ErrorCode(err) != "" {
+					t.Fatalf("transport failure misread as API error: %v", err)
+				}
+			}
+			if calls.Load() != tc.wantCalls {
+				t.Fatalf("%s: %d attempts, want %d", tc.method, calls.Load(), tc.wantCalls)
+			}
+		})
+	}
+}
+
+// TestPoolSharesClients: one Client per base URL, stable across Gets.
+func TestPoolSharesClients(t *testing.T) {
+	p := NewPool(WithRetries(0, time.Millisecond))
+	defer p.Close()
+	a1, a2 := p.Get("http://a:1"), p.Get("http://a:1")
+	if a1 != a2 {
+		t.Fatal("pool minted two clients for one base")
+	}
+	if b := p.Get("http://b:2"); b == a1 {
+		t.Fatal("pool shared a client across bases")
+	}
+	if a1.http.Transport != p.Get("http://b:2").http.Transport {
+		t.Fatal("pooled clients do not share the transport")
+	}
+}

@@ -1,0 +1,527 @@
+package gate
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pnptuner/internal/api"
+	"pnptuner/internal/client"
+)
+
+// defaultScenario mirrors the replica-side default so the gate and the
+// replicas agree on the routing key of a request that omits Scenario.
+const defaultScenario = "full"
+
+// Config assembles a Gate.
+type Config struct {
+	// Replicas are the pnpserve base URLs. Order matters: a replica's
+	// position is its stable index in job-ID prefixes and health
+	// reports, so every gate over the same cluster must list replicas
+	// identically.
+	Replicas []string
+	// VNodes is the per-replica virtual-node count (DefaultVNodes when
+	// zero).
+	VNodes int
+	// Health tunes the replica circuit breakers and background prober.
+	Health TrackerConfig
+}
+
+// Gate routes v1 serving traffic across shared-nothing pnpserve
+// replicas: consistent-hash placement by model key, health-gated
+// failover along the key's preference order, and a per-key single
+// flight so a cold model is trained by exactly one request stream
+// fleet-wide.
+type Gate struct {
+	replicas []string
+	ring     *Ring
+	tracker  *Tracker
+	pool     *client.Pool
+	policy   client.RetryPolicy
+	metrics  *routeMetrics
+	start    time.Time
+
+	served    atomic.Int64
+	retries   atomic.Int64
+	failovers atomic.Int64
+
+	// warm-up single flight: per routing key, at most one in-flight
+	// request until the first success marks the key warm. Deterministic
+	// routing already funnels a key's traffic to one replica (whose
+	// registry single-flights training locally); this layer stops a
+	// failover mid-training from starting a second training on the next
+	// replica.
+	warmMu  sync.Mutex
+	warm    map[string]bool
+	flights map[string]chan struct{}
+}
+
+// New builds a gate over the replica list and starts its background
+// health prober. Call Close to stop it.
+func New(cfg Config) (*Gate, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("gate: no replicas configured")
+	}
+	urls := make([]string, len(cfg.Replicas))
+	for i, u := range cfg.Replicas {
+		urls[i] = strings.TrimRight(u, "/")
+		if urls[i] == "" {
+			return nil, fmt.Errorf("gate: replica %d has an empty URL", i)
+		}
+	}
+	// Replica clients get zero in-client retries: the gate IS the retry
+	// layer, and a failed attempt must surface immediately so failover
+	// can move to the next replica instead of hammering a dead one.
+	pool := client.NewPool(client.WithRetries(0, time.Millisecond))
+	g := &Gate{
+		replicas: urls,
+		ring:     NewRing(len(urls), cfg.VNodes),
+		tracker:  NewTracker(urls, pool, cfg.Health),
+		pool:     pool,
+		policy:   client.DefaultRetryPolicy(),
+		metrics:  newRouteMetrics(),
+		start:    time.Now(),
+		warm:     map[string]bool{},
+		flights:  map[string]chan struct{}{},
+	}
+	g.tracker.Start()
+	return g, nil
+}
+
+// Close stops the health prober and releases pooled connections.
+func (g *Gate) Close() {
+	g.tracker.Stop()
+	g.pool.Close()
+}
+
+// Tracker exposes the gate's health tracker (tests inject traffic
+// outcomes and read replica states through it).
+func (g *Gate) Tracker() *Tracker { return g.tracker }
+
+// Ring exposes the gate's placement ring (tests assert ownership).
+func (g *Gate) Ring() *Ring { return g.ring }
+
+// RouteKey is the placement key of one (machine, scenario, objective)
+// model. NUL joins the parts so distinct tuples can never collide by
+// concatenation.
+func RouteKey(machine, scenario, objective string) string {
+	return machine + "\x00" + scenario + "\x00" + objective
+}
+
+// gateErr builds the gate's own typed API failure, carried as a
+// *client.APIError so it flows through the same error path as replica
+// responses.
+func gateErr(code, format string, args ...any) error {
+	return &client.APIError{
+		Status: api.StatusFor(code),
+		Info:   api.ErrorInfo{Code: code, Message: fmt.Sprintf(format, args...)},
+	}
+}
+
+// route walks the key's preference order across routable replicas,
+// calling call once per candidate until one succeeds or the retry
+// policy says the failure is terminal. Transport-level failures feed
+// the circuit breakers; response-level API errors do not (an answering
+// replica is alive).
+func (g *Gate) route(ctx context.Context, key string, idempotent bool, call func(ctx context.Context, replica int, c *client.Client) error) error {
+	order := g.ring.Lookup(key)
+	owner := -1
+	attempted := false
+	var lastErr error
+	for _, i := range order {
+		if !g.tracker.Routable(i) {
+			continue
+		}
+		if owner == -1 {
+			owner = order[0]
+		}
+		if attempted {
+			g.retries.Add(1)
+		}
+		attempted = true
+		err := call(ctx, i, g.pool.Get(g.replicas[i]))
+		if err == nil {
+			g.tracker.RecordSuccess(i)
+			if i != owner {
+				g.failovers.Add(1)
+			}
+			return nil
+		}
+		class := client.Classify(err)
+		if class == client.FailTransport {
+			g.tracker.RecordFailure(i)
+		}
+		lastErr = err
+		if !g.policy.ShouldRetry(class, idempotent) || ctx.Err() != nil {
+			return err
+		}
+	}
+	if !attempted {
+		return gateErr(api.CodeNoReplica, "no healthy replica for this model key (%d configured, all down)", len(g.replicas))
+	}
+	// Exhausted every routable replica. A response-level failure (e.g.
+	// everyone answering 503) passes through verbatim — it already
+	// carries an accurate code; transport exhaustion becomes the gate's
+	// own 502.
+	var ae *client.APIError
+	if errors.As(lastErr, &ae) {
+		return lastErr
+	}
+	return gateErr(api.CodeReplicaUnavailable, "all replicas failed: %v", lastErr)
+}
+
+// singleFlight serializes cold traffic per routing key: the first
+// caller leads (and runs fn); the rest wait for its outcome, then
+// either proceed against the now-warm key or take the lead themselves.
+func (g *Gate) singleFlight(ctx context.Context, key string, fn func() error) error {
+	for {
+		g.warmMu.Lock()
+		if g.warm[key] {
+			g.warmMu.Unlock()
+			return fn()
+		}
+		if ch, ok := g.flights[key]; ok {
+			g.warmMu.Unlock()
+			select {
+			case <-ch:
+				continue
+			case <-ctx.Done():
+				return gateErr(api.CodeUnavailable, "cancelled while waiting for model warm-up: %v", ctx.Err())
+			}
+		}
+		ch := make(chan struct{})
+		g.flights[key] = ch
+		g.warmMu.Unlock()
+
+		err := fn()
+
+		g.warmMu.Lock()
+		delete(g.flights, key)
+		if err == nil {
+			g.warm[key] = true
+		}
+		g.warmMu.Unlock()
+		close(ch)
+		return err
+	}
+}
+
+// Handler returns the gate's HTTP handler: the same /v1 surface as one
+// replica, fronting the whole cluster.
+func (g *Gate) Handler() http.Handler {
+	wrap := func(route string, h http.HandlerFunc) http.HandlerFunc {
+		return g.metrics.wrap(route, func(w http.ResponseWriter, r *http.Request) {
+			g.served.Add(1)
+			h(w, r)
+		})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(api.PathPredict, wrap(api.PathPredict, g.handlePredict))
+	mux.HandleFunc(api.PathTune, wrap(api.PathTune, g.handleTune))
+	mux.HandleFunc(api.PathJobs, wrap(api.PathJobs, g.handleJobs))
+	mux.HandleFunc(api.PathJobs+"/", wrap(api.PathJobs+"/{id}", g.handleJob))
+	mux.HandleFunc(api.PathModels, wrap(api.PathModels, g.handleModels))
+	mux.HandleFunc(api.PathHealthz, wrap(api.PathHealthz, g.handleHealthz))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		g.writeError(w, r, api.CodeNotFound, "no such route: %s", r.URL.Path)
+	})
+	return withRequestID(mux)
+}
+
+// handlePredict proxies POST /v1/predict to the key's replica, with
+// failover (pure compute — idempotent) and cold-key single flight.
+func (g *Gate) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		g.writeError(w, r, api.CodeMethodNotAllowed, "predict requires POST")
+		return
+	}
+	var req api.PredictRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		g.writeError(w, r, api.CodeBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.Scenario == "" {
+		req.Scenario = defaultScenario
+	}
+	key := RouteKey(req.Machine, req.Scenario, req.Objective)
+	var out *api.PredictResponse
+	err := g.singleFlight(r.Context(), key, func() error {
+		return g.route(r.Context(), key, true, func(ctx context.Context, _ int, c *client.Client) error {
+			resp, err := c.Predict(ctx, req)
+			if err != nil {
+				return err
+			}
+			out = resp
+			return nil
+		})
+	})
+	if err != nil {
+		g.writeCallError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTune proxies POST /v1/tune. Synchronous sessions are
+// deterministic compute and fail over like predicts (model-backed
+// strategies also take the warm-up single flight); async submission
+// creates a job on exactly one replica, so transport failures must not
+// re-send it — the job ID comes back prefixed with the owning replica.
+func (g *Gate) handleTune(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		g.writeError(w, r, api.CodeMethodNotAllowed, "tune requires POST")
+		return
+	}
+	var req api.TuneRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		g.writeError(w, r, api.CodeBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.Scenario == "" {
+		req.Scenario = defaultScenario
+	}
+	key := RouteKey(req.Machine, req.Scenario, req.Objective)
+
+	if req.Async {
+		var job *api.Job
+		var on int
+		err := g.route(r.Context(), key, false, func(ctx context.Context, replica int, c *client.Client) error {
+			j, err := c.TuneAsync(ctx, req)
+			if err != nil {
+				return err
+			}
+			job, on = j, replica
+			return nil
+		})
+		if err != nil {
+			g.writeCallError(w, r, err)
+			return
+		}
+		job.ID = prefixJobID(on, job.ID)
+		writeJSON(w, http.StatusAccepted, job)
+		return
+	}
+
+	var out *api.TuneResponse
+	run := func() error {
+		return g.route(r.Context(), key, true, func(ctx context.Context, _ int, c *client.Client) error {
+			resp, err := c.Tune(ctx, req)
+			if err != nil {
+				return err
+			}
+			out = resp
+			return nil
+		})
+	}
+	var err error
+	if req.Strategy == "gnn" || req.Strategy == "hybrid" {
+		err = g.singleFlight(r.Context(), key, run)
+	} else {
+		err = run() // model-free search touches no model: nothing to warm
+	}
+	if err != nil {
+		g.writeCallError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleJobs merges GET /v1/jobs across live replicas. Jobs on a down
+// replica are invisible until it recovers — they are its local state,
+// not the cluster's.
+func (g *Gate) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		g.writeError(w, r, api.CodeMethodNotAllowed, "jobs listing requires GET")
+		return
+	}
+	merged := fanout(g, r.Context(), func(ctx context.Context, replica int, c *client.Client) ([]api.Job, error) {
+		jobs, err := c.ListJobs(ctx)
+		for j := range jobs {
+			jobs[j].ID = prefixJobID(replica, jobs[j].ID)
+		}
+		return jobs, err
+	})
+	sort.Slice(merged, func(i, j int) bool {
+		if !merged[i].CreatedAt.Equal(merged[j].CreatedAt) {
+			return merged[i].CreatedAt.Before(merged[j].CreatedAt)
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleJob proxies GET/DELETE /v1/jobs/{id}. The replica prefix pins
+// the job to its owner — there is nowhere to fail over to.
+func (g *Gate) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, api.PathJobs+"/")
+	if id == "" || strings.Contains(id, "/") {
+		g.writeError(w, r, api.CodeNotFound, "no such route: %s", r.URL.Path)
+		return
+	}
+	replica, rid, ok := splitJobID(id)
+	if !ok || replica >= len(g.replicas) {
+		g.writeError(w, r, api.CodeJobNotFound, "no job %q on this cluster", id)
+		return
+	}
+	c := g.pool.Get(g.replicas[replica])
+	var job *api.Job
+	var err error
+	switch r.Method {
+	case http.MethodGet:
+		job, err = c.Job(r.Context(), rid)
+	case http.MethodDelete:
+		job, err = c.CancelJob(r.Context(), rid)
+	default:
+		g.writeError(w, r, api.CodeMethodNotAllowed, "job routes accept GET and DELETE")
+		return
+	}
+	if err != nil {
+		if client.Classify(err) == client.FailTransport {
+			g.tracker.RecordFailure(replica)
+		}
+		g.writeCallError(w, r, err)
+		return
+	}
+	g.tracker.RecordSuccess(replica)
+	job.ID = prefixJobID(replica, job.ID)
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleModels merges GET /v1/models across live replicas, annotating
+// each entry with its replica URL.
+func (g *Gate) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		g.writeError(w, r, api.CodeMethodNotAllowed, "models listing requires GET")
+		return
+	}
+	merged := fanout(g, r.Context(), func(ctx context.Context, replica int, c *client.Client) ([]api.ModelInfo, error) {
+		models, err := c.ListModels(ctx)
+		for m := range models {
+			models[m].Replica = g.replicas[replica]
+		}
+		return models, err
+	})
+	sort.Slice(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.Replica < b.Replica
+	})
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleHealthz reports the gate's own liveness plus the cluster view.
+func (g *Gate) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		g.writeError(w, r, api.CodeMethodNotAllowed, "healthz requires GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, api.GateHealth{
+		Status:    "ok",
+		UptimeSec: time.Since(g.start).Seconds(),
+		Served:    g.served.Load(),
+		Replicas:  g.tracker.Snapshot(),
+		Retries:   g.retries.Load(),
+		Failovers: g.failovers.Load(),
+		Routes:    g.metrics.snapshot(),
+	})
+}
+
+// fanout queries every routable replica concurrently and concatenates
+// the results, feeding transport outcomes into the circuit breakers.
+// Failing replicas contribute nothing rather than failing the merge.
+func fanout[T any](g *Gate, ctx context.Context, query func(ctx context.Context, replica int, c *client.Client) ([]T, error)) []T {
+	var (
+		mu     sync.Mutex
+		merged []T
+		wg     sync.WaitGroup
+	)
+	for i := range g.replicas {
+		if !g.tracker.Routable(i) {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			part, err := query(ctx, i, g.pool.Get(g.replicas[i]))
+			if err != nil {
+				if client.Classify(err) == client.FailTransport {
+					g.tracker.RecordFailure(i)
+				}
+				return
+			}
+			g.tracker.RecordSuccess(i)
+			mu.Lock()
+			merged = append(merged, part...)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if merged == nil {
+		merged = []T{}
+	}
+	return merged
+}
+
+// prefixJobID scopes a replica-local job ID to the cluster namespace.
+func prefixJobID(replica int, id string) string {
+	return "r" + strconv.Itoa(replica) + "-" + id
+}
+
+// splitJobID inverts prefixJobID.
+func splitJobID(id string) (replica int, rest string, ok bool) {
+	if !strings.HasPrefix(id, "r") {
+		return 0, "", false
+	}
+	dash := strings.IndexByte(id, '-')
+	if dash < 2 || dash == len(id)-1 {
+		return 0, "", false
+	}
+	n, err := strconv.Atoi(id[1:dash])
+	if err != nil || n < 0 {
+		return 0, "", false
+	}
+	return n, id[dash+1:], true
+}
+
+// decodeBody decodes a bounded JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, api.MaxRequestBytes)
+	return json.NewDecoder(r.Body).Decode(v)
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the gate's own typed error envelope.
+func (g *Gate) writeError(w http.ResponseWriter, r *http.Request, code, format string, args ...any) {
+	writeJSON(w, api.StatusFor(code), api.ErrorBody{
+		Error:     api.ErrorInfo{Code: code, Message: fmt.Sprintf(format, args...)},
+		RequestID: requestID(r),
+	})
+}
+
+// writeCallError renders a routed-call failure: replica API errors pass
+// through verbatim (status, code, message), transport exhaustion
+// becomes the gate's 502.
+func (g *Gate) writeCallError(w http.ResponseWriter, r *http.Request, err error) {
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		writeJSON(w, ae.Status, api.ErrorBody{Error: ae.Info, RequestID: requestID(r)})
+		return
+	}
+	g.writeError(w, r, api.CodeReplicaUnavailable, "replica call failed: %v", err)
+}

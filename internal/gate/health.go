@@ -1,0 +1,232 @@
+package gate
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"pnptuner/internal/api"
+	"pnptuner/internal/client"
+)
+
+// replicaState is one replica's circuit-breaker state machine:
+//
+//	up ──(FailThreshold consecutive transport failures)──▶ down
+//	down ──(one successful background probe)──▶ half-open
+//	half-open ──(RecoverSuccesses consecutive successes)──▶ up
+//	half-open ──(any transport failure)──▶ down
+//
+// Traffic routes to up and half-open replicas; down replicas receive
+// only background probes. Half-open exists so one lucky probe does not
+// dump a key range back onto a replica that is still flapping — the
+// replica must keep answering while carrying real traffic before it is
+// trusted again.
+type replicaState struct {
+	state       string // api.ReplicaUp / api.ReplicaHalfOpen / api.ReplicaDown
+	consecFails int
+	halfOpenOKs int
+	probes      int64
+	probeFails  int64
+}
+
+// Tracker watches N replicas: traffic outcomes feed it inline, and a
+// background prober exercises /v1/healthz so a dead replica is detected
+// (and a recovered one readmitted) even with zero traffic on its keys.
+type Tracker struct {
+	urls          []string
+	pool          *client.Pool
+	failThreshold int
+	recoverOKs    int
+	interval      time.Duration
+	probeTimeout  time.Duration
+
+	mu     sync.Mutex
+	states []replicaState
+
+	stop   chan struct{}
+	stopWG sync.WaitGroup
+}
+
+// TrackerConfig tunes a Tracker; zero values get defaults.
+type TrackerConfig struct {
+	// FailThreshold is how many consecutive transport-level failures
+	// (traffic or probe) mark a replica down (default 3).
+	FailThreshold int
+	// RecoverSuccesses is how many consecutive successes a half-open
+	// replica needs to be fully up again (default 2).
+	RecoverSuccesses int
+	// ProbeInterval is the background health-probe period (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (default min(ProbeInterval, 1s)).
+	ProbeTimeout time.Duration
+}
+
+// NewTracker builds a tracker over the replica base URLs, all replicas
+// starting up. Call Start to begin background probing and Stop to end
+// it.
+func NewTracker(urls []string, pool *client.Pool, cfg TrackerConfig) *Tracker {
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.RecoverSuccesses <= 0 {
+		cfg.RecoverSuccesses = 2
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeInterval
+		if cfg.ProbeTimeout > time.Second {
+			cfg.ProbeTimeout = time.Second
+		}
+	}
+	t := &Tracker{
+		urls:          urls,
+		pool:          pool,
+		failThreshold: cfg.FailThreshold,
+		recoverOKs:    cfg.RecoverSuccesses,
+		interval:      cfg.ProbeInterval,
+		probeTimeout:  cfg.ProbeTimeout,
+		states:        make([]replicaState, len(urls)),
+		stop:          make(chan struct{}),
+	}
+	for i := range t.states {
+		t.states[i].state = api.ReplicaUp
+	}
+	return t
+}
+
+// Start launches the background prober.
+func (t *Tracker) Start() {
+	t.stopWG.Add(1)
+	go func() {
+		defer t.stopWG.Done()
+		ticker := time.NewTicker(t.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-ticker.C:
+				t.probeAll()
+			}
+		}
+	}()
+}
+
+// Stop ends background probing and waits for the in-flight round.
+func (t *Tracker) Stop() {
+	close(t.stop)
+	t.stopWG.Wait()
+}
+
+// probeAll probes every replica once, concurrently — one slow replica
+// must not delay detection on the others.
+func (t *Tracker) probeAll() {
+	var wg sync.WaitGroup
+	for i := range t.urls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t.probe(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// probe exercises one replica's health endpoint and feeds the outcome
+// into the state machine. Probes bypass client retries: a probe IS the
+// retry mechanism.
+func (t *Tracker) probe(i int) {
+	ctx, cancel := context.WithTimeout(context.Background(), t.probeTimeout)
+	defer cancel()
+	_, err := t.pool.Get(t.urls[i]).Health(ctx)
+
+	t.mu.Lock()
+	t.states[i].probes++
+	if err != nil {
+		t.states[i].probeFails++
+	}
+	t.mu.Unlock()
+
+	if err == nil {
+		t.RecordSuccess(i)
+		return
+	}
+	// Any failure class counts for probes: a replica answering its
+	// healthz with 5xx is as unusable as one refusing connections.
+	t.RecordFailure(i)
+}
+
+// RecordSuccess feeds one successful exchange (traffic or probe) into
+// replica i's state machine.
+func (t *Tracker) RecordSuccess(i int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &t.states[i]
+	s.consecFails = 0
+	switch s.state {
+	case api.ReplicaDown:
+		// First sign of life: admit limited trust.
+		s.state = api.ReplicaHalfOpen
+		s.halfOpenOKs = 1
+	case api.ReplicaHalfOpen:
+		s.halfOpenOKs++
+		if s.halfOpenOKs >= t.recoverOKs {
+			s.state = api.ReplicaUp
+			s.halfOpenOKs = 0
+		}
+	}
+}
+
+// RecordFailure feeds one transport-level failure into replica i's
+// state machine. Callers must NOT report response-level API errors
+// here — a replica that answers 4xx/503 is alive.
+func (t *Tracker) RecordFailure(i int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &t.states[i]
+	s.consecFails++
+	switch s.state {
+	case api.ReplicaHalfOpen:
+		// A probationary replica gets no second chances.
+		s.state = api.ReplicaDown
+		s.halfOpenOKs = 0
+	case api.ReplicaUp:
+		if s.consecFails >= t.failThreshold {
+			s.state = api.ReplicaDown
+		}
+	}
+}
+
+// Routable reports whether replica i should receive traffic.
+func (t *Tracker) Routable(i int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.states[i].state != api.ReplicaDown
+}
+
+// State returns replica i's current state string.
+func (t *Tracker) State(i int) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.states[i].state
+}
+
+// Snapshot renders every replica's status for the gate's health reply.
+func (t *Tracker) Snapshot() []api.ReplicaStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]api.ReplicaStatus, len(t.urls))
+	for i, s := range t.states {
+		out[i] = api.ReplicaStatus{
+			Index:            i,
+			URL:              t.urls[i],
+			State:            s.state,
+			ConsecutiveFails: s.consecFails,
+			Probes:           s.probes,
+			ProbeFailures:    s.probeFails,
+		}
+	}
+	return out
+}

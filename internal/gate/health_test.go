@@ -1,0 +1,136 @@
+package gate
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pnptuner/internal/api"
+	"pnptuner/internal/client"
+)
+
+// TestTrackerStateMachine walks the circuit breaker through every
+// transition without any HTTP: up → down on the failure threshold,
+// down → half-open on first success, half-open → up after enough
+// successes, half-open → down on any failure.
+func TestTrackerStateMachine(t *testing.T) {
+	tr := NewTracker([]string{"http://a", "http://b"}, client.NewPool(), TrackerConfig{
+		FailThreshold:    3,
+		RecoverSuccesses: 2,
+		ProbeInterval:    time.Hour,
+	})
+
+	// Below the threshold the replica stays up; a success resets the run.
+	tr.RecordFailure(0)
+	tr.RecordFailure(0)
+	if got := tr.State(0); got != api.ReplicaUp {
+		t.Fatalf("after 2 failures: %s, want up", got)
+	}
+	tr.RecordSuccess(0)
+	tr.RecordFailure(0)
+	tr.RecordFailure(0)
+	if got := tr.State(0); got != api.ReplicaUp {
+		t.Fatalf("success must reset the failure run: %s, want up", got)
+	}
+
+	// Three consecutive failures mark down; down is not routable.
+	tr.RecordFailure(0)
+	if got := tr.State(0); got != api.ReplicaDown {
+		t.Fatalf("after 3 consecutive failures: %s, want down", got)
+	}
+	if tr.Routable(0) {
+		t.Fatal("down replica is routable")
+	}
+	if got := tr.State(1); got != api.ReplicaUp {
+		t.Fatalf("replica 1 unaffected: %s, want up", got)
+	}
+
+	// One success: probation, routable again.
+	tr.RecordSuccess(0)
+	if got := tr.State(0); got != api.ReplicaHalfOpen {
+		t.Fatalf("after recovery probe: %s, want half-open", got)
+	}
+	if !tr.Routable(0) {
+		t.Fatal("half-open replica must be routable")
+	}
+
+	// A half-open failure drops straight back down.
+	tr.RecordFailure(0)
+	if got := tr.State(0); got != api.ReplicaDown {
+		t.Fatalf("half-open failure: %s, want down", got)
+	}
+
+	// Full recovery: one success to half-open, another to up.
+	tr.RecordSuccess(0)
+	tr.RecordSuccess(0)
+	if got := tr.State(0); got != api.ReplicaUp {
+		t.Fatalf("after %d half-open successes: %s, want up", 2, got)
+	}
+
+	snap := tr.Snapshot()
+	if len(snap) != 2 || snap[0].Index != 0 || snap[1].URL != "http://b" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// TestTrackerProbing runs the real background prober against one
+// healthy stub and one toggling stub: the failing replica is marked
+// down with zero traffic, then readmitted (half-open → up) once its
+// healthz recovers.
+func TestTrackerProbing(t *testing.T) {
+	healthz := func(fail *atomic.Bool) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if fail != nil && fail.Load() {
+				w.WriteHeader(http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(api.Health{Status: "ok"})
+		})
+	}
+	var flaky atomic.Bool
+	flaky.Store(true)
+	good := httptest.NewServer(healthz(nil))
+	bad := httptest.NewServer(healthz(&flaky))
+	t.Cleanup(good.Close)
+	t.Cleanup(bad.Close)
+
+	pool := client.NewPool(client.WithRetries(0, time.Millisecond))
+	t.Cleanup(pool.Close)
+	tr := NewTracker([]string{good.URL, bad.URL}, pool, TrackerConfig{
+		FailThreshold:    2,
+		RecoverSuccesses: 2,
+		ProbeInterval:    5 * time.Millisecond,
+		ProbeTimeout:     time.Second,
+	})
+	tr.Start()
+	t.Cleanup(tr.Stop)
+
+	waitState := func(i int, want string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if tr.State(i) == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("replica %d never reached %s (now %s)", i, want, tr.State(i))
+	}
+
+	waitState(1, api.ReplicaDown)
+	if got := tr.State(0); got != api.ReplicaUp {
+		t.Fatalf("healthy replica went %s during peer outage", got)
+	}
+
+	flaky.Store(false)
+	waitState(1, api.ReplicaUp)
+
+	snap := tr.Snapshot()
+	if snap[1].Probes == 0 || snap[1].ProbeFailures == 0 {
+		t.Fatalf("prober counters not advancing: %+v", snap[1])
+	}
+}

@@ -1,0 +1,105 @@
+package gate
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"sync"
+	"time"
+
+	"pnptuner/internal/api"
+)
+
+// RequestIDHeader carries the per-request correlation ID. The gate
+// generates one when absent and forwards it unchanged, so one ID
+// follows a request through gate and replica logs.
+const RequestIDHeader = "X-Request-ID"
+
+// withRequestID mirrors the replica-side middleware: echo or mint a
+// correlation ID, expose it on the response.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			b := make([]byte, 6)
+			if _, err := rand.Read(b); err != nil {
+				panic("gate: ID entropy unavailable: " + err.Error())
+			}
+			id = hex.EncodeToString(b)
+			r.Header.Set(RequestIDHeader, id)
+		}
+		w.Header().Set(RequestIDHeader, id)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// requestID returns the request's correlation ID (set by withRequestID).
+func requestID(r *http.Request) string {
+	return r.Header.Get(RequestIDHeader)
+}
+
+// routeMetrics aggregates per-route request/error counters and latency
+// for the gate's healthz, keyed by mux pattern (fixed cardinality).
+type routeMetrics struct {
+	mu   sync.Mutex
+	byRt map[string]*routeCounter
+}
+
+type routeCounter struct {
+	count   int64
+	errors  int64
+	totalNs int64
+}
+
+func newRouteMetrics() *routeMetrics {
+	return &routeMetrics{byRt: map[string]*routeCounter{}}
+}
+
+// wrap instruments h under the route label.
+func (m *routeMetrics) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		elapsed := time.Since(start)
+
+		m.mu.Lock()
+		c := m.byRt[route]
+		if c == nil {
+			c = &routeCounter{}
+			m.byRt[route] = c
+		}
+		c.count++
+		if sw.status >= 400 {
+			c.errors++
+		}
+		c.totalNs += int64(elapsed)
+		m.mu.Unlock()
+	}
+}
+
+// snapshot renders the counters as the wire stats map.
+func (m *routeMetrics) snapshot() map[string]api.RouteStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]api.RouteStats, len(m.byRt))
+	for route, c := range m.byRt {
+		st := api.RouteStats{Count: c.count, Errors: c.errors}
+		if c.count > 0 {
+			st.AvgMillis = float64(c.totalNs) / float64(c.count) / 1e6
+		}
+		out[route] = st
+	}
+	return out
+}
+
+// statusWriter records the response status for the metrics wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}

@@ -1,0 +1,124 @@
+package gate
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestRingLookupIsPermutation (property): for any key, Lookup returns
+// every replica exactly once, and two independently built rings with
+// the same parameters agree on the full preference order — routing is
+// deterministic for a fixed ring state.
+func TestRingLookupIsPermutation(t *testing.T) {
+	const n = 5
+	a := NewRing(n, 0)
+	b := NewRing(n, 0)
+	prop := func(key string) bool {
+		ao, bo := a.Lookup(key), b.Lookup(key)
+		if len(ao) != n || len(bo) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for i, rep := range ao {
+			if rep < 0 || rep >= n || seen[rep] || bo[i] != rep {
+				return false
+			}
+			seen[rep] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingGrowRemapsFraction: adding one replica to an N-replica ring
+// moves only the keys the new replica captures — about K/(N+1) of K
+// sampled keys — and every moved key moves TO the new replica (old
+// replicas' points are unchanged, so no key can move between old
+// replicas).
+func TestRingGrowRemapsFraction(t *testing.T) {
+	const (
+		n = 5
+		k = 4000
+	)
+	small, big := NewRing(n, 0), NewRing(n+1, 0)
+	moved := 0
+	for i := 0; i < k; i++ {
+		key := fmt.Sprintf("machine-%d\x00full\x00time", i)
+		was, now := small.Owner(key), big.Owner(key)
+		if was != now {
+			moved++
+			if now != n {
+				t.Fatalf("key %q moved %d→%d; grow may only move keys to the new replica %d", key, was, now, n)
+			}
+		}
+	}
+	// Expected k/(n+1) ≈ 667; allow generous imbalance slack but catch a
+	// modular-hash-style full reshuffle (which would move ~5/6 of keys).
+	bound := 5 * k / (2 * (n + 1))
+	if moved == 0 || moved > bound {
+		t.Fatalf("grow %d→%d remapped %d of %d keys, want (0, %d]", n, n+1, moved, k, bound)
+	}
+}
+
+// TestRingShrinkRemapsFraction: removing the last replica moves exactly
+// the keys it owned (≈ K/N) and every other key keeps its owner — the
+// surviving replicas' points are identical in both rings.
+func TestRingShrinkRemapsFraction(t *testing.T) {
+	const (
+		n = 5
+		k = 4000
+	)
+	big, small := NewRing(n, 0), NewRing(n-1, 0)
+	moved := 0
+	for i := 0; i < k; i++ {
+		key := fmt.Sprintf("machine-%d\x00full\x00edp", i)
+		was, now := big.Owner(key), small.Owner(key)
+		if was == n-1 {
+			moved++
+			continue
+		}
+		if now != was {
+			t.Fatalf("key %q owned by surviving replica %d moved to %d on shrink", key, was, now)
+		}
+	}
+	bound := 5 * k / (2 * n)
+	if moved == 0 || moved > bound {
+		t.Fatalf("shrink %d→%d remapped %d of %d keys, want (0, %d]", n, n-1, moved, k, bound)
+	}
+}
+
+// TestRingBalance: with default vnodes no replica owns a wildly
+// disproportionate key share.
+func TestRingBalance(t *testing.T) {
+	const (
+		n = 3
+		k = 3000
+	)
+	r := NewRing(n, 0)
+	counts := make([]int, n)
+	for i := 0; i < k; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for rep, c := range counts {
+		if c < k/(3*n) || c > 2*k/n {
+			t.Fatalf("replica %d owns %d of %d keys (counts %v): ring badly imbalanced", rep, c, k, counts)
+		}
+	}
+}
+
+// TestRingEdgeCases: empty and single-replica rings degrade sanely.
+func TestRingEdgeCases(t *testing.T) {
+	if got := NewRing(0, 0).Owner("x"); got != -1 {
+		t.Fatalf("empty ring owner = %d, want -1", got)
+	}
+	one := NewRing(1, 0)
+	if got := one.Owner("anything"); got != 0 {
+		t.Fatalf("1-replica ring owner = %d, want 0", got)
+	}
+	if order := one.Lookup("anything"); len(order) != 1 || order[0] != 0 {
+		t.Fatalf("1-replica lookup = %v", order)
+	}
+}

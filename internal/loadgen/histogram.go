@@ -1,0 +1,142 @@
+// Package loadgen is the open-loop load generator behind cmd/pnpload:
+// Poisson arrivals at a fixed offered rate (arrivals never wait for
+// completions, so server slowdowns surface as latency instead of
+// silently throttling the load), a weighted predict/tune/job traffic
+// mix over the model-key space, and HDR-style log-linear latency
+// histograms with exact counts and bounded relative error, from which
+// the per-op p50/p90/p99 and throughput report is derived.
+package loadgen
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Log-linear bucketing: values below 2^subBits nanoseconds are exact;
+// above, each power of two splits into 2^subBits sub-buckets, bounding
+// the relative quantile error at ~1/2^subBits (≈3%) across the full
+// nanoseconds-to-minutes range.
+const (
+	subBits   = 5
+	subCount  = 1 << subBits
+	numBucket = (64 - subBits + 1) * subCount
+)
+
+// Histogram records durations into log-linear buckets. Safe for
+// concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [numBucket]uint64
+	total  uint64
+	sumNs  float64
+	maxNs  int64
+}
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	oct := bits.Len64(v) - 1 // position of the leading bit, ≥ subBits
+	sub := (v >> (uint(oct) - subBits)) & (subCount - 1)
+	return (oct-subBits+1)*subCount + int(sub)
+}
+
+// bucketValue returns the midpoint duration a bucket represents.
+func bucketValue(idx int) int64 {
+	if idx < subCount {
+		return int64(idx)
+	}
+	block := idx >> subBits
+	sub := uint64(idx & (subCount - 1))
+	oct := uint(block + subBits - 1)
+	width := uint64(1) << (oct - subBits)
+	return int64(uint64(1)<<oct + sub*width + width/2)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.mu.Lock()
+	h.counts[bucketIndex(uint64(ns))]++
+	h.total++
+	h.sumNs += float64(ns)
+	if ns > h.maxNs {
+		h.maxNs = ns
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) as a duration, 0 when
+// empty. The answer is the midpoint of the bucket holding the target
+// rank, so it carries the bucketing's ~3% relative error.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.total))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return time.Duration(bucketValue(i))
+		}
+	}
+	return time.Duration(h.maxNs)
+}
+
+// Mean returns the arithmetic mean (exact, not bucketed).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs / float64(h.total))
+}
+
+// Max returns the largest observation (exact).
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.maxNs)
+}
+
+// Buckets exports the non-empty buckets (midpoint milliseconds →
+// count) for report artifacts.
+func (h *Histogram) Buckets() []BucketCount {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []BucketCount
+	for i, c := range h.counts {
+		if c > 0 {
+			out = append(out, BucketCount{
+				UpToMillis: float64(bucketValue(i)) / 1e6,
+				Count:      c,
+			})
+		}
+	}
+	return out
+}
+
+// BucketCount is one exported histogram bucket.
+type BucketCount struct {
+	UpToMillis float64 `json:"le_ms"`
+	Count      uint64  `json:"count"`
+}

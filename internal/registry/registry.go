@@ -112,6 +112,8 @@ type Stats struct {
 	Hits            int64 // served from the LRU cache
 	DiskLoads       int64 // deserialized from the store
 	Trained         int64 // trained on miss
+	Fetched         int64 // pulled from a peer replica on miss
+	Imported        int64 // installed via the blob import endpoint or a fetch
 	Evicted         int64 // dropped from the LRU cache
 	PersistFailures int64 // trained models the store failed to persist
 }
@@ -122,6 +124,7 @@ type Registry struct {
 	train TrainFunc
 
 	mu       sync.Mutex
+	fetch    FetchFunc // peer-fetch hook, consulted between disk and training
 	capacity int
 	cache    *lruCache // Key.ID() → *Entry
 	inflight map[string]*flight
@@ -199,14 +202,18 @@ func (r *Registry) Get(key Key) (*Entry, error) {
 	// A panicking trainer must not wedge the flight — waiters block on
 	// fl.done forever and every later Get joins the dead flight — so the
 	// panic becomes this Get's error and cleanup always runs.
-	e, fromDisk, err := r.safeResolve(key)
+	e, origin, err := r.safeResolve(key)
 
 	r.mu.Lock()
 	if err == nil {
 		r.stats.Evicted += int64(len(r.cache.put(id, e)))
-		if fromDisk {
+		switch origin {
+		case originDisk:
 			r.stats.DiskLoads++
-		} else {
+		case originFetched:
+			r.stats.Fetched++
+			r.stats.Imported++
+		default:
 			r.stats.Trained++
 		}
 	}
@@ -218,42 +225,66 @@ func (r *Registry) Get(key Key) (*Entry, error) {
 	return e, err
 }
 
+// Where a resolve found its model; Get turns this into stats.
+const (
+	originTrained = iota
+	originDisk
+	originFetched
+)
+
 // safeResolve converts a resolve panic into an error.
-func (r *Registry) safeResolve(key Key) (e *Entry, fromDisk bool, err error) {
+func (r *Registry) safeResolve(key Key) (e *Entry, origin int, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			e, fromDisk, err = nil, false, fmt.Errorf("registry: resolving %s panicked: %v", key, p)
+			e, origin, err = nil, 0, fmt.Errorf("registry: resolving %s panicked: %v", key, p)
 		}
 	}()
 	return r.resolve(key)
 }
 
-// resolve loads key from disk or trains it. Runs without the lock — this
-// is the slow path single-flight protects.
-func (r *Registry) resolve(key Key) (e *Entry, fromDisk bool, err error) {
+// resolve loads key from disk, fetches it from a peer, or trains it.
+// Runs without the lock — this is the slow path single-flight protects.
+func (r *Registry) resolve(key Key) (e *Entry, origin int, err error) {
 	if r.dir != "" {
 		path := r.path(key)
 		if _, statErr := os.Stat(path); statErr == nil {
 			m, meta, loadErr := core.LoadModel(path)
 			if loadErr != nil {
-				return nil, false, fmt.Errorf("registry: stored model %s unusable: %w", key, loadErr)
+				return nil, 0, fmt.Errorf("registry: stored model %s unusable: %w", key, loadErr)
 			}
 			if meta.Machine != key.Machine || meta.Objective != key.Objective || meta.Scenario != key.Scenario {
-				return nil, false, fmt.Errorf("registry: stored model %s is for %s/%s/%s (store corrupted?)",
+				return nil, 0, fmt.Errorf("registry: stored model %s is for %s/%s/%s (store corrupted?)",
 					key, meta.Machine, meta.Objective, meta.Scenario)
 			}
 			if err := checkMetaCurrent(key, meta); err != nil {
-				return nil, false, fmt.Errorf("registry: stored model %s is stale: %w", key, err)
+				return nil, 0, fmt.Errorf("registry: stored model %s is stale: %w", key, err)
 			}
-			return &Entry{Key: key, Model: m, Meta: meta}, true, nil
+			return &Entry{Key: key, Model: m, Meta: meta}, originDisk, nil
 		}
 	}
+
+	// Before paying for training, ask the fleet: a peer that already
+	// trained this key hands over its blob, validated exactly like a
+	// disk load. Fetch failures and bad blobs fall through to training —
+	// a confused peer must not take this replica down with it.
+	r.mu.Lock()
+	fetch := r.fetch
+	r.mu.Unlock()
+	if fetch != nil {
+		if data, ferr := fetch(key); ferr == nil && len(data) > 0 {
+			if e, berr := r.entryFromBlob(data); berr == nil && e.Key == key {
+				r.persistBlob(key, data)
+				return e, originFetched, nil
+			}
+		}
+	}
+
 	if r.train == nil {
-		return nil, false, fmt.Errorf("registry: model %s not in store and no trainer configured: %w", key, ErrModelNotFound)
+		return nil, 0, fmt.Errorf("registry: model %s not in store and no trainer configured: %w", key, ErrModelNotFound)
 	}
 	m, meta, err := r.train(key)
 	if err != nil {
-		return nil, false, fmt.Errorf("registry: train %s: %w", key, err)
+		return nil, 0, fmt.Errorf("registry: train %s: %w", key, err)
 	}
 	if r.dir != "" {
 		if err := m.Save(r.path(key), meta); err != nil {
@@ -266,7 +297,7 @@ func (r *Registry) resolve(key Key) (e *Entry, fromDisk bool, err error) {
 			r.mu.Unlock()
 		}
 	}
-	return &Entry{Key: key, Model: m, Meta: meta}, false, nil
+	return &Entry{Key: key, Model: m, Meta: meta}, originTrained, nil
 }
 
 // checkMetaCurrent rejects a stored model whose search space or

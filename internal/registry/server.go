@@ -31,6 +31,8 @@ import (
 //	GET    /v1/jobs/{id}              poll one job's status/trace/result
 //	DELETE /v1/jobs/{id}              cancel a queued or running job
 //	GET    /v1/models     (/models)   registry contents
+//	GET    /v1/models/{id}/blob       export a model's serialized blob
+//	PUT    /v1/models/{id}/blob       import a peer's serialized blob
 //	GET    /v1/healthz    (/healthz)  liveness, traffic and route counters
 type Server struct {
 	reg      *Registry
@@ -100,6 +102,7 @@ func (s *Server) Handler() http.Handler {
 	route(api.PathJobs, s.handleJobs)
 	route(api.PathJobs+"/", s.handleJob)
 	route(api.PathModels, s.handleModels)
+	route(api.PathModels+"/", s.handleModelBlob)
 	route(api.PathHealthz, s.handleHealthz)
 
 	// Legacy pre-versioning aliases: same handlers, same bodies, plus
@@ -394,6 +397,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		CacheHits:       st.Hits,
 		DiskLoads:       st.DiskLoads,
 		ModelsTrained:   st.Trained,
+		ModelsFetched:   st.Fetched,
+		ModelsImported:  st.Imported,
 		Evicted:         st.Evicted,
 		PersistFailures: st.PersistFailures,
 		Jobs:            s.jobs.Stats(),

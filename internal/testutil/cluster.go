@@ -1,0 +1,337 @@
+// Package testutil spins whole in-process serving clusters — N
+// pnpserve replicas plus one pnpgate router on ephemeral ports — so
+// cluster behaviour (placement, failover, replication, recovery) is
+// testable with `go test` alone: no binaries, no fixed ports, full
+// cleanup via t.Cleanup. Replicas can be killed and restarted
+// mid-test to inject faults; each keeps its on-disk model store and
+// per-replica training counter across restarts, exactly like a
+// crashed process coming back on the same address.
+package testutil
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pnptuner/internal/client"
+	"pnptuner/internal/core"
+	"pnptuner/internal/gate"
+	"pnptuner/internal/hw"
+	"pnptuner/internal/kernels"
+	"pnptuner/internal/registry"
+	"pnptuner/internal/space"
+)
+
+// config collects StartCluster options.
+type config struct {
+	cache      int
+	maxBatch   int
+	maxWait    time.Duration
+	jobs       registry.JobStoreConfig
+	trainer    registry.TrainFunc
+	trainDelay time.Duration
+	health     gate.TrackerConfig
+	vnodes     int
+}
+
+// Option tunes StartCluster.
+type Option func(*config)
+
+// WithCache sets each replica's in-memory model LRU capacity.
+func WithCache(n int) Option { return func(c *config) { c.cache = n } }
+
+// WithTrainer swaps the per-replica train-on-miss function (default
+// TinyTrainer). The cluster wraps it with the replica's Trains counter
+// either way.
+func WithTrainer(f registry.TrainFunc) Option { return func(c *config) { c.trainer = f } }
+
+// WithTrainDelay makes every training dawdle, widening the window in
+// which concurrent cold requests can race a training.
+func WithTrainDelay(d time.Duration) Option { return func(c *config) { c.trainDelay = d } }
+
+// WithGateHealth tunes the gate's circuit breakers and prober. The
+// default probes every 20ms with threshold 3 / recovery 2, so a killed
+// replica is detected within ~100ms of test time.
+func WithGateHealth(h gate.TrackerConfig) Option { return func(c *config) { c.health = h } }
+
+// WithJobs bounds each replica's async tune job subsystem.
+func WithJobs(j registry.JobStoreConfig) Option { return func(c *config) { c.jobs = j } }
+
+// Cluster is a running gate + replicas fleet.
+type Cluster struct {
+	// Gate is the router; GateURL its HTTP base.
+	Gate    *gate.Gate
+	GateURL string
+	// Replicas in gate index order.
+	Replicas []*Replica
+
+	pool     *client.Pool
+	gateHTTP *httptest.Server
+}
+
+// Replica is one in-process pnpserve: a registry + API server on a
+// stable address. Kill / Restart simulate a crash and a reboot — the
+// on-disk store and address survive, in-memory state (cache, jobs)
+// does not.
+type Replica struct {
+	Index int
+	URL   string
+	Dir   string
+	// Trains counts train-on-miss invocations across restarts: the
+	// cluster-wide sum proves single-flight training.
+	Trains atomic.Int64
+
+	cfg   *config
+	peers func() []string // all replica URLs, self included (skipped)
+
+	mu      sync.Mutex
+	running bool
+	addr    string
+	ln      net.Listener
+	reg     *registry.Registry
+	srv     *registry.Server
+	http    *http.Server
+	pool    *client.Pool
+}
+
+// StartCluster boots n replicas and a gate over them, registers full
+// cleanup on t, and returns the running cluster. Replicas train with
+// TinyTrainer by default (instant, deterministic) and fetch cold
+// models from peers before training, exactly like production replicas
+// configured with -peers.
+func StartCluster(t testing.TB, n int, opts ...Option) *Cluster {
+	t.Helper()
+	cfg := &config{
+		cache:    8,
+		maxBatch: 8,
+		maxWait:  time.Millisecond,
+		jobs:     registry.JobStoreConfig{Workers: 2, Queue: 32, TTL: time.Minute},
+		trainer:  TinyTrainer,
+		health: gate.TrackerConfig{
+			FailThreshold:    3,
+			RecoverSuccesses: 2,
+			ProbeInterval:    20 * time.Millisecond,
+			ProbeTimeout:     2 * time.Second,
+		},
+	}
+	for _, o := range opts {
+		o(cfg)
+	}
+
+	pool := client.NewPool(client.WithRetries(0, time.Millisecond))
+	c := &Cluster{pool: pool}
+
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		r := &Replica{
+			Index: i,
+			Dir:   t.TempDir(),
+			cfg:   cfg,
+			pool:  pool,
+			peers: func() []string { return urls },
+		}
+		if err := r.start("127.0.0.1:0"); err != nil {
+			t.Fatalf("start replica %d: %v", i, err)
+		}
+		urls[i] = r.URL
+		c.Replicas = append(c.Replicas, r)
+	}
+
+	g, err := gate.New(gate.Config{Replicas: urls, VNodes: cfg.vnodes, Health: cfg.health})
+	if err != nil {
+		t.Fatalf("start gate: %v", err)
+	}
+	c.Gate = g
+	c.gateHTTP = httptest.NewServer(g.Handler())
+	c.GateURL = c.gateHTTP.URL
+
+	t.Cleanup(func() {
+		c.gateHTTP.Close()
+		g.Close()
+		for _, r := range c.Replicas {
+			r.Kill()
+		}
+		pool.Close()
+	})
+	return c
+}
+
+// Client returns a fresh SDK client against the gate.
+func (c *Cluster) Client(opts ...client.Option) *client.Client {
+	return client.New(c.GateURL, opts...)
+}
+
+// ReplicaClient returns a fresh SDK client aimed straight at replica i,
+// bypassing the gate.
+func (c *Cluster) ReplicaClient(i int, opts ...client.Option) *client.Client {
+	return client.New(c.Replicas[i].URL, opts...)
+}
+
+// TotalTrains sums every replica's training counter.
+func (c *Cluster) TotalTrains() int64 {
+	var sum int64
+	for _, r := range c.Replicas {
+		sum += r.Trains.Load()
+	}
+	return sum
+}
+
+// WaitState blocks until the gate sees replica i in the wanted state
+// (or the deadline passes, failing the test).
+func (c *Cluster) WaitState(t testing.TB, i int, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if c.Gate.Tracker().State(i) == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("replica %d never reached state %q (now %q)", i, want, c.Gate.Tracker().State(i))
+}
+
+// start boots the replica's registry and HTTP server on addr
+// ("host:0" picks an ephemeral port; a concrete addr rebinds it).
+func (r *Replica) start(addr string) error {
+	reg, err := registry.New(r.Dir, r.cfg.cache, r.countingTrainer())
+	if err != nil {
+		return err
+	}
+	reg.SetFetcher(r.fetchFromPeers)
+	srv := registry.NewServer(reg, kernels.MustCompile().Vocab, registry.ServerConfig{
+		MaxBatch: r.cfg.maxBatch,
+		MaxWait:  r.cfg.maxWait,
+		Jobs:     r.cfg.jobs,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+
+	r.mu.Lock()
+	r.running = true
+	if r.addr == "" {
+		// First boot: pin the ephemeral address. Restarts rebind the
+		// same one, so URL is written exactly once and is safe to read
+		// without the lock forever after.
+		r.addr = ln.Addr().String()
+		r.URL = "http://" + r.addr
+	}
+	r.ln, r.reg, r.srv, r.http = ln, reg, srv, hs
+	r.mu.Unlock()
+	return nil
+}
+
+// countingTrainer wraps the configured trainer with the replica's
+// persistent Trains counter and optional delay.
+func (r *Replica) countingTrainer() registry.TrainFunc {
+	return func(k registry.Key) (*core.Model, core.ModelMeta, error) {
+		r.Trains.Add(1)
+		if r.cfg.trainDelay > 0 {
+			time.Sleep(r.cfg.trainDelay)
+		}
+		return r.cfg.trainer(k)
+	}
+}
+
+// fetchFromPeers resolves a registry miss by asking every peer replica
+// for the model's blob before falling back to training — the
+// production -peers wiring, in-process.
+func (r *Replica) fetchFromPeers(k registry.Key) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, peer := range r.peers() {
+		if peer == "" || peer == r.URL {
+			continue
+		}
+		rc, err := r.pool.Get(peer).ModelBlob(ctx, k.ID())
+		if err != nil {
+			continue // missing there, or peer down: try the next one
+		}
+		data, err := io.ReadAll(rc)
+		rc.Close()
+		if err == nil && len(data) > 0 {
+			return data, nil
+		}
+	}
+	return nil, nil // no peer has it: train locally
+}
+
+// Kill crashes the replica: connections drop, in-flight requests fail,
+// nothing is drained. The on-disk store and address remain for
+// Restart. Killing a dead replica is a no-op.
+func (r *Replica) Kill() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.running {
+		return
+	}
+	r.running = false
+	r.http.Close()
+	r.ln.Close()
+	r.srv.Close()
+}
+
+// Restart reboots a killed replica on its original address, with a
+// fresh registry over the surviving on-disk store (the cache and job
+// store start empty, like a real process restart).
+func (r *Replica) Restart() error {
+	r.mu.Lock()
+	if r.running {
+		r.mu.Unlock()
+		return errors.New("testutil: replica already running")
+	}
+	addr := r.addr
+	r.mu.Unlock()
+	return r.start(addr)
+}
+
+// Running reports whether the replica is serving.
+func (r *Replica) Running() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.running
+}
+
+// Registry exposes the replica's current registry (swapped on restart).
+func (r *Replica) Registry() *registry.Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reg
+}
+
+// TinyTrainer is the shared test trainer: a correctly-shaped untrained
+// model for the key's machine and objective, built instantly (zero
+// epochs) and deterministically.
+func TinyTrainer(k registry.Key) (*core.Model, core.ModelMeta, error) {
+	c := kernels.MustCompile()
+	mach, err := hw.ByName(k.Machine)
+	if err != nil {
+		return nil, core.ModelMeta{}, err
+	}
+	sp := space.New(mach)
+	cfg := core.DefaultModelConfig()
+	cfg.EmbedDim, cfg.Hidden, cfg.Epochs = 6, 6, 0
+	nHeads, classes := len(sp.Caps()), 16
+	if k.Objective == registry.ObjectiveEDP {
+		nHeads, classes = 1, 64
+	}
+	m := core.NewModel(cfg, c.Vocab.Size(), nHeads, classes)
+	meta := core.ModelMeta{
+		Machine: k.Machine, Scenario: k.Scenario, Objective: k.Objective,
+		Caps:       append([]float64(nil), sp.Caps()...),
+		NumConfigs: sp.NumConfigs(), NumJoint: sp.NumJoint(),
+		VocabSize: c.Vocab.Size(),
+	}
+	return m, meta, nil
+}

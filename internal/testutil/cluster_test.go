@@ -1,0 +1,212 @@
+package testutil_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pnptuner/internal/api"
+	"pnptuner/internal/client"
+	"pnptuner/internal/gate"
+	"pnptuner/internal/kernels"
+	"pnptuner/internal/registry"
+	"pnptuner/internal/testutil"
+)
+
+// corpusGraph marshals one corpus region's graph for predict bodies.
+func corpusGraph(t testing.TB, idx int) api.RawObject {
+	t.Helper()
+	b, err := json.Marshal(kernels.MustCompile().Regions[idx].Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// clusterKeys is the test traffic mix: every machine × objective on the
+// full scenario — four distinct model keys spread across the ring.
+func clusterKeys() []registry.Key {
+	var keys []registry.Key
+	for _, m := range []string{"haswell", "skylake"} {
+		for _, o := range []string{registry.ObjectiveTime, registry.ObjectiveEDP} {
+			keys = append(keys, registry.Key{Machine: m, Scenario: registry.ScenarioFull, Objective: o})
+		}
+	}
+	return keys
+}
+
+// TestClusterFaultInjection is the kill-a-replica-mid-traffic e2e:
+// predicts keep succeeding through the outage (idempotent routes fail
+// over), the gate marks the victim down, surviving replicas' async
+// jobs stay visible, and a restarted victim walks half-open back to up
+// and serves again.
+func TestClusterFaultInjection(t *testing.T) {
+	c := testutil.StartCluster(t, 3)
+	cl := c.Client(client.WithRetries(0, time.Millisecond))
+	ctx := context.Background()
+	graph := corpusGraph(t, 0)
+	keys := clusterKeys()
+
+	predictAll := func(stage string) {
+		t.Helper()
+		for _, k := range keys {
+			_, err := cl.Predict(ctx, api.PredictRequest{
+				Machine: k.Machine, Objective: k.Objective, Graph: graph,
+			})
+			if err != nil {
+				t.Fatalf("%s: predict %s: %v", stage, k, err)
+			}
+		}
+	}
+	predictAll("warm-up")
+
+	// One async job per key, owner-routed; all finish quickly.
+	region := kernels.MustCompile().Regions[0].ID
+	var jobIDs []string
+	for _, k := range keys {
+		job, err := cl.TuneAsync(ctx, api.TuneRequest{
+			Machine: k.Machine, Objective: k.Objective, Strategy: "bliss",
+			RegionID: region, Budget: 2, Seed: 7, Async: true,
+		})
+		if err != nil {
+			t.Fatalf("submit job for %s: %v", k, err)
+		}
+		jobIDs = append(jobIDs, job.ID)
+	}
+	for _, id := range jobIDs {
+		if _, err := cl.Wait(ctx, id, 5*time.Millisecond); err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+	}
+
+	victim := c.Gate.Ring().Owner(gate.RouteKey("haswell", registry.ScenarioFull, registry.ObjectiveTime))
+	victimPrefix := fmt.Sprintf("r%d-", victim)
+	c.Replicas[victim].Kill()
+
+	// Mid-outage, before any mark-down: idempotent traffic reroutes on
+	// the spot — the client sees zero failures.
+	predictAll("during outage")
+
+	c.WaitState(t, victim, api.ReplicaDown, 5*time.Second)
+
+	// After the mark-down window: sustained traffic, still zero 5xx.
+	for round := 0; round < 5; round++ {
+		predictAll("after mark-down")
+	}
+
+	// Survivors' jobs are all still there; the victim's replica-local
+	// jobs are invisible while it is down.
+	jobs, err := cl.ListJobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed := map[string]bool{}
+	for _, j := range jobs {
+		listed[j.ID] = true
+	}
+	for _, id := range jobIDs {
+		onVictim := strings.HasPrefix(id, victimPrefix)
+		if !onVictim && !listed[id] {
+			t.Fatalf("survivor job %s lost from the merged listing: %v", id, listed)
+		}
+		if onVictim && listed[id] {
+			t.Fatalf("down replica's job %s still listed", id)
+		}
+	}
+
+	// Recovery: restart on the same address; probes walk the breaker
+	// half-open → up, and the replica serves again.
+	if err := c.Replicas[victim].Restart(); err != nil {
+		t.Fatalf("restart replica %d: %v", victim, err)
+	}
+	c.WaitState(t, victim, api.ReplicaUp, 5*time.Second)
+	predictAll("after recovery")
+
+	h, err := cl.GateHealth(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range h.Replicas {
+		if rs.State != api.ReplicaUp {
+			t.Fatalf("replica %d ended %s, want up", rs.Index, rs.State)
+		}
+	}
+	if h.Failovers == 0 {
+		t.Fatal("outage traffic recorded no failovers")
+	}
+}
+
+// TestClusterTrainsOnce: 16 concurrent cold predicts for one key
+// through the gate cause exactly one training fleet-wide, and peer
+// replicas then serve the fetched blob bit-identically instead of
+// retraining. Run under -race, this is also the concurrency check on
+// the gate's warm-up single flight.
+func TestClusterTrainsOnce(t *testing.T) {
+	c := testutil.StartCluster(t, 3, testutil.WithTrainDelay(30*time.Millisecond))
+	cl := c.Client(client.WithRetries(0, time.Millisecond))
+	ctx := context.Background()
+	graph := corpusGraph(t, 0)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cl.Predict(ctx, api.PredictRequest{
+				Machine: "haswell", Objective: registry.ObjectiveTime, Graph: graph,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("cold predict %d: %v", i, err)
+		}
+	}
+	if got := c.TotalTrains(); got != 1 {
+		t.Fatalf("fleet trained %d times for one key, want exactly 1", got)
+	}
+
+	key := registry.Key{Machine: "haswell", Scenario: registry.ScenarioFull, Objective: registry.ObjectiveTime}
+	owner := c.Gate.Ring().Owner(gate.RouteKey(key.Machine, key.Scenario, key.Objective))
+	readBlob := func(i int) []byte {
+		t.Helper()
+		rc, err := c.ReplicaClient(i).ModelBlob(ctx, key.ID())
+		if err != nil {
+			t.Fatalf("blob from replica %d: %v", i, err)
+		}
+		defer rc.Close()
+		data, err := io.ReadAll(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	want := readBlob(owner)
+
+	// Hitting the other replicas directly forces their own resolve path:
+	// they must fetch the owner's blob, not train.
+	for i := range c.Replicas {
+		if i == owner {
+			continue
+		}
+		if _, err := c.ReplicaClient(i).Predict(ctx, api.PredictRequest{
+			Machine: key.Machine, Objective: key.Objective, Graph: graph,
+		}); err != nil {
+			t.Fatalf("direct predict on replica %d: %v", i, err)
+		}
+		if got := readBlob(i); !bytes.Equal(got, want) {
+			t.Fatalf("replica %d serves a different blob than the trainer (%d vs %d bytes)", i, len(got), len(want))
+		}
+	}
+	if got := c.TotalTrains(); got != 1 {
+		t.Fatalf("peer replication retrained: fleet trains = %d, want 1", got)
+	}
+}

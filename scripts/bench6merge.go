@@ -1,0 +1,108 @@
+// Command bench6merge folds the two pnpload reports produced by
+// scripts/bench_cluster.sh (env SINGLE, CLUSTER) into the committed
+// BENCH_6.json artifact (env OUTFILE): per-run predict p50/p99,
+// throughput, and error counts, plus the cluster-over-single speedups
+// the issue's acceptance criteria check.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"pnptuner/internal/loadgen"
+)
+
+type runSummary struct {
+	Replicas         int     `json:"replicas"`
+	CachePerReplica  int     `json:"cache_per_replica"`
+	OfferedRateRPS   float64 `json:"offered_rate_rps"`
+	DurationSec      float64 `json:"duration_sec"`
+	Sent             int64   `json:"sent"`
+	Completed        int64   `json:"completed"`
+	Errors           int64   `json:"errors"`
+	Shed             int64   `json:"shed"`
+	ThroughputRPS    float64 `json:"throughput_rps"`
+	PredictP50Millis float64 `json:"predict_p50_ms"`
+	PredictP99Millis float64 `json:"predict_p99_ms"`
+}
+
+func load(path string, replicas int) (*loadgen.Report, runSummary) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		fatal(err)
+	}
+	pred := rep.Ops[loadgen.OpPredict]
+	if pred == nil {
+		fatal(fmt.Errorf("%s: no predict stats", path))
+	}
+	return &rep, runSummary{
+		Replicas:         replicas,
+		CachePerReplica:  2,
+		OfferedRateRPS:   rep.OfferedRate,
+		DurationSec:      rep.DurationSec,
+		Sent:             rep.Sent,
+		Completed:        rep.Completed,
+		Errors:           rep.Errors,
+		Shed:             rep.Shed,
+		ThroughputRPS:    rep.ThroughputRPS,
+		PredictP50Millis: pred.P50Millis,
+		PredictP99Millis: pred.P99Millis,
+	}
+}
+
+func main() {
+	_, single := load(os.Getenv("SINGLE"), 1)
+	_, cluster := load(os.Getenv("CLUSTER"), 3)
+
+	out := map[string]any{
+		"issue": 6,
+		"note": "pnpload (open-loop Poisson, predict-only, seed 6) against pnpgate fronting " +
+			"1 vs 3 pnpserve replicas; identical pre-trained 8-model store (haswell,skylake x " +
+			"time,edp x full,loocv:lu), cache capacity 2 models per replica. The single replica " +
+			"thrashes its LRU (8 hot keys, 2 slots: every request risks a disk reload plus " +
+			"batcher rebuild), saturating below the offered rate — its residual errors are 503s " +
+			"from batchers closed by eviction churn that persist through client retries. Three " +
+			"replicas consistent-hash the keys into disjoint resident sets that fit, serving " +
+			"the same offered load error-free. Single-core host, so the gain is working-set " +
+			"partitioning, not CPU parallelism.",
+		"runs": map[string]runSummary{
+			"single":   single,
+			"cluster3": cluster,
+		},
+		"speedup": map[string]float64{
+			"throughput": ratio(cluster.ThroughputRPS, single.ThroughputRPS),
+			"p50":        ratio(single.PredictP50Millis, cluster.PredictP50Millis),
+			"p99":        ratio(single.PredictP99Millis, cluster.PredictP99Millis),
+		},
+	}
+
+	if cluster.ThroughputRPS <= single.ThroughputRPS {
+		fmt.Fprintf(os.Stderr, "bench6merge: WARNING cluster throughput %.2f not above single %.2f\n",
+			cluster.ThroughputRPS, single.ThroughputRPS)
+	}
+
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(os.Getenv("OUTFILE"), append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(int(a/b*100+0.5)) / 100
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bench6merge: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# bench_cluster.sh — produce BENCH_6.json: open-loop pnpload runs against a
+# 1-replica and a 3-replica cluster under an identical offered load and an
+# identical pre-trained model store.
+#
+# The clusters are cache-constrained (-cache 2 per replica) while the hot key
+# set is 8 models (2 machines x 2 objectives x {full, loocv:lu}), so the
+# single replica continuously evicts and reloads models from disk, paying
+# deserialization and batcher-recreation on the serving path. Three replicas
+# consistent-hash the same 8 keys into three disjoint residency sets (about
+# 2-3 each), which fit; the win measured here is shared-nothing working-set
+# partitioning, not CPU parallelism (CI runners and the dev box are 1-2
+# cores — all three replicas share them).
+#
+# Usage: scripts/bench_cluster.sh [out.json] [rate] [duration]
+set -euo pipefail
+
+OUT=${1:-BENCH_6.json}
+RATE=${2:-60}
+DURATION=${3:-25s}
+SCENARIOS="full,loocv:lu"
+PRELOAD="haswell/time,haswell/edp,skylake/time,skylake/edp,haswell/time/loocv:lu,haswell/edp/loocv:lu,skylake/time/loocv:lu,skylake/edp/loocv:lu"
+
+BIN=$(mktemp -d)
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -TERM "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$BIN" "$WORK"
+}
+trap cleanup EXIT
+
+echo "== building binaries" >&2
+go build -o "$BIN/pnpserve" ./cmd/pnpserve
+go build -o "$BIN/pnpgate" ./cmd/pnpgate
+go build -o "$BIN/pnpload" ./cmd/pnpload
+
+wait_http() { # url [tries]
+  for _ in $(seq 1 "${2:-300}"); do
+    if curl -fsS "$1" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "timeout waiting for $1" >&2
+  return 1
+}
+
+echo "== pre-training the 8-model store (epochs=1)" >&2
+"$BIN/pnpserve" -addr 127.0.0.1:18100 -dir "$WORK/seed" -cache 16 -epochs 1 -preload "$PRELOAD" &
+SEED_PID=$!
+PIDS+=("$SEED_PID")
+wait_http http://127.0.0.1:18100/v1/healthz 3000 # listen starts after preload
+kill -TERM "$SEED_PID" && wait "$SEED_PID" 2>/dev/null || true
+PIDS=()
+
+run_bench() { # name replica_count
+  local name=$1 n=$2 urls="" port pid
+  for i in $(seq 0 $((n - 1))); do
+    port=$((18110 + i))
+    cp -r "$WORK/seed" "$WORK/$name-r$i"
+    "$BIN/pnpserve" -addr "127.0.0.1:$port" -dir "$WORK/$name-r$i" -cache 2 -epochs 1 &
+    pid=$!
+    PIDS+=("$pid")
+    urls="$urls${urls:+,}http://127.0.0.1:$port"
+  done
+  for i in $(seq 0 $((n - 1))); do wait_http "http://127.0.0.1:$((18110 + i))/v1/healthz"; done
+
+  "$BIN/pnpgate" -addr 127.0.0.1:18109 -replicas "$urls" -probe-interval 250ms &
+  PIDS+=("$!")
+  wait_http http://127.0.0.1:18109/v1/healthz
+
+  echo "== load: $name ($n replica(s), rate $RATE, $DURATION)" >&2
+  "$BIN/pnpload" -target http://127.0.0.1:18109 -rate "$RATE" -duration "$DURATION" \
+    -predict 1 -tune 0 -job 0 -scenarios "$SCENARIOS" -seed 6 -inflight 64 \
+    -hist=false -out "$WORK/$name.json"
+  # No -max-error-rate gate here: the 1-replica baseline is deliberately
+  # driven past capacity, where LRU thrash yields some 503s even after
+  # client retries. The merge step records error counts per run.
+
+  for pid in "${PIDS[@]}"; do kill -TERM "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  PIDS=()
+}
+
+run_bench single 1
+run_bench cluster3 3
+
+echo "== assembling $OUT" >&2
+SINGLE="$WORK/single.json" CLUSTER="$WORK/cluster3.json" OUTFILE="$OUT" go run ./scripts/bench6merge.go
+
+echo "done: $OUT" >&2
