@@ -18,7 +18,14 @@
 //	GET    /v1/jobs[/{id}]            list / poll async tuning jobs
 //	DELETE /v1/jobs/{id}              cancel an async tuning job
 //	GET    /v1/models     (/models)   registry contents (cached + on disk)
+//	GET    /v1/models/{id}            one model's version + refresh detail
 //	GET    /v1/healthz    (/healthz)  liveness + traffic + per-route counters
+//
+// With -refresh-threshold N, tune sessions carrying a measure_budget
+// feed their real-execution samples back into the registry; every N
+// samples a model retrains incrementally in the background and shadows
+// live predict traffic for -canary-window requests before being promoted
+// (new version serves) or demoted (discarded).
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops,
 // in-flight requests finish, running tune jobs drain until
@@ -56,6 +63,11 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 2, "concurrent async tune sessions")
 	jobQueue := flag.Int("job-queue", 32, "max async tune jobs awaiting a worker")
 	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "finished-job retention before GC")
+	refreshThreshold := flag.Int("refresh-threshold", 0,
+		"measured samples per model that trigger a background refresh retrain (0 disables the measure→learn loop)")
+	canaryWindow := flag.Int("canary-window", 16,
+		"scored live predicts a refreshed model shadows before the promote/demote verdict")
+	refreshEpochs := flag.Int("refresh-epochs", 4, "fine-tune epochs per refresh retrain")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second,
 		"grace period for in-flight requests and running jobs on SIGINT/SIGTERM")
 	preload := flag.String("preload", "", "comma-separated machine/objective[/scenario] keys to resolve at startup")
@@ -116,7 +128,16 @@ func main() {
 			Queue:   *jobQueue,
 			TTL:     *jobTTL,
 		},
+		Refresh: registry.RefreshConfig{
+			Threshold:    *refreshThreshold,
+			CanaryWindow: *canaryWindow,
+			Epochs:       *refreshEpochs,
+		},
 	})
+	if *refreshThreshold > 0 {
+		log.Printf("model refresh enabled: threshold %d samples, canary window %d, %d epochs",
+			*refreshThreshold, *canaryWindow, *refreshEpochs)
+	}
 
 	for _, spec := range strings.Split(*preload, ",") {
 		spec = strings.TrimSpace(spec)

@@ -74,6 +74,8 @@ func main() {
 	loadPath := flag.String("load", "", "load a saved model instead of training")
 	remote := flag.String("remote", "", "pnpserve base URL: tune server-side via the v1 API instead of in-process models")
 	async := flag.Bool("async", false, "with -remote, run each session as an async job (submit → poll → result)")
+	measureBudget := flag.Int("measure", 0,
+		"with -remote, real executions granted per session instead of dataset replay; samples feed the server's model refresh (0 = replay)")
 	list := flag.Bool("list", false, "list corpus applications and exit")
 	flag.Parse()
 
@@ -105,8 +107,11 @@ func main() {
 	if *async && *remote == "" {
 		fatal(fmt.Errorf("-async only applies with -remote"))
 	}
+	if *measureBudget != 0 && *remote == "" {
+		fatal(fmt.Errorf("-measure only applies with -remote"))
+	}
 	if *remote != "" {
-		runRemote(*remote, *machine, *app, *objective, *strategy, *capW, *budget, *async)
+		runRemote(*remote, *machine, *app, *objective, *strategy, *capW, *budget, *measureBudget, *async)
 		return
 	}
 
@@ -373,7 +378,7 @@ func saveModel(m *core.Model, path string, meta core.ModelMeta) {
 // the server owns the models and the engine sessions. With async, each
 // session goes submit → poll → result through the job endpoints (the
 // finished job's result is bit-identical to the synchronous reply).
-func runRemote(base, machine, app, objective, strategy string, capW float64, budget int, async bool) {
+func runRemote(base, machine, app, objective, strategy string, capW float64, budget, measureBudget int, async bool) {
 	corpus, err := kernels.Compile()
 	if err != nil {
 		fatal(err)
@@ -394,12 +399,13 @@ func runRemote(base, machine, app, objective, strategy string, capW float64, bud
 
 	for _, region := range regions {
 		req := api.TuneRequest{
-			Machine:   machine,
-			Objective: objective,
-			Strategy:  strategy,
-			Scenario:  "loocv:" + app,
-			RegionID:  region.ID,
-			Budget:    budget,
+			Machine:       machine,
+			Objective:     objective,
+			Strategy:      strategy,
+			Scenario:      "loocv:" + app,
+			RegionID:      region.ID,
+			Budget:        budget,
+			MeasureBudget: measureBudget,
 		}
 		var resp *api.TuneResponse
 		if async {
@@ -426,7 +432,14 @@ func runRemote(base, machine, app, objective, strategy string, capW float64, bud
 			}
 		}
 
-		fmt.Printf("region %s:\n", resp.RegionID)
+		header := ""
+		if resp.ModelVersion > 0 {
+			header += fmt.Sprintf(" (model v%d)", resp.ModelVersion)
+		}
+		if resp.MeasuredRuns > 0 {
+			header += fmt.Sprintf(" [%d measured runs]", resp.MeasuredRuns)
+		}
+		fmt.Printf("region %s:%s\n", resp.RegionID, header)
 		for _, p := range resp.Picks {
 			if capW != 0 && p.CapW != capW {
 				continue

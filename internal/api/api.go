@@ -43,6 +43,13 @@ func PathModelBlob(id string) string {
 	return PathModels + "/" + id + "/blob"
 }
 
+// PathModel returns the detail endpoint for one model: GET answers a
+// ModelDetail with the serving version, accumulated measurement counts,
+// and the version history.
+func PathModel(id string) string {
+	return PathModels + "/" + id
+}
+
 // Request ceilings, part of the public contract: a serving deployment
 // must not let one client exhaust memory or stall the shared batch
 // window. Corpus graphs are hundreds of nodes; these bounds are orders
@@ -57,6 +64,10 @@ const (
 	// MaxTuneBudget bounds one tuning session's replay executions;
 	// beyond it the server answers CodeBudgetExceeded.
 	MaxTuneBudget = 256
+	// MaxMeasureBudget bounds one tuning session's real executions on
+	// the simulated hardware (TuneRequest.MeasureBudget). Real runs are
+	// far costlier than replay lookups, so the ceiling is its own knob.
+	MaxMeasureBudget = 512
 	// MaxBlobBytes bounds one serialized model blob on the import path
 	// (PUT model blob). Far above any real model; it only exists so a
 	// malicious peer cannot stream unbounded bytes into a replica.
@@ -111,6 +122,10 @@ type PredictResponse struct {
 	Objective string `json:"objective"`
 	Scenario  string `json:"scenario"`
 	Picks     []Pick `json:"picks"`
+	// ModelVersion is the version of the model that served the picks —
+	// the initial training is 1 and every promoted refresh retrain
+	// increments it.
+	ModelVersion int `json:"model_version,omitempty"`
 }
 
 // TuneRequest is the POST /v1/tune body: run a bounded autotune engine
@@ -130,6 +145,14 @@ type TuneRequest struct {
 	Budget int `json:"budget,omitempty"`
 	// Seed decorrelates tuning runs (0 = the region's corpus seed).
 	Seed uint64 `json:"seed,omitempty"`
+	// MeasureBudget grants the session real executions on the simulated
+	// hardware instead of dataset replay: search strategies spend it
+	// measuring candidates under their RAPL caps (split across the
+	// session's heads), the zero-execution "gnn" strategy spends it
+	// verifying its picks. Every completed — or cancelled — session
+	// feeds its samples back for incremental model refresh. 0 keeps the
+	// classic replay evaluator; capped at MaxMeasureBudget.
+	MeasureBudget int `json:"measure_budget,omitempty"`
 	// Async submits the session as a job: the server answers 202 with a
 	// Job immediately and the session runs off-request; poll
 	// GET /v1/jobs/{id} for status/trace/result. The finished job's
@@ -171,6 +194,29 @@ type TuneResponse struct {
 	Strategy  string     `json:"strategy"`
 	Budget    int        `json:"budget"`
 	Picks     []TunePick `json:"picks"`
+	// ModelVersion is the serving model version that shortlisted for the
+	// session (model-driven strategies only).
+	ModelVersion int `json:"model_version,omitempty"`
+	// MeasuredRuns counts the real executions the session took
+	// (MeasureBudget > 0 only); Samples is each one in execution order.
+	MeasuredRuns int              `json:"measured_runs,omitempty"`
+	Samples      []MeasuredSample `json:"samples,omitempty"`
+}
+
+// MeasuredSample is one real execution of a tuning session: the
+// configuration run, the RAPL cap it ran under, and what the hardware
+// reported.
+type MeasuredSample struct {
+	CapW        float64 `json:"cap_w"`
+	ConfigIndex int     `json:"config_index"`
+	Config      string  `json:"config"`
+	TimeSec     float64 `json:"time_sec"`
+	// EnergyJ is the package+DRAM energy as read back from the wrapping
+	// RAPL counter.
+	EnergyJ float64 `json:"energy_j"`
+	// Value is the objective value the search observed for this run.
+	Value     float64 `json:"value"`
+	Throttled bool    `json:"throttled,omitempty"`
 }
 
 // ModelKey identifies one servable model.
@@ -191,6 +237,56 @@ type ModelInfo struct {
 	Meta   RawObject `json:"meta"`
 	// Replica is the base URL of the replica holding this model, set
 	// only in gate-merged listings (single replicas leave it empty).
+	Replica string `json:"replica,omitempty"`
+}
+
+// Version-history event names in ModelDetail.History.
+const (
+	// EventTrained marks a version coming out of training — the initial
+	// resolve or a background refresh retrain.
+	EventTrained = "trained"
+	// EventPromoted marks a refreshed version winning its canary and
+	// taking over serving.
+	EventPromoted = "promoted"
+	// EventDemoted marks a refreshed version losing its canary and being
+	// discarded; the prior version keeps serving.
+	EventDemoted = "demoted"
+)
+
+// VersionEvent is one entry in a model's version history.
+type VersionEvent struct {
+	Version int    `json:"version"`
+	Event   string `json:"event"`
+	// Samples is how many measured executions the event's retrain
+	// consumed (EventTrained of a refresh only).
+	Samples int       `json:"samples,omitempty"`
+	At      time.Time `json:"at"`
+}
+
+// ModelDetail is the GET /v1/models/{id} reply: one model's serving
+// version, its measurement feed, and the version history of the
+// measure→learn loop.
+type ModelDetail struct {
+	Key ModelKey `json:"key"`
+	ID  string   `json:"id"`
+	// Version is the model version currently serving (1 = initial
+	// training, incremented by every promoted refresh).
+	Version int  `json:"version"`
+	Cached  bool `json:"cached"`
+	OnDisk  bool `json:"on_disk"`
+	// Samples is how many measured executions the serving version has
+	// incorporated; PendingSamples counts those accumulated since, not
+	// yet consumed by a refresh retrain.
+	Samples        int `json:"samples"`
+	PendingSamples int `json:"pending_samples"`
+	// SampleRegions is the per-region measurement count feeding this key.
+	SampleRegions map[string]int `json:"sample_regions,omitempty"`
+	// CanaryVersion is the shadow version currently under canary scoring
+	// (0 = no canary in flight).
+	CanaryVersion int            `json:"canary_version,omitempty"`
+	History       []VersionEvent `json:"history,omitempty"`
+	// Replica is set by the gate on merged lookups: the replica whose
+	// answer won (highest version).
 	Replica string `json:"replica,omitempty"`
 }
 

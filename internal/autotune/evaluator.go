@@ -74,12 +74,21 @@ func (r *Replay) Measure(config int) float64 {
 	return v * Noise(r.Seed, mix, r.Obj.NoiseKey(config), r.NoiseSD)
 }
 
+// noiseKeyMul spreads measurement keys across the seed space before
+// mixing. It is a fixed odd constant deliberately distinct from every
+// stream (mix) constant and from the splitmix64 mixers, so key·noiseKeyMul
+// can never cancel against them.
+const noiseKeyMul uint64 = 0xd1342543de82ef95
+
 // Noise returns the deterministic multiplicative noise factor of one
 // simulated execution: log-normal with unit mean and relative spread sd,
 // keyed so every (seed, measurement) pair has its own draw. mix selects
-// an independent stream at the same seed.
+// an independent stream at the same seed; it is XORed into the state
+// rather than multiplied with the key, so key 0 (candidate 0 of a joint
+// space) still sees independent draws per stream — the earlier
+// seed^(key*mix) seeding collapsed every mix to the same draw there.
 func Noise(seed, mix, key uint64, sd float64) float64 {
-	r := NewRNG(seed ^ (key * mix))
+	r := NewRNG(seed ^ mix ^ (key * noiseKeyMul))
 	u1 := float64(r.Next()>>11) / (1 << 53)
 	u2 := float64(r.Next()>>11) / (1 << 53)
 	if u1 < 1e-12 {

@@ -10,10 +10,14 @@ import (
 	"pnptuner/internal/opentuner"
 )
 
-// parityCase is one pre-refactor tuning outcome, captured from the
-// monolithic bliss.Tuner / opentuner.Tuner implementations at commit
-// d4c9f73 (seeds include each region's own, as the figures use). capIdx
-// -1 marks a joint-space EDP tuning task.
+// parityCase is one pinned tuning outcome (seeds include each region's
+// own, as the figures use). capIdx -1 marks a joint-space EDP tuning
+// task. The table was originally captured from the monolithic
+// bliss.Tuner / opentuner.Tuner implementations at commit d4c9f73 and
+// deliberately regenerated (scripts/paritygen) when Noise re-keyed its
+// RNG state from seed^(key·mix) to seed^mix^(key·noiseKeyMul) — the old
+// seeding collapsed every mix stream to one draw at NoiseKey 0, so every
+// noisy trace legitimately changed.
 type parityCase struct {
 	machine   string
 	regionIdx int
@@ -24,156 +28,156 @@ type parityCase struct {
 }
 
 var parityCases = []parityCase{
-	{"skylake", 0, 1, 0, 90, 111},
-	{"skylake", 0, 1, 1, 107, 109},
-	{"skylake", 0, 1, 2, 110, 105},
-	{"skylake", 0, 1, 3, 107, 107},
-	{"skylake", 0, 1, -1, 491, 363},
-	{"skylake", 0, 42, 0, 80, 106},
-	{"skylake", 0, 42, 1, 109, 105},
-	{"skylake", 0, 42, 2, 104, 88},
-	{"skylake", 0, 42, 3, 104, 102},
-	{"skylake", 0, 42, -1, 492, 343},
-	{"skylake", 0, 9983386848092761977, 0, 88, 82},
-	{"skylake", 0, 9983386848092761977, 1, 88, 48},
-	{"skylake", 0, 9983386848092761977, 2, 111, 81},
-	{"skylake", 0, 9983386848092761977, 3, 106, 104},
-	{"skylake", 0, 9983386848092761977, -1, 491, 338},
-	{"skylake", 5, 1, 0, 69, 58},
-	{"skylake", 5, 1, 1, 48, 44},
-	{"skylake", 5, 1, 2, 69, 42},
-	{"skylake", 5, 1, 3, 69, 66},
-	{"skylake", 5, 1, -1, 450, 171},
-	{"skylake", 5, 42, 0, 64, 68},
-	{"skylake", 5, 42, 1, 67, 84},
-	{"skylake", 5, 42, 2, 69, 86},
-	{"skylake", 5, 42, 3, 69, 89},
-	{"skylake", 5, 42, -1, 450, 170},
-	{"skylake", 5, 6235986073284285404, 0, 65, 64},
-	{"skylake", 5, 6235986073284285404, 1, 66, 84},
-	{"skylake", 5, 6235986073284285404, 2, 89, 65},
-	{"skylake", 5, 6235986073284285404, 3, 69, 67},
-	{"skylake", 5, 6235986073284285404, -1, 196, 192},
-	{"skylake", 12, 1, 0, 90, 88},
-	{"skylake", 12, 1, 1, 107, 109},
-	{"skylake", 12, 1, 2, 110, 101},
-	{"skylake", 12, 1, 3, 107, 88},
-	{"skylake", 12, 1, -1, 468, 214},
-	{"skylake", 12, 42, 0, 80, 88},
-	{"skylake", 12, 42, 1, 109, 85},
-	{"skylake", 12, 42, 2, 108, 88},
-	{"skylake", 12, 42, 3, 108, 109},
-	{"skylake", 12, 42, -1, 485, 465},
-	{"skylake", 12, 858834293842216780, 0, 62, 86},
-	{"skylake", 12, 858834293842216780, 1, 111, 88},
-	{"skylake", 12, 858834293842216780, 2, 78, 69},
-	{"skylake", 12, 858834293842216780, 3, 69, 82},
-	{"skylake", 12, 858834293842216780, -1, 481, 66},
-	{"skylake", 33, 1, 0, 47, 44},
-	{"skylake", 33, 1, 1, 48, 44},
-	{"skylake", 33, 1, 2, 69, 45},
-	{"skylake", 33, 1, 3, 48, 43},
-	{"skylake", 33, 1, -1, 175, 171},
-	{"skylake", 33, 42, 0, 42, 40},
-	{"skylake", 33, 42, 1, 44, 66},
-	{"skylake", 33, 42, 2, 42, 45},
-	{"skylake", 33, 42, 3, 42, 68},
-	{"skylake", 33, 42, -1, 194, 170},
-	{"skylake", 33, 18104592414702090148, 0, 48, 62},
-	{"skylake", 33, 18104592414702090148, 1, 48, 37},
-	{"skylake", 33, 18104592414702090148, 2, 64, 42},
-	{"skylake", 33, 18104592414702090148, 3, 69, 44},
-	{"skylake", 33, 18104592414702090148, -1, 48, 317},
-	{"skylake", 60, 1, 0, 98, 105},
-	{"skylake", 60, 1, 1, 105, 107},
-	{"skylake", 60, 1, 2, 126, 113},
-	{"skylake", 60, 1, 3, 126, 93},
-	{"skylake", 60, 1, -1, 507, 487},
-	{"skylake", 60, 42, 0, 78, 84},
-	{"skylake", 60, 42, 1, 113, 92},
-	{"skylake", 60, 42, 2, 113, 98},
-	{"skylake", 60, 42, 3, 120, 87},
-	{"skylake", 60, 42, -1, 502, 51},
-	{"skylake", 60, 18096596585462880131, 0, 98, 87},
-	{"skylake", 60, 18096596585462880131, 1, 99, 87},
-	{"skylake", 60, 18096596585462880131, 2, 119, 87},
-	{"skylake", 60, 18096596585462880131, 3, 105, 80},
-	{"skylake", 60, 18096596585462880131, -1, 501, 348},
-	{"haswell", 0, 1, 0, 98, 111},
-	{"haswell", 0, 1, 1, 104, 109},
-	{"haswell", 0, 1, 2, 121, 105},
-	{"haswell", 0, 1, 3, 107, 107},
-	{"haswell", 0, 1, -1, 504, 483},
-	{"haswell", 0, 42, 0, 99, 106},
-	{"haswell", 0, 42, 1, 109, 98},
-	{"haswell", 0, 42, 2, 104, 88},
-	{"haswell", 0, 42, 3, 104, 123},
-	{"haswell", 0, 42, -1, 504, 490},
-	{"haswell", 0, 9983386848092761977, 0, 107, 108},
-	{"haswell", 0, 9983386848092761977, 1, 120, 125},
-	{"haswell", 0, 9983386848092761977, 2, 106, 81},
-	{"haswell", 0, 9983386848092761977, 3, 110, 100},
-	{"haswell", 0, 9983386848092761977, -1, 486, 338},
-	{"haswell", 5, 1, 0, 69, 88},
-	{"haswell", 5, 1, 1, 107, 109},
-	{"haswell", 5, 1, 2, 85, 87},
-	{"haswell", 5, 1, 3, 126, 88},
-	{"haswell", 5, 1, -1, 447, 212},
-	{"haswell", 5, 42, 0, 67, 88},
-	{"haswell", 5, 42, 1, 89, 84},
-	{"haswell", 5, 42, 2, 90, 88},
-	{"haswell", 5, 42, 3, 108, 90},
-	{"haswell", 5, 42, -1, 471, 465},
-	{"haswell", 5, 6235986073284285404, 0, 88, 65},
-	{"haswell", 5, 6235986073284285404, 1, 90, 84},
-	{"haswell", 5, 6235986073284285404, 2, 89, 87},
-	{"haswell", 5, 6235986073284285404, 3, 89, 108},
-	{"haswell", 5, 6235986073284285404, -1, 196, 342},
-	{"haswell", 12, 1, 0, 98, 111},
-	{"haswell", 12, 1, 1, 107, 109},
-	{"haswell", 12, 1, 2, 104, 105},
-	{"haswell", 12, 1, 3, 107, 107},
-	{"haswell", 12, 1, -1, 361, 483},
-	{"haswell", 12, 42, 0, 80, 106},
-	{"haswell", 12, 42, 1, 109, 98},
-	{"haswell", 12, 42, 2, 104, 88},
-	{"haswell", 12, 42, 3, 122, 102},
-	{"haswell", 12, 42, -1, 504, 490},
-	{"haswell", 12, 858834293842216780, 0, 102, 86},
-	{"haswell", 12, 858834293842216780, 1, 86, 87},
-	{"haswell", 12, 858834293842216780, 2, 100, 79},
-	{"haswell", 12, 858834293842216780, 3, 121, 89},
-	{"haswell", 12, 858834293842216780, -1, 505, 232},
-	{"haswell", 33, 1, 0, 47, 58},
-	{"haswell", 33, 1, 1, 65, 44},
-	{"haswell", 33, 1, 2, 69, 65},
-	{"haswell", 33, 1, 3, 69, 66},
-	{"haswell", 33, 1, -1, 175, 319},
-	{"haswell", 33, 42, 0, 61, 47},
-	{"haswell", 33, 42, 1, 67, 84},
-	{"haswell", 33, 42, 2, 67, 88},
-	{"haswell", 33, 42, 3, 66, 68},
-	{"haswell", 33, 42, -1, 194, 170},
-	{"haswell", 33, 18104592414702090148, 0, 68, 44},
-	{"haswell", 33, 18104592414702090148, 1, 69, 89},
-	{"haswell", 33, 18104592414702090148, 2, 105, 87},
-	{"haswell", 33, 18104592414702090148, 3, 87, 69},
-	{"haswell", 33, 18104592414702090148, -1, 196, 317},
-	{"haswell", 60, 1, 0, 126, 105},
-	{"haswell", 60, 1, 1, 119, 107},
-	{"haswell", 60, 1, 2, 119, 114},
-	{"haswell", 60, 1, 3, 113, 93},
-	{"haswell", 60, 1, -1, 352, 234},
-	{"haswell", 60, 42, 0, 105, 106},
-	{"haswell", 60, 42, 1, 120, 100},
-	{"haswell", 60, 42, 2, 92, 92},
-	{"haswell", 60, 42, 3, 120, 98},
-	{"haswell", 60, 42, -1, 500, 51},
-	{"haswell", 60, 18096596585462880131, 0, 98, 115},
-	{"haswell", 60, 18096596585462880131, 1, 121, 112},
-	{"haswell", 60, 18096596585462880131, 2, 119, 87},
-	{"haswell", 60, 18096596585462880131, 3, 105, 119},
-	{"haswell", 60, 18096596585462880131, -1, 501, 369},
+	{"skylake", 0, 1, 0, 110, 80},
+	{"skylake", 0, 1, 1, 107, 107},
+	{"skylake", 0, 1, 2, 110, 87},
+	{"skylake", 0, 1, 3, 110, 106},
+	{"skylake", 0, 1, -1, 361, 363},
+	{"skylake", 0, 42, 0, 109, 84},
+	{"skylake", 0, 42, 1, 109, 84},
+	{"skylake", 0, 42, 2, 102, 103},
+	{"skylake", 0, 42, 3, 109, 109},
+	{"skylake", 0, 42, -1, 492, 487},
+	{"skylake", 0, 9983386848092761977, 0, 84, 81},
+	{"skylake", 0, 9983386848092761977, 1, 109, 111},
+	{"skylake", 0, 9983386848092761977, 2, 88, 100},
+	{"skylake", 0, 9983386848092761977, 3, 105, 87},
+	{"skylake", 0, 9983386848092761977, -1, 486, 484},
+	{"skylake", 5, 1, 0, 57, 65},
+	{"skylake", 5, 1, 1, 46, 67},
+	{"skylake", 5, 1, 2, 69, 66},
+	{"skylake", 5, 1, 3, 65, 44},
+	{"skylake", 5, 1, -1, 171, 299},
+	{"skylake", 5, 42, 0, 62, 58},
+	{"skylake", 5, 42, 1, 67, 47},
+	{"skylake", 5, 42, 2, 90, 88},
+	{"skylake", 5, 42, 3, 67, 47},
+	{"skylake", 5, 42, -1, 194, 172},
+	{"skylake", 5, 6235986073284285404, 0, 69, 65},
+	{"skylake", 5, 6235986073284285404, 1, 66, 45},
+	{"skylake", 5, 6235986073284285404, 2, 90, 66},
+	{"skylake", 5, 6235986073284285404, 3, 66, 84},
+	{"skylake", 5, 6235986073284285404, -1, 196, 65},
+	{"skylake", 12, 1, 0, 57, 42},
+	{"skylake", 12, 1, 1, 107, 107},
+	{"skylake", 12, 1, 2, 110, 87},
+	{"skylake", 12, 1, 3, 110, 106},
+	{"skylake", 12, 1, -1, 361, 191},
+	{"skylake", 12, 42, 0, 81, 88},
+	{"skylake", 12, 42, 1, 107, 84},
+	{"skylake", 12, 42, 2, 79, 89},
+	{"skylake", 12, 42, 3, 109, 87},
+	{"skylake", 12, 42, -1, 492, 487},
+	{"skylake", 12, 858834293842216780, 0, 83, 54},
+	{"skylake", 12, 858834293842216780, 1, 104, 86},
+	{"skylake", 12, 858834293842216780, 2, 110, 105},
+	{"skylake", 12, 858834293842216780, 3, 110, 66},
+	{"skylake", 12, 858834293842216780, -1, 485, 468},
+	{"skylake", 33, 1, 0, 48, 46},
+	{"skylake", 33, 1, 1, 48, 42},
+	{"skylake", 33, 1, 2, 69, 57},
+	{"skylake", 33, 1, 3, 44, 44},
+	{"skylake", 33, 1, -1, 175, 299},
+	{"skylake", 33, 42, 0, 42, 48},
+	{"skylake", 33, 42, 1, 42, 25},
+	{"skylake", 33, 42, 2, 67, 47},
+	{"skylake", 33, 42, 3, 67, 47},
+	{"skylake", 33, 42, -1, 194, 172},
+	{"skylake", 33, 18104592414702090148, 0, 48, 38},
+	{"skylake", 33, 18104592414702090148, 1, 46, 60},
+	{"skylake", 33, 18104592414702090148, 2, 48, 68},
+	{"skylake", 33, 18104592414702090148, 3, 68, 42},
+	{"skylake", 33, 18104592414702090148, -1, 48, 444},
+	{"skylake", 60, 1, 0, 77, 65},
+	{"skylake", 60, 1, 1, 106, 107},
+	{"skylake", 60, 1, 2, 126, 92},
+	{"skylake", 60, 1, 3, 105, 93},
+	{"skylake", 60, 1, -1, 359, 212},
+	{"skylake", 60, 42, 0, 73, 66},
+	{"skylake", 60, 42, 1, 119, 86},
+	{"skylake", 60, 42, 2, 114, 73},
+	{"skylake", 60, 42, 3, 113, 92},
+	{"skylake", 60, 42, -1, 500, 488},
+	{"skylake", 60, 18096596585462880131, 0, 77, 81},
+	{"skylake", 60, 18096596585462880131, 1, 119, 92},
+	{"skylake", 60, 18096596585462880131, 2, 105, 99},
+	{"skylake", 60, 18096596585462880131, 3, 105, 94},
+	{"skylake", 60, 18096596585462880131, -1, 501, 341},
+	{"haswell", 0, 1, 0, 122, 80},
+	{"haswell", 0, 1, 1, 122, 107},
+	{"haswell", 0, 1, 2, 104, 87},
+	{"haswell", 0, 1, 3, 124, 109},
+	{"haswell", 0, 1, -1, 506, 217},
+	{"haswell", 0, 42, 0, 109, 90},
+	{"haswell", 0, 42, 1, 109, 101},
+	{"haswell", 0, 42, 2, 102, 98},
+	{"haswell", 0, 42, 3, 124, 105},
+	{"haswell", 0, 42, -1, 492, 489},
+	{"haswell", 0, 9983386848092761977, 0, 84, 81},
+	{"haswell", 0, 9983386848092761977, 1, 109, 107},
+	{"haswell", 0, 9983386848092761977, 2, 111, 89},
+	{"haswell", 0, 9983386848092761977, 3, 105, 101},
+	{"haswell", 0, 9983386848092761977, -1, 486, 484},
+	{"haswell", 5, 1, 0, 78, 65},
+	{"haswell", 5, 1, 1, 82, 67},
+	{"haswell", 5, 1, 2, 84, 87},
+	{"haswell", 5, 1, 3, 64, 90},
+	{"haswell", 5, 1, -1, 215, 212},
+	{"haswell", 5, 42, 0, 48, 56},
+	{"haswell", 5, 42, 1, 108, 84},
+	{"haswell", 5, 42, 2, 90, 89},
+	{"haswell", 5, 42, 3, 109, 89},
+	{"haswell", 5, 42, -1, 492, 211},
+	{"haswell", 5, 6235986073284285404, 0, 90, 84},
+	{"haswell", 5, 6235986073284285404, 1, 66, 87},
+	{"haswell", 5, 6235986073284285404, 2, 90, 66},
+	{"haswell", 5, 6235986073284285404, 3, 89, 84},
+	{"haswell", 5, 6235986073284285404, -1, 471, 486},
+	{"haswell", 12, 1, 0, 77, 65},
+	{"haswell", 12, 1, 1, 107, 107},
+	{"haswell", 12, 1, 2, 104, 87},
+	{"haswell", 12, 1, 3, 124, 106},
+	{"haswell", 12, 1, -1, 361, 217},
+	{"haswell", 12, 42, 0, 109, 84},
+	{"haswell", 12, 42, 1, 109, 84},
+	{"haswell", 12, 42, 2, 102, 107},
+	{"haswell", 12, 42, 3, 124, 88},
+	{"haswell", 12, 42, -1, 492, 489},
+	{"haswell", 12, 858834293842216780, 0, 110, 54},
+	{"haswell", 12, 858834293842216780, 1, 101, 86},
+	{"haswell", 12, 858834293842216780, 2, 100, 105},
+	{"haswell", 12, 858834293842216780, 3, 100, 66},
+	{"haswell", 12, 858834293842216780, -1, 471, 359},
+	{"haswell", 33, 1, 0, 57, 65},
+	{"haswell", 33, 1, 1, 65, 67},
+	{"haswell", 33, 1, 2, 65, 68},
+	{"haswell", 33, 1, 3, 83, 64},
+	{"haswell", 33, 1, -1, 175, 450},
+	{"haswell", 33, 42, 0, 62, 58},
+	{"haswell", 33, 42, 1, 67, 47},
+	{"haswell", 33, 42, 2, 67, 80},
+	{"haswell", 33, 42, 3, 67, 67},
+	{"haswell", 33, 42, -1, 194, 172},
+	{"haswell", 33, 18104592414702090148, 0, 48, 62},
+	{"haswell", 33, 18104592414702090148, 1, 68, 79},
+	{"haswell", 33, 18104592414702090148, 2, 90, 88},
+	{"haswell", 33, 18104592414702090148, 3, 90, 89},
+	{"haswell", 33, 18104592414702090148, -1, 48, 446},
+	{"haswell", 60, 1, 0, 106, 65},
+	{"haswell", 60, 1, 1, 105, 107},
+	{"haswell", 60, 1, 2, 98, 92},
+	{"haswell", 60, 1, 3, 105, 106},
+	{"haswell", 60, 1, -1, 352, 374},
+	{"haswell", 60, 42, 0, 112, 100},
+	{"haswell", 60, 42, 1, 119, 84},
+	{"haswell", 60, 42, 2, 114, 107},
+	{"haswell", 60, 42, 3, 113, 92},
+	{"haswell", 60, 42, -1, 479, 362},
+	{"haswell", 60, 18096596585462880131, 0, 77, 108},
+	{"haswell", 60, 18096596585462880131, 1, 119, 105},
+	{"haswell", 60, 18096596585462880131, 2, 105, 99},
+	{"haswell", 60, 18096596585462880131, 3, 105, 122},
+	{"haswell", 60, 18096596585462880131, -1, 500, 341},
 }
 
 // TestBaselineParity pins the refactored engine-driven BLISS and

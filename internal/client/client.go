@@ -298,6 +298,17 @@ func (c *Client) pushBlobOnce(ctx context.Context, id string, blob []byte) (*api
 	return nil, Classify(apiErr), apiErr
 }
 
+// Model returns one model's detail: serving version, measurement-feed
+// counters, in-flight canary, and version history. id is the model's
+// content address (api.ModelInfo.ID).
+func (c *Client) Model(ctx context.Context, id string) (*api.ModelDetail, error) {
+	var out api.ModelDetail
+	if err := c.do(ctx, http.MethodGet, api.PathModel(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // ListModels returns the registry's contents (cached and on-disk).
 func (c *Client) ListModels(ctx context.Context) ([]api.ModelInfo, error) {
 	var out []api.ModelInfo

@@ -42,6 +42,22 @@ type ModelMeta struct {
 	NumConfigs int
 	NumJoint   int
 	VocabSize  int
+	// Version counts refresh retrains of this key, monotonically: the
+	// initial training is version 1 and every promoted incremental
+	// retrain increments it. Gob tolerates the field's absence, so blobs
+	// saved before versioning decode to 0 — normalize with Normalize.
+	Version int
+	// Samples is how many measured executions have been incorporated
+	// into this version through refresh retraining (0 = grid-only).
+	Samples int
+}
+
+// Normalize maps pre-versioning metadata (Version 0 on old blobs) onto
+// the versioned contract: every trained model is at least version 1.
+func (mm *ModelMeta) Normalize() {
+	if mm.Version < 1 {
+		mm.Version = 1
+	}
 }
 
 // MetaFor builds the metadata pinning a model to dataset d.

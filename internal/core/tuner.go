@@ -191,9 +191,19 @@ type EDPResult struct {
 // minimum energy-delay product.
 func TrainEDP(d *dataset.Dataset, fold dataset.Fold, cfg ModelConfig) *EDPResult {
 	m := NewModel(cfg, d.Corpus.Vocab.Size(), 1, d.Space.NumJoint())
+	stats := m.Fit(EDPSamples(d, fold.Train, cfg))
+	return &EDPResult{Model: m, Stats: stats, Pred: PredictEDP(d, m, fold.Val)}
+}
+
+// EDPSamples builds the scenario-2 training set for the given regions:
+// one single-head joint-label case per region. Exported (like
+// PowerSamples) so serving-side retraining assembles the same set
+// TrainEDP trains on — against a sample-refined dataset, the labels and
+// soft targets shift with the measured grid.
+func EDPSamples(d *dataset.Dataset, train []*dataset.RegionData, cfg ModelConfig) []Sample {
 	obj := autotune.EDP{}
-	samples := make([]Sample, 0, len(fold.Train))
-	for _, rd := range fold.Train {
+	samples := make([]Sample, 0, len(train))
+	for _, rd := range train {
 		soft := softTargets(cfg, func(j int) float64 { return obj.Value(rd, d.Space, j) },
 			d.Space.NumJoint(), rd.BestEDP(d.Space))
 		samples = append(samples, Sample{
@@ -201,8 +211,7 @@ func TrainEDP(d *dataset.Dataset, fold dataset.Fold, cfg ModelConfig) *EDPResult
 			Cases:  []Case{{Extras: extras(cfg, rd.Counters, 0), Head: 0, Label: rd.BestEDPJoint, Soft: soft}},
 		})
 	}
-	stats := m.Fit(samples)
-	return &EDPResult{Model: m, Stats: stats, Pred: PredictEDP(d, m, fold.Val)}
+	return samples
 }
 
 // UnseenCapResult is a cap-conditioned model evaluated at a power

@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"sync"
+
+	"pnptuner/internal/omp"
+)
+
+// MeasuredSample is one real execution fed back from the measurement
+// loop (internal/measure): a grid coordinate on one region plus the
+// observed result. Unlike the exhaustive sweep, measured results carry
+// run-to-run noise, so repeated samples of the same cell differ — the
+// mean over them is what refines the grid.
+type MeasuredSample struct {
+	RegionID string
+	CapIdx   int
+	CfgIdx   int
+	Result   omp.Result
+}
+
+// SampleLog accumulates measured samples for one model key across tune
+// sessions. Safe for concurrent use: sessions append concurrently while
+// a background retrain snapshots.
+type SampleLog struct {
+	mu         sync.Mutex
+	samples    []MeasuredSample
+	byRegion   map[string]int
+	sinceTrain int
+}
+
+// Append records samples from one (possibly partial) tune session.
+func (l *SampleLog) Append(ss ...MeasuredSample) {
+	if len(ss) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.byRegion == nil {
+		l.byRegion = map[string]int{}
+	}
+	l.samples = append(l.samples, ss...)
+	l.sinceTrain += len(ss)
+	for _, s := range ss {
+		l.byRegion[s.RegionID]++
+	}
+}
+
+// Total returns the number of samples ever recorded.
+func (l *SampleLog) Total() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// SinceTrain returns the samples accumulated since the last MarkTrained
+// — the refresh-threshold counter.
+func (l *SampleLog) SinceTrain() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sinceTrain
+}
+
+// MarkTrained resets the since-train counter, returning how many samples
+// the caller just consumed into a retrain.
+func (l *SampleLog) MarkTrained() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.sinceTrain
+	l.sinceTrain = 0
+	return n
+}
+
+// PerRegion returns a copy of the per-region sample counts.
+func (l *SampleLog) PerRegion() map[string]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int, len(l.byRegion))
+	for k, v := range l.byRegion {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot returns a copy of every recorded sample.
+func (l *SampleLog) Snapshot() []MeasuredSample {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]MeasuredSample, len(l.samples))
+	copy(out, l.samples)
+	return out
+}
+
+// WithSamples returns a derived dataset where each measured grid cell is
+// replaced by the mean over its samples (labels recomputed for affected
+// regions). The receiver — typically the process-wide Build cache — is
+// never mutated: unaffected regions are shared, affected ones deep-
+// copied. Samples referencing unknown regions or out-of-range cells are
+// ignored.
+func (d *Dataset) WithSamples(samples []MeasuredSample) *Dataset {
+	type cell struct {
+		ci, ki int
+	}
+	agg := map[string]map[cell][]omp.Result{}
+	for _, s := range samples {
+		if d.byID[s.RegionID] == nil {
+			continue
+		}
+		if s.CapIdx < 0 || s.CapIdx >= len(d.Space.Caps()) ||
+			s.CfgIdx < 0 || s.CfgIdx >= d.Space.NumConfigs() {
+			continue
+		}
+		c := cell{s.CapIdx, s.CfgIdx}
+		if agg[s.RegionID] == nil {
+			agg[s.RegionID] = map[cell][]omp.Result{}
+		}
+		agg[s.RegionID][c] = append(agg[s.RegionID][c], s.Result)
+	}
+	if len(agg) == 0 {
+		return d
+	}
+
+	out := &Dataset{
+		Machine: d.Machine,
+		Space:   d.Space,
+		Corpus:  d.Corpus,
+		Regions: make([]*RegionData, len(d.Regions)),
+		byID:    make(map[string]*RegionData, len(d.byID)),
+	}
+	for i, rd := range d.Regions {
+		cells, touched := agg[rd.Region.ID]
+		if !touched {
+			out.Regions[i] = rd
+			out.byID[rd.Region.ID] = rd
+			continue
+		}
+		nrd := &RegionData{
+			Region:      rd.Region,
+			Results:     make([][]omp.Result, len(rd.Results)),
+			Counters:    rd.Counters,
+			BestTimeCfg: make([]int, len(rd.BestTimeCfg)),
+		}
+		for ci := range rd.Results {
+			nrd.Results[ci] = append([]omp.Result(nil), rd.Results[ci]...)
+		}
+		for c, rs := range cells {
+			nrd.Results[c.ci][c.ki] = meanResult(rs)
+		}
+		// Recompute the oracle labels over the refined grid.
+		bestEDP := -1.0
+		for ci := range nrd.Results {
+			bestT := -1.0
+			for ki, res := range nrd.Results[ci] {
+				if bestT < 0 || res.TimeSec < bestT {
+					bestT = res.TimeSec
+					nrd.BestTimeCfg[ci] = ki
+				}
+				if edp := res.EDP(); bestEDP < 0 || edp < bestEDP {
+					bestEDP = edp
+					nrd.BestEDPJoint = d.Space.JointIndex(ci, ki)
+				}
+			}
+		}
+		out.Regions[i] = nrd
+		out.byID[rd.Region.ID] = nrd
+	}
+	return out
+}
+
+// meanResult averages measured executions of one grid cell.
+func meanResult(rs []omp.Result) omp.Result {
+	var out omp.Result
+	n := float64(len(rs))
+	for _, r := range rs {
+		out.TimeSec += r.TimeSec / n
+		out.PkgEnergyJ += r.PkgEnergyJ / n
+		out.DRAMEnergyJ += r.DRAMEnergyJ / n
+		out.FreqGHz += r.FreqGHz / n
+		out.Utilization += r.Utilization / n
+		out.Throttled = out.Throttled || r.Throttled
+	}
+	return out
+}

@@ -229,6 +229,7 @@ func (g *Gate) Handler() http.Handler {
 	mux.HandleFunc(api.PathJobs, wrap(api.PathJobs, g.handleJobs))
 	mux.HandleFunc(api.PathJobs+"/", wrap(api.PathJobs+"/{id}", g.handleJob))
 	mux.HandleFunc(api.PathModels, wrap(api.PathModels, g.handleModels))
+	mux.HandleFunc(api.PathModels+"/", wrap(api.PathModels+"/{id}", g.handleModelDetail))
 	mux.HandleFunc(api.PathHealthz, wrap(api.PathHealthz, g.handleHealthz))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, r, api.CodeNotFound, "no such route: %s", r.URL.Path)
@@ -417,6 +418,46 @@ func (g *Gate) handleModels(w http.ResponseWriter, r *http.Request) {
 		return a.Replica < b.Replica
 	})
 	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleModelDetail proxies GET /v1/models/{id} across live replicas
+// and answers with the most advanced copy: versions diverge while a
+// promotion has not yet replicated, and the highest version is the
+// cluster's truth. The winning replica's URL is set on the reply.
+func (g *Gate) handleModelDetail(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, api.PathModels+"/")
+	if id == "" || strings.Contains(id, "/") {
+		// Suffixed model routes (e.g. the blob replication pair) are
+		// replica-to-replica traffic, not gate surface.
+		g.writeError(w, r, api.CodeNotFound, "no such route: %s", r.URL.Path)
+		return
+	}
+	if r.Method != http.MethodGet {
+		g.writeError(w, r, api.CodeMethodNotAllowed, "model detail requires GET")
+		return
+	}
+	found := fanout(g, r.Context(), func(ctx context.Context, replica int, c *client.Client) ([]api.ModelDetail, error) {
+		det, err := c.Model(ctx, id)
+		if err != nil {
+			if client.IsCode(err, api.CodeModelNotFound) {
+				return nil, nil // an alive replica without the model is a valid answer
+			}
+			return nil, err
+		}
+		det.Replica = g.replicas[replica]
+		return []api.ModelDetail{*det}, nil
+	})
+	if len(found) == 0 {
+		g.writeError(w, r, api.CodeModelNotFound, "no replica holds model %s", id)
+		return
+	}
+	best := found[0]
+	for _, det := range found[1:] {
+		if det.Version > best.Version {
+			best = det
+		}
+	}
+	writeJSON(w, http.StatusOK, best)
 }
 
 // handleHealthz reports the gate's own liveness plus the cluster view.

@@ -302,6 +302,65 @@ func TestGateWarmSingleFlight(t *testing.T) {
 	}
 }
 
+// TestGateModelDetailMerge: GET /v1/models/{id} fans out to every live
+// replica; a replica without the model is a valid empty answer, the
+// highest version wins (promotions replicate lazily, so copies
+// legitimately diverge), and the winner's URL lands on the reply.
+func TestGateModelDetailMerge(t *testing.T) {
+	mkReplica := func(det *api.ModelDetail) *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc(api.PathModels+"/", func(w http.ResponseWriter, r *http.Request) {
+			if det == nil {
+				stubError(w, api.CodeModelNotFound, "not on this replica")
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(*det)
+		})
+		s := httptest.NewServer(mux)
+		t.Cleanup(s.Close)
+		return s
+	}
+	const id = "00112233445566778899aabb"
+	r0 := mkReplica(nil)
+	r1 := mkReplica(&api.ModelDetail{ID: id, Version: 3, Samples: 12})
+	r2 := mkReplica(&api.ModelDetail{ID: id, Version: 2})
+
+	_, cl := newTestGate(t, r0.URL, r1.URL, r2.URL)
+	det, err := cl.Model(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Version != 3 || det.Samples != 12 {
+		t.Fatalf("merged detail = %+v, want the v3 copy", det)
+	}
+	if det.Replica != r1.URL {
+		t.Fatalf("winner replica = %q, want %q", det.Replica, r1.URL)
+	}
+
+	// No replica holds the model: one merged model_not_found.
+	_, clEmpty := newTestGate(t, r0.URL)
+	if _, err := clEmpty.Model(context.Background(), id); !client.IsCode(err, api.CodeModelNotFound) {
+		t.Fatalf("all-miss err = %v, want code %s", err, api.CodeModelNotFound)
+	}
+
+	// Suffixed model paths (blob replication) are not gate surface.
+	g, err := New(Config{Replicas: []string{r1.URL}, Health: TrackerConfig{ProbeInterval: time.Hour}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := httptest.NewServer(g.Handler())
+	t.Cleanup(func() { gs.Close(); g.Close() })
+	resp, err := http.Get(gs.URL + api.PathModel(id) + "/blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("blob route through gate = %d, want 404", resp.StatusCode)
+	}
+}
+
 // asAPIError extracts the typed API failure for status assertions.
 func asAPIError(err error, target **client.APIError) bool {
 	return errors.As(err, target)

@@ -20,7 +20,10 @@ import (
 // only background probes. Half-open exists so one lucky probe does not
 // dump a key range back onto a replica that is still flapping — the
 // replica must keep answering while carrying real traffic before it is
-// trusted again.
+// trusted again. The down→half-open edge is probe-only: a straggling
+// in-flight request that completes after mark-down resets the failure
+// streak but cannot reopen the replica, because traffic successes racing
+// the mark-down say nothing about whether the replica is healthy NOW.
 type replicaState struct {
 	state       string // api.ReplicaUp / api.ReplicaHalfOpen / api.ReplicaDown
 	consecFails int
@@ -150,7 +153,7 @@ func (t *Tracker) probe(i int) {
 	t.mu.Unlock()
 
 	if err == nil {
-		t.RecordSuccess(i)
+		t.recordSuccess(i, true)
 		return
 	}
 	// Any failure class counts for probes: a replica answering its
@@ -158,16 +161,27 @@ func (t *Tracker) probe(i int) {
 	t.RecordFailure(i)
 }
 
-// RecordSuccess feeds one successful exchange (traffic or probe) into
-// replica i's state machine.
+// RecordSuccess feeds one successful traffic exchange into replica i's
+// state machine. On a down replica it only clears the failure streak —
+// reopening is the prober's job (the state diagram's down→half-open edge
+// is probe-only).
 func (t *Tracker) RecordSuccess(i int) {
+	t.recordSuccess(i, false)
+}
+
+// recordSuccess is the shared success path; fromProbe marks outcomes of
+// the background prober, the only ones allowed to take down→half-open.
+func (t *Tracker) recordSuccess(i int, fromProbe bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := &t.states[i]
 	s.consecFails = 0
 	switch s.state {
 	case api.ReplicaDown:
-		// First sign of life: admit limited trust.
+		if !fromProbe {
+			return
+		}
+		// First probed sign of life: admit limited trust.
 		s.state = api.ReplicaHalfOpen
 		s.halfOpenOKs = 1
 	case api.ReplicaHalfOpen:

@@ -14,8 +14,8 @@ import (
 
 // TestTrackerStateMachine walks the circuit breaker through every
 // transition without any HTTP: up → down on the failure threshold,
-// down → half-open on first success, half-open → up after enough
-// successes, half-open → down on any failure.
+// down → half-open on the first successful probe, half-open → up after
+// enough successes, half-open → down on any failure.
 func TestTrackerStateMachine(t *testing.T) {
 	tr := NewTracker([]string{"http://a", "http://b"}, client.NewPool(), TrackerConfig{
 		FailThreshold:    3,
@@ -48,8 +48,8 @@ func TestTrackerStateMachine(t *testing.T) {
 		t.Fatalf("replica 1 unaffected: %s, want up", got)
 	}
 
-	// One success: probation, routable again.
-	tr.RecordSuccess(0)
+	// One successful probe: probation, routable again.
+	tr.recordSuccess(0, true)
 	if got := tr.State(0); got != api.ReplicaHalfOpen {
 		t.Fatalf("after recovery probe: %s, want half-open", got)
 	}
@@ -63,8 +63,9 @@ func TestTrackerStateMachine(t *testing.T) {
 		t.Fatalf("half-open failure: %s, want down", got)
 	}
 
-	// Full recovery: one success to half-open, another to up.
-	tr.RecordSuccess(0)
+	// Full recovery: one probe success to half-open, then a traffic
+	// success finishes probation — traffic counts once probation began.
+	tr.recordSuccess(0, true)
 	tr.RecordSuccess(0)
 	if got := tr.State(0); got != api.ReplicaUp {
 		t.Fatalf("after %d half-open successes: %s, want up", 2, got)
@@ -73,6 +74,40 @@ func TestTrackerStateMachine(t *testing.T) {
 	snap := tr.Snapshot()
 	if len(snap) != 2 || snap[0].Index != 0 || snap[1].URL != "http://b" {
 		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// TestTrackerDownReopensOnProbeOnly pins the probe-only down→half-open
+// contract: an in-flight request completing after mark-down must NOT
+// reopen the replica (it only clears the failure streak); the next
+// successful background probe does.
+func TestTrackerDownReopensOnProbeOnly(t *testing.T) {
+	tr := NewTracker([]string{"http://a"}, client.NewPool(), TrackerConfig{
+		FailThreshold:    2,
+		RecoverSuccesses: 2,
+		ProbeInterval:    time.Hour,
+	})
+
+	tr.RecordFailure(0)
+	tr.RecordFailure(0)
+	if got := tr.State(0); got != api.ReplicaDown {
+		t.Fatalf("after threshold failures: %s, want down", got)
+	}
+
+	// Straggling traffic successes: still down, still unroutable.
+	tr.RecordSuccess(0)
+	tr.RecordSuccess(0)
+	if got := tr.State(0); got != api.ReplicaDown {
+		t.Fatalf("traffic success reopened a down replica: %s, want down", got)
+	}
+	if tr.Routable(0) {
+		t.Fatal("down replica became routable without a probe")
+	}
+
+	// The probe path is what reopens it.
+	tr.recordSuccess(0, true)
+	if got := tr.State(0); got != api.ReplicaHalfOpen {
+		t.Fatalf("after successful probe: %s, want half-open", got)
 	}
 }
 

@@ -8,6 +8,7 @@
 package loadgen
 
 import (
+	"math"
 	"math/bits"
 	"sync"
 	"time"
@@ -80,16 +81,23 @@ func (h *Histogram) Count() uint64 {
 
 // Quantile returns the q-quantile (0 < q ≤ 1) as a duration, 0 when
 // empty. The answer is the midpoint of the bucket holding the target
-// rank, so it carries the bucketing's ~3% relative error.
+// rank, so it carries the bucketing's ~3% relative error. The rank is
+// ceil(q·n): the smallest value with at least a q fraction of the
+// observations at or below it (truncating instead would read one rank
+// low whenever q·n is fractional — p90 of 15 samples is rank 14, not
+// 13).
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.total == 0 {
 		return 0
 	}
-	target := uint64(q * float64(h.total))
+	target := uint64(math.Ceil(q * float64(h.total)))
 	if target < 1 {
 		target = 1
+	}
+	if target > h.total {
+		target = h.total
 	}
 	var cum uint64
 	for i, c := range h.counts {

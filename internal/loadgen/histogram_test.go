@@ -1,0 +1,48 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuantileRank pins Quantile's rank arithmetic on counts where q·n is
+// fractional: the rank must be ceil(q·n), the smallest observation with
+// at least a q fraction at or below it. Values stay below 2^subBits ns so
+// buckets are exact and the assertions are rank-for-rank, free of the
+// log-linear ~3% midpoint error.
+func TestQuantileRank(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int // observations 1ns..n ns, one each
+		q    float64
+		want time.Duration // value at rank ceil(q·n)
+	}{
+		{"p90 of 15 is rank 14", 15, 0.90, 14},
+		{"p50 of 5 is rank 3", 5, 0.50, 3},
+		{"p50 of 4 is rank 2", 4, 0.50, 2},
+		{"p99 of 10 is rank 10", 10, 0.99, 10},
+		{"p99 of 7 is rank 7", 7, 0.99, 7},
+		{"p25 of 9 is rank 3", 9, 0.25, 3},
+		{"p100 of 3 is rank 3", 3, 1.00, 3},
+		{"p10 of 3 is rank 1", 3, 0.10, 1},
+		{"tiny q clamps to rank 1", 21, 0.001, 1},
+	}
+	for _, tc := range cases {
+		var h Histogram
+		for v := 1; v <= tc.n; v++ {
+			h.Record(time.Duration(v))
+		}
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) over 1..%d = %v, want %v",
+				tc.name, tc.q, tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileEmpty keeps the empty-histogram contract.
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+}

@@ -1,0 +1,41 @@
+package measure_test
+
+import (
+	"fmt"
+
+	"pnptuner/internal/autotune"
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/hw"
+	"pnptuner/internal/measure"
+)
+
+// ExampleRunner measures a handful of candidates for one region under
+// the time-at-cap objective: each Measure programs the RAPL cap,
+// executes the region on the simulated hardware, reads energy back
+// through the wrapping counter, and records the sample. Noise is off
+// here so the output is the true execution model.
+func ExampleRunner() {
+	m, _ := hw.ByName("skylake")
+	d := dataset.MustBuild(m)
+	rd := d.Regions[0]
+
+	r := measure.NewRunner(m, rd.Region, d.Space, 1, 0)
+	eval := r.Evaluator(autotune.TimeUnderCap{Cap: 0})
+
+	best, bestV := -1, 0.0
+	for _, cand := range []int{0, 40, 80, d.Space.DefaultIndex()} {
+		if v := eval.Measure(cand); best < 0 || v < bestV {
+			best, bestV = cand, v
+		}
+	}
+
+	fmt.Printf("runs: %d samples: %d\n", r.Runs(), len(r.Samples()))
+	fmt.Printf("best: %s\n", d.Space.Configs[best])
+	s := r.Samples()[0]
+	fmt.Printf("first sample: cap %gW, config %s, energy > 0: %t\n",
+		s.CapW, s.Config, s.EnergyJ > 0)
+	// Output:
+	// runs: 4 samples: 4
+	// best: 16t/guided/64
+	// first sample: cap 75W, config 1t/static/1, energy > 0: true
+}

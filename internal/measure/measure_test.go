@@ -1,0 +1,201 @@
+package measure_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"pnptuner/internal/autotune"
+	"pnptuner/internal/bliss"
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/hw"
+	"pnptuner/internal/measure"
+)
+
+func testRegion(t *testing.T) (*hw.Machine, *dataset.Dataset, *dataset.RegionData) {
+	t.Helper()
+	m, err := hw.ByName("skylake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, d, d.Regions[3]
+}
+
+// TestSameSeedBitIdentical pins the determinism contract: two sessions
+// with the same seed produce bit-identical sample streams — same cells,
+// same times, same counter-read energies, same observed values — through
+// a full engine-driven search.
+func TestSameSeedBitIdentical(t *testing.T) {
+	m, d, rd := testRegion(t)
+	session := func() ([]measure.Sample, int) {
+		r := measure.NewRunner(m, rd.Region, d.Space, 42, measure.DefaultNoiseSD)
+		task := autotune.Task{
+			Problem:  autotune.Problem{Obj: autotune.EDP{}, Space: d.Space, Seed: 42},
+			RegionID: rd.Region.ID,
+		}
+		e := bliss.Entry("BLISS")
+		e.Budget = 6
+		e.Eval = func(_ *dataset.RegionData, t autotune.Task) autotune.Evaluator {
+			return r.Evaluator(t.Obj)
+		}
+		res := autotune.RunEntry(e, rd, task)
+		return r.Samples(), res.Best
+	}
+	s1, best1 := session()
+	s2, best2 := session()
+	if len(s1) == 0 {
+		t.Fatal("session recorded no samples")
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("same seed, different sample streams:\n%+v\nvs\n%+v", s1, s2)
+	}
+	if best1 != best2 {
+		t.Fatalf("same seed, different best: %d vs %d", best1, best2)
+	}
+
+	// A different seed must draw different noise (values diverge even on
+	// identical cells).
+	r3 := measure.NewRunner(m, rd.Region, d.Space, 43, measure.DefaultNoiseSD)
+	v42 := measure.NewRunner(m, rd.Region, d.Space, 42, measure.DefaultNoiseSD).
+		Evaluator(autotune.EDP{}).Measure(0)
+	v43 := r3.Evaluator(autotune.EDP{}).Measure(0)
+	if v42 == v43 {
+		t.Fatalf("seeds 42 and 43 observed identical noisy values (%g)", v42)
+	}
+}
+
+// TestNoiseFreeMatchesGrid pins the execution path against the dataset
+// sweep: with zero noise, a measured cell reproduces the grid result
+// exactly, and the counter-read energy is the run's energy quantized to
+// the RAPL energy unit.
+func TestNoiseFreeMatchesGrid(t *testing.T) {
+	m, d, rd := testRegion(t)
+	r := measure.NewRunner(m, rd.Region, d.Space, 1, 0)
+	for _, cand := range []int{0, 5, 250, d.Space.NumJoint() - 1} {
+		r.Evaluator(autotune.EDP{}).Measure(cand)
+	}
+	for _, s := range r.Samples() {
+		grid := rd.Results[s.CapIdx][s.CfgIdx]
+		if s.Result != grid {
+			t.Fatalf("cell (%d,%d): measured %+v, grid %+v", s.CapIdx, s.CfgIdx, s.Result, grid)
+		}
+		if diff := s.EnergyJ - grid.EnergyJ(); diff < -hw.EnergyUnitJ || diff > hw.EnergyUnitJ {
+			t.Fatalf("cell (%d,%d): counter energy %g vs true %g (off by more than one unit)",
+				s.CapIdx, s.CfgIdx, s.EnergyJ, grid.EnergyJ())
+		}
+	}
+}
+
+// TestPerHeadDecoding checks that a TimeUnderCap evaluator measures on
+// its own cap row while a joint evaluator spans the whole grid, sharing
+// one runner's sample log.
+func TestPerHeadDecoding(t *testing.T) {
+	m, d, rd := testRegion(t)
+	r := measure.NewRunner(m, rd.Region, d.Space, 7, 0)
+	r.Evaluator(autotune.TimeUnderCap{Cap: 2}).Measure(10)
+	joint := d.Space.JointIndex(1, 10)
+	r.Evaluator(autotune.EDP{}).Measure(joint)
+	ss := r.Samples()
+	if len(ss) != 2 || r.Runs() != 2 {
+		t.Fatalf("want 2 shared samples, got %d (runs %d)", len(ss), r.Runs())
+	}
+	if ss[0].CapIdx != 2 || ss[0].CfgIdx != 10 {
+		t.Fatalf("time head measured cell (%d,%d), want (2,10)", ss[0].CapIdx, ss[0].CfgIdx)
+	}
+	if ss[1].CapIdx != 1 || ss[1].CfgIdx != 10 {
+		t.Fatalf("joint head measured cell (%d,%d), want (1,10)", ss[1].CapIdx, ss[1].CfgIdx)
+	}
+	if ss[0].CapW != d.Space.Caps()[2] {
+		t.Fatalf("cap not programmed: %g", ss[0].CapW)
+	}
+}
+
+// TestCancellationRetainsPartialSamples runs an engine session that is
+// cancelled mid-search: the engine stops before its next measurement and
+// the runner retains exactly the samples taken so far.
+func TestCancellationRetainsPartialSamples(t *testing.T) {
+	m, d, rd := testRegion(t)
+	r := measure.NewRunner(m, rd.Region, d.Space, 9, measure.DefaultNoiseSD)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const stopAfter = 3
+	eval := r.Evaluator(autotune.EDP{})
+	wrapped := autotune.EvaluatorFunc(func(c int) float64 {
+		v := eval.Measure(c)
+		if r.Runs() >= stopAfter {
+			cancel()
+		}
+		return v
+	})
+	p := autotune.Problem{Obj: autotune.EDP{}, Space: d.Space, Budget: 10, Seed: 9}
+	autotune.RunContext(ctx, p, wrapped, autotune.NewShortlist([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}))
+
+	if got := len(r.Samples()); got != stopAfter {
+		t.Fatalf("cancelled after %d runs, runner holds %d samples", stopAfter, got)
+	}
+}
+
+// TestDatasetFeedback closes the loop at the dataset layer: measured
+// samples append to a SampleLog and WithSamples yields a derived dataset
+// whose touched cells are the sample means, without mutating the shared
+// build cache.
+func TestDatasetFeedback(t *testing.T) {
+	m, d, rd := testRegion(t)
+	r := measure.NewRunner(m, rd.Region, d.Space, 11, measure.DefaultNoiseSD)
+	eval := r.Evaluator(autotune.EDP{})
+	// Re-measure one cell twice (fresh noise per run) plus one other cell.
+	eval.Measure(17)
+	eval.Measure(17)
+	eval.Measure(400)
+
+	var log dataset.SampleLog
+	log.Append(r.DatasetSamples()...)
+	if log.Total() != 3 || log.SinceTrain() != 3 {
+		t.Fatalf("log counts: total %d since %d", log.Total(), log.SinceTrain())
+	}
+	if got := log.PerRegion()[rd.Region.ID]; got != 3 {
+		t.Fatalf("per-region count %d, want 3", got)
+	}
+
+	ss := r.Samples()
+	if ss[0].Result == ss[1].Result {
+		t.Fatal("re-measured cell drew identical noise")
+	}
+	derived := d.WithSamples(log.Snapshot())
+	if derived == d {
+		t.Fatal("WithSamples returned the shared dataset for non-empty samples")
+	}
+	drd := derived.Region(rd.Region.ID)
+	if drd == rd {
+		t.Fatal("touched region not copied")
+	}
+	wantT := (ss[0].Result.TimeSec + ss[1].Result.TimeSec) / 2
+	if got := drd.Results[ss[0].CapIdx][ss[0].CfgIdx].TimeSec; got != wantT {
+		t.Fatalf("derived cell time %g, want mean %g", got, wantT)
+	}
+	// The shared dataset is untouched.
+	if rd.Results[ss[0].CapIdx][ss[0].CfgIdx].TimeSec == wantT {
+		t.Fatal("shared build cache was mutated")
+	}
+	// Untouched regions are shared, and derived labels stay coherent.
+	for i, reg := range derived.Regions {
+		if reg.Region.ID != rd.Region.ID && reg != d.Regions[i] {
+			t.Fatalf("untouched region %s was copied", reg.Region.ID)
+		}
+	}
+	if err := derived.SanityCheck(); err != nil {
+		t.Fatalf("derived dataset: %v", err)
+	}
+
+	if consumed := log.MarkTrained(); consumed != 3 {
+		t.Fatalf("MarkTrained consumed %d, want 3", consumed)
+	}
+	if log.SinceTrain() != 0 || log.Total() != 3 {
+		t.Fatalf("after MarkTrained: since %d total %d", log.SinceTrain(), log.Total())
+	}
+}

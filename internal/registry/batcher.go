@@ -58,6 +58,11 @@ type Batcher struct {
 	maxBatch int
 	maxWait  time.Duration
 
+	// Meta is the served model's metadata (notably Meta.Version, which
+	// responses echo). Set it before the batcher is published to other
+	// goroutines; the batcher itself never touches it.
+	Meta core.ModelMeta
+
 	reqs chan *request
 	done chan struct{} // closed by Close after all senders finish
 	exit chan struct{} // closed when the loop goroutine returns

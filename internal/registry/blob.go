@@ -107,6 +107,7 @@ func (r *Registry) entryFromBlob(data []byte) (*Entry, error) {
 	if err := checkMetaCurrent(key, meta); err != nil {
 		return nil, fmt.Errorf("registry: blob for %s is stale: %w", key, err)
 	}
+	meta.Normalize()
 	return &Entry{Key: key, Model: m, Meta: meta}, nil
 }
 
@@ -138,7 +139,12 @@ func (r *Registry) persistBlob(key Key, data []byte) {
 func (s *Server) handleModelBlob(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, api.PathModels+"/")
 	id, suffix, ok := strings.Cut(rest, "/")
-	if !ok || suffix != "blob" || id == "" {
+	if !ok {
+		// No suffix: GET /v1/models/{id} is the model-detail endpoint.
+		s.handleModelDetail(w, r, rest)
+		return
+	}
+	if suffix != "blob" || id == "" {
 		s.writeErr(w, r, api.Errorf(api.CodeNotFound, "no route %s", r.URL.Path))
 		return
 	}
@@ -179,4 +185,25 @@ func (s *Server) handleModelBlob(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.writeErr(w, r, api.Errorf(api.CodeMethodNotAllowed, "%s not allowed (want GET or PUT)", r.Method))
 	}
+}
+
+// handleModelDetail serves GET /v1/models/{id}: one model's serving
+// version, measurement-feed counters, in-flight canary, and version
+// history — the observability face of the measure→learn loop.
+func (s *Server) handleModelDetail(w http.ResponseWriter, r *http.Request, id string) {
+	if id == "" {
+		s.writeErr(w, r, api.Errorf(api.CodeNotFound, "no route %s", r.URL.Path))
+		return
+	}
+	if info := requireMethod(r, http.MethodGet); info != nil {
+		s.writeErr(w, r, info)
+		return
+	}
+	det, ok := s.reg.Describe(id)
+	if !ok {
+		s.writeErr(w, r, api.Errorf(api.CodeModelNotFound, "no model with id %s", id))
+		return
+	}
+	det.CanaryVersion = s.canaryVersion(id)
+	writeJSON(w, http.StatusOK, det)
 }

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"pnptuner/internal/api"
 	"pnptuner/internal/core"
 	"pnptuner/internal/dataset"
 	"pnptuner/internal/hw"
@@ -132,6 +133,11 @@ type Registry struct {
 	// metaCache spares List from re-reading and re-digesting unchanged
 	// store files; keyed by path, invalidated by (mtime, size).
 	metaCache map[string]cachedMeta
+	// history and samples drive the measure→learn loop (refresh.go):
+	// per-key version events and the measured-execution feed retrains
+	// consume. Both keyed by Key.ID().
+	history map[string][]api.VersionEvent
+	samples map[string]*dataset.SampleLog
 }
 
 // cachedMeta is one List metadata read, pinned to the file it came from.
@@ -167,6 +173,8 @@ func New(dir string, capacity int, train TrainFunc) (*Registry, error) {
 		cache:     newLRU(capacity),
 		inflight:  map[string]*flight{},
 		metaCache: map[string]cachedMeta{},
+		history:   map[string][]api.VersionEvent{},
+		samples:   map[string]*dataset.SampleLog{},
 	}, nil
 }
 
@@ -215,6 +223,11 @@ func (r *Registry) Get(key Key) (*Entry, error) {
 			r.stats.Imported++
 		default:
 			r.stats.Trained++
+			// The version history starts here; restored models carry
+			// their version in metadata but no in-process events.
+			r.history[id] = append(r.history[id], api.VersionEvent{
+				Version: e.Meta.Version, Event: api.EventTrained, At: time.Now(),
+			})
 		}
 	}
 	delete(r.inflight, id)
@@ -259,6 +272,7 @@ func (r *Registry) resolve(key Key) (e *Entry, origin int, err error) {
 			if err := checkMetaCurrent(key, meta); err != nil {
 				return nil, 0, fmt.Errorf("registry: stored model %s is stale: %w", key, err)
 			}
+			meta.Normalize()
 			return &Entry{Key: key, Model: m, Meta: meta}, originDisk, nil
 		}
 	}
@@ -286,6 +300,7 @@ func (r *Registry) resolve(key Key) (e *Entry, origin int, err error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("registry: train %s: %w", key, err)
 	}
+	meta.Normalize()
 	if r.dir != "" {
 		if err := m.Save(r.path(key), meta); err != nil {
 			// A full or read-only store must not turn minutes of

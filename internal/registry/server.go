@@ -31,6 +31,7 @@ import (
 //	GET    /v1/jobs/{id}              poll one job's status/trace/result
 //	DELETE /v1/jobs/{id}              cancel a queued or running job
 //	GET    /v1/models     (/models)   registry contents
+//	GET    /v1/models/{id}            one model's version + refresh detail
 //	GET    /v1/models/{id}/blob       export a model's serialized blob
 //	PUT    /v1/models/{id}/blob       import a peer's serialized blob
 //	GET    /v1/healthz    (/healthz)  liveness, traffic and route counters
@@ -43,6 +44,8 @@ type Server struct {
 	jobs     *JobStore
 	metrics  *routeMetrics
 
+	refresh RefreshConfig
+
 	mu       sync.Mutex
 	closed   bool
 	batchers *lruCache // Key.ID() → *Batcher
@@ -51,6 +54,11 @@ type Server struct {
 	// registry may hand the same (not goroutine-safe) *core.Model back
 	// out and two batchers must never forward on it concurrently.
 	closing map[string]chan struct{}
+	// canaries holds in-flight shadow rollouts (canary.go): the refreshed
+	// model scoring against the serving one on live predict traffic.
+	// refreshing marks keys with a background retrain under way.
+	canaries   map[string]*canary
+	refreshing map[string]bool
 
 	served atomic.Int64
 }
@@ -65,6 +73,9 @@ type ServerConfig struct {
 	MaxWait time.Duration
 	// Jobs bounds the async tune job subsystem.
 	Jobs JobStoreConfig
+	// Refresh tunes the measure→learn loop (canary.go); the zero value
+	// disables it.
+	Refresh RefreshConfig
 }
 
 // NewServer builds a server over reg. v is the (frozen) corpus
@@ -76,16 +87,25 @@ func NewServer(reg *Registry, v *vocab.Vocabulary, cfg ServerConfig) *Server {
 	if cfg.MaxWait <= 0 {
 		cfg.MaxWait = 2 * time.Millisecond
 	}
+	if cfg.Refresh.CanaryWindow <= 0 {
+		cfg.Refresh.CanaryWindow = 16
+	}
+	if cfg.Refresh.Epochs <= 0 {
+		cfg.Refresh.Epochs = 4
+	}
 	return &Server{
-		reg:      reg,
-		vocab:    v,
-		maxBatch: cfg.MaxBatch,
-		maxWait:  cfg.MaxWait,
-		start:    time.Now(),
-		jobs:     NewJobStore(cfg.Jobs),
-		metrics:  newRouteMetrics(),
-		batchers: newLRU(reg.Capacity()),
-		closing:  map[string]chan struct{}{},
+		reg:        reg,
+		vocab:      v,
+		maxBatch:   cfg.MaxBatch,
+		maxWait:    cfg.MaxWait,
+		refresh:    cfg.Refresh,
+		start:      time.Now(),
+		jobs:       NewJobStore(cfg.Jobs),
+		metrics:    newRouteMetrics(),
+		batchers:   newLRU(reg.Capacity()),
+		closing:    map[string]chan struct{}{},
+		canaries:   map[string]*canary{},
+		refreshing: map[string]bool{},
 	}
 }
 
@@ -138,9 +158,14 @@ func (s *Server) Shutdown(ctx context.Context) {
 	s.mu.Lock()
 	s.closed = true
 	evicted := s.batchers.clear()
+	canaries := s.canaries
+	s.canaries = map[string]*canary{}
 	s.mu.Unlock()
 	for _, v := range evicted {
 		v.(*Batcher).Close()
+	}
+	for _, c := range canaries {
+		c.b.Close()
 	}
 }
 
@@ -199,6 +224,7 @@ func (s *Server) batcherFor(key Key) (*Batcher, error) {
 			continue
 		}
 		b := NewBatcher(entry.Model, s.maxBatch, s.maxWait)
+		b.Meta = entry.Meta
 		for _, item := range s.batchers.put(id, b) {
 			ch := make(chan struct{})
 			s.closing[item.key] = ch
@@ -280,10 +306,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := api.PredictResponse{
-		RegionID:  g.RegionID,
-		Machine:   key.Machine,
-		Objective: key.Objective,
-		Scenario:  key.Scenario,
+		RegionID:     g.RegionID,
+		Machine:      key.Machine,
+		Objective:    key.Objective,
+		Scenario:     key.Scenario,
+		ModelVersion: b.Meta.Version,
 	}
 	switch key.Objective {
 	case ObjectiveTime:
@@ -299,6 +326,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// Single head over the joint space: decode (cap, config).
 		capW, cfg := sp.At(picks[0])
 		resp.Picks = []api.Pick{{CapW: capW, ConfigIndex: picks[0], Config: cfg.String()}}
+	}
+	// Shadow rollout: while a canary is in flight for this model, every
+	// scoreable predict also runs on the refreshed version, and the
+	// window's verdict promotes or demotes it. The client's picks above
+	// always come from the serving version — vN serves uninterrupted.
+	s.mu.Lock()
+	c := s.canaries[key.ID()]
+	s.mu.Unlock()
+	if c != nil {
+		s.scoreCanary(c, key, g, req.Counters, picks)
 	}
 	s.served.Add(1)
 	writeJSON(w, http.StatusOK, resp)

@@ -38,7 +38,7 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 }
 
 // predictBody builds a /v1/predict request for a corpus region's graph.
-func predictBody(t *testing.T, machine, objective string, regionIdx int) []byte {
+func predictBody(t testing.TB, machine, objective string, regionIdx int) []byte {
 	t.Helper()
 	c := kernels.MustCompile()
 	graphJSON, err := json.Marshal(c.Regions[regionIdx].Graph)
@@ -173,7 +173,7 @@ func TestServerConcurrentPredictionsDeterministic(t *testing.T) {
 	}
 }
 
-func postPredict(t *testing.T, ts *httptest.Server, path string, body []byte) api.PredictResponse {
+func postPredict(t testing.TB, ts *httptest.Server, path string, body []byte) api.PredictResponse {
 	t.Helper()
 	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
 	if err != nil {

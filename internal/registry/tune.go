@@ -10,6 +10,7 @@ import (
 	"pnptuner/internal/bliss"
 	"pnptuner/internal/dataset"
 	"pnptuner/internal/hw"
+	"pnptuner/internal/measure"
 	"pnptuner/internal/opentuner"
 	"pnptuner/internal/papi"
 )
@@ -49,6 +50,10 @@ func (s *Server) prepTune(req api.TuneRequest) (*tuneSession, *api.ErrorInfo) {
 	if req.Budget < 0 || req.Budget > api.MaxTuneBudget {
 		return nil, api.Errorf(api.CodeBudgetExceeded,
 			"budget %d outside [0, %d]", req.Budget, api.MaxTuneBudget)
+	}
+	if req.MeasureBudget < 0 || req.MeasureBudget > api.MaxMeasureBudget {
+		return nil, api.Errorf(api.CodeBudgetExceeded,
+			"measure_budget %d outside [0, %d]", req.MeasureBudget, api.MaxMeasureBudget)
 	}
 	if req.Budget == 0 {
 		req.Budget = defBudget
@@ -114,30 +119,69 @@ func (ts *tuneSession) run(ctx context.Context) (*api.TuneResponse, *api.ErrorIn
 	req, d, rd := ts.req, ts.d, ts.rd
 	modelDriven := req.Strategy == "gnn" || req.Strategy == "hybrid"
 
+	// A measurement budget swaps the replay evaluator for real
+	// executions on the simulated hardware, split evenly across the
+	// session's heads (one per cap for the time objective).
+	heads := 1
+	if req.Objective == ObjectiveTime {
+		heads = len(d.Space.Caps())
+	}
+	var runner *measure.Runner
+	share := 0
+	if req.MeasureBudget > 0 {
+		runner = measure.NewRunner(d.Machine, rd.Region, d.Space, ts.seed, -1)
+		if share = req.MeasureBudget / heads; share < 1 {
+			share = 1
+		}
+		defer func() {
+			// Even a cancelled session's real runs are real data: feed
+			// whatever was measured back for refresh retraining.
+			// Objective "energy" has no trained model to refresh.
+			if req.Objective == ObjectiveTime || req.Objective == ObjectiveEDP {
+				key := Key{Machine: req.Machine, Scenario: req.Scenario, Objective: req.Objective}
+				ts.s.recordMeasured(key, runner.DatasetSamples())
+			}
+		}()
+	}
+
 	// Model-driven strategies shortlist through the micro-batcher (the
 	// model is not goroutine-safe; the batcher is its serialization
 	// point). k=1 is the pure static pick.
 	var shortlists [][]int
+	modelVersion := 0
 	if modelDriven {
 		key := Key{Machine: req.Machine, Scenario: req.Scenario, Objective: req.Objective}
 		k := 1
 		if req.Strategy == "hybrid" {
 			k = req.Budget
+			if runner != nil {
+				k = share
+			}
 		}
 		var err error
-		shortlists, err = ts.s.modelShortlists(key, rd, k)
+		shortlists, modelVersion, err = ts.s.modelShortlists(key, rd, k)
 		if err != nil {
 			return nil, resolveErrInfo(err)
 		}
 	}
 
-	entry := tuneEntry(req.Strategy, req.Budget, shortlists)
+	budget := req.Budget
+	if runner != nil && req.Strategy != "gnn" {
+		budget = share
+	}
+	entry := tuneEntry(req.Strategy, budget, shortlists)
+	if runner != nil && req.Strategy != "gnn" {
+		entry.Eval = func(_ *dataset.RegionData, t autotune.Task) autotune.Evaluator {
+			return runner.Evaluator(t.Obj)
+		}
+	}
 	resp := &api.TuneResponse{
-		RegionID:  req.RegionID,
-		Machine:   req.Machine,
-		Objective: req.Objective,
-		Strategy:  req.Strategy,
-		Budget:    entry.Budget,
+		RegionID:     req.RegionID,
+		Machine:      req.Machine,
+		Objective:    req.Objective,
+		Strategy:     req.Strategy,
+		Budget:       entry.Budget,
+		ModelVersion: modelVersion,
 	}
 	session := func(obj autotune.Objective) autotune.Result {
 		task := autotune.Task{
@@ -177,12 +221,48 @@ func (ts *tuneSession) run(ctx context.Context) (*api.TuneResponse, *api.ErrorIn
 			Trace:       tracePoints(res.Trace),
 		}}
 	}
+	// The zero-execution gnn strategy spends its measurement budget
+	// verifying the picks: one real run each, as far as the budget goes.
+	if runner != nil && req.Strategy == "gnn" {
+		for i, pick := range resp.Picks {
+			if runner.Runs() >= req.MeasureBudget || ctx.Err() != nil {
+				break
+			}
+			var obj autotune.Objective = ts.joint
+			if req.Objective == ObjectiveTime {
+				obj = autotune.TimeUnderCap{Cap: i}
+			}
+			runner.Evaluator(obj).Measure(pick.ConfigIndex)
+		}
+	}
 	if ctx.Err() != nil {
 		// Cancelled mid-way: a truncated session's picks must not
 		// masquerade as the real result.
 		return nil, api.Errorf(api.CodeUnavailable, "session cancelled: %v", ctx.Err())
 	}
+	if runner != nil {
+		resp.MeasuredRuns = runner.Runs()
+		resp.Samples = wireSamples(runner.Samples())
+	}
 	return resp, nil
+}
+
+// wireSamples converts a measurement session's samples to the contract
+// shape.
+func wireSamples(ss []measure.Sample) []api.MeasuredSample {
+	out := make([]api.MeasuredSample, len(ss))
+	for i, s := range ss {
+		out[i] = api.MeasuredSample{
+			CapW:        s.CapW,
+			ConfigIndex: s.ConfigIndex,
+			Config:      s.Config,
+			TimeSec:     s.Result.TimeSec,
+			EnergyJ:     s.EnergyJ,
+			Value:       s.Value,
+			Throttled:   s.Result.Throttled,
+		}
+	}
+	return out
 }
 
 // tracePoints converts an engine trace to the wire shape.
@@ -233,11 +313,12 @@ func tuneHead(t autotune.Task) int {
 
 // modelShortlists resolves the key's model and returns each head's top-k
 // classes for the region's graph, routed through the micro-batcher so
-// tuning traffic batches with /v1/predict traffic on the shared model.
-func (s *Server) modelShortlists(key Key, rd *dataset.RegionData, k int) ([][]int, error) {
+// tuning traffic batches with /v1/predict traffic on the shared model,
+// plus the serving model's version.
+func (s *Server) modelShortlists(key Key, rd *dataset.RegionData, k int) ([][]int, int, error) {
 	b, err := s.batcherFor(key)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var extras []float64
 	switch b.model.ExtraDim {
@@ -246,9 +327,13 @@ func (s *Server) modelShortlists(key Key, rd *dataset.RegionData, k int) ([][]in
 		f := rd.Counters.Features()
 		extras = f[:]
 	default:
-		return nil, fmt.Errorf("registry: model %s wants %d extra features; tuning can only supply corpus counters", key, b.model.ExtraDim)
+		return nil, 0, fmt.Errorf("registry: model %s wants %d extra features; tuning can only supply corpus counters", key, b.model.ExtraDim)
 	}
-	return b.PredictTopK(Request{Graph: rd.Region.Graph, Extras: extras}, k)
+	lists, err := b.PredictTopK(Request{Graph: rd.Region.Graph, Extras: extras}, k)
+	if err != nil {
+		return nil, 0, err
+	}
+	return lists, b.Meta.Version, nil
 }
 
 // resolveErrInfo maps a model-resolve or batcher failure to its wire

@@ -1,0 +1,51 @@
+// Command paritygen regenerates the golden table in
+// internal/autotune/parity_test.go: every (machine, region, seed, cap)
+// tuning task the parity test pins, run through the engine-driven BLISS
+// and OpenTuner strategies. Rerun it whenever the noise stream or a
+// strategy's decision sequence changes ON PURPOSE, and paste the output
+// over the parityCases literal:
+//
+//	go run ./scripts/paritygen > /tmp/parity_rows.txt
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pnptuner/internal/autotune"
+	"pnptuner/internal/bliss"
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/hw"
+	"pnptuner/internal/opentuner"
+)
+
+func main() {
+	for _, name := range []string{"skylake", "haswell"} {
+		m, err := hw.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paritygen:", err)
+			os.Exit(1)
+		}
+		d := dataset.MustBuild(m)
+		for _, ri := range []int{0, 5, 12, 33, 60} {
+			rd := d.Regions[ri]
+			for _, seed := range []uint64{1, 42, rd.Region.Seed} {
+				for _, capIdx := range []int{0, 1, 2, 3, -1} {
+					var obj autotune.Objective
+					if capIdx >= 0 {
+						obj = autotune.TimeUnderCap{Cap: capIdx}
+					} else {
+						obj = autotune.EDP{}
+					}
+					task := autotune.Task{
+						Problem:  autotune.Problem{Obj: obj, Space: d.Space, Seed: seed},
+						RegionID: rd.Region.ID,
+					}
+					b := autotune.RunEntry(bliss.Entry("BLISS"), rd, task).Best
+					o := autotune.RunEntry(opentuner.Entry("OpenTuner"), rd, task).Best
+					fmt.Printf("\t{%q, %d, %d, %d, %d, %d},\n", name, ri, seed, capIdx, b, o)
+				}
+			}
+		}
+	}
+}
