@@ -48,6 +48,9 @@ func main() {
 	recoverOKs := flag.Int("recover-successes", 2, "consecutive successes a half-open replica needs to be up")
 	probeInterval := flag.Duration("probe-interval", time.Second, "background health-probe period")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	attemptTimeout := flag.Duration("attempt-timeout", time.Minute, "per-replica attempt bound; a black-holed replica costs one slice of the request budget, not all of it (negative = unbounded)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "fixed hedge trigger for idempotent predicts (0 = adaptive, from the observed p99)")
+	noHedge := flag.Bool("no-hedge", false, "disable hedged predicts entirely")
 	flag.Parse()
 
 	var urls []string
@@ -64,6 +67,9 @@ func main() {
 			RecoverSuccesses: *recoverOKs,
 			ProbeInterval:    *probeInterval,
 		},
+		AttemptTimeout: *attemptTimeout,
+		HedgeDelay:     *hedgeDelay,
+		DisableHedge:   *noHedge,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pnpgate: %v\n", err)

@@ -10,6 +10,14 @@
 //
 //	pnpload -target http://localhost:8090 -rate 100 -duration 30s -out report.json
 //	pnpload -target http://localhost:8090 -scenarios full,loocv:lu,loocv:mg -max-error-rate 0
+//	pnpload -target http://localhost:8090 -timeout 500ms -chaos latency=20ms,errors=0.05 -max-p99 250ms
+//
+// -timeout gives each request its own deadline budget (stamped onto
+// X-Deadline, so gate and replicas shed expired work as typed
+// deadline_exceeded); -chaos injects faults through a local chaos proxy
+// on the way to the target; deadline-exceeded, server-shed, and
+// degraded outcomes are reported apart from unexpected errors, and
+// -max-p99 turns the predict tail into an exit-code assertion.
 //
 // Open-loop means arrivals never wait for completions: if the target
 // slows down, latency and in-flight count grow instead of the load
@@ -21,12 +29,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"pnptuner/internal/chaos"
 	"pnptuner/internal/loadgen"
 )
 
@@ -46,14 +57,42 @@ func main() {
 	regions := flag.Int("regions", 4, "distinct corpus regions to cycle through")
 	withHist := flag.Bool("hist", true, "include raw histogram buckets in the report")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
-	maxErrRate := flag.Float64("max-error-rate", 1.0, "exit nonzero when errors/sent exceeds this fraction")
+	maxErrRate := flag.Float64("max-error-rate", 1.0, "exit nonzero when unexpected errors/sent exceeds this fraction (typed timeouts and sheds are counted separately)")
+	timeout := flag.Duration("timeout", 0, "per-request deadline budget, stamped onto X-Deadline so it propagates through gate and replicas (0 = unbounded)")
+	maxP99 := flag.Duration("max-p99", 0, "exit nonzero when the predict p99 exceeds this (0 = unbounded)")
+	chaosSpec := flag.String("chaos", "", "inject faults between pnpload and the target through a local chaos proxy, e.g. latency=20ms,jitter=5ms,errors=0.05 (empty = direct)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	loadTarget := *target
+	if *chaosSpec != "" {
+		faults, err := chaos.ParseFaults(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnpload: %v\n", err)
+			os.Exit(1)
+		}
+		proxy, err := chaos.New(*target, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnpload: %v\n", err)
+			os.Exit(1)
+		}
+		proxy.SetFaults(faults)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnpload: chaos proxy listen: %v\n", err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: proxy}
+		go srv.Serve(ln)
+		defer srv.Close()
+		loadTarget = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "pnpload: chaos proxy %s -> %s injecting %s\n", loadTarget, *target, faults)
+	}
+
 	rep, err := loadgen.Run(ctx, loadgen.Config{
-		Target:        *target,
+		Target:        loadTarget,
 		Rate:          *rate,
 		Duration:      *duration,
 		MaxInFlight:   *inflight,
@@ -66,11 +105,14 @@ func main() {
 		Scenarios:     split(*scenarios),
 		Budget:        *budget,
 		Regions:       *regions,
+		Timeout:       *timeout,
 	}, *withHist)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pnpload: %v\n", err)
 		os.Exit(1)
 	}
+	// The artifact names what was measured, not the ephemeral proxy hop.
+	rep.Target = *target
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -85,13 +127,22 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Fprintf(os.Stderr, "pnpload: %d sent, %d ok, %d errors, %d shed, %.1f req/s; predict p50=%.2fms p99=%.2fms\n",
-		rep.Sent, rep.Completed, rep.Errors, rep.Shed, rep.ThroughputRPS,
-		rep.Ops[loadgen.OpPredict].P50Millis, rep.Ops[loadgen.OpPredict].P99Millis)
+	predictP99 := rep.Ops[loadgen.OpPredict].P99Millis
+	fmt.Fprintf(os.Stderr, "pnpload: %d sent, %d ok, %d errors, %d timeouts, %d server-shed, %d degraded, %d shed, %.1f req/s; predict p50=%.2fms p99=%.2fms\n",
+		rep.Sent, rep.Completed, rep.Errors, rep.Timeouts, rep.ShedByServer, rep.Degraded, rep.Shed, rep.ThroughputRPS,
+		rep.Ops[loadgen.OpPredict].P50Millis, predictP99)
 
+	failed := false
 	if rep.Sent > 0 && float64(rep.Errors)/float64(rep.Sent) > *maxErrRate {
 		fmt.Fprintf(os.Stderr, "pnpload: error rate %.3f exceeds -max-error-rate %.3f\n",
 			float64(rep.Errors)/float64(rep.Sent), *maxErrRate)
+		failed = true
+	}
+	if *maxP99 > 0 && predictP99 > float64(*maxP99)/float64(time.Millisecond) {
+		fmt.Fprintf(os.Stderr, "pnpload: predict p99 %.2fms exceeds -max-p99 %s\n", predictP99, *maxP99)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -60,6 +60,8 @@ func main() {
 	epochs := flag.Int("epochs", 0, "override training epochs for train-on-miss")
 	maxBatch := flag.Int("max-batch", 16, "micro-batch window size")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "micro-batch window wait")
+	maxInflight := flag.Int("max-inflight", 1024,
+		"concurrent predict/tune requests admitted per route before load-shedding 503 overloaded (negative = unlimited)")
 	jobWorkers := flag.Int("job-workers", 2, "concurrent async tune sessions")
 	jobQueue := flag.Int("job-queue", 32, "max async tune jobs awaiting a worker")
 	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "finished-job retention before GC")
@@ -121,8 +123,9 @@ func main() {
 	corpus.Vocab.Freeze()
 
 	srv := registry.NewServer(reg, corpus.Vocab, registry.ServerConfig{
-		MaxBatch: *maxBatch,
-		MaxWait:  *maxWait,
+		MaxBatch:    *maxBatch,
+		MaxWait:     *maxWait,
+		MaxInflight: *maxInflight,
 		Jobs: registry.JobStoreConfig{
 			Workers: *jobWorkers,
 			Queue:   *jobQueue,

@@ -126,6 +126,14 @@ type PredictResponse struct {
 	// the initial training is 1 and every promoted refresh retrain
 	// increments it.
 	ModelVersion int `json:"model_version,omitempty"`
+	// Degraded marks an answer the gate produced without a serving
+	// replica (all down, draining, or unreachable): better than a 503
+	// for a caller that just needs a configuration, but not a live model
+	// prediction. DegradedSource says which fallback answered —
+	// "cache" (last-known-good response for this exact graph) or
+	// "heuristic" (the machine's default configuration per cap).
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedSource string `json:"degraded_source,omitempty"`
 }
 
 // TuneRequest is the POST /v1/tune body: run a bounded autotune engine
@@ -362,9 +370,17 @@ type GateHealth struct {
 	// Retries counts requests the gate re-sent to another replica after
 	// a retryable failure; Failovers counts requests that ultimately
 	// succeeded on a non-first-choice replica.
-	Retries   int64                 `json:"retries"`
-	Failovers int64                 `json:"failovers"`
-	Routes    map[string]RouteStats `json:"routes,omitempty"`
+	Retries   int64 `json:"retries"`
+	Failovers int64 `json:"failovers"`
+	// Hedges counts predicts the gate speculatively duplicated onto the
+	// next preference-order replica after the hedge delay; HedgeWins
+	// counts those where the hedge answered first.
+	Hedges    int64 `json:"hedges,omitempty"`
+	HedgeWins int64 `json:"hedge_wins,omitempty"`
+	// Degraded counts predicts answered from the degraded path (cache or
+	// heuristic) because no replica could serve.
+	Degraded int64                 `json:"degraded,omitempty"`
+	Routes   map[string]RouteStats `json:"routes,omitempty"`
 }
 
 // Job statuses. Terminal statuses are JobDone, JobFailed, JobCancelled.

@@ -29,6 +29,14 @@ const (
 	CodeJobNotFound = "job_not_found"
 	// CodeQueueFull: the async job queue is at capacity; retry later.
 	CodeQueueFull = "queue_full"
+	// CodeOverloaded: the server shed the request before doing any work
+	// (predict queue at depth, or the route's concurrency limit reached);
+	// nothing happened and any method may retry after Retry-After.
+	CodeOverloaded = "overloaded"
+	// CodeDeadlineExceeded: the request's time budget (X-Deadline header
+	// or context deadline) ran out before the work could finish; the
+	// remaining work was shed or abandoned.
+	CodeDeadlineExceeded = "deadline_exceeded"
 	// CodeUnavailable: the server is shutting down or the model's
 	// batcher is draining; safe to retry.
 	CodeUnavailable = "unavailable"
@@ -58,10 +66,12 @@ func StatusFor(code string) int {
 		return http.StatusRequestEntityTooLarge
 	case CodeQueueFull:
 		return http.StatusTooManyRequests
-	case CodeUnavailable, CodeNoReplica:
+	case CodeUnavailable, CodeNoReplica, CodeOverloaded:
 		return http.StatusServiceUnavailable
 	case CodeReplicaUnavailable:
 		return http.StatusBadGateway
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
 	}
 	return http.StatusInternalServerError
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -93,6 +94,10 @@ type APIError struct {
 	// RequestID is the correlation ID the failing request was served
 	// under.
 	RequestID string
+	// RetryAfter is the server's Retry-After backpressure hint (zero
+	// when the response carried none). The SDK's retry loop waits this
+	// long instead of its exponential backoff when present.
+	RetryAfter time.Duration
 }
 
 // Error renders the failure for logs.
@@ -212,7 +217,7 @@ func (c *Client) ModelBlob(ctx context.Context, id string) (io.ReadCloser, error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(wait):
+			case <-time.After(retryDelay(lastErr, wait)):
 				wait *= 2
 			case <-ctx.Done():
 				return nil, fmt.Errorf("pnpserve: GET model blob: %w (last: %v)", ctx.Err(), lastErr)
@@ -235,6 +240,7 @@ func (c *Client) blobOnce(ctx context.Context, id string) (io.ReadCloser, Failur
 	if err != nil {
 		return nil, FailOther, fmt.Errorf("pnpserve: build request: %w", err)
 	}
+	stampDeadline(ctx, req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, FailTransport, fmt.Errorf("pnpserve: GET %s: %w", api.PathModelBlob(id), err)
@@ -258,7 +264,7 @@ func (c *Client) PushModelBlob(ctx context.Context, id string, blob []byte) (*ap
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(wait):
+			case <-time.After(retryDelay(lastErr, wait)):
 				wait *= 2
 			case <-ctx.Done():
 				return nil, fmt.Errorf("pnpserve: PUT model blob: %w (last: %v)", ctx.Err(), lastErr)
@@ -282,6 +288,7 @@ func (c *Client) pushBlobOnce(ctx context.Context, id string, blob []byte) (*api
 		return nil, FailOther, fmt.Errorf("pnpserve: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	stampDeadline(ctx, req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, FailTransport, fmt.Errorf("pnpserve: PUT %s: %w", api.PathModelBlob(id), err)
@@ -338,6 +345,28 @@ func (c *Client) GateHealth(ctx context.Context) (*api.GateHealth, error) {
 	return &out, nil
 }
 
+// stampDeadline propagates the caller's remaining time budget onto the
+// wire: when ctx carries a deadline, the request gets an X-Deadline
+// header with the budget left as of this attempt (re-stamped per retry,
+// so the server always sees the truth, not the original allowance). A
+// relative budget needs no clock synchronization between hops.
+func stampDeadline(ctx context.Context, req *http.Request) {
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set(api.DeadlineHeader, api.FormatDeadline(time.Until(dl)))
+	}
+}
+
+// retryDelay picks how long to wait before the next attempt: the
+// server's Retry-After hint when the last failure carried one, the
+// exponential-backoff step otherwise.
+func retryDelay(lastErr error, backoff time.Duration) time.Duration {
+	var ae *APIError
+	if errors.As(lastErr, &ae) && ae.RetryAfter > 0 {
+		return ae.RetryAfter
+	}
+	return backoff
+}
+
 // do runs one API call: marshal in, retry transient failures per the
 // RetryPolicy table, decode out (or the error envelope).
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
@@ -355,7 +384,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(wait):
+			case <-time.After(retryDelay(lastErr, wait)):
 				wait *= 2
 			case <-ctx.Done():
 				return fmt.Errorf("pnpserve: %s %s: %w (last: %v)", method, path, ctx.Err(), lastErr)
@@ -390,6 +419,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	stampDeadline(ctx, req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		// Connection-level failure: the request may have been processed
@@ -418,6 +448,11 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 // otherwise (a proxy, or a pre-v1 server).
 func decodeAPIError(resp *http.Response) *APIError {
 	apiErr := &APIError{Status: resp.StatusCode, RequestID: resp.Header.Get("X-Request-ID")}
+	if ra := resp.Header.Get(api.RetryAfterHeader); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	var envelope api.ErrorBody
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if jsonErr := json.Unmarshal(raw, &envelope); jsonErr == nil && envelope.Error.Code != "" {

@@ -1,0 +1,134 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pnptuner/internal/api"
+)
+
+// TestRetryDelayPrefersRetryAfter: a failure carrying the server's
+// Retry-After hint overrides the exponential backoff step; anything
+// else falls through to it.
+func TestRetryDelayPrefersRetryAfter(t *testing.T) {
+	backoff := 10 * time.Millisecond
+	hinted := &APIError{Status: 503, Info: api.ErrorInfo{Code: api.CodeOverloaded}, RetryAfter: 2 * time.Second}
+	if got := retryDelay(hinted, backoff); got != 2*time.Second {
+		t.Fatalf("hinted delay = %v, want the server's 2s", got)
+	}
+	// The hint survives wrapping — retry loops wrap context into errors.
+	if got := retryDelay(fmt.Errorf("attempt 1: %w", hinted), backoff); got != 2*time.Second {
+		t.Fatalf("wrapped hinted delay = %v, want 2s", got)
+	}
+	for _, err := range []error{
+		nil,
+		io.ErrUnexpectedEOF,
+		&APIError{Status: 503, Info: api.ErrorInfo{Code: api.CodeUnavailable}}, // no hint
+	} {
+		if got := retryDelay(err, backoff); got != backoff {
+			t.Fatalf("retryDelay(%v) = %v, want backoff %v", err, got, backoff)
+		}
+	}
+}
+
+// TestDecodeAPIErrorRetryAfter: the Retry-After header rides along on
+// the decoded APIError; malformed or non-positive values are ignored
+// rather than poisoning the retry loop.
+func TestDecodeAPIErrorRetryAfter(t *testing.T) {
+	decode := func(header string) *APIError {
+		t.Helper()
+		resp := &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Header:     http.Header{},
+			Body:       io.NopCloser(strings.NewReader(`{"error":{"code":"overloaded","message":"shed"}}`)),
+		}
+		if header != "" {
+			resp.Header.Set(api.RetryAfterHeader, header)
+		}
+		return decodeAPIError(resp)
+	}
+
+	if got := decode("3").RetryAfter; got != 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want 3s", got)
+	}
+	for _, bad := range []string{"", "soon", "-1", "0"} {
+		if got := decode(bad).RetryAfter; got != 0 {
+			t.Fatalf("header %q decoded RetryAfter %v, want 0", bad, got)
+		}
+	}
+	if got := decode("3").Info.Code; got != api.CodeOverloaded {
+		t.Fatalf("code = %q, want %q alongside the hint", got, api.CodeOverloaded)
+	}
+}
+
+// TestClientWaitsRetryAfter: end to end, a 503 with Retry-After: 1
+// makes the SDK wait that long — not its (millisecond) backoff — before
+// the retry that succeeds.
+func TestClientWaitsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var firstAt atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			firstAt.Store(time.Now().UnixNano())
+			w.Header().Set(api.RetryAfterHeader, "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, `{"error":{"code":"overloaded","message":"predict queue full"}}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"status":"ok","models_cached":0,"version":"test"}`)
+	}))
+	defer ts.Close()
+
+	cl := New(ts.URL, WithRetries(2, time.Millisecond))
+	if _, err := cl.Health(context.Background()); err != nil {
+		t.Fatalf("health after hinted retry: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+	if waited := time.Since(time.Unix(0, firstAt.Load())); waited < 900*time.Millisecond {
+		t.Fatalf("retry arrived after %v, want >= the server's 1s Retry-After", waited)
+	}
+}
+
+// TestClientStampsDeadline: a context deadline becomes an X-Deadline
+// budget on the wire; without one the header stays absent.
+func TestClientStampsDeadline(t *testing.T) {
+	headers := make(chan string, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		headers <- r.Header.Get(api.DeadlineHeader)
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"status":"ok","models_cached":0,"version":"test"}`)
+	}))
+	defer ts.Close()
+	cl := New(ts.URL, WithRetries(0, time.Millisecond))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cl.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	remaining, ok, err := api.ParseDeadline(<-headers)
+	if err != nil || !ok {
+		t.Fatalf("deadline header missing or malformed: ok=%v err=%v", ok, err)
+	}
+	if remaining <= 0 || remaining > 5*time.Second {
+		t.Fatalf("stamped budget %v, want within (0, 5s]", remaining)
+	}
+
+	if _, err := cl.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if h := <-headers; h != "" {
+		t.Fatalf("deadline-free request stamped %q, want no header", h)
+	}
+}

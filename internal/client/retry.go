@@ -41,10 +41,13 @@ func (c FailureClass) String() string {
 
 // Classify buckets an error returned by a client call (or by one raw
 // exchange) into its FailureClass. An *APIError carrying the
-// unavailable or no_replica code is FailUnavailable; any other
-// *APIError is FailOther; nil is FailOther (nothing to retry);
-// everything else — connection resets, refused connections, broken
-// pipes — is FailTransport.
+// unavailable, no_replica, or overloaded code is FailUnavailable (the
+// server answered before acting — shed-before-work makes overload safe
+// to retry for every method); any other *APIError is FailOther
+// (deadline_exceeded included: the budget is spent, retrying cannot
+// un-spend it); nil is FailOther (nothing to retry); everything else —
+// connection resets, refused connections, broken pipes — is
+// FailTransport.
 func Classify(err error) FailureClass {
 	if err == nil {
 		return FailOther
@@ -52,7 +55,7 @@ func Classify(err error) FailureClass {
 	var ae *APIError
 	if errors.As(err, &ae) {
 		switch ae.Info.Code {
-		case api.CodeUnavailable, api.CodeNoReplica:
+		case api.CodeUnavailable, api.CodeNoReplica, api.CodeOverloaded:
 			return FailUnavailable
 		}
 		return FailOther

@@ -33,6 +33,16 @@ type Config struct {
 	VNodes int
 	// Health tunes the replica circuit breakers and background prober.
 	Health TrackerConfig
+	// AttemptTimeout bounds one replica attempt, so the total X-Deadline
+	// budget is spent across attempts instead of burned whole on a
+	// black-holed replica (default 1m; negative = unbounded).
+	AttemptTimeout time.Duration
+	// HedgeDelay overrides the adaptive hedge trigger for idempotent
+	// predicts: a positive value hedges after exactly that long; zero
+	// derives the delay from the observed predict p99.
+	HedgeDelay time.Duration
+	// DisableHedge turns hedged predicts off entirely.
+	DisableHedge bool
 }
 
 // Gate routes v1 serving traffic across shared-nothing pnpserve
@@ -49,9 +59,18 @@ type Gate struct {
 	metrics  *routeMetrics
 	start    time.Time
 
-	served    atomic.Int64
-	retries   atomic.Int64
-	failovers atomic.Int64
+	attemptTimeout time.Duration
+	hedgeDelay     time.Duration
+	noHedge        bool
+	latency        *latencyTracker
+	lkg            *lkgCache
+
+	served       atomic.Int64
+	retries      atomic.Int64
+	failovers    atomic.Int64
+	hedges       atomic.Int64
+	hedgeWins    atomic.Int64
+	degradedHits atomic.Int64
 
 	// warm-up single flight: per routing key, at most one in-flight
 	// request until the first success marks the key warm. Deterministic
@@ -81,16 +100,28 @@ func New(cfg Config) (*Gate, error) {
 	// layer, and a failed attempt must surface immediately so failover
 	// can move to the next replica instead of hammering a dead one.
 	pool := client.NewPool(client.WithRetries(0, time.Millisecond))
+	attemptTimeout := cfg.AttemptTimeout
+	if attemptTimeout == 0 {
+		attemptTimeout = time.Minute
+	}
+	if attemptTimeout < 0 {
+		attemptTimeout = 0
+	}
 	g := &Gate{
-		replicas: urls,
-		ring:     NewRing(len(urls), cfg.VNodes),
-		tracker:  NewTracker(urls, pool, cfg.Health),
-		pool:     pool,
-		policy:   client.DefaultRetryPolicy(),
-		metrics:  newRouteMetrics(),
-		start:    time.Now(),
-		warm:     map[string]bool{},
-		flights:  map[string]chan struct{}{},
+		replicas:       urls,
+		ring:           NewRing(len(urls), cfg.VNodes),
+		tracker:        NewTracker(urls, pool, cfg.Health),
+		pool:           pool,
+		policy:         client.DefaultRetryPolicy(),
+		metrics:        newRouteMetrics(),
+		start:          time.Now(),
+		attemptTimeout: attemptTimeout,
+		hedgeDelay:     cfg.HedgeDelay,
+		noHedge:        cfg.DisableHedge,
+		latency:        newLatencyTracker(latencyWindow),
+		lkg:            newLKGCache(lkgCapacity),
+		warm:           map[string]bool{},
+		flights:        map[string]chan struct{}{},
 	}
 	g.tracker.Start()
 	return g, nil
@@ -128,26 +159,30 @@ func gateErr(code, format string, args ...any) error {
 
 // route walks the key's preference order across routable replicas,
 // calling call once per candidate until one succeeds or the retry
-// policy says the failure is terminal. Transport-level failures feed
+// policy says the failure is terminal. Each attempt runs under the
+// gate's per-attempt timeout so a black-holed replica costs one slice
+// of the deadline budget, not all of it. Transport-level failures feed
 // the circuit breakers; response-level API errors do not (an answering
 // replica is alive).
 func (g *Gate) route(ctx context.Context, key string, idempotent bool, call func(ctx context.Context, replica int, c *client.Client) error) error {
 	order := g.ring.Lookup(key)
-	owner := -1
+	owner := order[0]
 	attempted := false
 	var lastErr error
 	for _, i := range order {
-		if !g.tracker.Routable(i) {
-			continue
+		if ctx.Err() != nil {
+			return budgetErr(ctx, lastErr)
 		}
-		if owner == -1 {
-			owner = order[0]
+		release, ok := g.tracker.Acquire(i)
+		if !ok {
+			continue
 		}
 		if attempted {
 			g.retries.Add(1)
 		}
 		attempted = true
-		err := call(ctx, i, g.pool.Get(g.replicas[i]))
+		err := g.attempt(ctx, i, call)
+		release()
 		if err == nil {
 			g.tracker.RecordSuccess(i)
 			if i != owner {
@@ -155,12 +190,20 @@ func (g *Gate) route(ctx context.Context, key string, idempotent bool, call func
 			}
 			return nil
 		}
+		if ctx.Err() != nil {
+			// The request budget (not the per-attempt slice) expired;
+			// whatever the attempt returned is just its echo.
+			return budgetErr(ctx, err)
+		}
 		class := client.Classify(err)
 		if class == client.FailTransport {
+			// Per-attempt timeouts land here too: a replica that cannot
+			// answer inside the attempt slice is indistinguishable from a
+			// black hole and must feed the breaker the same way.
 			g.tracker.RecordFailure(i)
 		}
 		lastErr = err
-		if !g.policy.ShouldRetry(class, idempotent) || ctx.Err() != nil {
+		if !g.policy.ShouldRetry(class, idempotent) {
 			return err
 		}
 	}
@@ -176,6 +219,29 @@ func (g *Gate) route(ctx context.Context, key string, idempotent bool, call func
 		return lastErr
 	}
 	return gateErr(api.CodeReplicaUnavailable, "all replicas failed: %v", lastErr)
+}
+
+// attempt runs one replica call under the per-attempt timeout.
+func (g *Gate) attempt(ctx context.Context, i int, call func(ctx context.Context, replica int, c *client.Client) error) error {
+	if g.attemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.attemptTimeout)
+		defer cancel()
+	}
+	return call(ctx, i, g.pool.Get(g.replicas[i]))
+}
+
+// budgetErr types a request whose own context ended mid-routing: a spent
+// deadline is the typed deadline_exceeded (the client's budget is gone —
+// retrying cannot help), everything else a cancelled client.
+func budgetErr(ctx context.Context, lastErr error) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		if lastErr != nil {
+			return gateErr(api.CodeDeadlineExceeded, "request budget spent during routing (last attempt: %v)", lastErr)
+		}
+		return gateErr(api.CodeDeadlineExceeded, "request budget spent during routing")
+	}
+	return gateErr(api.CodeUnavailable, "request cancelled during routing: %v", ctx.Err())
 }
 
 // singleFlight serializes cold traffic per routing key: the first
@@ -234,7 +300,7 @@ func (g *Gate) Handler() http.Handler {
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, r, api.CodeNotFound, "no such route: %s", r.URL.Path)
 	})
-	return withRequestID(mux)
+	return withRequestID(withDeadline(mux))
 }
 
 // handlePredict proxies POST /v1/predict to the key's replica, with
@@ -255,19 +321,27 @@ func (g *Gate) handlePredict(w http.ResponseWriter, r *http.Request) {
 	key := RouteKey(req.Machine, req.Scenario, req.Objective)
 	var out *api.PredictResponse
 	err := g.singleFlight(r.Context(), key, func() error {
-		return g.route(r.Context(), key, true, func(ctx context.Context, _ int, c *client.Client) error {
-			resp, err := c.Predict(ctx, req)
-			if err != nil {
-				return err
-			}
-			out = resp
-			return nil
-		})
+		resp, err := g.hedgedPredict(r.Context(), key, req)
+		if err != nil {
+			return err
+		}
+		out = resp
+		return nil
 	})
 	if err != nil {
+		// Last line of defense: when no replica can serve a routable
+		// failure, answer from the degraded path — the last known good
+		// pick for this exact graph, or the model-free heuristic — rather
+		// than turning cluster-wide trouble into a client-visible 503.
+		if resp, ok := g.degradedPredict(key, req, err); ok {
+			g.degradedHits.Add(1)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
 		g.writeCallError(w, r, err)
 		return
 	}
+	g.lkg.put(key, req.Graph, out)
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -473,6 +547,9 @@ func (g *Gate) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Replicas:  g.tracker.Snapshot(),
 		Retries:   g.retries.Load(),
 		Failovers: g.failovers.Load(),
+		Hedges:    g.hedges.Load(),
+		HedgeWins: g.hedgeWins.Load(),
+		Degraded:  g.degradedHits.Load(),
 		Routes:    g.metrics.snapshot(),
 	})
 }
@@ -547,20 +624,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError writes the gate's own typed error envelope.
+// writeError writes the gate's own typed error envelope (with the
+// Retry-After hint on backpressure codes).
 func (g *Gate) writeError(w http.ResponseWriter, r *http.Request, code, format string, args ...any) {
-	writeJSON(w, api.StatusFor(code), api.ErrorBody{
-		Error:     api.ErrorInfo{Code: code, Message: fmt.Sprintf(format, args...)},
-		RequestID: requestID(r),
-	})
+	writeEnvelope(w, r, api.Errorf(code, format, args...))
 }
 
 // writeCallError renders a routed-call failure: replica API errors pass
-// through verbatim (status, code, message), transport exhaustion
-// becomes the gate's 502.
+// through verbatim (status, code, message, Retry-After), transport
+// exhaustion becomes the gate's 502.
 func (g *Gate) writeCallError(w http.ResponseWriter, r *http.Request, err error) {
 	var ae *client.APIError
 	if errors.As(err, &ae) {
+		if secs := api.RetryAfterSecs(ae.Info.Code); secs > 0 {
+			w.Header().Set(api.RetryAfterHeader, strconv.Itoa(secs))
+		}
 		writeJSON(w, ae.Status, api.ErrorBody{Error: ae.Info, RequestID: requestID(r)})
 		return
 	}

@@ -56,7 +56,9 @@ func stubError(w http.ResponseWriter, code, msg string) {
 // TestGateErrorCodes round-trips the gate's own typed failures through
 // the SDK client: transport exhaustion → replica_unavailable (502),
 // everything marked down → no_replica (503), and replica API errors
-// passing through with their original code.
+// passing through with their original code. The machine name is not a
+// real machine so the degraded heuristic cannot answer — raw error
+// codes stay visible (degraded serving has its own tests).
 func TestGateErrorCodes(t *testing.T) {
 	// Two replicas that refuse connections: started then immediately
 	// closed, so their ports are dead.
@@ -69,7 +71,7 @@ func TestGateErrorCodes(t *testing.T) {
 	g, cl := newTestGate(t, u0, u1)
 	ctx := context.Background()
 
-	_, err := cl.Predict(ctx, predictReq("haswell"))
+	_, err := cl.Predict(ctx, predictReq("ghost-machine"))
 	if !client.IsCode(err, api.CodeReplicaUnavailable) {
 		t.Fatalf("dead replicas: err = %v, want code %s", err, api.CodeReplicaUnavailable)
 	}
@@ -81,12 +83,12 @@ func TestGateErrorCodes(t *testing.T) {
 	// Two more rounds of transport failures trip both breakers (threshold
 	// 3); with everything down the gate answers no_replica before dialing.
 	for i := 0; i < 2; i++ {
-		cl.Predict(ctx, predictReq("haswell"))
+		cl.Predict(ctx, predictReq("ghost-machine"))
 	}
 	if st := g.Tracker().State(0); st != api.ReplicaDown {
 		t.Fatalf("replica 0 state = %s, want down", st)
 	}
-	_, err = cl.Predict(ctx, predictReq("haswell"))
+	_, err = cl.Predict(ctx, predictReq("ghost-machine"))
 	if !client.IsCode(err, api.CodeNoReplica) {
 		t.Fatalf("all down: err = %v, want code %s", err, api.CodeNoReplica)
 	}

@@ -30,6 +30,12 @@ type replicaState struct {
 	halfOpenOKs int
 	probes      int64
 	probeFails  int64
+	// hoInFlight counts requests currently admitted to a half-open
+	// replica; hoGen invalidates stale releases across state transitions
+	// (a request admitted under one probation must not decrement the
+	// counter of a later one).
+	hoInFlight int
+	hoGen      uint64
 }
 
 // Tracker watches N replicas: traffic outcomes feed it inline, and a
@@ -184,13 +190,22 @@ func (t *Tracker) recordSuccess(i int, fromProbe bool) {
 		// First probed sign of life: admit limited trust.
 		s.state = api.ReplicaHalfOpen
 		s.halfOpenOKs = 1
+		s.resetHalfOpen()
 	case api.ReplicaHalfOpen:
 		s.halfOpenOKs++
 		if s.halfOpenOKs >= t.recoverOKs {
 			s.state = api.ReplicaUp
 			s.halfOpenOKs = 0
+			s.resetHalfOpen()
 		}
 	}
+}
+
+// resetHalfOpen clears the probation admission counter on any state
+// transition, invalidating releases from requests admitted before it.
+func (s *replicaState) resetHalfOpen() {
+	s.hoInFlight = 0
+	s.hoGen++
 }
 
 // RecordFailure feeds one transport-level failure into replica i's
@@ -206,6 +221,7 @@ func (t *Tracker) RecordFailure(i int) {
 		// A probationary replica gets no second chances.
 		s.state = api.ReplicaDown
 		s.halfOpenOKs = 0
+		s.resetHalfOpen()
 	case api.ReplicaUp:
 		if s.consecFails >= t.failThreshold {
 			s.state = api.ReplicaDown
@@ -218,6 +234,39 @@ func (t *Tracker) Routable(i int) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.states[i].state != api.ReplicaDown
+}
+
+// Acquire admits one request to replica i, returning a release the
+// caller must invoke when the exchange ends. Up replicas admit
+// unconditionally. Half-open replicas admit a bounded trickle — at most
+// RecoverSuccesses concurrent requests, matching what probation needs to
+// graduate — so a traffic flood arriving in the probation window cannot
+// dogpile a barely-recovered replica back down. Down replicas admit
+// nothing. Releases are idempotent across state transitions: a request
+// admitted under one probation cannot decrement a later probation's
+// counter.
+func (t *Tracker) Acquire(i int) (release func(), ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &t.states[i]
+	switch s.state {
+	case api.ReplicaDown:
+		return nil, false
+	case api.ReplicaHalfOpen:
+		if s.hoInFlight >= t.recoverOKs {
+			return nil, false
+		}
+		s.hoInFlight++
+		gen := s.hoGen
+		return func() {
+			t.mu.Lock()
+			if t.states[i].hoGen == gen && t.states[i].hoInFlight > 0 {
+				t.states[i].hoInFlight--
+			}
+			t.mu.Unlock()
+		}, true
+	}
+	return func() {}, true
 }
 
 // State returns replica i's current state string.

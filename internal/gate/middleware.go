@@ -1,9 +1,11 @@
 package gate
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -36,6 +38,41 @@ func withRequestID(next http.Handler) http.Handler {
 // requestID returns the request's correlation ID (set by withRequestID).
 func requestID(r *http.Request) string {
 	return r.Header.Get(RequestIDHeader)
+}
+
+// withDeadline enforces the client's X-Deadline budget at the gate: an
+// already-spent budget sheds before any routing, and a live one becomes
+// the request context's deadline — which the gate re-stamps (relative,
+// so no clock sync is needed) on every replica attempt it makes.
+func withDeadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		remaining, ok, err := api.ParseDeadline(r.Header.Get(api.DeadlineHeader))
+		if err != nil {
+			writeEnvelope(w, r, api.Errorf(api.CodeBadRequest, "%v", err))
+			return
+		}
+		if !ok {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if remaining <= 0 {
+			writeEnvelope(w, r, api.Errorf(api.CodeDeadlineExceeded,
+				"request budget already spent (%s %s)", api.DeadlineHeader, r.Header.Get(api.DeadlineHeader)))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), remaining)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// writeEnvelope renders a typed error envelope with the code's canonical
+// status and the Retry-After hint for backpressure codes.
+func writeEnvelope(w http.ResponseWriter, r *http.Request, info *api.ErrorInfo) {
+	if secs := api.RetryAfterSecs(info.Code); secs > 0 {
+		w.Header().Set(api.RetryAfterHeader, strconv.Itoa(secs))
+	}
+	writeJSON(w, api.StatusFor(info.Code), api.ErrorBody{Error: *info, RequestID: requestID(r)})
 }
 
 // routeMetrics aggregates per-route request/error counters and latency

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -44,6 +45,10 @@ type Config struct {
 	Machines, Objectives, Scenarios []string
 	// Budget is the per-tune execution budget (default 2).
 	Budget int
+	// Timeout bounds each request with its own context deadline; the
+	// client stamps it onto X-Deadline, so the budget propagates to the
+	// gate and replicas (0 = unbounded).
+	Timeout time.Duration
 	// Regions bounds how many distinct corpus regions requests cycle
 	// through (default 4).
 	Regions int
@@ -85,10 +90,17 @@ func (c *Config) defaults() {
 	}
 }
 
-// OpReport is one operation's share of a Report.
+// OpReport is one operation's share of a Report. Timeouts (the
+// request's deadline budget ran out), Shed (the server load-shed with a
+// typed retry-later code), and Degraded (the gate answered from its
+// degraded path) are expected overload/chaos outcomes and counted
+// apart; Errors is unexpected failures only.
 type OpReport struct {
 	Count      int64            `json:"count"`
 	Errors     int64            `json:"errors"`
+	Timeouts   int64            `json:"timeouts,omitempty"`
+	Shed       int64            `json:"shed,omitempty"`
+	Degraded   int64            `json:"degraded,omitempty"`
 	ErrorCodes map[string]int64 `json:"error_codes,omitempty"`
 	P50Millis  float64          `json:"p50_ms"`
 	P90Millis  float64          `json:"p90_ms"`
@@ -99,7 +111,11 @@ type OpReport struct {
 }
 
 // Report is one load run's outcome. Latency quantiles cover successful
-// requests only; errors are tallied by stable API code.
+// requests only; failures are tallied by stable API code per op.
+// Errors counts unexpected failures; Timeouts and ShedByServer are the
+// typed overload outcomes; Shed is arrivals the generator itself
+// dropped at its in-flight cap (never sent); Degraded counts answers
+// served from the gate's degraded path.
 type Report struct {
 	Target        string               `json:"target"`
 	OfferedRate   float64              `json:"offered_rate_rps"`
@@ -107,6 +123,9 @@ type Report struct {
 	Sent          int64                `json:"sent"`
 	Completed     int64                `json:"completed"`
 	Errors        int64                `json:"errors"`
+	Timeouts      int64                `json:"timeouts"`
+	ShedByServer  int64                `json:"shed_by_server"`
+	Degraded      int64                `json:"degraded"`
 	Shed          int64                `json:"shed"`
 	ThroughputRPS float64              `json:"throughput_rps"`
 	Ops           map[string]*OpReport `json:"ops"`
@@ -114,18 +133,36 @@ type Report struct {
 
 // opStats accumulates one op's outcomes during the run.
 type opStats struct {
-	hist   Histogram
-	count  atomic.Int64
-	errs   atomic.Int64
-	mu     sync.Mutex
-	byCode map[string]int64
+	hist     Histogram
+	count    atomic.Int64
+	errs     atomic.Int64
+	timeouts atomic.Int64
+	shed     atomic.Int64
+	degraded atomic.Int64
+	mu       sync.Mutex
+	byCode   map[string]int64
 }
 
 func (s *opStats) fail(err error) {
-	s.errs.Add(1)
 	code := client.ErrorCode(err)
-	if code == "" {
-		code = "transport"
+	switch {
+	case code == api.CodeDeadlineExceeded || errors.Is(err, context.DeadlineExceeded):
+		// The budget ran out — server-side typed shed or the client's
+		// own deadline firing first; either way the same outcome.
+		s.timeouts.Add(1)
+		if code == "" {
+			code = api.CodeDeadlineExceeded
+		}
+	case code == api.CodeOverloaded || code == api.CodeQueueFull ||
+		code == api.CodeUnavailable || code == api.CodeNoReplica:
+		// Typed load-shed: the server refused before doing work and said
+		// when to come back. Expected under overload, not an error.
+		s.shed.Add(1)
+	default:
+		s.errs.Add(1)
+		if code == "" {
+			code = "transport"
+		}
 	}
 	s.mu.Lock()
 	if s.byCode == nil {
@@ -139,6 +176,9 @@ func (s *opStats) report(withHist bool) *OpReport {
 	r := &OpReport{
 		Count:      s.count.Load(),
 		Errors:     s.errs.Load(),
+		Timeouts:   s.timeouts.Load(),
+		Shed:       s.shed.Load(),
+		Degraded:   s.degraded.Load(),
 		P50Millis:  ms(s.hist.Quantile(0.50)),
 		P90Millis:  ms(s.hist.Quantile(0.90)),
 		P99Millis:  ms(s.hist.Quantile(0.99)),
@@ -235,30 +275,39 @@ func Run(ctx context.Context, cfg Config, withHistograms bool) (*Report, error) 
 			defer func() { <-sem }()
 			st := stats[op]
 			st.count.Add(1)
+			rctx, cancel := ctx, func() {}
+			if cfg.Timeout > 0 {
+				rctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+			}
+			defer cancel()
 			t0 := time.Now()
 			var err error
 			switch op {
 			case OpPredict:
-				_, err = cl.Predict(ctx, api.PredictRequest{
+				var out *api.PredictResponse
+				out, err = cl.Predict(rctx, api.PredictRequest{
 					Machine: machine, Objective: objective, Scenario: scenario,
 					Graph: graphs[region],
 				})
+				if err == nil && out.Degraded {
+					st.degraded.Add(1)
+				}
 			case OpTune:
-				_, err = cl.Tune(ctx, api.TuneRequest{
+				_, err = cl.Tune(rctx, api.TuneRequest{
 					Machine: machine, Objective: objective, Scenario: scenario,
 					Strategy: "bliss", RegionID: regions[region],
 					Budget: cfg.Budget, Seed: seed,
 				})
 			case OpJob:
 				var job *api.Job
-				job, err = cl.TuneAsync(ctx, api.TuneRequest{
+				job, err = cl.TuneAsync(rctx, api.TuneRequest{
 					Machine: machine, Objective: objective, Scenario: scenario,
 					Strategy: "bliss", RegionID: regions[region],
 					Budget: cfg.Budget, Seed: seed,
 				})
 				if err == nil {
 					// The job op's latency is submit → terminal.
-					_, err = cl.Wait(ctx, job.ID, 5*time.Millisecond)
+					_, err = cl.Wait(rctx, job.ID, 5*time.Millisecond)
 				}
 			}
 			if err != nil {
@@ -282,8 +331,11 @@ func Run(ctx context.Context, cfg Config, withHistograms bool) (*Report, error) 
 	for op, st := range stats {
 		r := st.report(withHistograms)
 		rep.Ops[op] = r
-		rep.Completed += r.Count - r.Errors
+		rep.Completed += r.Count - r.Errors - r.Timeouts - r.Shed
 		rep.Errors += r.Errors
+		rep.Timeouts += r.Timeouts
+		rep.ShedByServer += r.Shed
+		rep.Degraded += r.Degraded
 	}
 	if elapsed > 0 {
 		rep.ThroughputRPS = float64(rep.Completed) / elapsed.Seconds()

@@ -12,6 +12,8 @@
 package measure
 
 import (
+	"context"
+	"math"
 	"sync"
 
 	"pnptuner/internal/autotune"
@@ -73,6 +75,7 @@ type Runner struct {
 	noiseSD float64
 
 	mu       sync.Mutex
+	ctx      context.Context
 	runs     int
 	samples  []Sample
 	counters *papi.Counters
@@ -94,6 +97,19 @@ func NewRunner(m *hw.Machine, region *kernels.Region, s *space.Space, seed uint6
 		seed:    seed,
 		noiseSD: noiseSD,
 	}
+}
+
+// Bind attaches a request context to the session: once ctx is done,
+// further measurements return +Inf without executing anything — the
+// deadline budget propagates into the engine loop itself, so an expired
+// request stops consuming machine time mid-session instead of finishing
+// its measurement budget into a response nobody is waiting for. Samples
+// already taken stay recorded (cancelled sessions' real runs are still
+// real data for refresh retraining). A nil ctx unbinds.
+func (r *Runner) Bind(ctx context.Context) {
+	r.mu.Lock()
+	r.ctx = ctx
+	r.mu.Unlock()
 }
 
 // Evaluator binds the runner to one objective, satisfying
@@ -121,6 +137,12 @@ func (r *Runner) measure(obj autotune.Objective, config int) float64 {
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
+
+	if r.ctx != nil && r.ctx.Err() != nil {
+		// +Inf is the engine convention for "unobservable": no strategy
+		// will pick it as the incumbent, and the run never executed.
+		return math.Inf(1)
+	}
 
 	r.rapl.SetPowerLimit(capW)
 	res := r.exec.Run(&r.region.Info.Model, r.region.Seed, cfg, r.rapl.PowerLimit())

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -13,6 +14,12 @@ import (
 
 // ErrClosed is returned by Predict after Close.
 var ErrClosed = errors.New("registry: batcher closed")
+
+// ErrOverloaded is returned when the batcher's bounded predict queue is
+// at depth: the request was shed before any work (no compilation result
+// queued, no forward pass), so retrying after backoff is always safe.
+// HTTP handlers map it to CodeOverloaded with a Retry-After hint.
+var ErrOverloaded = errors.New("registry: predict queue full")
 
 // ErrForward marks a server-side failure of the batched forward pass, as
 // opposed to request-validation errors — HTTP handlers map it to 5xx.
@@ -82,11 +89,18 @@ func NewBatcher(m *core.Model, maxBatch int, maxWait time.Duration) *Batcher {
 	if maxWait <= 0 {
 		maxWait = time.Millisecond
 	}
+	// The queue bound is the admission-control limit: four windows deep
+	// (floored so tiny batch sizes keep useful burst headroom), past
+	// which submit sheds with ErrOverloaded instead of queueing latency.
+	queueCap := 4 * maxBatch
+	if queueCap < 64 {
+		queueCap = 64
+	}
 	b := &Batcher{
 		model:    m,
 		maxBatch: maxBatch,
 		maxWait:  maxWait,
-		reqs:     make(chan *request, 4*maxBatch),
+		reqs:     make(chan *request, queueCap),
 		done:     make(chan struct{}),
 		exit:     make(chan struct{}),
 	}
@@ -101,8 +115,16 @@ func (b *Batcher) NumHeads() int { return len(b.model.Heads) }
 // every model head, index-aligned with the heads (per-cap picks for a
 // scenario-1 model, a single joint pick for scenario 2).
 func (b *Batcher) Predict(req Request) ([]int, error) {
+	return b.PredictContext(context.Background(), req)
+}
+
+// PredictContext is Predict under a caller deadline: an expired ctx
+// sheds the request before any work, and a ctx that expires while the
+// request is queued abandons the wait (the window still computes the
+// answer into the buffered reply, which is then discarded).
+func (b *Batcher) PredictContext(ctx context.Context, req Request) ([]int, error) {
 	req.TopK = 0
-	rep, err := b.submit(req)
+	rep, err := b.submit(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -114,19 +136,30 @@ func (b *Batcher) Predict(req Request) ([]int, error) {
 // sessions build their shortlists from. It batches with concurrent
 // Predict traffic; the window runs one shared forward either way.
 func (b *Batcher) PredictTopK(req Request, k int) ([][]int, error) {
+	return b.PredictTopKContext(context.Background(), req, k)
+}
+
+// PredictTopKContext is PredictTopK under a caller deadline, with the
+// same shed-before-work semantics as PredictContext.
+func (b *Batcher) PredictTopKContext(ctx context.Context, req Request, k int) ([][]int, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("registry: top-k request with k=%d", k)
 	}
 	req.TopK = k
-	rep, err := b.submit(req)
+	rep, err := b.submit(ctx, req)
 	if err != nil {
 		return nil, err
 	}
 	return rep.topk, nil
 }
 
-func (b *Batcher) submit(req Request) (reply, error) {
+func (b *Batcher) submit(ctx context.Context, req Request) (reply, error) {
 	if err := b.validate(req); err != nil {
+		return reply{}, err
+	}
+	// Shed-before-work ordering: an already-expired budget costs nothing,
+	// not a graph compilation.
+	if err := ctx.Err(); err != nil {
 		return reply{}, err
 	}
 	// Fast-fail before paying for compilation; the authoritative closed
@@ -146,10 +179,25 @@ func (b *Batcher) submit(req Request) (reply, error) {
 	r := &request{req: req, cg: cg, reply: make(chan reply, 1)}
 	b.senders.Add(1)
 	b.mu.RUnlock()
-	b.reqs <- r
+	// Bounded admission: the queue never blocks a caller. A full queue
+	// means the single consumer is maxBatch windows behind — shedding now
+	// (cheap, typed, retryable) beats stacking latency onto every queued
+	// request until something times out.
+	select {
+	case b.reqs <- r:
+	default:
+		b.senders.Done()
+		return reply{}, ErrOverloaded
+	}
 	b.senders.Done()
-	rep := <-r.reply
-	return rep, rep.err
+	select {
+	case rep := <-r.reply:
+		return rep, rep.err
+	case <-ctx.Done():
+		// The reply channel is buffered, so the window's eventual answer
+		// is simply dropped; no goroutine is stranded.
+		return reply{}, ctx.Err()
+	}
 }
 
 // validate rejects malformed requests before they can reach (and panic)

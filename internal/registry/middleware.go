@@ -1,9 +1,11 @@
 package registry
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -44,6 +46,66 @@ func randomHex(n int) string {
 // requestID returns the request's correlation ID (set by withRequestID).
 func requestID(r *http.Request) string {
 	return r.Header.Get(RequestIDHeader)
+}
+
+// withDeadline enforces the X-Deadline budget a client (or the gate)
+// stamped on the request: an already-spent budget is shed before the
+// handler runs (no body read, no batcher admission), and a live one
+// becomes the request context's deadline so every downstream check —
+// batcher queueing, engine measurements — observes it for free. A
+// malformed header is a client error, not a silently unbounded request.
+func withDeadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		remaining, ok, err := api.ParseDeadline(r.Header.Get(api.DeadlineHeader))
+		if err != nil {
+			writeShed(w, r, api.Errorf(api.CodeBadRequest, "%v", err))
+			return
+		}
+		if !ok {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if remaining <= 0 {
+			writeShed(w, r, api.Errorf(api.CodeDeadlineExceeded,
+				"request budget already spent (%s %s)", api.DeadlineHeader, r.Header.Get(api.DeadlineHeader)))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), remaining)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// withLimit bounds a route's concurrent requests: past n in flight the
+// request is shed with CodeOverloaded before any work (no body decode).
+// The bound is per wrapped handler, so predict and tune each get their
+// own — one route melting down cannot starve the other, and overload
+// never wedges background work (refresh retrains and canary scoring run
+// off-request and never pass through here).
+func withLimit(n int, next http.HandlerFunc) http.HandlerFunc {
+	if n <= 0 {
+		return next
+	}
+	slots := make(chan struct{}, n)
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case slots <- struct{}{}:
+			defer func() { <-slots }()
+			next.ServeHTTP(w, r)
+		default:
+			writeShed(w, r, api.Errorf(api.CodeOverloaded,
+				"route at its concurrency limit (%d in flight); retry later", n))
+		}
+	}
+}
+
+// writeShed renders a middleware-level error envelope, with the
+// Retry-After hint for backpressure codes.
+func writeShed(w http.ResponseWriter, r *http.Request, info *api.ErrorInfo) {
+	if secs := api.RetryAfterSecs(info.Code); secs > 0 {
+		w.Header().Set(api.RetryAfterHeader, strconv.Itoa(secs))
+	}
+	writeJSON(w, api.StatusFor(info.Code), api.ErrorBody{Error: *info, RequestID: requestID(r)})
 }
 
 // routeMetrics aggregates per-route request/error counters and latency,

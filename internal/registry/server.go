@@ -43,6 +43,7 @@ type Server struct {
 	start    time.Time
 	jobs     *JobStore
 	metrics  *routeMetrics
+	inflight int
 
 	refresh RefreshConfig
 
@@ -76,6 +77,10 @@ type ServerConfig struct {
 	// Refresh tunes the measure→learn loop (canary.go); the zero value
 	// disables it.
 	Refresh RefreshConfig
+	// MaxInflight bounds each heavy route's (predict, tune) concurrent
+	// requests; past it the route sheds with CodeOverloaded before any
+	// work (default 1024, negative = unlimited).
+	MaxInflight int
 }
 
 // NewServer builds a server over reg. v is the (frozen) corpus
@@ -93,6 +98,9 @@ func NewServer(reg *Registry, v *vocab.Vocabulary, cfg ServerConfig) *Server {
 	if cfg.Refresh.Epochs <= 0 {
 		cfg.Refresh.Epochs = 4
 	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 1024
+	}
 	return &Server{
 		reg:        reg,
 		vocab:      v,
@@ -100,6 +108,7 @@ func NewServer(reg *Registry, v *vocab.Vocabulary, cfg ServerConfig) *Server {
 		maxWait:    cfg.MaxWait,
 		refresh:    cfg.Refresh,
 		start:      time.Now(),
+		inflight:   cfg.MaxInflight,
 		jobs:       NewJobStore(cfg.Jobs),
 		metrics:    newRouteMetrics(),
 		batchers:   newLRU(reg.Capacity()),
@@ -117,8 +126,14 @@ func (s *Server) Handler() http.Handler {
 	route := func(pattern string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, s.metrics.wrap(pattern, h))
 	}
-	route(api.PathPredict, s.handlePredict)
-	route(api.PathTune, s.handleTune)
+	// The heavy routes share one limiter per handler across their v1 and
+	// legacy mounts — the bound is on the work, not the spelling of the
+	// path. Cheap routes (jobs, models, healthz) stay unlimited so
+	// overload never blinds the operator or wedges the refresh loop.
+	predict := withLimit(s.inflight, s.handlePredict)
+	tune := withLimit(s.inflight, s.handleTune)
+	route(api.PathPredict, predict)
+	route(api.PathTune, tune)
 	route(api.PathJobs, s.handleJobs)
 	route(api.PathJobs+"/", s.handleJob)
 	route(api.PathModels, s.handleModels)
@@ -134,15 +149,15 @@ func (s *Server) Handler() http.Handler {
 			h(w, r)
 		})
 	}
-	legacy("/predict", api.PathPredict, s.handlePredict)
-	legacy("/tune", api.PathTune, s.handleTune)
+	legacy("/predict", api.PathPredict, predict)
+	legacy("/tune", api.PathTune, tune)
 	legacy("/models", api.PathModels, s.handleModels)
 	legacy("/healthz", api.PathHealthz, s.handleHealthz)
 
 	mux.HandleFunc("/", s.metrics.wrap("(unmatched)", func(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, api.Errorf(api.CodeNotFound, "no route %s %s", r.Method, r.URL.Path))
 	}))
-	return withRequestID(mux)
+	return withRequestID(withDeadline(mux))
 }
 
 // Shutdown stops the server gracefully: the job store drains (queued
@@ -290,16 +305,23 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, resolveErrInfo(err))
 		return
 	}
-	picks, err := b.Predict(Request{Graph: g, Extras: req.Counters})
+	picks, err := b.PredictContext(r.Context(), Request{Graph: g, Extras: req.Counters})
 	if err != nil {
-		// Validation failures are the client's; forward failures and a
-		// batcher torn down mid-request are not.
+		// Validation failures are the client's; forward failures, shed
+		// admissions, expired budgets, and a batcher torn down mid-request
+		// are not.
 		info := api.Errorf(api.CodeBadRequest, "%v", err)
 		switch {
 		case errors.Is(err, ErrClosed):
 			info.Code = api.CodeUnavailable
 		case errors.Is(err, ErrForward):
 			info.Code = api.CodeInternal
+		case errors.Is(err, ErrOverloaded):
+			info.Code = api.CodeOverloaded
+		case errors.Is(err, context.DeadlineExceeded):
+			info = api.Errorf(api.CodeDeadlineExceeded, "request budget spent before prediction completed")
+		case errors.Is(err, context.Canceled):
+			info = api.Errorf(api.CodeUnavailable, "request cancelled before prediction completed")
 		}
 		s.writeErr(w, r, info)
 		return
@@ -490,9 +512,11 @@ func decodeErrInfo(err error) *api.ErrorInfo {
 }
 
 // writeErr renders the v1 error envelope with the request's correlation
-// ID and the code's canonical status.
+// ID and the code's canonical status, plus the Retry-After hint for
+// backpressure codes so clients can pace their retries off the server's
+// word instead of guessing with backoff.
 func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, info *api.ErrorInfo) {
-	writeJSON(w, api.StatusFor(info.Code), api.ErrorBody{Error: *info, RequestID: requestID(r)})
+	writeShed(w, r, info)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -130,6 +130,9 @@ func (ts *tuneSession) run(ctx context.Context) (*api.TuneResponse, *api.ErrorIn
 	share := 0
 	if req.MeasureBudget > 0 {
 		runner = measure.NewRunner(d.Machine, rd.Region, d.Space, ts.seed, -1)
+		// Deadline propagation into the engine: once the request budget is
+		// spent, measured runs stop consuming (simulated) machine time.
+		runner.Bind(ctx)
 		if share = req.MeasureBudget / heads; share < 1 {
 			share = 1
 		}
@@ -159,7 +162,7 @@ func (ts *tuneSession) run(ctx context.Context) (*api.TuneResponse, *api.ErrorIn
 			}
 		}
 		var err error
-		shortlists, modelVersion, err = ts.s.modelShortlists(key, rd, k)
+		shortlists, modelVersion, err = ts.s.modelShortlists(ctx, key, rd, k)
 		if err != nil {
 			return nil, resolveErrInfo(err)
 		}
@@ -194,7 +197,7 @@ func (ts *tuneSession) run(ctx context.Context) (*api.TuneResponse, *api.ErrorIn
 		// One session per power cap, mirroring /v1/predict's shape.
 		for ci, capW := range d.Space.Caps() {
 			if ctx.Err() != nil {
-				return nil, api.Errorf(api.CodeUnavailable, "session cancelled: %v", ctx.Err())
+				return nil, cancelInfo(ctx)
 			}
 			obj := autotune.TimeUnderCap{Cap: ci}
 			res := session(obj)
@@ -238,7 +241,7 @@ func (ts *tuneSession) run(ctx context.Context) (*api.TuneResponse, *api.ErrorIn
 	if ctx.Err() != nil {
 		// Cancelled mid-way: a truncated session's picks must not
 		// masquerade as the real result.
-		return nil, api.Errorf(api.CodeUnavailable, "session cancelled: %v", ctx.Err())
+		return nil, cancelInfo(ctx)
 	}
 	if runner != nil {
 		resp.MeasuredRuns = runner.Runs()
@@ -315,7 +318,7 @@ func tuneHead(t autotune.Task) int {
 // classes for the region's graph, routed through the micro-batcher so
 // tuning traffic batches with /v1/predict traffic on the shared model,
 // plus the serving model's version.
-func (s *Server) modelShortlists(key Key, rd *dataset.RegionData, k int) ([][]int, int, error) {
+func (s *Server) modelShortlists(ctx context.Context, key Key, rd *dataset.RegionData, k int) ([][]int, int, error) {
 	b, err := s.batcherFor(key)
 	if err != nil {
 		return nil, 0, err
@@ -329,11 +332,21 @@ func (s *Server) modelShortlists(key Key, rd *dataset.RegionData, k int) ([][]in
 	default:
 		return nil, 0, fmt.Errorf("registry: model %s wants %d extra features; tuning can only supply corpus counters", key, b.model.ExtraDim)
 	}
-	lists, err := b.PredictTopK(Request{Graph: rd.Region.Graph, Extras: extras}, k)
+	lists, err := b.PredictTopKContext(ctx, Request{Graph: rd.Region.Graph, Extras: extras}, k)
 	if err != nil {
 		return nil, 0, err
 	}
 	return lists, b.Meta.Version, nil
+}
+
+// cancelInfo maps a mid-session context failure to its wire error: a
+// spent deadline budget is typed deadline_exceeded (retrying cannot
+// un-spend it), everything else is the retryable unavailable.
+func cancelInfo(ctx context.Context) *api.ErrorInfo {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return api.Errorf(api.CodeDeadlineExceeded, "request budget spent mid-session")
+	}
+	return api.Errorf(api.CodeUnavailable, "session cancelled: %v", ctx.Err())
 }
 
 // resolveErrInfo maps a model-resolve or batcher failure to its wire
@@ -343,6 +356,12 @@ func resolveErrInfo(err error) *api.ErrorInfo {
 	case errors.Is(err, ErrModelNotFound):
 		return api.Errorf(api.CodeModelNotFound, "%v", err)
 	case errors.Is(err, ErrClosed):
+		return api.Errorf(api.CodeUnavailable, "%v", err)
+	case errors.Is(err, ErrOverloaded):
+		return api.Errorf(api.CodeOverloaded, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return api.Errorf(api.CodeDeadlineExceeded, "request budget spent before the model answered")
+	case errors.Is(err, context.Canceled):
 		return api.Errorf(api.CodeUnavailable, "%v", err)
 	}
 	return api.Errorf(api.CodeInternal, "%v", err)

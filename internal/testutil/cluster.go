@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"pnptuner/internal/chaos"
 	"pnptuner/internal/client"
 	"pnptuner/internal/core"
 	"pnptuner/internal/gate"
@@ -39,6 +40,10 @@ type config struct {
 	trainDelay time.Duration
 	health     gate.TrackerConfig
 	vnodes     int
+	gateMod    func(*gate.Config)
+	serverMod  func(*registry.ServerConfig)
+	chaosSeed  int64
+	withChaos  bool
 }
 
 // Option tunes StartCluster.
@@ -64,6 +69,30 @@ func WithGateHealth(h gate.TrackerConfig) Option { return func(c *config) { c.he
 // WithJobs bounds each replica's async tune job subsystem.
 func WithJobs(j registry.JobStoreConfig) Option { return func(c *config) { c.jobs = j } }
 
+// WithGateConfig applies mod to the gate's config after the defaults
+// are set — tests tune attempt timeouts, hedging, or anything else
+// without testutil growing one option per knob.
+func WithGateConfig(mod func(*gate.Config)) Option { return func(c *config) { c.gateMod = mod } }
+
+// WithServerConfig applies mod to every replica's ServerConfig —
+// admission limits, batching, refresh.
+func WithServerConfig(mod func(*registry.ServerConfig)) Option {
+	return func(c *config) { c.serverMod = mod }
+}
+
+// WithChaos inserts a fault-injecting chaos proxy in front of every
+// replica: the gate routes through the proxies (Cluster.Chaos, gate
+// index order) while replica-to-replica traffic (peer model fetch)
+// stays direct. Proxies start fault-free; tests arm them per replica
+// with SetFaults/SetRoute. seed fixes each proxy's randomness (proxy i
+// uses seed+i).
+func WithChaos(seed int64) Option {
+	return func(c *config) {
+		c.withChaos = true
+		c.chaosSeed = seed
+	}
+}
+
 // Cluster is a running gate + replicas fleet.
 type Cluster struct {
 	// Gate is the router; GateURL its HTTP base.
@@ -71,6 +100,9 @@ type Cluster struct {
 	GateURL string
 	// Replicas in gate index order.
 	Replicas []*Replica
+	// Chaos holds the per-replica fault proxies when the cluster was
+	// started WithChaos (gate index order; nil otherwise).
+	Chaos []*chaos.Proxy
 
 	pool     *client.Pool
 	gateHTTP *httptest.Server
@@ -144,7 +176,30 @@ func StartCluster(t testing.TB, n int, opts ...Option) *Cluster {
 		c.Replicas = append(c.Replicas, r)
 	}
 
-	g, err := gate.New(gate.Config{Replicas: urls, VNodes: cfg.vnodes, Health: cfg.health})
+	// With chaos on, the gate routes through per-replica fault proxies;
+	// peer fetch (r.peers) keeps the direct URLs, mirroring production
+	// where the fault domain is the gate↔replica network path.
+	gateURLs := urls
+	var chaosHTTP []*httptest.Server
+	if cfg.withChaos {
+		gateURLs = make([]string, n)
+		for i, u := range urls {
+			p, err := chaos.New(u, cfg.chaosSeed+int64(i))
+			if err != nil {
+				t.Fatalf("start chaos proxy %d: %v", i, err)
+			}
+			ps := httptest.NewServer(p)
+			c.Chaos = append(c.Chaos, p)
+			chaosHTTP = append(chaosHTTP, ps)
+			gateURLs[i] = ps.URL
+		}
+	}
+
+	gcfg := gate.Config{Replicas: gateURLs, VNodes: cfg.vnodes, Health: cfg.health}
+	if cfg.gateMod != nil {
+		cfg.gateMod(&gcfg)
+	}
+	g, err := gate.New(gcfg)
 	if err != nil {
 		t.Fatalf("start gate: %v", err)
 	}
@@ -155,6 +210,9 @@ func StartCluster(t testing.TB, n int, opts ...Option) *Cluster {
 	t.Cleanup(func() {
 		c.gateHTTP.Close()
 		g.Close()
+		for _, ps := range chaosHTTP {
+			ps.Close()
+		}
 		for _, r := range c.Replicas {
 			r.Kill()
 		}
@@ -205,11 +263,15 @@ func (r *Replica) start(addr string) error {
 		return err
 	}
 	reg.SetFetcher(r.fetchFromPeers)
-	srv := registry.NewServer(reg, kernels.MustCompile().Vocab, registry.ServerConfig{
+	scfg := registry.ServerConfig{
 		MaxBatch: r.cfg.maxBatch,
 		MaxWait:  r.cfg.maxWait,
 		Jobs:     r.cfg.jobs,
-	})
+	}
+	if r.cfg.serverMod != nil {
+		r.cfg.serverMod(&scfg)
+	}
+	srv := registry.NewServer(reg, kernels.MustCompile().Vocab, scfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		srv.Close()

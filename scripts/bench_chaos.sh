@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# bench_chaos.sh — produce BENCH_8.json: hedged predicts vs no hedging
+# under injected latency, same fleet, same offered load.
+#
+# One of three replicas sits behind a pnpchaos proxy adding 200ms to
+# every gate→replica request; the other two are direct. Every replica
+# holds an identical pre-trained model store, so the slow path is pure
+# injected latency, not training. Keys owned by the slow replica pay
+# the 200ms on every predict when hedging is off; with a 25ms hedge
+# trigger the gate races the next preference-order replica and the tail
+# collapses to roughly hedge-delay + service time. The before/after
+# predict p99 is the artifact.
+#
+# Usage: scripts/bench_chaos.sh [out.json] [rate] [duration]
+set -euo pipefail
+
+OUT=${1:-BENCH_8.json}
+RATE=${2:-60}
+DURATION=${3:-20s}
+LATENCY=200ms
+PRELOAD="haswell/time,haswell/edp,skylake/time,skylake/edp"
+
+BIN=$(mktemp -d)
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -TERM "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$BIN" "$WORK"
+}
+trap cleanup EXIT
+
+echo "== building binaries" >&2
+go build -o "$BIN/pnpserve" ./cmd/pnpserve
+go build -o "$BIN/pnpgate" ./cmd/pnpgate
+go build -o "$BIN/pnpload" ./cmd/pnpload
+go build -o "$BIN/pnpchaos" ./cmd/pnpchaos
+
+wait_http() { # url [tries]
+  for _ in $(seq 1 "${2:-300}"); do
+    if curl -fsS "$1" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "timeout waiting for $1" >&2
+  return 1
+}
+
+echo "== pre-training the 4-model store (epochs=1)" >&2
+"$BIN/pnpserve" -addr 127.0.0.1:18200 -dir "$WORK/seed" -cache 16 -epochs 1 -preload "$PRELOAD" &
+SEED_PID=$!
+PIDS+=("$SEED_PID")
+wait_http http://127.0.0.1:18200/v1/healthz 3000 # listen starts after preload
+kill -TERM "$SEED_PID" && wait "$SEED_PID" 2>/dev/null || true
+PIDS=()
+
+run_bench() { # name gate_flags...
+  local name=$1
+  shift
+  for i in 0 1 2; do
+    cp -r "$WORK/seed" "$WORK/$name-r$i"
+    "$BIN/pnpserve" -addr "127.0.0.1:$((18210 + i))" -dir "$WORK/$name-r$i" -cache 16 -epochs 1 &
+    PIDS+=("$!")
+  done
+  for i in 0 1 2; do wait_http "http://127.0.0.1:$((18210 + i))/v1/healthz"; done
+
+  # Replica 0's gate-facing path goes through the latency proxy.
+  "$BIN/pnpchaos" -addr 127.0.0.1:18219 -target http://127.0.0.1:18210 -faults "latency=$LATENCY" -seed 8 &
+  PIDS+=("$!")
+  "$BIN/pnpgate" -addr 127.0.0.1:18209 \
+    -replicas http://127.0.0.1:18219,http://127.0.0.1:18211,http://127.0.0.1:18212 \
+    -probe-interval 250ms "$@" &
+  PIDS+=("$!")
+  wait_http http://127.0.0.1:18209/v1/healthz
+
+  # Warm every key through the gate first: hedging never fires on cold
+  # keys, and both runs should measure steady state.
+  "$BIN/pnpload" -target http://127.0.0.1:18209 -rate 10 -duration 3s \
+    -predict 1 -tune 0 -job 0 -seed 9 -out /dev/null -hist=false
+
+  echo "== load: $name (rate $RATE, $DURATION, slow replica +$LATENCY)" >&2
+  "$BIN/pnpload" -target http://127.0.0.1:18209 -rate "$RATE" -duration "$DURATION" \
+    -predict 1 -tune 0 -job 0 -seed 8 -inflight 128 -max-error-rate 0 \
+    -hist=false -out "$WORK/$name.json"
+
+  for pid in "${PIDS[@]}"; do kill -TERM "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  PIDS=()
+}
+
+run_bench nohedge -no-hedge
+run_bench hedged -hedge-delay 25ms
+
+echo "== assembling $OUT" >&2
+jq -n \
+  --slurpfile no "$WORK/nohedge.json" \
+  --slurpfile yes "$WORK/hedged.json" \
+  --arg latency "$LATENCY" '
+  def summarize: {
+    offered_rate_rps: .offered_rate_rps,
+    duration_sec: .duration_sec,
+    sent: .sent,
+    completed: .completed,
+    errors: .errors,
+    timeouts: .timeouts,
+    degraded: .degraded,
+    throughput_rps: .throughput_rps,
+    predict_p50_ms: .ops.predict.p50_ms,
+    predict_p99_ms: .ops.predict.p99_ms,
+    predict_max_ms: .ops.predict.max_ms
+  };
+  {
+    issue: 8,
+    note: ("pnpload (open-loop Poisson, predict-only, seed 8) against a pnpgate fronting 3 pnpserve replicas with identical pre-trained 4-model stores; replica 0 is reached through a pnpchaos proxy adding " + $latency + " to every gate-side request. Keys the ring assigns to the slow replica pay the injected latency on every predict when hedging is off; with -hedge-delay 25ms the gate races the next preference-order replica after 25ms and takes the first answer, collapsing the injected-latency tail. Both runs are warmed first (hedging never fires on cold keys) and required zero unexpected errors."),
+    injected_latency: $latency,
+    hedge_delay: "25ms",
+    runs: { no_hedge: ($no[0] | summarize), hedged: ($yes[0] | summarize) },
+    p99_improvement: {
+      no_hedge_ms: ($no[0].ops.predict.p99_ms),
+      hedged_ms: ($yes[0].ops.predict.p99_ms),
+      speedup: (($no[0].ops.predict.p99_ms) / ($yes[0].ops.predict.p99_ms))
+    }
+  }' > "$OUT"
+
+echo "done: $OUT" >&2
+jq .p99_improvement "$OUT" >&2
