@@ -405,6 +405,27 @@ func BenchmarkPredictSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictSweepQuantized is BenchmarkPredictSweep through the
+// float32 quantized serving snapshot (weights converted once, outside the
+// loop) — the measured speedup of the -quantize serving path. Picks are
+// parity-gated bit-equal to the float64 sweep (core.TestQuantizedParity*).
+func BenchmarkPredictSweepQuantized(b *testing.B) {
+	d := dataset.MustBuild(hw.Haswell())
+	cfg := core.DefaultModelConfig()
+	cfg.Epochs = 1
+	nCaps := len(d.Space.Caps())
+	m := core.NewModel(cfg, d.Corpus.Vocab.Size(), nCaps, d.Space.NumConfigs())
+	m.Fit(core.PowerSamples(d, d.Regions, cfg))
+	q := m.MustQuantize()
+	core.PredictPowerQuantized(q, d.Regions) // warm the scratch arenas
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := core.PredictPowerQuantized(q, d.Regions); len(got) != len(d.Regions) {
+			b.Fatal("sweep dropped regions")
+		}
+	}
+}
+
 // BenchmarkBaselineTuners measures one engine-driven tuning run of each
 // baseline strategy.
 func BenchmarkBaselineTuners(b *testing.B) {

@@ -72,6 +72,8 @@ func main() {
 	refreshEpochs := flag.Int("refresh-epochs", 4, "fine-tune epochs per refresh retrain")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second,
 		"grace period for in-flight requests and running jobs on SIGINT/SIGTERM")
+	quantize := flag.Bool("quantize", false,
+		"serve predictions through float32 quantized model snapshots (picks are parity-gated bit-equal to float64)")
 	preload := flag.String("preload", "", "comma-separated machine/objective[/scenario] keys to resolve at startup")
 	peers := flag.String("peers", "", "comma-separated peer replica base URLs to fetch cold models from before training")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ for in-place profiling of the serving hot paths")
@@ -126,6 +128,7 @@ func main() {
 		MaxBatch:    *maxBatch,
 		MaxWait:     *maxWait,
 		MaxInflight: *maxInflight,
+		Quantize:    *quantize,
 		Jobs: registry.JobStoreConfig{
 			Workers: *jobWorkers,
 			Queue:   *jobQueue,
@@ -140,6 +143,9 @@ func main() {
 	if *refreshThreshold > 0 {
 		log.Printf("model refresh enabled: threshold %d samples, canary window %d, %d epochs",
 			*refreshThreshold, *canaryWindow, *refreshEpochs)
+	}
+	if *quantize {
+		log.Printf("quantized serving enabled: forwarding on float32 model snapshots")
 	}
 
 	for _, spec := range strings.Split(*preload, ",") {

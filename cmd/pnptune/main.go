@@ -76,6 +76,8 @@ func main() {
 	async := flag.Bool("async", false, "with -remote, run each session as an async job (submit → poll → result)")
 	measureBudget := flag.Int("measure", 0,
 		"with -remote, real executions granted per session instead of dataset replay; samples feed the server's model refresh (0 = replay)")
+	quantize := flag.Bool("quantize", false,
+		"with -strategy gnn, predict through the float32 quantized model snapshot (picks match float64 bit-for-bit)")
 	list := flag.Bool("list", false, "list corpus applications and exit")
 	flag.Parse()
 
@@ -107,6 +109,9 @@ func main() {
 	if *async && *remote == "" {
 		fatal(fmt.Errorf("-async only applies with -remote"))
 	}
+	if *quantize && (*strategy != "gnn" || *remote != "") {
+		fatal(fmt.Errorf("-quantize only applies with -strategy gnn in-process"))
+	}
 	if *measureBudget != 0 && *remote == "" {
 		fatal(fmt.Errorf("-measure only applies with -remote"))
 	}
@@ -136,7 +141,7 @@ func main() {
 
 	switch *strategy {
 	case "gnn":
-		runGNN(d, fold, cfg, scenario, *objective, *capW, *loadPath, *savePath)
+		runGNN(d, fold, cfg, scenario, *objective, *capW, *loadPath, *savePath, *quantize)
 	case "hybrid":
 		runHybrid(d, fold, cfg, scenario, *objective, *capW, *loadPath, *savePath, pick(*budget, experiments.HybridK))
 	case "bliss":
@@ -155,7 +160,7 @@ func pick(v, def int) int {
 
 // runGNN is the paper's zero-execution scenario: train (or load) and
 // predict.
-func runGNN(d *dataset.Dataset, fold dataset.Fold, cfg core.ModelConfig, scenario, objective string, capW float64, loadPath, savePath string) {
+func runGNN(d *dataset.Dataset, fold dataset.Fold, cfg core.ModelConfig, scenario, objective string, capW float64, loadPath, savePath string, quantize bool) {
 	switch objective {
 	case "time":
 		var model *core.Model
@@ -171,6 +176,10 @@ func runGNN(d *dataset.Dataset, fold dataset.Fold, cfg core.ModelConfig, scenari
 			model, meta, pred = res.Model, core.MetaFor(d, scenario, objective), res.Pred
 		}
 		saveModel(model, savePath, meta)
+		if quantize {
+			fmt.Println("predicting through the float32 quantized snapshot")
+			pred = core.PredictPowerQuantized(model.MustQuantize(), fold.Val)
+		}
 		printTimePicks(d, fold, capW, func(id string, ci int) (int, int) { return pred[id][ci], 0 })
 	case "edp":
 		var model *core.Model
@@ -186,6 +195,10 @@ func runGNN(d *dataset.Dataset, fold dataset.Fold, cfg core.ModelConfig, scenari
 			model, meta, pred = res.Model, core.MetaFor(d, scenario, objective), res.Pred
 		}
 		saveModel(model, savePath, meta)
+		if quantize {
+			fmt.Println("predicting through the float32 quantized snapshot")
+			pred = core.PredictEDPQuantized(model.MustQuantize(), fold.Val)
+		}
 		printJointPicks(d, fold, autotune.EDP{}, func(id string) (int, int) { return pred[id], 0 })
 	}
 }

@@ -12,14 +12,22 @@
 // the budget, the seeded RNG stream, and the evaluator (noisy dataset
 // replay in the paper's comparison), so a tuning trace is reproducible
 // from (strategy, seed, budget) alone.
+//
+// The session hot path is vectorized onto the tensor kernels: candidate
+// features and their quadratic expansions are built once per session as
+// row-major matrices, ridge fits solve the normal equations by Cholesky
+// factorization, leave-one-out errors come from the closed-form hat-
+// matrix identity e_i/(1-h_ii) instead of n refits, and the exploit scan
+// over all candidates is a single matrix multiply — so a steady-state
+// session runs in microseconds with near-zero allocations.
 package bliss
 
 import (
 	"math"
-	"sort"
 
 	"pnptuner/internal/autotune"
 	"pnptuner/internal/dataset"
+	"pnptuner/internal/tensor"
 )
 
 // Paper-comparison defaults: 20 sampling executions per tuning task, and
@@ -35,6 +43,13 @@ const (
 // kept distinct from other tuners' so their measurements decorrelate at
 // equal seeds.
 const NoiseMix uint64 = 0x9e3779b97f4a7c15
+
+// Surrogate pool constants: the ridge regularizer and the kNN
+// neighbourhood of the three pool members.
+const (
+	poolLambda = 0.1
+	poolK      = 3
+)
 
 // Entry returns the engine entry the figure drivers run: the BLISS
 // strategy under its paper budget, measured by noisy dataset replay.
@@ -52,19 +67,35 @@ func Entry(name string) autotune.Entry {
 // Strategy is one BLISS tuning session: bootstrap with stratified random
 // samples, then alternate surrogate-guided exploitation with random
 // exploration; the recommendation is the best measured point.
+//
+// All per-candidate state is matrix-shaped and built once at
+// construction: featM holds the raw feature rows, phiLin/phiQuad their
+// ridge design expansions. Every Propose after the bootstrap reuses the
+// scratch buffers below, so steady-state rounds allocate nothing.
 type Strategy struct {
-	n      int
-	feats  [][]float64
+	n, d   int
 	budget int // internal pacing bound (the engine still enforces its own)
 	boot   int
 
 	rng      *autotune.RNG
-	visited  map[int]bool
+	visited  []bool
 	proposed int
 
-	xs   [][]float64
+	featM   *tensor.Matrix // n×d raw candidate features
+	phiLin  *tensor.Matrix // n×(1+d) linear ridge design rows
+	phiQuad *tensor.Matrix // n×Dq quadratic ridge design rows
+
 	ys   []float64 // log-scale observations
 	idxs []int
+
+	// Model-selection and scan scratch (see exploit).
+	rawBuf, linBuf, quadBuf    tensor.Buf // gathered observed rows
+	aBuf, lBuf, rhsBuf         tensor.Buf // normal equations + Cholesky factor
+	predsBuf, distBuf, scanBuf tensor.Buf
+	wLin, wQuad, solve         []float64
+	chosen                     []int
+	colDist                    []float64
+	yMat, wMat                 tensor.Matrix
 }
 
 // New constructs the BLISS strategy for one task (autotune.Entry.New).
@@ -86,18 +117,36 @@ func NewStrategy(p autotune.Problem) *Strategy {
 	if boot < 3 {
 		boot = 3
 	}
-	feats := make([][]float64, n)
-	for i := range feats {
-		feats[i] = p.Obj.Features(p.Space, i)
-	}
-	return &Strategy{
+	s := &Strategy{
 		n:       n,
-		feats:   feats,
 		budget:  budget,
 		boot:    boot,
 		rng:     autotune.NewRNG(p.Seed),
-		visited: map[int]bool{},
+		visited: make([]bool, n),
+		ys:      make([]float64, 0, budget),
+		idxs:    make([]int, 0, budget),
 	}
+	// Candidate features become matrices once: raw rows for kNN
+	// distances, expanded rows for the two ridge designs. Per-candidate
+	// predict calls never re-expand.
+	for i := 0; i < n; i++ {
+		f := p.Obj.Features(p.Space, i)
+		if s.featM == nil {
+			s.d = len(f)
+			s.featM = tensor.New(n, s.d)
+			s.phiLin = tensor.New(n, 1+s.d)
+			s.phiQuad = tensor.New(n, expandDim(s.d, true))
+		}
+		copy(s.featM.Row(i), f)
+		expandInto(f, s.phiLin.Row(i), false)
+		expandInto(f, s.phiQuad.Row(i), true)
+	}
+	s.wLin = make([]float64, 1+s.d)
+	s.wQuad = make([]float64, expandDim(s.d, true))
+	s.solve = make([]float64, expandDim(s.d, true))
+	s.chosen = make([]int, 0, poolK)
+	s.colDist = make([]float64, 0, budget)
+	return s
 }
 
 // Propose returns the next candidates to measure: the remaining
@@ -130,26 +179,30 @@ func (s *Strategy) Propose(k int) []int {
 	}
 
 	// Exploit: the best-of-pool surrogate's best unvisited candidate.
-	model := bestModel(s.xs, s.ys)
-	bestI, bestPred := -1, math.Inf(1)
-	for i := 0; i < s.n; i++ {
-		if s.visited[i] {
-			continue
-		}
-		if p := model.predict(s.feats[i]); p < bestPred {
-			bestPred, bestI = p, i
-		}
-	}
-	if bestI >= 0 {
+	if bestI := s.exploit(); bestI >= 0 {
 		mark(bestI)
 	}
-	// Explore: one random unvisited point, budget allowing.
+	// Explore: one random unvisited point, budget allowing. The random
+	// draw gets a bounded number of tries; on a nearly-saturated space
+	// (most candidates visited) it falls back to a linear scan for the
+	// first unvisited candidate, so the session never silently
+	// under-spends its budget.
 	if s.proposed+len(out) < s.budget && len(out) < k {
+		picked := false
 		for tries := 0; tries < 32; tries++ {
 			i := int(s.rng.Next() % uint64(s.n))
 			if !s.visited[i] {
 				mark(i)
+				picked = true
 				break
+			}
+		}
+		if !picked {
+			for i := 0; i < s.n; i++ {
+				if !s.visited[i] {
+					mark(i)
+					break
+				}
 			}
 		}
 	}
@@ -159,7 +212,6 @@ func (s *Strategy) Propose(k int) []int {
 
 // Observe records one measurement on log scale for the surrogate pool.
 func (s *Strategy) Observe(config int, value float64) {
-	s.xs = append(s.xs, s.feats[config])
 	s.ys = append(s.ys, math.Log(value))
 	s.idxs = append(s.idxs, config)
 }
@@ -179,26 +231,168 @@ func (s *Strategy) Best() int {
 	return best
 }
 
+// exploit runs the vectorized model-selection + scan round: gather the
+// observed rows, pick the pool member with the lowest leave-one-out
+// error (linear ridge, quadratic ridge, kNN — ties to the earlier
+// member, as the scalar pool loop broke them), and return its best
+// unvisited candidate (index order, strict <), or -1 if none remain.
+func (s *Strategy) exploit() int {
+	m := len(s.ys)
+	raw := s.rawBuf.Get(m, s.d)
+	lin := s.linBuf.Get(m, s.phiLin.Cols)
+	quad := s.quadBuf.Get(m, s.phiQuad.Cols)
+	for i, c := range s.idxs {
+		copy(raw.Row(i), s.featM.Row(c))
+		copy(lin.Row(i), s.phiLin.Row(c))
+		copy(quad.Row(i), s.phiQuad.Row(c))
+	}
+	s.yMat = tensor.Matrix{Rows: m, Cols: 1, Data: s.ys}
+
+	kind, bestErr := -1, math.Inf(1)
+	if err := s.ridgeLOO(lin, s.wLin); err < bestErr {
+		kind, bestErr = 0, err
+	}
+	if err := s.ridgeLOO(quad, s.wQuad); err < bestErr {
+		kind, bestErr = 1, err
+	}
+	if err := s.knnLOO(raw); err < bestErr {
+		kind = 2
+	}
+
+	switch kind {
+	case 0:
+		return s.scanRidge(s.phiLin, s.wLin)
+	case 1:
+		return s.scanRidge(s.phiQuad, s.wQuad)
+	default:
+		return s.scanKNN(raw)
+	}
+}
+
+// ridgeLOO fits (XᵀX + λI)w = Xᵀy by Cholesky and returns the exact
+// leave-one-out mean squared error from the hat-matrix diagonal:
+// the residual of refitting without sample i is e_i/(1-h_ii) with
+// h_ii = x_iᵀ(XᵀX+λI)⁻¹x_i — one factorization instead of m refits.
+func (s *Strategy) ridgeLOO(x *tensor.Matrix, w []float64) float64 {
+	m, dim := x.Rows, x.Cols
+	if m < poolK {
+		return math.Inf(1)
+	}
+	a := s.aBuf.GetZeroed(dim, dim)
+	tensor.MatMulTAAddInto(x, x, a)
+	for i := 0; i < dim; i++ {
+		a.Data[i*dim+i] += poolLambda
+	}
+	l := s.lBuf.Get(dim, dim)
+	if !tensor.CholeskyInto(a, l) {
+		return math.Inf(1)
+	}
+	rhs := s.rhsBuf.GetZeroed(dim, 1)
+	tensor.MatMulTAAddInto(x, &s.yMat, rhs)
+	tensor.SolveInto(l, rhs.Data, w[:dim])
+
+	s.wMat = tensor.Matrix{Rows: dim, Cols: 1, Data: w[:dim]}
+	preds := s.predsBuf.GetZeroed(m, 1)
+	tensor.MatMulAddInto(x, &s.wMat, preds)
+
+	total := 0.0
+	solve := s.solve[:dim]
+	for i := 0; i < m; i++ {
+		xi := x.Row(i)
+		tensor.SolveInto(l, xi, solve)
+		h := 0.0
+		for j, v := range xi {
+			h += v * solve[j]
+		}
+		r := (preds.Data[i] - s.ys[i]) / (1 - h)
+		total += r * r
+	}
+	return total / float64(m)
+}
+
+// knnLOO computes the pool kNN's leave-one-out error from one pairwise
+// squared-distance matrix over the observed rows.
+func (s *Strategy) knnLOO(raw *tensor.Matrix) float64 {
+	m := raw.Rows
+	if m < poolK {
+		return math.Inf(1)
+	}
+	dist := s.distBuf.Get(m, m)
+	tensor.PairwiseSqDistInto(raw, raw, dist)
+	total := 0.0
+	for i := 0; i < m; i++ {
+		d := knnMean(dist.Row(i), s.ys, i, poolK, &s.chosen) - s.ys[i]
+		total += d * d
+	}
+	return total / float64(m)
+}
+
+// scanRidge scores every candidate with one matrix multiply (the
+// ScoreAll pattern: phi·w fans out across the worker pool for large
+// operands) and returns the best unvisited candidate.
+func (s *Strategy) scanRidge(phi *tensor.Matrix, w []float64) int {
+	s.wMat = tensor.Matrix{Rows: phi.Cols, Cols: 1, Data: w[:phi.Cols]}
+	scores := s.scanBuf.GetZeroed(s.n, 1)
+	tensor.MatMulAddInto(phi, &s.wMat, scores)
+	bestI, bestPred := -1, math.Inf(1)
+	for i := 0; i < s.n; i++ {
+		if s.visited[i] {
+			continue
+		}
+		if p := scores.Data[i]; p < bestPred {
+			bestPred, bestI = p, i
+		}
+	}
+	return bestI
+}
+
+// scanKNN scores every unvisited candidate against the observed rows via
+// one observed×candidates distance matrix and returns the best.
+func (s *Strategy) scanKNN(raw *tensor.Matrix) int {
+	m := raw.Rows
+	dist := s.distBuf.Get(m, s.n)
+	tensor.PairwiseSqDistInto(raw, s.featM, dist)
+	if cap(s.colDist) < m {
+		s.colDist = make([]float64, m)
+	}
+	col := s.colDist[:m]
+	bestI, bestPred := -1, math.Inf(1)
+	for i := 0; i < s.n; i++ {
+		if s.visited[i] {
+			continue
+		}
+		for j := 0; j < m; j++ {
+			col[j] = dist.At(j, i)
+		}
+		if p := knnMean(col, s.ys, -1, poolK, &s.chosen); p < bestPred {
+			bestPred, bestI = p, i
+		}
+	}
+	return bestI
+}
+
 // --- Lightweight model pool ---------------------------------------------
 
+// surrogate is the standalone pool-member interface; the session hot
+// path above runs the same math through its matrix scratch instead.
 type surrogate interface {
 	fit(xs [][]float64, ys []float64)
 	predict(x []float64) float64
+	looError(xs [][]float64, ys []float64) float64
 }
 
 // bestModel fits the pool and returns the member with the lowest
 // leave-one-out error (BLISS's model-selection step).
 func bestModel(xs [][]float64, ys []float64) surrogate {
 	pool := []surrogate{
-		&ridge{lambda: 0.1},
-		&ridge{lambda: 0.1, quadratic: true},
-		&knn{k: 3},
+		&ridge{lambda: poolLambda},
+		&ridge{lambda: poolLambda, quadratic: true},
+		&knn{k: poolK},
 	}
 	bestErr := math.Inf(1)
 	var best surrogate
 	for _, m := range pool {
-		err := looError(m, xs, ys)
-		if err < bestErr {
+		if err := m.looError(xs, ys); err < bestErr {
 			bestErr, best = err, m
 		}
 	}
@@ -206,29 +400,35 @@ func bestModel(xs [][]float64, ys []float64) surrogate {
 	return best
 }
 
-func looError(m surrogate, xs [][]float64, ys []float64) float64 {
-	if len(xs) < 3 {
-		return math.Inf(1)
+// expandDim is the ridge design width for d raw features: bias + linear
+// terms, plus the upper-triangle quadratic terms when quadratic.
+func expandDim(d int, quadratic bool) int {
+	dim := 1 + d
+	if quadratic {
+		dim += d * (d + 1) / 2
 	}
-	total := 0.0
-	for i := range xs {
-		txs := make([][]float64, 0, len(xs)-1)
-		tys := make([]float64, 0, len(ys)-1)
-		for j := range xs {
-			if j != i {
-				txs = append(txs, xs[j])
-				tys = append(tys, ys[j])
-			}
-		}
-		m.fit(txs, tys)
-		d := m.predict(xs[i]) - ys[i]
-		total += d * d
-	}
-	return total / float64(len(xs))
+	return dim
 }
 
-// ridge is linear (or quadratic-expanded) ridge regression solved by
-// Gaussian elimination on the normal equations.
+// expandInto writes the ridge design row of x into dst:
+// [1, x..., x_i·x_j for i≤j].
+func expandInto(x, dst []float64, quadratic bool) {
+	dst[0] = 1
+	copy(dst[1:], x)
+	if !quadratic {
+		return
+	}
+	p := 1 + len(x)
+	for i := 0; i < len(x); i++ {
+		for j := i; j < len(x); j++ {
+			dst[p] = x[i] * x[j]
+			p++
+		}
+	}
+}
+
+// ridge is linear (or quadratic-expanded) ridge regression solved by a
+// Cholesky factorization of the normal equations.
 type ridge struct {
 	lambda    float64
 	quadratic bool
@@ -236,15 +436,18 @@ type ridge struct {
 }
 
 func (r *ridge) expand(x []float64) []float64 {
-	out := append([]float64{1}, x...)
-	if r.quadratic {
-		for i := 0; i < len(x); i++ {
-			for j := i; j < len(x); j++ {
-				out = append(out, x[i]*x[j])
-			}
-		}
-	}
+	out := make([]float64, expandDim(len(x), r.quadratic))
+	expandInto(x, out, r.quadratic)
 	return out
+}
+
+// design builds the expanded m×D design matrix of xs.
+func (r *ridge) design(xs [][]float64) *tensor.Matrix {
+	x := tensor.New(len(xs), expandDim(len(xs[0]), r.quadratic))
+	for k, row := range xs {
+		expandInto(row, x.Row(k), r.quadratic)
+	}
+	return x
 }
 
 func (r *ridge) fit(xs [][]float64, ys []float64) {
@@ -252,51 +455,72 @@ func (r *ridge) fit(xs [][]float64, ys []float64) {
 		r.w = nil
 		return
 	}
-	d := len(r.expand(xs[0]))
-	// Normal equations: (XᵀX + λI) w = Xᵀy.
-	a := make([][]float64, d)
-	for i := range a {
-		a[i] = make([]float64, d+1)
-		a[i][i] = r.lambda
+	x := r.design(xs)
+	r.w = make([]float64, x.Cols)
+	ridgeSolve(x, ys, r.lambda, r.w)
+}
+
+// ridgeSolve solves (XᵀX + λI)w = Xᵀy by Cholesky, leaving w zero when
+// the normal equations are not positive definite (which for λ > 0 can
+// only mean severe ill-conditioning).
+func ridgeSolve(x *tensor.Matrix, ys []float64, lambda float64, w []float64) bool {
+	dim := x.Cols
+	a := tensor.New(dim, dim)
+	tensor.MatMulTAAddInto(x, x, a)
+	for i := 0; i < dim; i++ {
+		a.Data[i*dim+i] += lambda
 	}
-	for k := range xs {
-		e := r.expand(xs[k])
-		for i := 0; i < d; i++ {
-			for j := 0; j < d; j++ {
-				a[i][j] += e[i] * e[j]
-			}
-			a[i][d] += e[i] * ys[k]
-		}
+	l := tensor.New(dim, dim)
+	if !tensor.CholeskyInto(a, l) {
+		return false
 	}
-	// Gaussian elimination with partial pivoting.
-	for col := 0; col < d; col++ {
-		piv := col
-		for row := col + 1; row < d; row++ {
-			if math.Abs(a[row][col]) > math.Abs(a[piv][col]) {
-				piv = row
-			}
-		}
-		a[col], a[piv] = a[piv], a[col]
-		p := a[col][col]
-		if math.Abs(p) < 1e-12 {
-			continue
-		}
-		for row := 0; row < d; row++ {
-			if row == col {
-				continue
-			}
-			f := a[row][col] / p
-			for j := col; j <= d; j++ {
-				a[row][j] -= f * a[col][j]
-			}
-		}
+	rhs := tensor.New(dim, 1)
+	ym := tensor.Matrix{Rows: len(ys), Cols: 1, Data: ys}
+	tensor.MatMulTAAddInto(x, &ym, rhs)
+	tensor.SolveInto(l, rhs.Data, w)
+	return true
+}
+
+// looError is the closed-form ridge leave-one-out error: one fit, then
+// per-sample residuals e_i/(1-h_ii) from the hat-matrix diagonal.
+func (r *ridge) looError(xs [][]float64, ys []float64) float64 {
+	if len(xs) < 3 {
+		return math.Inf(1)
 	}
-	r.w = make([]float64, d)
-	for i := 0; i < d; i++ {
-		if math.Abs(a[i][i]) > 1e-12 {
-			r.w[i] = a[i][d] / a[i][i]
-		}
+	x := r.design(xs)
+	dim := x.Cols
+	a := tensor.New(dim, dim)
+	tensor.MatMulTAAddInto(x, x, a)
+	for i := 0; i < dim; i++ {
+		a.Data[i*dim+i] += r.lambda
 	}
+	l := tensor.New(dim, dim)
+	if !tensor.CholeskyInto(a, l) {
+		return math.Inf(1)
+	}
+	rhs := tensor.New(dim, 1)
+	ym := tensor.Matrix{Rows: len(ys), Cols: 1, Data: ys}
+	tensor.MatMulTAAddInto(x, &ym, rhs)
+	w := make([]float64, dim)
+	tensor.SolveInto(l, rhs.Data, w)
+
+	solve := make([]float64, dim)
+	total := 0.0
+	for i := range xs {
+		xi := x.Row(i)
+		pred := 0.0
+		for j, v := range xi {
+			pred += w[j] * v
+		}
+		tensor.SolveInto(l, xi, solve)
+		h := 0.0
+		for j, v := range xi {
+			h += v * solve[j]
+		}
+		d := (pred - ys[i]) / (1 - h)
+		total += d * d
+	}
+	return total / float64(len(xs))
 }
 
 func (r *ridge) predict(x []float64) float64 {
@@ -310,7 +534,8 @@ func (r *ridge) predict(x []float64) float64 {
 	return s
 }
 
-// knn predicts the mean of the k nearest samples.
+// knn predicts the mean of the k nearest samples (ties broken toward
+// earlier samples — a stable selection).
 type knn struct {
 	k  int
 	xs [][]float64
@@ -320,29 +545,79 @@ type knn struct {
 func (m *knn) fit(xs [][]float64, ys []float64) { m.xs, m.ys = xs, ys }
 
 func (m *knn) predict(x []float64) float64 {
-	type dy struct {
-		d, y float64
+	if len(m.xs) == 0 {
+		return 0
 	}
-	ds := make([]dy, len(m.xs))
+	ds := make([]float64, len(m.xs))
 	for i, xi := range m.xs {
 		d := 0.0
 		for j := range xi {
 			dd := xi[j] - x[j]
 			d += dd * dd
 		}
-		ds[i] = dy{d, m.ys[i]}
+		ds[i] = d
 	}
-	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
-	k := m.k
-	if k > len(ds) {
-		k = len(ds)
+	var chosen []int
+	return knnMean(ds, m.ys, -1, m.k, &chosen)
+}
+
+// looError is the kNN leave-one-out error over the precomputable
+// pairwise distances (each held-out sample predicts from the rest).
+func (m *knn) looError(xs [][]float64, ys []float64) float64 {
+	if len(xs) < 3 {
+		return math.Inf(1)
 	}
-	if k == 0 {
+	x := tensor.New(len(xs), len(xs[0]))
+	for i, row := range xs {
+		copy(x.Row(i), row)
+	}
+	dist := tensor.New(len(xs), len(xs))
+	tensor.PairwiseSqDistInto(x, x, dist)
+	var chosen []int
+	total := 0.0
+	for i := range xs {
+		d := knnMean(dist.Row(i), ys, i, m.k, &chosen) - ys[i]
+		total += d * d
+	}
+	return total / float64(len(xs))
+}
+
+// knnMean returns the mean y of the k nearest samples by squared
+// distance, skipping index skip (-1 for none). Selection is stable —
+// repeated first-minimum scans, so equal distances resolve toward the
+// earlier sample — and the sum accumulates in ascending-distance order.
+func knnMean(ds, ys []float64, skip, k int, chosen *[]int) float64 {
+	avail := len(ds)
+	if skip >= 0 {
+		avail--
+	}
+	if k > avail {
+		k = avail
+	}
+	if k <= 0 {
 		return 0
 	}
+	sel := (*chosen)[:0]
 	s := 0.0
-	for i := 0; i < k; i++ {
-		s += ds[i].y
+	for c := 0; c < k; c++ {
+		bi, bd := -1, math.Inf(1)
+	scan:
+		for j := range ds {
+			if j == skip {
+				continue
+			}
+			for _, t := range sel {
+				if t == j {
+					continue scan
+				}
+			}
+			if ds[j] < bd {
+				bd, bi = ds[j], j
+			}
+		}
+		sel = append(sel, bi)
+		s += ys[bi]
 	}
+	*chosen = sel
 	return s / float64(k)
 }

@@ -135,3 +135,43 @@ func TestBestModelPrefersBetterFit(t *testing.T) {
 		t.Fatalf("bestModel picked %T for a polynomial", m)
 	}
 }
+
+func TestExploreFallbackSpendsFullBudget(t *testing.T) {
+	// Budget = the whole space: the last exploit/explore rounds leave
+	// only a handful of unvisited candidates, where 32 random draws
+	// routinely all land on visited ones. The linear-scan fallback must
+	// keep proposing, so the session spends its entire budget on
+	// distinct candidates instead of silently giving up early.
+	d := dataset.MustBuild(hw.Haswell())
+	rd := d.Regions[0]
+	n := d.Space.NumConfigs()
+	p := timeTask(d, 0, 3, n)
+	res := autotune.Run(p, autotune.NewReplay(rd, d.Space, p.Obj, p.Seed, NoiseSD, NoiseMix), NewStrategy(p))
+	if res.Evals != n {
+		t.Fatalf("session spent %d of %d evals: explore gave up before the budget", res.Evals, n)
+	}
+	seen := map[int]bool{}
+	for _, o := range res.Trace {
+		if seen[o.Config] {
+			t.Fatalf("config %d proposed twice", o.Config)
+		}
+		seen[o.Config] = true
+	}
+}
+
+func TestSessionAllocsCeiling(t *testing.T) {
+	// Regression ceiling for the vectorized session: the dominant costs
+	// are the once-per-session feature matrices; the steady-state
+	// exploit rounds reuse scratch buffers. BENCH_4 measured 13205
+	// allocs per session before vectorization, ~207 after; the ceiling
+	// is the issue's 50x-reduction floor.
+	d := dataset.MustBuild(hw.Haswell())
+	rd := d.Regions[0]
+	p := timeTask(d, 0, 1, Budget)
+	allocs := testing.AllocsPerRun(10, func() {
+		autotune.Run(p, autotune.NewReplay(rd, d.Space, p.Obj, p.Seed, NoiseSD, NoiseMix), NewStrategy(p))
+	})
+	if allocs > 264 {
+		t.Fatalf("BLISS session allocates %.0f times, ceiling 264", allocs)
+	}
+}

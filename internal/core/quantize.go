@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"pnptuner/internal/dataset"
+	"pnptuner/internal/nn"
+	"pnptuner/internal/rgcn"
+	"pnptuner/internal/tensor"
+)
+
+// CompiledModel is the float32 quantized serving artifact of a trained
+// Model: every weight converted once at quantize time, every forward
+// kernel running in float32. It exists purely for inference — it has no
+// gradients, no optimizer state, and cannot be trained further — and,
+// like Model, it is not goroutine-safe (the layers reuse scratch
+// buffers), so serving funnels it through a single batcher goroutine.
+type CompiledModel struct {
+	Cfg      ModelConfig
+	ExtraDim int
+	Classes  int
+	Hidden   int
+
+	emb    *rgcn.Embedding32
+	layers []*rgcn.Layer32
+	acts   []*nn.Act32
+	pool   nn.SegmentPool32
+	heads  []*nn.Sequential32
+
+	merger   rgcn.Merger
+	extraBuf tensor.Buf32
+}
+
+// Quantize converts the model's weights once into a float32
+// CompiledModel. The quantized model predicts independently of the
+// source model afterwards (weights are copied, not shared), so the
+// source can keep training while a quantized snapshot serves.
+func (m *Model) Quantize() (*CompiledModel, error) {
+	q := &CompiledModel{
+		Cfg:      m.Cfg,
+		ExtraDim: m.ExtraDim,
+		Classes:  m.Classes,
+		Hidden:   m.Cfg.Hidden,
+		emb:      rgcn.QuantizeEmbedding(m.Enc.Emb),
+	}
+	for i, l := range m.Enc.Layers {
+		q.layers = append(q.layers, rgcn.QuantizeLayer(l))
+		q.acts = append(q.acts, nn.QuantizeAct(m.Enc.Acts[i]))
+	}
+	for _, h := range m.Heads {
+		qh, err := nn.QuantizeSequential(h)
+		if err != nil {
+			return nil, fmt.Errorf("core: quantize: %w", err)
+		}
+		q.heads = append(q.heads, qh)
+	}
+	return q, nil
+}
+
+// MustQuantize is Quantize for model shapes known to be quantizable
+// (every model this package builds is); it panics on failure.
+func (m *Model) MustQuantize() *CompiledModel {
+	q, err := m.Quantize()
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// NumHeads returns the number of classifier heads.
+func (q *CompiledModel) NumHeads() int { return len(q.heads) }
+
+// encodeCompiled encodes precompiled graphs in one batched float32 pass:
+// row i is the dense-head input for cgs[i].
+func (q *CompiledModel) encodeCompiled(cgs []*rgcn.CompiledGraph, extras [][]float64) *tensor.Mat32 {
+	b := q.merger.Merge(cgs)
+	h := q.emb.ForwardBatch(b)
+	for i, l := range q.layers {
+		l.SetGraph(b.Adj)
+		h = q.acts[i].Forward(l.Forward(h))
+	}
+	pooled := q.pool.Forward(h, b.Offsets)
+	if q.ExtraDim == 0 {
+		return pooled
+	}
+	full := q.extraBuf.Get(pooled.Rows, q.Hidden+q.ExtraDim)
+	for i := 0; i < pooled.Rows; i++ {
+		if len(extras[i]) != q.ExtraDim {
+			panic(fmt.Sprintf("core: %d extra features for row %d, model wants %d",
+				len(extras[i]), i, q.ExtraDim))
+		}
+		row := full.Row(i)
+		copy(row[:q.Hidden], pooled.Row(i))
+		for c, v := range extras[i] {
+			row[q.Hidden+c] = float32(v)
+		}
+	}
+	return full
+}
+
+// PredictCompiled scores precompiled graphs in one quantized encoder
+// pass: out[i][h] is head h's pick for cgs[i] — the float32 twin of
+// Model.PredictCompiled with identical argmax tie-breaking.
+func (q *CompiledModel) PredictCompiled(cgs []*rgcn.CompiledGraph, extras [][]float64) [][]int {
+	enc := q.encodeCompiled(cgs, extras)
+	out := make([][]int, len(cgs))
+	flat := make([]int, len(cgs)*len(q.heads))
+	for i := range out {
+		out[i] = flat[i*len(q.heads) : (i+1)*len(q.heads)]
+	}
+	for h := range q.heads {
+		logits := q.heads[h].Forward(enc)
+		for i := range cgs {
+			out[i][h] = nn.Argmax32(logits, i)
+		}
+	}
+	return out
+}
+
+// compileRegions gathers the (region-cached) compiled graphs and extras
+// rows a quantized sweep over val feeds PredictCompiled (capNorm 0, like
+// predictPower).
+func (q *CompiledModel) compileRegions(val []*dataset.RegionData) ([]*rgcn.CompiledGraph, [][]float64) {
+	cgs := make([]*rgcn.CompiledGraph, len(val))
+	exs := make([][]float64, len(val))
+	for i, rd := range val {
+		cgs[i] = rd.Region.CompiledGraph()
+		exs[i] = extras(q.Cfg, rd.Counters, 0)
+	}
+	return cgs, exs
+}
+
+// PredictPowerQuantized is the quantized twin of PredictPower: per-region
+// per-cap config picks from the float32 snapshot.
+func PredictPowerQuantized(q *CompiledModel, val []*dataset.RegionData) map[string][]int {
+	pred := make(map[string][]int, len(val))
+	if len(val) == 0 {
+		return pred
+	}
+	cgs, exs := q.compileRegions(val)
+	picks := q.PredictCompiled(cgs, exs)
+	for i, rd := range val {
+		pred[rd.Region.ID] = picks[i]
+	}
+	return pred
+}
+
+// PredictEDPQuantized is the quantized twin of PredictEDP: per-region
+// joint (cap, config) picks from the float32 snapshot.
+func PredictEDPQuantized(q *CompiledModel, val []*dataset.RegionData) map[string]int {
+	pred := make(map[string]int, len(val))
+	if len(val) == 0 {
+		return pred
+	}
+	cgs, exs := q.compileRegions(val)
+	picks := q.PredictCompiled(cgs, exs)
+	for i, rd := range val {
+		pred[rd.Region.ID] = picks[i][0]
+	}
+	return pred
+}
+
+// TopKCompiled returns each graph's k best classes per head, best first —
+// the float32 twin of Model.TopKCompiled.
+func (q *CompiledModel) TopKCompiled(cgs []*rgcn.CompiledGraph, extras [][]float64, k int) [][][]int {
+	enc := q.encodeCompiled(cgs, extras)
+	out := make([][][]int, len(cgs))
+	for i := range out {
+		out[i] = make([][]int, len(q.heads))
+	}
+	for h := range q.heads {
+		logits := q.heads[h].Forward(enc)
+		for i := range cgs {
+			out[i][h] = nn.TopK32(logits, i, k)
+		}
+	}
+	return out
+}

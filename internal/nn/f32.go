@@ -1,0 +1,166 @@
+package nn
+
+import (
+	"fmt"
+
+	"pnptuner/internal/tensor"
+)
+
+// This file is the float32 inference mirror of the forward-only layers:
+// quantized serving converts weights once (Quantize*) and then runs the
+// whole predict path in float32. There is no backward pass — training
+// stays float64; these types exist purely for the serving hot path.
+
+// Linear32 is the inference-only float32 mirror of Linear.
+type Linear32 struct {
+	In, Out int
+	W       *tensor.Mat32 // In×Out
+	B       []float32     // Out
+
+	outBuf tensor.Buf32
+}
+
+// QuantizeLinear converts a trained Linear into its float32 mirror.
+func QuantizeLinear(l *Linear) *Linear32 {
+	return &Linear32{
+		In: l.In, Out: l.Out,
+		W: tensor.Quantize32(l.Weight.W),
+		B: tensor.Quantize32Vec(l.Bias.W.Data),
+	}
+}
+
+// Forward computes x·W + b. The result is owned by the layer and valid
+// until the next Forward.
+func (l *Linear32) Forward(x *tensor.Mat32) *tensor.Mat32 {
+	if x.Cols != l.In {
+		panic(fmt.Sprintf("nn: linear32 %d→%d got input width %d", l.In, l.Out, x.Cols))
+	}
+	y := l.outBuf.Get(x.Rows, l.Out)
+	for r := 0; r < x.Rows; r++ {
+		copy(y.Row(r), l.B)
+	}
+	tensor.MatMul32AddInto(x, l.W, y)
+	return y
+}
+
+// Act32 is the inference-only float32 mirror of LeakyReLU.
+type Act32 struct {
+	Alpha float32
+	yBuf  tensor.Buf32
+}
+
+// QuantizeAct converts a LeakyReLU into its float32 mirror.
+func QuantizeAct(a *LeakyReLU) *Act32 { return &Act32{Alpha: float32(a.Alpha)} }
+
+// Forward applies the activation. The result is owned by the layer and
+// valid until the next Forward.
+func (a *Act32) Forward(x *tensor.Mat32) *tensor.Mat32 {
+	y := a.yBuf.Get(x.Rows, x.Cols)
+	tensor.LeakyReLU32Into(a.Alpha, x, y)
+	return y
+}
+
+// Layer32 is a forward-only float32 layer.
+type Layer32 interface {
+	Forward(x *tensor.Mat32) *tensor.Mat32
+}
+
+// Sequential32 chains float32 layers — the quantized dense head.
+type Sequential32 struct{ Layers []Layer32 }
+
+// QuantizeSequential converts a trained Sequential (Linear and
+// LeakyReLU/ReLU layers; Dropout quantizes to the identity it is in
+// evaluation mode) into its float32 mirror.
+func QuantizeSequential(s *Sequential) (*Sequential32, error) {
+	out := &Sequential32{}
+	for _, l := range s.Layers {
+		switch t := l.(type) {
+		case *Linear:
+			out.Layers = append(out.Layers, QuantizeLinear(t))
+		case *LeakyReLU:
+			out.Layers = append(out.Layers, QuantizeAct(t))
+		case *Dropout:
+			// Inference-only path: dropout is the identity.
+		default:
+			return nil, fmt.Errorf("nn: cannot quantize layer %T", l)
+		}
+	}
+	return out, nil
+}
+
+// Forward runs every layer in order.
+func (s *Sequential32) Forward(x *tensor.Mat32) *tensor.Mat32 {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// SegmentPool32 is the inference-only float32 mirror of SegmentPool.
+type SegmentPool32 struct {
+	outBuf tensor.Buf32
+}
+
+// Forward mean-pools each row segment of x, returning a
+// (len(offsets)-1)×Cols matrix owned by the pool and valid until the
+// next Forward. Same offsets contract as SegmentPool.Forward.
+func (p *SegmentPool32) Forward(x *tensor.Mat32, offsets []int) *tensor.Mat32 {
+	if len(offsets) < 1 || offsets[0] != 0 || offsets[len(offsets)-1] != x.Rows {
+		panic(fmt.Sprintf("nn: segment pool32 offsets %v over %d rows", offsets, x.Rows))
+	}
+	out := p.outBuf.GetZeroed(len(offsets)-1, x.Cols)
+	for g := 0; g+1 < len(offsets); g++ {
+		lo, hi := offsets[g], offsets[g+1]
+		if lo == hi {
+			continue
+		}
+		orow := out.Row(g)
+		for r := lo; r < hi; r++ {
+			for c, v := range x.Row(r) {
+				orow[c] += v
+			}
+		}
+		inv := 1 / float32(hi-lo)
+		for c := range orow {
+			orow[c] *= inv
+		}
+	}
+	return out
+}
+
+// Argmax32 returns the index of the largest value in row r of m, first
+// maximum winning ties — the same tie-break as the float64 Argmax, so
+// equal logits pick the same class on both paths.
+func Argmax32(m *tensor.Mat32, r int) int {
+	row := m.Row(r)
+	best, bv := 0, row[0]
+	for c, v := range row[1:] {
+		if v > bv {
+			best, bv = c+1, v
+		}
+	}
+	return best
+}
+
+// TopK32 returns the indices of the k largest values in row r, best
+// first, with the float64 TopK's partial-selection-sort tie semantics.
+func TopK32(m *tensor.Mat32, r, k int) []int {
+	row := m.Row(r)
+	if k > len(row) {
+		k = len(row)
+	}
+	idx := make([]int, len(row))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if row[idx[j]] > row[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}

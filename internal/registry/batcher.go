@@ -62,6 +62,7 @@ type request struct {
 // constraint into throughput instead of a bottleneck.
 type Batcher struct {
 	model    *core.Model
+	quant    *core.CompiledModel // non-nil: forward on the float32 snapshot
 	maxBatch int
 	maxWait  time.Duration
 
@@ -83,6 +84,23 @@ type Batcher struct {
 // (min 1); maxWait bounds how long the first request of a window waits
 // for company.
 func NewBatcher(m *core.Model, maxBatch int, maxWait time.Duration) *Batcher {
+	return newBatcher(m, nil, maxBatch, maxWait)
+}
+
+// NewQuantizedBatcher starts a batcher that forwards on a float32
+// quantized snapshot of m (converted once, here) instead of the float64
+// model. Request validation still reads m's shape; m itself is never
+// forwarded on, so it stays free for background retraining. Fails only
+// for model shapes Quantize cannot mirror.
+func NewQuantizedBatcher(m *core.Model, maxBatch int, maxWait time.Duration) (*Batcher, error) {
+	q, err := m.Quantize()
+	if err != nil {
+		return nil, err
+	}
+	return newBatcher(m, q, maxBatch, maxWait), nil
+}
+
+func newBatcher(m *core.Model, q *core.CompiledModel, maxBatch int, maxWait time.Duration) *Batcher {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
@@ -98,6 +116,7 @@ func NewBatcher(m *core.Model, maxBatch int, maxWait time.Duration) *Batcher {
 	}
 	b := &Batcher{
 		model:    m,
+		quant:    q,
 		maxBatch: maxBatch,
 		maxWait:  maxWait,
 		reqs:     make(chan *request, queueCap),
@@ -110,6 +129,9 @@ func NewBatcher(m *core.Model, maxBatch int, maxWait time.Duration) *Batcher {
 
 // NumHeads returns the width of every reply (one pick per model head).
 func (b *Batcher) NumHeads() int { return len(b.model.Heads) }
+
+// Quantized reports whether the batcher forwards on a float32 snapshot.
+func (b *Batcher) Quantized() bool { return b.quant != nil }
 
 // Predict queues a request and blocks for its result: the argmax class of
 // every model head, index-aligned with the heads (per-cap picks for a
@@ -337,5 +359,8 @@ func (b *Batcher) forward(cgs []*rgcn.CompiledGraph, extras [][]float64, k int) 
 		}
 	}()
 	// k=1 is exactly the argmax of PredictCompiled (first-max tie-break).
+	if b.quant != nil {
+		return b.quant.TopKCompiled(cgs, extras, k), nil
+	}
 	return b.model.TopKCompiled(cgs, extras, k), nil
 }

@@ -37,11 +37,20 @@ type RefreshConfig struct {
 	Epochs int
 }
 
-// canary is one in-flight shadow rollout.
+// canary is one in-flight shadow rollout. Scoring runs off the request
+// path: handlePredict enqueues onto the bounded scores queue and returns
+// to the client immediately; the canary's worker goroutine drains the
+// queue through scoreCanary. A full queue drops the sample (the window
+// just takes a little longer to fill) — live predict latency never pays
+// for a shadow forward pass.
 type canary struct {
 	key   Key
 	entry *Entry   // the refreshed (vN+1) entry under evaluation
 	b     *Batcher // its own batcher; the serving batcher is untouched
+
+	scores  chan canarySample
+	stopped chan struct{}
+	stop    sync.Once
 
 	mu        sync.Mutex
 	scored    int
@@ -49,6 +58,32 @@ type canary struct {
 	shadowSum float64 // refreshed version's
 	decided   bool
 }
+
+// canarySample is one live predict captured for off-path shadow scoring.
+type canarySample struct {
+	g        *programl.Graph
+	extras   []float64
+	curPicks []int
+}
+
+// enqueue hands one live predict to the scoring worker without blocking:
+// a full queue or a decided canary drops the sample.
+func (c *canary) enqueue(s canarySample) bool {
+	select {
+	case <-c.stopped:
+		return false
+	default:
+	}
+	select {
+	case c.scores <- s:
+		return true
+	default:
+		return false
+	}
+}
+
+// halt ends the scoring worker. Safe to call more than once.
+func (c *canary) halt() { c.stop.Do(func() { close(c.stopped) }) }
 
 // recordMeasured feeds one tune session's real-execution samples into
 // the key's measurement log and kicks the refresh check. Partial streams
@@ -103,19 +138,42 @@ func (s *Server) refreshModel(key Key) {
 	s.startCanary(key, next)
 }
 
-// startCanary publishes a shadow rollout for key serving entry next.
+// startCanary publishes a shadow rollout for key serving entry next and
+// starts its scoring worker. The shadow batcher is built the same way
+// serving batchers are, so quantized servers canary quantized snapshots.
 func (s *Server) startCanary(key Key, next *Entry) {
-	b := NewBatcher(next.Model, s.maxBatch, s.maxWait)
-	b.Meta = next.Meta
+	b := s.newServingBatcher(next)
 	id := key.ID()
+	c := &canary{
+		key: key, entry: next, b: b,
+		// A few windows of headroom: scoring lags live traffic slightly,
+		// and anything past that is droppable — the verdict only needs
+		// CanaryWindow scoreable samples eventually, not every request.
+		scores:  make(chan canarySample, 64),
+		stopped: make(chan struct{}),
+	}
 	s.mu.Lock()
 	if s.closed || s.canaries[id] != nil {
 		s.mu.Unlock()
 		b.Close()
 		return
 	}
-	s.canaries[id] = &canary{key: key, entry: next, b: b}
+	s.canaries[id] = c
 	s.mu.Unlock()
+	go s.canaryWorker(c)
+}
+
+// canaryWorker drains one canary's score queue until the verdict (or
+// shutdown) halts it.
+func (s *Server) canaryWorker(c *canary) {
+	for {
+		select {
+		case sample := <-c.scores:
+			s.scoreCanary(c, c.key, sample.g, sample.extras, sample.curPicks)
+		case <-c.stopped:
+			return
+		}
+	}
 }
 
 // scoreCanary runs one live predict's graph through the shadow model and
@@ -195,6 +253,7 @@ func predictQuality(rd *dataset.RegionData, sp *space.Space, objective string, p
 // demote the refreshed version is discarded. Either way the rollout is
 // removed and its loser's batcher drains off-request.
 func (s *Server) finishCanary(c *canary, promote bool) {
+	c.halt()
 	id := c.key.ID()
 	s.mu.Lock()
 	if s.canaries[id] != c {

@@ -209,6 +209,16 @@ func TestServerCanaryPromote(t *testing.T) {
 		}
 	}
 
+	// Scoring runs off the request path, so the verdict lands asynchronously
+	// shortly after the window's samples drain.
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.canaryVersion(key.ID()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("canary verdict never landed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
 	// The tie promoted the shadow: v2 serves, identically (same weights).
 	after := postPredict(t, ts, api.PathPredict, body)
 	if after.ModelVersion != 2 {

@@ -44,6 +44,7 @@ type Server struct {
 	jobs     *JobStore
 	metrics  *routeMetrics
 	inflight int
+	quantize bool
 
 	refresh RefreshConfig
 
@@ -81,6 +82,10 @@ type ServerConfig struct {
 	// requests; past it the route sheds with CodeOverloaded before any
 	// work (default 1024, negative = unlimited).
 	MaxInflight int
+	// Quantize serves every model through a float32 quantized snapshot
+	// (batcher forwards run the CompiledModel kernels). Picks are parity-
+	// gated bit-equal to the float64 path; default off.
+	Quantize bool
 }
 
 // NewServer builds a server over reg. v is the (frozen) corpus
@@ -107,6 +112,7 @@ func NewServer(reg *Registry, v *vocab.Vocabulary, cfg ServerConfig) *Server {
 		maxBatch:   cfg.MaxBatch,
 		maxWait:    cfg.MaxWait,
 		refresh:    cfg.Refresh,
+		quantize:   cfg.Quantize,
 		start:      time.Now(),
 		inflight:   cfg.MaxInflight,
 		jobs:       NewJobStore(cfg.Jobs),
@@ -180,6 +186,7 @@ func (s *Server) Shutdown(ctx context.Context) {
 		v.(*Batcher).Close()
 	}
 	for _, c := range canaries {
+		c.halt()
 		c.b.Close()
 	}
 }
@@ -201,6 +208,24 @@ func (s *Server) Close() {
 // id is fully closed may be recreated — the registry can hand the same
 // (not goroutine-safe) *core.Model back out for an evicted key, and two
 // batchers must never forward on one model concurrently.
+// newServingBatcher builds the batcher for one registry entry, honoring
+// the server's quantized-serving mode. A model that cannot quantize
+// (never one this registry trains) falls back to float64 serving rather
+// than failing the request.
+func (s *Server) newServingBatcher(entry *Entry) *Batcher {
+	var b *Batcher
+	if s.quantize {
+		if qb, err := NewQuantizedBatcher(entry.Model, s.maxBatch, s.maxWait); err == nil {
+			b = qb
+		}
+	}
+	if b == nil {
+		b = NewBatcher(entry.Model, s.maxBatch, s.maxWait)
+	}
+	b.Meta = entry.Meta
+	return b
+}
+
 func (s *Server) batcherFor(key Key) (*Batcher, error) {
 	id := key.ID()
 	s.mu.Lock()
@@ -238,8 +263,7 @@ func (s *Server) batcherFor(key Key) (*Batcher, error) {
 			<-ch
 			continue
 		}
-		b := NewBatcher(entry.Model, s.maxBatch, s.maxWait)
-		b.Meta = entry.Meta
+		b := s.newServingBatcher(entry)
 		for _, item := range s.batchers.put(id, b) {
 			ch := make(chan struct{})
 			s.closing[item.key] = ch
@@ -350,14 +374,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp.Picks = []api.Pick{{CapW: capW, ConfigIndex: picks[0], Config: cfg.String()}}
 	}
 	// Shadow rollout: while a canary is in flight for this model, every
-	// scoreable predict also runs on the refreshed version, and the
-	// window's verdict promotes or demotes it. The client's picks above
-	// always come from the serving version — vN serves uninterrupted.
+	// scoreable predict is also handed to the refreshed version, and the
+	// window's verdict promotes or demotes it. Scoring is asynchronous —
+	// the request only pays a non-blocking enqueue (a full queue drops the
+	// sample), and the client's picks above always come from the serving
+	// version — vN serves uninterrupted.
 	s.mu.Lock()
 	c := s.canaries[key.ID()]
 	s.mu.Unlock()
 	if c != nil {
-		s.scoreCanary(c, key, g, req.Counters, picks)
+		c.enqueue(canarySample{g: g, extras: req.Counters, curPicks: picks})
 	}
 	s.served.Add(1)
 	writeJSON(w, http.StatusOK, resp)

@@ -1,0 +1,150 @@
+// Float32 inference mirrors of the graph-encoder layers: quantized
+// serving converts the trained float64 parameters once and runs every
+// forward pass — embedding gather, relational convolutions, CSR
+// propagation — in float32. There is no backward pass; training stays
+// float64.
+package rgcn
+
+import (
+	"fmt"
+
+	"pnptuner/internal/tensor"
+)
+
+// gather32 is the float32 mirror of gather: out[i] = norm[i] · Σ h[src].
+func (p *csrPlan) gather32(norm []float64, h, out *tensor.Mat32) {
+	if len(p.dstSrc)*h.Cols < parallelMinWork || tensor.Workers() == 1 {
+		p.gather32Range(norm, h, out, 0, out.Rows)
+		return
+	}
+	tensor.ParallelFor(out.Rows, func(lo, hi int) { p.gather32Range(norm, h, out, lo, hi) })
+}
+
+func (p *csrPlan) gather32Range(norm []float64, h, out *tensor.Mat32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		start, end := p.dstPtr[i], p.dstPtr[i+1]
+		if start == end {
+			continue
+		}
+		orow := out.Row(i)
+		for _, s := range p.dstSrc[start:end] {
+			for c, v := range h.Row(int(s)) {
+				orow[c] += v
+			}
+		}
+		w := float32(norm[i])
+		for c := range orow {
+			orow[c] *= w
+		}
+	}
+}
+
+// propagate32Into accumulates out += Â_d·h on a zeroed float32 target.
+// Finalized adjacencies (the serving path) run the CSR plan; the
+// edge-list fallback mirrors the float64 reference path.
+func (a *Adjacency) propagate32Into(d int, h, out *tensor.Mat32) {
+	if a.plans != nil {
+		a.plans[d].gather32(a.Norm[d], h, out)
+		return
+	}
+	norm := a.Norm[d]
+	for _, e := range a.Edges[d] {
+		src, dst := e[0], e[1]
+		w := float32(norm[dst])
+		hrow := h.Row(int(src))
+		orow := out.Row(int(dst))
+		for c, v := range hrow {
+			orow[c] += w * v
+		}
+	}
+}
+
+// Layer32 is the inference-only float32 mirror of Layer. SetGraph binds
+// the adjacency exactly like the float64 layer; Forward follows the same
+// H·W_self + Σ_d Â_d·H·W_d + b sequence.
+type Layer32 struct {
+	In, Out int
+	WSelf   *tensor.Mat32
+	WRel    [NumDirections]*tensor.Mat32
+	Bias    []float32
+
+	adj     *Adjacency
+	outBuf  tensor.Buf32
+	msgBufs [NumDirections]tensor.Buf32
+}
+
+// QuantizeLayer converts a trained Layer into its float32 mirror.
+func QuantizeLayer(l *Layer) *Layer32 {
+	q := &Layer32{
+		In: l.In, Out: l.Out,
+		WSelf: tensor.Quantize32(l.WSelf.W),
+		Bias:  tensor.Quantize32Vec(l.Bias.W.Data),
+	}
+	for d := 0; d < NumDirections; d++ {
+		q.WRel[d] = tensor.Quantize32(l.WRel[d].W)
+	}
+	return q
+}
+
+// SetGraph binds the layer to one graph's adjacency for the next Forward.
+func (l *Layer32) SetGraph(adj *Adjacency) { l.adj = adj }
+
+// Forward computes the relational convolution for the bound graph. The
+// result is owned by the layer and valid until the next Forward.
+func (l *Layer32) Forward(x *tensor.Mat32) *tensor.Mat32 {
+	if l.adj == nil {
+		panic("rgcn: Forward before SetGraph")
+	}
+	if x.Rows != l.adj.NumNodes {
+		panic(fmt.Sprintf("rgcn: %d feature rows for %d nodes", x.Rows, l.adj.NumNodes))
+	}
+	out := l.outBuf.GetZeroed(x.Rows, l.Out)
+	tensor.MatMul32AddInto(x, l.WSelf, out)
+	for d := 0; d < NumDirections; d++ {
+		if l.adj.EdgeCount(d) == 0 {
+			continue
+		}
+		msg := l.msgBufs[d].GetZeroed(x.Rows, x.Cols)
+		l.adj.propagate32Into(d, x, msg)
+		tensor.MatMul32AddInto(msg, l.WRel[d], out)
+	}
+	out.AddRowVec(l.Bias)
+	return out
+}
+
+// Embedding32 is the inference-only float32 mirror of Embedding.
+type Embedding32 struct {
+	VocabSize, Dim int
+	Table          *tensor.Mat32
+	out            tensor.Buf32
+}
+
+// QuantizeEmbedding converts a trained Embedding into its float32 mirror.
+func QuantizeEmbedding(e *Embedding) *Embedding32 {
+	return &Embedding32{VocabSize: e.VocabSize, Dim: e.Dim, Table: tensor.Quantize32(e.Table.W)}
+}
+
+// OutDim returns the width of ForwardBatch's output.
+func (e *Embedding32) OutDim() int { return e.Dim + 3 }
+
+// ForwardBatch gathers embedding rows plus node-kind one-hots for every
+// node of a compiled batch (Tokens set), with the float64 path's
+// out-of-vocabulary clamp to the unknown token. The result is owned by
+// the embedding and valid until the next ForwardBatch.
+func (e *Embedding32) ForwardBatch(b *Batch) *tensor.Mat32 {
+	if b.Tokens == nil {
+		panic("rgcn: Embedding32.ForwardBatch wants a compiled batch")
+	}
+	out := e.out.Get(b.NumNodes(), e.Dim+3)
+	for i, t := range b.Tokens {
+		tok := int(t)
+		if tok >= e.VocabSize {
+			tok = 0
+		}
+		row := out.Row(i)
+		copy(row[:e.Dim], e.Table.Row(tok))
+		row[e.Dim], row[e.Dim+1], row[e.Dim+2] = 0, 0, 0
+		row[e.Dim+int(b.Kinds[i])] = 1
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func randMat(rows, cols int, rng *RNG) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+// TestMatMul32MatchesFloat64 is the quantization property test: the
+// float32 product of quantized operands must track the float64 product
+// within 1e-4 relative error.
+func TestMatMul32MatchesFloat64(t *testing.T) {
+	rng := NewRNG(41)
+	for trial := 0; trial < 20; trial++ {
+		m := 1 + rng.Intn(24)
+		k := 1 + rng.Intn(24)
+		n := 1 + rng.Intn(24)
+		a, b := randMat(m, k, rng), randMat(k, n, rng)
+		want := New(m, n)
+		MatMulAddInto(a, b, want)
+
+		got := New32(m, n)
+		MatMul32Into(Quantize32(a), Quantize32(b), got)
+		for i := range want.Data {
+			w, g := want.Data[i], float64(got.Data[i])
+			if d := math.Abs(g - w); d > 1e-4*math.Max(1, math.Abs(w)) {
+				t.Fatalf("trial %d (%dx%dx%d): out[%d] = %g vs float64 %g",
+					trial, m, k, n, i, g, w)
+			}
+		}
+	}
+}
+
+func TestMatMul32AddAccumulates(t *testing.T) {
+	a, b := New32(1, 2), New32(2, 1)
+	a.Data = []float32{1, 2}
+	b.Data = []float32{3, 4}
+	out := New32(1, 1)
+	out.Data[0] = 10
+	MatMul32AddInto(a, b, out)
+	if out.Data[0] != 21 {
+		t.Fatalf("out = %g, want 21", out.Data[0])
+	}
+}
+
+func TestGatherRows32Clamps(t *testing.T) {
+	table := New32(3, 2)
+	table.Data = []float32{0, 0, 10, 11, 20, 21}
+	out := New32(4, 2)
+	GatherRows32(table, []int32{2, -1, 7, 1}, out)
+	want := []float32{20, 21, 0, 0, 0, 0, 10, 11}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("gathered data %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestLeakyReLU32(t *testing.T) {
+	x := New32(1, 4)
+	x.Data = []float32{-2, -0.5, 0, 3}
+	out := New32(1, 4)
+	LeakyReLU32Into(0.1, x, out)
+	want := []float32{-0.2, -0.05, 0, 3}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("out = %v, want %v", out.Data, want)
+		}
+	}
+	// Aliased in-place application must give the same result.
+	LeakyReLU32Into(0.1, x, x)
+	for i, v := range want {
+		if x.Data[i] != v {
+			t.Fatalf("in-place out = %v, want %v", x.Data, want)
+		}
+	}
+}
+
+func TestBuf32Reuse(t *testing.T) {
+	var b Buf32
+	m1 := b.Get(4, 8)
+	m1.Data[0] = 7
+	p1 := &m1.Data[0]
+	m2 := b.GetZeroed(2, 8)
+	if m2.Data[0] != 0 {
+		t.Fatal("GetZeroed returned dirty data")
+	}
+	if &m2.Data[0] != p1 {
+		t.Fatal("Buf32 reallocated despite sufficient capacity")
+	}
+	allocs := testing.AllocsPerRun(100, func() { b.Get(4, 8) })
+	if allocs > 0 {
+		t.Fatalf("steady-state Get allocates %.0f times", allocs)
+	}
+}

@@ -1,0 +1,156 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// randomSPD builds a well-posed symmetric positive-definite matrix
+// A = MᵀM + I from a random M.
+func randomSPD(n int, rng *RNG) *Matrix {
+	m := New(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	a := New(n, n)
+	MatMulTAAddInto(m, m, a)
+	for i := 0; i < n; i++ {
+		a.Data[i*n+i]++
+	}
+	return a
+}
+
+// naiveSolve solves a·x = b by Gauss-Jordan elimination with partial
+// pivoting — the reference the Cholesky path replaced.
+func naiveSolve(a *Matrix, b []float64) []float64 {
+	n := a.Rows
+	aug := make([][]float64, n)
+	for i := range aug {
+		aug[i] = make([]float64, n+1)
+		copy(aug[i], a.Row(i))
+		aug[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for row := col + 1; row < n; row++ {
+			if math.Abs(aug[row][col]) > math.Abs(aug[piv][col]) {
+				piv = row
+			}
+		}
+		aug[col], aug[piv] = aug[piv], aug[col]
+		p := aug[col][col]
+		for row := 0; row < n; row++ {
+			if row == col {
+				continue
+			}
+			f := aug[row][col] / p
+			for j := col; j <= n; j++ {
+				aug[row][j] -= f * aug[col][j]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = aug[i][n] / aug[i][i]
+	}
+	return x
+}
+
+// TestCholeskySolveMatchesNaive is the property test of the ridge-fit
+// rewrite: over random SPD systems of the sizes BLISS solves (up to the
+// 45-wide quadratic design), the Cholesky solve must agree with naive
+// Gaussian elimination within 1e-9.
+func TestCholeskySolveMatchesNaive(t *testing.T) {
+	rng := NewRNG(11)
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(45)
+		a := randomSPD(n, rng)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*4 - 2
+		}
+		l := New(n, n)
+		if !CholeskyInto(a, l) {
+			t.Fatalf("trial %d: SPD %dx%d rejected", trial, n, n)
+		}
+		x := make([]float64, n)
+		SolveInto(l, b, x)
+		want := naiveSolve(a, b)
+		for i := range x {
+			if d := math.Abs(x[i] - want[i]); d > 1e-9 {
+				t.Fatalf("trial %d (n=%d): x[%d] = %g vs naive %g (diff %g)",
+					trial, n, i, x[i], want[i], d)
+			}
+		}
+	}
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := NewRNG(5)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(20)
+		a := randomSPD(n, rng)
+		l := New(n, n)
+		if !CholeskyInto(a, l) {
+			t.Fatalf("trial %d: SPD rejected", trial)
+		}
+		// L·Lᵀ must reproduce A, and the upper triangle of L must be zero.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if j > i && l.At(i, j) != 0 {
+					t.Fatalf("L[%d][%d] = %g above the diagonal", i, j, l.At(i, j))
+				}
+				s := 0.0
+				for k := 0; k <= min(i, j); k++ {
+					s += l.At(i, k) * l.At(j, k)
+				}
+				if math.Abs(s-a.At(i, j)) > 1e-9 {
+					t.Fatalf("(L·Lᵀ)[%d][%d] = %g, want %g", i, j, s, a.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := New(2, 2)
+	a.Data = []float64{1, 2, 2, 1} // eigenvalues 3 and -1
+	l := New(2, 2)
+	if CholeskyInto(a, l) {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+func TestPairwiseSqDistMatchesScalar(t *testing.T) {
+	rng := NewRNG(23)
+	a, b := New(17, 8), New(31, 8)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.Float64()
+	}
+	out := New(a.Rows, b.Rows)
+	PairwiseSqDistInto(a, b, out)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			want := 0.0
+			for k := 0; k < a.Cols; k++ {
+				d := a.At(i, k) - b.At(j, k)
+				want += d * d
+			}
+			// The kernel accumulates columns in the same order as this
+			// scalar loop, so the match is exact, not approximate.
+			if out.At(i, j) != want {
+				t.Fatalf("dist[%d][%d] = %g, want %g", i, j, out.At(i, j), want)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
