@@ -20,6 +20,13 @@
 //	DELETE /v1/jobs/{id}   likewise
 //	GET    /v1/models      merged listing, each entry tagged with its replica
 //	GET    /v1/healthz     gate liveness + per-replica breaker states
+//	GET    /v1/traces/{id} the gate-side span timeline of one request
+//	GET    /metrics        Prometheus text exposition (pnpgate_* families)
+//
+// Requests carry an X-Request-ID trace ID (minted here when absent) that
+// the gate stamps onto every proxied replica attempt, so one ID pulls
+// the gate-side spans from this process and the replica-side spans from
+// the owning pnpserve's /v1/traces/{id}.
 //
 // SIGINT/SIGTERM drain in-flight requests before exit.
 package main
@@ -31,6 +38,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -51,6 +59,9 @@ func main() {
 	attemptTimeout := flag.Duration("attempt-timeout", time.Minute, "per-replica attempt bound; a black-holed replica costs one slice of the request budget, not all of it (negative = unbounded)")
 	hedgeDelay := flag.Duration("hedge-delay", 0, "fixed hedge trigger for idempotent predicts (0 = adaptive, from the observed p99)")
 	noHedge := flag.Bool("no-hedge", false, "disable hedged predicts entirely")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ for in-place profiling of the routing hot paths")
+	traceLog := flag.Int("trace-log", 0,
+		"log every Nth request's root span via slog (0 disables trace sampling logs)")
 	flag.Parse()
 
 	var urls []string
@@ -76,10 +87,30 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *traceLog > 0 {
+		g.SetTraceLogging(*traceLog)
+		log.Printf("trace sampling enabled: logging every %d requests", *traceLog)
+	}
+
+	// The gate handler owns the API surface; -pprof mounts the standard
+	// profiling endpoints beside it, mirroring pnpserve's flag.
+	handler := g.Handler()
+	if *enablePprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+
 	log.Printf("pnpgate listening on %s, routing %d replicas (%s)", *addr, len(urls), strings.Join(urls, ", "))
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           g.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		IdleTimeout:       2 * time.Minute,

@@ -91,6 +91,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pnpload: chaos proxy %s -> %s injecting %s\n", loadTarget, *target, faults)
 	}
 
+	// Scrape the target's own metrics around the run so the report
+	// carries the server-side deltas (queue waits, sheds, cache hits)
+	// next to the client-observed latencies. Scrapes go to the real
+	// target, not the chaos proxy — faults belong in the load path,
+	// not the measurement path. A failed scrape degrades to a report
+	// without deltas rather than failing the run.
+	before, scrapeErr := loadgen.ScrapeMetrics(ctx, *target)
+	if scrapeErr != nil {
+		fmt.Fprintf(os.Stderr, "pnpload: metrics scrape before run: %v (report will omit server deltas)\n", scrapeErr)
+	}
+
 	rep, err := loadgen.Run(ctx, loadgen.Config{
 		Target:        loadTarget,
 		Rate:          *rate,
@@ -113,6 +124,15 @@ func main() {
 	}
 	// The artifact names what was measured, not the ephemeral proxy hop.
 	rep.Target = *target
+
+	if scrapeErr == nil {
+		after, err := loadgen.ScrapeMetrics(context.Background(), *target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnpload: metrics scrape after run: %v (report will omit server deltas)\n", err)
+		} else {
+			rep.ServerDeltas = loadgen.MetricsDelta(before, after)
+		}
+	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -20,6 +20,8 @@
 //	GET    /v1/models     (/models)   registry contents (cached + on disk)
 //	GET    /v1/models/{id}            one model's version + refresh detail
 //	GET    /v1/healthz    (/healthz)  liveness + traffic + per-route counters
+//	GET    /v1/traces/{id}            one request's recorded span timeline
+//	GET    /metrics                   Prometheus text exposition
 //
 // With -refresh-threshold N, tune sessions carrying a measure_budget
 // feed their real-execution samples back into the registry; every N
@@ -77,6 +79,8 @@ func main() {
 	preload := flag.String("preload", "", "comma-separated machine/objective[/scenario] keys to resolve at startup")
 	peers := flag.String("peers", "", "comma-separated peer replica base URLs to fetch cold models from before training")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ for in-place profiling of the serving hot paths")
+	traceLog := flag.Int("trace-log", 0,
+		"log every Nth request's root span via slog (0 disables trace sampling logs)")
 	flag.Parse()
 
 	cfg := core.DefaultModelConfig()
@@ -95,8 +99,11 @@ func main() {
 	// the content address, so a bad peer cannot poison the store.
 	if peerURLs := splitList(*peers); len(peerURLs) > 0 {
 		pool := client.NewPool(client.WithRetries(0, time.Millisecond))
-		reg.SetFetcher(func(k registry.Key) ([]byte, error) {
-			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		reg.SetFetcher(func(ctx context.Context, k registry.Key) ([]byte, error) {
+			// ctx carries the resolving request's trace ID (never its
+			// cancellation), so the peer hop joins the same trace; the
+			// timeout bounds the fetch itself.
+			ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
 			defer cancel()
 			for _, peer := range peerURLs {
 				rc, err := pool.Get(peer).ModelBlob(ctx, k.ID())
@@ -146,6 +153,10 @@ func main() {
 	}
 	if *quantize {
 		log.Printf("quantized serving enabled: forwarding on float32 model snapshots")
+	}
+	if *traceLog > 0 {
+		srv.SetTraceLogging(*traceLog)
+		log.Printf("trace sampling enabled: logging every %d requests", *traceLog)
 	}
 
 	for _, spec := range strings.Split(*preload, ",") {

@@ -25,14 +25,17 @@ import "time"
 // Version is the current API version prefix.
 const Version = "/v1"
 
-// Endpoint paths under Version. PathJobs is a prefix: one job is
-// addressed as PathJobs + "/" + id.
+// Endpoint paths under Version. PathJobs and PathTraces are prefixes:
+// one job is addressed as PathJobs + "/" + id, one request's span
+// timeline as PathTraces + "/" + traceID (the X-Request-ID the server
+// echoed).
 const (
 	PathPredict = Version + "/predict"
 	PathTune    = Version + "/tune"
 	PathJobs    = Version + "/jobs"
 	PathModels  = Version + "/models"
 	PathHealthz = Version + "/healthz"
+	PathTraces  = Version + "/traces"
 )
 
 // PathModelBlob returns the export/import endpoint for one model's

@@ -69,6 +69,10 @@ type Engine struct {
 	// far. A nil context never cancels, so traces of uncancelled
 	// sessions are bit-identical with or without one.
 	Ctx context.Context
+	// Observe, when non-nil, is called after every measurement with the
+	// candidate and its value — an observability tap on the loop that
+	// never influences it (the strategy has already seen the value).
+	Observe func(config int, value float64)
 }
 
 // Run drives s until the budget is spent, s stops proposing, or the
@@ -87,6 +91,9 @@ func (e Engine) Run(s Strategy) Result {
 			}
 			v := e.Eval.Measure(c)
 			s.Observe(c, v)
+			if e.Observe != nil {
+				e.Observe(c, v)
+			}
 			res.Trace = append(res.Trace, Observation{Config: c, Value: v})
 			res.Evals++
 		}

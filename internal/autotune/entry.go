@@ -24,6 +24,9 @@ type Entry struct {
 	// baselines install noisy replay here, a hardware runner would
 	// install its execution hook.
 	Eval func(rd *dataset.RegionData, t Task) Evaluator
+	// Observe, when non-nil, taps every measurement of the entry's
+	// sessions (Engine.Observe) — telemetry, never search logic.
+	Observe func(config int, value float64)
 }
 
 // Hybrid scenario defaults: the GNN shortlists HybridK candidates and
@@ -83,5 +86,5 @@ func RunEntryContext(ctx context.Context, e Entry, rd *dataset.RegionData, t Tas
 	} else {
 		eval = NewOracle(rd, t.Space, t.Obj)
 	}
-	return RunContext(ctx, t.Problem, eval, e.New(t))
+	return Engine{Eval: eval, Budget: t.Budget, Ctx: ctx, Observe: e.Observe}.Run(e.New(t))
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"pnptuner/internal/api"
+	"pnptuner/internal/telemetry"
 )
 
 // Client talks to one pnpserve base URL. The zero value is not usable;
@@ -241,6 +242,7 @@ func (c *Client) blobOnce(ctx context.Context, id string) (io.ReadCloser, Failur
 		return nil, FailOther, fmt.Errorf("pnpserve: build request: %w", err)
 	}
 	stampDeadline(ctx, req)
+	stampTraceID(ctx, req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, FailTransport, fmt.Errorf("pnpserve: GET %s: %w", api.PathModelBlob(id), err)
@@ -289,6 +291,7 @@ func (c *Client) pushBlobOnce(ctx context.Context, id string, blob []byte) (*api
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	stampDeadline(ctx, req)
+	stampTraceID(ctx, req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, FailTransport, fmt.Errorf("pnpserve: PUT %s: %w", api.PathModelBlob(id), err)
@@ -356,6 +359,17 @@ func stampDeadline(ctx context.Context, req *http.Request) {
 	}
 }
 
+// stampTraceID propagates the caller's trace ID onto the wire, so one
+// X-Request-ID follows a request across hops — gate to replica, replica
+// to peer on a blob fetch — and each hop's /v1/traces/{id} shows its
+// share of the timeline. Without a traced context the header is left
+// unset and the far side mints its own.
+func stampTraceID(ctx context.Context, req *http.Request) {
+	if id := telemetry.TraceID(ctx); id != "" {
+		req.Header.Set(telemetry.TraceHeader, id)
+	}
+}
+
 // retryDelay picks how long to wait before the next attempt: the
 // server's Retry-After hint when the last failure carried one, the
 // exponential-backoff step otherwise.
@@ -420,6 +434,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		req.Header.Set("Content-Type", "application/json")
 	}
 	stampDeadline(ctx, req)
+	stampTraceID(ctx, req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		// Connection-level failure: the request may have been processed

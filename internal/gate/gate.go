@@ -10,11 +10,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"pnptuner/internal/api"
 	"pnptuner/internal/client"
+	"pnptuner/internal/telemetry"
 )
 
 // defaultScenario mirrors the replica-side default so the gate and the
@@ -56,6 +56,7 @@ type Gate struct {
 	tracker  *Tracker
 	pool     *client.Pool
 	policy   client.RetryPolicy
+	tele     *gateTelemetry
 	metrics  *routeMetrics
 	start    time.Time
 
@@ -65,12 +66,15 @@ type Gate struct {
 	latency        *latencyTracker
 	lkg            *lkgCache
 
-	served       atomic.Int64
-	retries      atomic.Int64
-	failovers    atomic.Int64
-	hedges       atomic.Int64
-	hedgeWins    atomic.Int64
-	degradedHits atomic.Int64
+	// Traffic counters, exported at /metrics and echoed in healthz
+	// (telemetry counters are atomics underneath, so call sites pay what
+	// the old atomic.Int64 fields cost).
+	served       *telemetry.Counter
+	retries      *telemetry.Counter
+	failovers    *telemetry.Counter
+	hedges       *telemetry.Counter
+	hedgeWins    *telemetry.Counter
+	degradedHits *telemetry.Counter
 
 	// warm-up single flight: per routing key, at most one in-flight
 	// request until the first success marks the key warm. Deterministic
@@ -107,13 +111,15 @@ func New(cfg Config) (*Gate, error) {
 	if attemptTimeout < 0 {
 		attemptTimeout = 0
 	}
+	tele := newGateTelemetry()
 	g := &Gate{
 		replicas:       urls,
 		ring:           NewRing(len(urls), cfg.VNodes),
 		tracker:        NewTracker(urls, pool, cfg.Health),
 		pool:           pool,
 		policy:         client.DefaultRetryPolicy(),
-		metrics:        newRouteMetrics(),
+		tele:           tele,
+		metrics:        newRouteMetrics(tele.tel),
 		start:          time.Now(),
 		attemptTimeout: attemptTimeout,
 		hedgeDelay:     cfg.HedgeDelay,
@@ -122,7 +128,21 @@ func New(cfg Config) (*Gate, error) {
 		lkg:            newLKGCache(lkgCapacity),
 		warm:           map[string]bool{},
 		flights:        map[string]chan struct{}{},
+
+		served: tele.tel.Counter("pnpgate_served_total",
+			"Requests the gate answered (any status)."),
+		retries: tele.tel.Counter("pnpgate_retries_total",
+			"Replica attempts re-sent after a retryable failure."),
+		failovers: tele.tel.Counter("pnpgate_failovers_total",
+			"Requests that succeeded on a non-first-choice replica."),
+		hedges: tele.tel.Counter("pnpgate_hedges_total",
+			"Hedged predict attempts launched against a second replica."),
+		hedgeWins: tele.tel.Counter("pnpgate_hedge_wins_total",
+			"Hedged predicts won by the hedge attempt."),
+		degradedHits: tele.tel.Counter("pnpgate_degraded_total",
+			"Predicts served from the degraded path (last-known-good or heuristic)."),
 	}
+	tele.observeTracker(g.tracker)
 	g.tracker.Start()
 	return g, nil
 }
@@ -178,15 +198,22 @@ func (g *Gate) route(ctx context.Context, key string, idempotent bool, call func
 			continue
 		}
 		if attempted {
-			g.retries.Add(1)
+			g.retries.Inc()
 		}
 		attempted = true
+		start := time.Now()
 		err := g.attempt(ctx, i, call)
 		release()
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+		}
+		g.tele.rec.Add(telemetry.TraceID(ctx), "gate.attempt", start, time.Since(start),
+			"replica", strconv.Itoa(i), "outcome", outcome)
 		if err == nil {
 			g.tracker.RecordSuccess(i)
 			if i != owner {
-				g.failovers.Add(1)
+				g.failovers.Inc()
 			}
 			return nil
 		}
@@ -285,7 +312,7 @@ func (g *Gate) singleFlight(ctx context.Context, key string, fn func() error) er
 func (g *Gate) Handler() http.Handler {
 	wrap := func(route string, h http.HandlerFunc) http.HandlerFunc {
 		return g.metrics.wrap(route, func(w http.ResponseWriter, r *http.Request) {
-			g.served.Add(1)
+			g.served.Inc()
 			h(w, r)
 		})
 	}
@@ -297,10 +324,14 @@ func (g *Gate) Handler() http.Handler {
 	mux.HandleFunc(api.PathModels, wrap(api.PathModels, g.handleModels))
 	mux.HandleFunc(api.PathModels+"/", wrap(api.PathModels+"/{id}", g.handleModelDetail))
 	mux.HandleFunc(api.PathHealthz, wrap(api.PathHealthz, g.handleHealthz))
+	mux.HandleFunc(api.PathTraces+"/", wrap(api.PathTraces+"/{id}", g.handleTrace))
+	// Like the replicas: /metrics is unversioned and unwrapped, so
+	// scrapes never skew the route families they report.
+	mux.Handle("/metrics", g.tele.tel.Handler())
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, r, api.CodeNotFound, "no such route: %s", r.URL.Path)
 	})
-	return withRequestID(withDeadline(mux))
+	return telemetry.WithRequestID(g.tele.rec, withDeadline(mux))
 }
 
 // handlePredict proxies POST /v1/predict to the key's replica, with
@@ -334,7 +365,7 @@ func (g *Gate) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// pick for this exact graph, or the model-free heuristic — rather
 		// than turning cluster-wide trouble into a client-visible 503.
 		if resp, ok := g.degradedPredict(key, req, err); ok {
-			g.degradedHits.Add(1)
+			g.degradedHits.Inc()
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
@@ -543,13 +574,13 @@ func (g *Gate) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.GateHealth{
 		Status:    "ok",
 		UptimeSec: time.Since(g.start).Seconds(),
-		Served:    g.served.Load(),
+		Served:    g.served.Value(),
 		Replicas:  g.tracker.Snapshot(),
-		Retries:   g.retries.Load(),
-		Failovers: g.failovers.Load(),
-		Hedges:    g.hedges.Load(),
-		HedgeWins: g.hedgeWins.Load(),
-		Degraded:  g.degradedHits.Load(),
+		Retries:   g.retries.Value(),
+		Failovers: g.failovers.Value(),
+		Hedges:    g.hedges.Value(),
+		HedgeWins: g.hedgeWins.Value(),
+		Degraded:  g.degradedHits.Value(),
 		Routes:    g.metrics.snapshot(),
 	})
 }

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"pnptuner/internal/api"
 	"pnptuner/internal/client"
+	"pnptuner/internal/telemetry"
 )
 
 // latencyWindow is how many recent predict latencies the adaptive hedge
@@ -135,6 +137,12 @@ func (g *Gate) hedgedPredict(ctx context.Context, key string, req api.PredictReq
 				return nil
 			})
 			release()
+			outcome := "ok"
+			if err != nil {
+				outcome = "error"
+			}
+			g.tele.rec.Add(telemetry.TraceID(ctx), "gate.attempt", start, time.Since(start),
+				"replica", strconv.Itoa(i), "outcome", outcome, "hedged", strconv.FormatBool(hedged))
 			switch {
 			case err == nil:
 				g.latency.Record(time.Since(start))
@@ -182,10 +190,10 @@ func (g *Gate) hedgedPredict(ctx context.Context, key string, req api.PredictReq
 			if out.err == nil {
 				cancelAll()
 				if out.replica != owner {
-					g.failovers.Add(1)
+					g.failovers.Inc()
 				}
 				if out.hedged {
-					g.hedgeWins.Add(1)
+					g.hedgeWins.Inc()
 				}
 				return out.resp, nil
 			}
@@ -201,13 +209,13 @@ func (g *Gate) hedgedPredict(ctx context.Context, key string, req api.PredictReq
 				return nil, out.err
 			}
 			if nextAttempt(false) {
-				g.retries.Add(1)
+				g.retries.Inc()
 				pending++
 			}
 		case <-hedgeTimer:
 			hedgeTimer = nil
 			if nextAttempt(true) {
-				g.hedges.Add(1)
+				g.hedges.Inc()
 				pending++
 			}
 		case <-ctx.Done():

@@ -2,40 +2,24 @@ package gate
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
 	"pnptuner/internal/api"
+	"pnptuner/internal/telemetry"
 )
 
-// RequestIDHeader carries the per-request correlation ID. The gate
-// generates one when absent and forwards it unchanged, so one ID
-// follows a request through gate and replica logs.
-const RequestIDHeader = "X-Request-ID"
+// RequestIDHeader carries the per-request correlation ID, which is also
+// the request's trace ID. The gate echoes an incoming one or mints one
+// (telemetry.WithRequestID), and forwards it unchanged on every replica
+// attempt, so one ID follows a request through gate and replica logs —
+// and through both hops' /v1/traces/{id} timelines.
+const RequestIDHeader = telemetry.TraceHeader
 
-// withRequestID mirrors the replica-side middleware: echo or mint a
-// correlation ID, expose it on the response.
-func withRequestID(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := r.Header.Get(RequestIDHeader)
-		if id == "" {
-			b := make([]byte, 6)
-			if _, err := rand.Read(b); err != nil {
-				panic("gate: ID entropy unavailable: " + err.Error())
-			}
-			id = hex.EncodeToString(b)
-			r.Header.Set(RequestIDHeader, id)
-		}
-		w.Header().Set(RequestIDHeader, id)
-		next.ServeHTTP(w, r)
-	})
-}
-
-// requestID returns the request's correlation ID (set by withRequestID).
+// requestID returns the request's correlation ID (set by the
+// telemetry.WithRequestID middleware).
 func requestID(r *http.Request) string {
 	return r.Header.Get(RequestIDHeader)
 }
@@ -76,10 +60,16 @@ func writeEnvelope(w http.ResponseWriter, r *http.Request, info *api.ErrorInfo) 
 }
 
 // routeMetrics aggregates per-route request/error counters and latency
-// for the gate's healthz, keyed by mux pattern (fixed cardinality).
+// for the gate's healthz, keyed by mux pattern (fixed cardinality), and
+// exports the same under the pnpgate_http_* Prometheus families when a
+// telemetry registry is attached.
 type routeMetrics struct {
 	mu   sync.Mutex
 	byRt map[string]*routeCounter
+
+	reqs *telemetry.CounterVec
+	errs *telemetry.CounterVec
+	dur  *telemetry.HistogramVec
 }
 
 type routeCounter struct {
@@ -88,17 +78,41 @@ type routeCounter struct {
 	totalNs int64
 }
 
-func newRouteMetrics() *routeMetrics {
-	return &routeMetrics{byRt: map[string]*routeCounter{}}
+func newRouteMetrics(tel *telemetry.Registry) *routeMetrics {
+	m := &routeMetrics{byRt: map[string]*routeCounter{}}
+	if tel != nil {
+		m.reqs = tel.CounterVec("pnpgate_http_requests_total",
+			"HTTP requests served by the gate, by mux route pattern.", "route")
+		m.errs = tel.CounterVec("pnpgate_http_errors_total",
+			"Gate HTTP responses with status >= 400, by mux route pattern.", "route")
+		m.dur = tel.HistogramVec("pnpgate_http_request_duration_seconds",
+			"Gate HTTP request latency, by mux route pattern.",
+			telemetry.Seconds, telemetry.DurationBuckets, "route")
+	}
+	return m
 }
 
-// wrap instruments h under the route label.
+// wrap instruments h under the route label. Per-route telemetry handles
+// resolve here, once, so the request path pays atomics, not lookups.
 func (m *routeMetrics) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	var reqC, errC *telemetry.Counter
+	var durH *telemetry.Histogram
+	if m.reqs != nil {
+		reqC = m.reqs.With(route)
+		errC = m.errs.With(route)
+		durH = m.dur.With(route)
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		elapsed := time.Since(start)
+
+		reqC.Inc()
+		if sw.status >= 400 {
+			errC.Inc()
+		}
+		durH.ObserveDuration(elapsed)
 
 		m.mu.Lock()
 		c := m.byRt[route]

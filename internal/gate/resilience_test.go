@@ -165,7 +165,7 @@ func TestGateDegradedCache(t *testing.T) {
 	if resp.ModelVersion != live.ModelVersion || len(resp.Picks) != len(live.Picks) {
 		t.Fatalf("cached answer diverged from the live one: %+v vs %+v", resp, live)
 	}
-	if g.degradedHits.Load() == 0 {
+	if g.degradedHits.Value() == 0 {
 		t.Fatal("degraded counter not incremented")
 	}
 
@@ -268,7 +268,7 @@ func TestGateHedgedPredict(t *testing.T) {
 	if _, err := cl.Predict(ctx, predictReq(machine)); err != nil {
 		t.Fatalf("warm-up predict: %v", err)
 	}
-	if g.hedges.Load() != 0 {
+	if g.hedges.Value() != 0 {
 		t.Fatal("cold key hedged")
 	}
 
@@ -284,8 +284,8 @@ func TestGateHedgedPredict(t *testing.T) {
 	if elapsed >= slow {
 		t.Fatalf("hedge did not cut latency: %v (owner takes %v)", elapsed, slow)
 	}
-	if g.hedges.Load() == 0 || g.hedgeWins.Load() == 0 {
-		t.Fatalf("hedges=%d wins=%d, want both > 0", g.hedges.Load(), g.hedgeWins.Load())
+	if g.hedges.Value() == 0 || g.hedgeWins.Value() == 0 {
+		t.Fatalf("hedges=%d wins=%d, want both > 0", g.hedges.Value(), g.hedgeWins.Value())
 	}
 	// The owner's breaker took no failure: its slow answer was cancelled
 	// by the gate, not refused by the replica.

@@ -129,6 +129,14 @@ type Report struct {
 	Shed          int64                `json:"shed"`
 	ThroughputRPS float64              `json:"throughput_rps"`
 	Ops           map[string]*OpReport `json:"ops"`
+
+	// ServerDeltas is the target's /metrics movement across the run
+	// (after minus before, nonzero series only; see MetricsDelta) —
+	// the server's own account of the load, embedded in the artifact
+	// so a benchmark report pairs client-observed latency with
+	// server-side queue/shed/cache behaviour. Empty when the target
+	// predates /metrics or the scrape failed.
+	ServerDeltas map[string]float64 `json:"server_metrics_delta,omitempty"`
 }
 
 // opStats accumulates one op's outcomes during the run.

@@ -1,0 +1,61 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"pnptuner/internal/telemetry"
+)
+
+// ScrapeMetrics pulls the target's /metrics exposition into a flat
+// series → value map (telemetry.ParseText's shape). pnpload scrapes the
+// target once before and once after a run so the report can carry the
+// server's own view of the load — queue waits, sheds, cache hits —
+// next to the client-observed latencies.
+func ScrapeMetrics(ctx context.Context, baseURL string) (map[string]float64, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: %s/metrics: %s", baseURL, resp.Status)
+	}
+	return telemetry.ParseText(resp.Body)
+}
+
+// MetricsDelta subtracts a before scrape from an after scrape,
+// keeping only the series that moved (gauges that held still and
+// counters nothing touched carry no information about the run).
+// Series that first appear in the after scrape count from zero —
+// a family born under load is exactly the kind of movement the
+// delta exists to show.
+func MetricsDelta(before, after map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range after {
+		if d := v - before[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// DeltaKeys returns a delta map's series names sorted, for stable
+// human-readable summaries of what a run moved server-side.
+func DeltaKeys(delta map[string]float64) []string {
+	keys := make([]string, 0, len(delta))
+	for k := range delta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -79,6 +79,15 @@ type Runner struct {
 	runs     int
 	samples  []Sample
 	counters *papi.Counters
+	onSample func(Sample)
+}
+
+// OnSample installs a tap called (outside the runner lock) after every
+// recorded execution — telemetry counters, never measurement logic.
+func (r *Runner) OnSample(fn func(Sample)) {
+	r.mu.Lock()
+	r.onSample = fn
+	r.mu.Unlock()
 }
 
 // NewRunner builds a measurement session for one region on machine m.
@@ -136,9 +145,8 @@ func (r *Runner) measure(obj autotune.Objective, config int) float64 {
 	cfg := r.s.Configs[ki]
 
 	r.mu.Lock()
-	defer r.mu.Unlock()
-
 	if r.ctx != nil && r.ctx.Err() != nil {
+		r.mu.Unlock()
 		// +Inf is the engine convention for "unobservable": no strategy
 		// will pick it as the incumbent, and the run never executed.
 		return math.Inf(1)
@@ -174,7 +182,7 @@ func (r *Runner) measure(obj autotune.Objective, config int) float64 {
 		value = energyJ * res.TimeSec
 	}
 
-	r.samples = append(r.samples, Sample{
+	sample := Sample{
 		CapIdx:      ci,
 		CfgIdx:      ki,
 		CapW:        capW,
@@ -183,7 +191,13 @@ func (r *Runner) measure(obj autotune.Objective, config int) float64 {
 		Result:      res,
 		EnergyJ:     energyJ,
 		Value:       value,
-	})
+	}
+	r.samples = append(r.samples, sample)
+	fn := r.onSample
+	r.mu.Unlock()
+	if fn != nil {
+		fn(sample)
+	}
 	return value
 }
 

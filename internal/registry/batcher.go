@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"pnptuner/internal/core"
 	"pnptuner/internal/programl"
 	"pnptuner/internal/rgcn"
+	"pnptuner/internal/telemetry"
 )
 
 // ErrClosed is returned by Predict after Close.
@@ -51,6 +53,11 @@ type request struct {
 	req   Request
 	cg    *rgcn.CompiledGraph
 	reply chan reply
+	// Telemetry (set at admission when the batcher carries an obs): the
+	// request's trace ID for batch spans, and its enqueue time for the
+	// queue-wait histogram.
+	tid string
+	enq time.Time
 }
 
 // Batcher funnels concurrent predictions into micro-batches: the first
@@ -70,6 +77,10 @@ type Batcher struct {
 	// responses echo). Set it before the batcher is published to other
 	// goroutines; the batcher itself never touches it.
 	Meta core.ModelMeta
+
+	// obs is the server's shared batching instrumentation; nil (library
+	// use, tests) disables it. Like Meta: set before publishing.
+	obs *batcherObs
 
 	reqs chan *request
 	done chan struct{} // closed by Close after all senders finish
@@ -199,6 +210,10 @@ func (b *Batcher) submit(ctx context.Context, req Request) (reply, error) {
 		return reply{}, ErrClosed
 	}
 	r := &request{req: req, cg: cg, reply: make(chan reply, 1)}
+	if b.obs != nil {
+		r.tid = telemetry.TraceID(ctx)
+		r.enq = time.Now()
+	}
 	b.senders.Add(1)
 	b.mu.RUnlock()
 	// Bounded admission: the queue never blocks a caller. A full queue
@@ -207,8 +222,14 @@ func (b *Batcher) submit(ctx context.Context, req Request) (reply, error) {
 	// request until something times out.
 	select {
 	case b.reqs <- r:
+		if b.obs != nil {
+			b.obs.depth.Add(1)
+		}
 	default:
 		b.senders.Done()
+		if b.obs != nil {
+			b.obs.shed.Inc()
+		}
 		return reply{}, ErrOverloaded
 	}
 	b.senders.Done()
@@ -297,6 +318,9 @@ func (b *Batcher) drain() {
 	for {
 		select {
 		case r := <-b.reqs:
+			if b.obs != nil {
+				b.obs.depth.Add(-1)
+			}
 			r.reply <- reply{err: ErrClosed}
 		default:
 			return
@@ -327,7 +351,27 @@ func (b *Batcher) run(batch []*request) {
 			maxK = r.req.TopK
 		}
 	}
+	start := time.Now()
+	if b.obs != nil {
+		b.obs.depth.Add(-int64(len(batch)))
+		b.obs.window.Observe(uint64(len(batch)))
+		for _, r := range batch {
+			// Queue wait spans admission through window collection: the
+			// latency batching itself adds to this request.
+			wait := start.Sub(r.enq)
+			b.obs.wait.ObserveDuration(wait)
+			b.obs.rec.Add(r.tid, "batch.queue", r.enq, wait)
+		}
+	}
 	lists, err := b.forward(cgs, extras, maxK)
+	if b.obs != nil {
+		fdur := time.Since(start)
+		b.obs.forward.ObserveDuration(fdur)
+		size := strconv.Itoa(len(batch))
+		for _, r := range batch {
+			b.obs.rec.Add(r.tid, "batch.forward", start, fdur, "batch_size", size)
+		}
+	}
 	for i, r := range batch {
 		if err != nil {
 			r.reply <- reply{err: err}

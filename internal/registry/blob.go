@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -17,8 +18,11 @@ import (
 // the raw Marshal bytes; (nil, nil) or an error both mean "no peer has
 // it" and the resolve falls through to training. The registry validates
 // whatever comes back exactly like a disk load, so a byte-flipped or
-// stale peer blob can never be served.
-type FetchFunc func(Key) ([]byte, error)
+// stale peer blob can never be served. ctx carries the resolving
+// request's values — notably its trace ID, which the client SDK stamps
+// on the outbound fetch so one trace spans the peer hop — but never
+// cancellation (the resolve is shared by every single-flight waiter).
+type FetchFunc func(ctx context.Context, k Key) ([]byte, error)
 
 // SetFetcher installs the peer-fetch hook consulted after the on-disk
 // store and before training. Call before serving traffic; the hook must

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"bytes"
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -148,7 +149,7 @@ func TestFetcherResolvesMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dst.SetFetcher(func(k Key) ([]byte, error) {
+	dst.SetFetcher(func(_ context.Context, k Key) ([]byte, error) {
 		fetched.Add(1)
 		if k == key {
 			return blob, nil

@@ -1,7 +1,9 @@
 package registry
 
 import (
+	"strconv"
 	"sync"
+	"time"
 
 	"pnptuner/internal/autotune"
 	"pnptuner/internal/dataset"
@@ -60,10 +62,13 @@ type canary struct {
 }
 
 // canarySample is one live predict captured for off-path shadow scoring.
+// tid is the originating request's trace ID, so the shadow score lands
+// as a span on the trace of the predict it shadowed.
 type canarySample struct {
 	g        *programl.Graph
 	extras   []float64
 	curPicks []int
+	tid      string
 }
 
 // enqueue hands one live predict to the scoring worker without blocking:
@@ -169,7 +174,7 @@ func (s *Server) canaryWorker(c *canary) {
 	for {
 		select {
 		case sample := <-c.scores:
-			s.scoreCanary(c, c.key, sample.g, sample.extras, sample.curPicks)
+			s.scoreCanary(c, sample)
 		case <-c.stopped:
 			return
 		}
@@ -179,20 +184,26 @@ func (s *Server) canaryWorker(c *canary) {
 // scoreCanary runs one live predict's graph through the shadow model and
 // scores both versions against the corpus ground truth. Requests for
 // regions outside the corpus can't be judged and don't count toward the
-// window. curPicks is what the serving version answered the client.
-func (s *Server) scoreCanary(c *canary, key Key, g *programl.Graph, extras []float64, curPicks []int) {
+// window. sample.curPicks is what the serving version answered the
+// client.
+func (s *Server) scoreCanary(c *canary, sample canarySample) {
+	key, g := c.key, sample.g
 	rd, sp := s.groundTruth(key, g.RegionID)
 	if rd == nil {
 		return
 	}
-	shadowPicks, err := c.b.Predict(Request{Graph: g, Extras: extras})
+	start := time.Now()
+	shadowPicks, err := c.b.Predict(Request{Graph: g, Extras: sample.extras})
 	if err != nil {
 		// A shadow that can't answer live traffic loses outright.
 		s.finishCanary(c, false)
 		return
 	}
-	cur := predictQuality(rd, sp, key.Objective, curPicks)
+	cur := predictQuality(rd, sp, key.Objective, sample.curPicks)
 	shadow := predictQuality(rd, sp, key.Objective, shadowPicks)
+	s.tele.canaryScored.Inc()
+	s.tele.rec.Add(sample.tid, "canary.score", start, time.Since(start),
+		"shadow_version", strconv.Itoa(c.entry.Meta.Version))
 
 	c.mu.Lock()
 	if c.decided {
@@ -263,6 +274,7 @@ func (s *Server) finishCanary(c *canary, promote bool) {
 	delete(s.canaries, id)
 	if !promote {
 		s.mu.Unlock()
+		s.tele.canaryVerdicts.With("demote").Inc()
 		s.reg.Demote(c.entry)
 		go c.b.Close()
 		return
@@ -275,6 +287,8 @@ func (s *Server) finishCanary(c *canary, promote bool) {
 		s.batchers.put(id, c.b)
 	}
 	s.mu.Unlock()
+	s.tele.canaryVerdicts.With("promote").Inc()
+	s.tele.promotions.Inc()
 	s.reg.Promote(c.entry)
 	if old != nil {
 		go old.Close()

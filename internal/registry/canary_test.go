@@ -283,7 +283,7 @@ func TestServerCanaryDemote(t *testing.T) {
 		t.Fatal("untrained shadow matches the oracle; demote fixture broken")
 	}
 	for i := 0; i < 2; i++ {
-		srv.scoreCanary(c, key, g, nil, oracle)
+		srv.scoreCanary(c, canarySample{g: g, curPicks: oracle})
 	}
 
 	if v := srv.canaryVersion(key.ID()); v != 0 {

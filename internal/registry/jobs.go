@@ -72,6 +72,7 @@ type JobStore struct {
 	done      int64
 	failed    int64
 	cancelled int64
+	obs       *jobObs // nil disables telemetry (library use, tests)
 
 	queue  chan *jobState
 	quit   chan struct{} // closed by Stop: workers exit after their current job
@@ -132,8 +133,12 @@ func (s *JobStore) Submit(req api.TuneRequest, run JobRunner) (api.Job, *api.Err
 	select {
 	case s.queue <- st:
 	default:
+		obs := s.obs
 		s.mu.Unlock()
 		cancel()
+		if obs != nil {
+			obs.rejected.Inc()
+		}
 		return api.Job{}, api.Errorf(api.CodeQueueFull,
 			"job queue full (%d queued); retry later", s.cfg.Queue)
 	}
@@ -353,6 +358,21 @@ func (s *JobStore) finishLocked(st *jobState, status string) {
 	case api.JobCancelled:
 		s.cancelled++
 	}
+	if s.obs != nil {
+		s.obs.outcomes.With(status).Inc()
+		if st.job.StartedAt != nil {
+			s.obs.dur.ObserveDuration(now.Sub(*st.job.StartedAt))
+		}
+	}
+}
+
+// setObs attaches the server's job instrumentation; outcome strings
+// become the counter's outcome label, so label cardinality is the three
+// terminal statuses.
+func (s *JobStore) setObs(obs *jobObs) {
+	s.mu.Lock()
+	s.obs = obs
+	s.mu.Unlock()
 }
 
 // gcLoop drops expired finished jobs on a timer.

@@ -10,27 +10,16 @@ import (
 	"time"
 
 	"pnptuner/internal/api"
+	"pnptuner/internal/telemetry"
 )
 
-// RequestIDHeader carries the per-request correlation ID. Incoming
-// values are echoed (so a gateway's IDs survive); absent ones are
-// generated. Error envelopes repeat the ID in request_id.
-const RequestIDHeader = "X-Request-ID"
-
-// withRequestID ensures every request has a correlation ID, visible to
-// the handler via the request headers and to the client via the
-// response headers.
-func withRequestID(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := r.Header.Get(RequestIDHeader)
-		if id == "" {
-			id = randomHex(6)
-			r.Header.Set(RequestIDHeader, id)
-		}
-		w.Header().Set(RequestIDHeader, id)
-		next.ServeHTTP(w, r)
-	})
-}
+// RequestIDHeader carries the per-request correlation ID, which is
+// also the request's trace ID. Incoming values are echoed (so a
+// gateway's IDs survive); absent ones are generated. Error envelopes
+// repeat the ID in request_id, and GET /v1/traces/{id} serves the
+// request's span timeline under it. The echo/mint/ctx-inject
+// middleware itself is telemetry.WithRequestID, shared with the gate.
+const RequestIDHeader = telemetry.TraceHeader
 
 // randomHex returns 2n hex chars of entropy — request correlation IDs
 // and job IDs. crypto/rand never fails on supported platforms; a silent
@@ -109,11 +98,19 @@ func writeShed(w http.ResponseWriter, r *http.Request, info *api.ErrorInfo) {
 }
 
 // routeMetrics aggregates per-route request/error counters and latency,
-// surfaced in /healthz. Routes are the mux patterns, not raw paths, so
-// cardinality is fixed.
+// surfaced in /healthz and (when a telemetry registry is attached)
+// exported as the pnp_http_* Prometheus families. Routes are the mux
+// patterns, not raw paths, so cardinality is fixed.
 type routeMetrics struct {
 	mu   sync.Mutex
 	byRt map[string]*routeCounter
+
+	// Telemetry families (nil handles when tel was nil): per-route
+	// handles resolve once in wrap, so the request path pays atomics,
+	// not map lookups.
+	reqs *telemetry.CounterVec
+	errs *telemetry.CounterVec
+	dur  *telemetry.HistogramVec
 }
 
 type routeCounter struct {
@@ -122,17 +119,40 @@ type routeCounter struct {
 	totalNs int64
 }
 
-func newRouteMetrics() *routeMetrics {
-	return &routeMetrics{byRt: map[string]*routeCounter{}}
+func newRouteMetrics(tel *telemetry.Registry) *routeMetrics {
+	m := &routeMetrics{byRt: map[string]*routeCounter{}}
+	if tel != nil {
+		m.reqs = tel.CounterVec("pnp_http_requests_total",
+			"HTTP requests served, by mux route pattern.", "route")
+		m.errs = tel.CounterVec("pnp_http_errors_total",
+			"HTTP responses with status >= 400, by mux route pattern.", "route")
+		m.dur = tel.HistogramVec("pnp_http_request_duration_seconds",
+			"HTTP request latency, by mux route pattern.",
+			telemetry.Seconds, telemetry.DurationBuckets, "route")
+	}
+	return m
 }
 
 // wrap instruments h under the route label.
 func (m *routeMetrics) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	var reqC, errC *telemetry.Counter
+	var durH *telemetry.Histogram
+	if m.reqs != nil {
+		reqC = m.reqs.With(route)
+		errC = m.errs.With(route)
+		durH = m.dur.With(route)
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		elapsed := time.Since(start)
+
+		reqC.Inc()
+		if sw.status >= 400 {
+			errC.Inc()
+		}
+		durH.ObserveDuration(elapsed)
 
 		m.mu.Lock()
 		c := m.byRt[route]

@@ -7,6 +7,7 @@ package registry
 // the queue is full, and goes dead after the verdict.
 
 import (
+	"context"
 	"net/http/httptest"
 	"reflect"
 	"testing"
@@ -100,7 +101,7 @@ func TestServerQuantizedServesIdenticalPicks(t *testing.T) {
 	}
 
 	// The serving batcher really is the quantized one, not a fallback.
-	b, err := srv.batcherFor(Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime})
+	b, err := srv.batcherFor(context.Background(), Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime})
 	if err != nil {
 		t.Fatal(err)
 	}

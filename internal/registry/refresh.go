@@ -84,6 +84,7 @@ func (r *Registry) Retrain(key Key, cur *Entry, epochs int) (*Entry, error) {
 		}
 	}
 
+	start := time.Now()
 	// Clone through the serialized form: same weights, same config, and
 	// by construction exactly what a restart would load.
 	blob, err := cur.Model.Marshal(cur.Meta)
@@ -107,6 +108,7 @@ func (r *Registry) Retrain(key Key, cur *Entry, epochs int) (*Entry, error) {
 		return nil, fmt.Errorf("registry: refresh %s: unknown objective %q", key, key.Objective)
 	}
 	clone.Fit(samples)
+	r.observe("retrain", time.Since(start))
 
 	consumed := log.MarkTrained()
 	meta.Normalize()

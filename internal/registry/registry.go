@@ -8,6 +8,7 @@
 package registry
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -126,6 +127,7 @@ type Registry struct {
 
 	mu       sync.Mutex
 	fetch    FetchFunc // peer-fetch hook, consulted between disk and training
+	observer func(kind string, d time.Duration)
 	capacity int
 	cache    *lruCache // Key.ID() → *Entry
 	inflight map[string]*flight
@@ -183,10 +185,41 @@ func (r *Registry) path(key Key) string {
 	return filepath.Join(r.dir, key.ID()+".pnpm")
 }
 
+// SetObserver installs the training-duration hook: it is called with
+// kind "train" after every on-miss training and "retrain" after every
+// refresh retrain, with the wall time spent. The serving layer wires
+// it to the pnp_model_train_seconds telemetry family. Call before
+// serving traffic; nil disables.
+func (r *Registry) SetObserver(fn func(kind string, d time.Duration)) {
+	r.mu.Lock()
+	r.observer = fn
+	r.mu.Unlock()
+}
+
+// observe reports one training duration to the observer, if any.
+func (r *Registry) observe(kind string, d time.Duration) {
+	r.mu.Lock()
+	fn := r.observer
+	r.mu.Unlock()
+	if fn != nil {
+		fn(kind, d)
+	}
+}
+
 // Get resolves key: LRU cache, then the on-disk store, then training.
 // Concurrent calls for the same missing key share one resolve — the model
 // trains exactly once and every caller gets the same *Entry.
 func (r *Registry) Get(key Key) (*Entry, error) {
+	return r.GetContext(context.Background(), key)
+}
+
+// GetContext is Get carrying the resolving request's context *values*
+// (most importantly its trace ID, which a peer fetch forwards so one
+// trace spans gate → replica → peer). Cancellation deliberately does
+// not propagate: the resolve is single-flight and its result is shared
+// by every waiter, so the first caller hanging up must not abort work
+// other callers are waiting on.
+func (r *Registry) GetContext(ctx context.Context, key Key) (*Entry, error) {
 	if err := key.Validate(); err != nil {
 		return nil, err
 	}
@@ -210,7 +243,7 @@ func (r *Registry) Get(key Key) (*Entry, error) {
 	// A panicking trainer must not wedge the flight — waiters block on
 	// fl.done forever and every later Get joins the dead flight — so the
 	// panic becomes this Get's error and cleanup always runs.
-	e, origin, err := r.safeResolve(key)
+	e, origin, err := r.safeResolve(ctx, key)
 
 	r.mu.Lock()
 	if err == nil {
@@ -246,18 +279,18 @@ const (
 )
 
 // safeResolve converts a resolve panic into an error.
-func (r *Registry) safeResolve(key Key) (e *Entry, origin int, err error) {
+func (r *Registry) safeResolve(ctx context.Context, key Key) (e *Entry, origin int, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			e, origin, err = nil, 0, fmt.Errorf("registry: resolving %s panicked: %v", key, p)
 		}
 	}()
-	return r.resolve(key)
+	return r.resolve(ctx, key)
 }
 
 // resolve loads key from disk, fetches it from a peer, or trains it.
 // Runs without the lock — this is the slow path single-flight protects.
-func (r *Registry) resolve(key Key) (e *Entry, origin int, err error) {
+func (r *Registry) resolve(ctx context.Context, key Key) (e *Entry, origin int, err error) {
 	if r.dir != "" {
 		path := r.path(key)
 		if _, statErr := os.Stat(path); statErr == nil {
@@ -285,7 +318,8 @@ func (r *Registry) resolve(key Key) (e *Entry, origin int, err error) {
 	fetch := r.fetch
 	r.mu.Unlock()
 	if fetch != nil {
-		if data, ferr := fetch(key); ferr == nil && len(data) > 0 {
+		// Values only (trace ID), no cancellation — see GetContext.
+		if data, ferr := fetch(context.WithoutCancel(ctx), key); ferr == nil && len(data) > 0 {
 			if e, berr := r.entryFromBlob(data); berr == nil && e.Key == key {
 				r.persistBlob(key, data)
 				return e, originFetched, nil
@@ -296,10 +330,12 @@ func (r *Registry) resolve(key Key) (e *Entry, origin int, err error) {
 	if r.train == nil {
 		return nil, 0, fmt.Errorf("registry: model %s not in store and no trainer configured: %w", key, ErrModelNotFound)
 	}
+	start := time.Now()
 	m, meta, err := r.train(key)
 	if err != nil {
 		return nil, 0, fmt.Errorf("registry: train %s: %w", key, err)
 	}
+	r.observe("train", time.Since(start))
 	meta.Normalize()
 	if r.dir != "" {
 		if err := m.Save(r.path(key), meta); err != nil {

@@ -12,6 +12,7 @@ import (
 
 	"pnptuner/internal/api"
 	"pnptuner/internal/programl"
+	"pnptuner/internal/telemetry"
 	"pnptuner/internal/vocab"
 )
 
@@ -42,6 +43,7 @@ type Server struct {
 	maxWait  time.Duration
 	start    time.Time
 	jobs     *JobStore
+	tele     *serverTelemetry
 	metrics  *routeMetrics
 	inflight int
 	quantize bool
@@ -106,6 +108,8 @@ func NewServer(reg *Registry, v *vocab.Vocabulary, cfg ServerConfig) *Server {
 	if cfg.MaxInflight == 0 {
 		cfg.MaxInflight = 1024
 	}
+	jobs := NewJobStore(cfg.Jobs)
+	tele := newServerTelemetry(reg, jobs)
 	return &Server{
 		reg:        reg,
 		vocab:      v,
@@ -115,8 +119,9 @@ func NewServer(reg *Registry, v *vocab.Vocabulary, cfg ServerConfig) *Server {
 		quantize:   cfg.Quantize,
 		start:      time.Now(),
 		inflight:   cfg.MaxInflight,
-		jobs:       NewJobStore(cfg.Jobs),
-		metrics:    newRouteMetrics(),
+		jobs:       jobs,
+		tele:       tele,
+		metrics:    newRouteMetrics(tele.tel),
 		batchers:   newLRU(reg.Capacity()),
 		closing:    map[string]chan struct{}{},
 		canaries:   map[string]*canary{},
@@ -145,6 +150,11 @@ func (s *Server) Handler() http.Handler {
 	route(api.PathModels, s.handleModels)
 	route(api.PathModels+"/", s.handleModelBlob)
 	route(api.PathHealthz, s.handleHealthz)
+	route(api.PathTraces+"/", s.handleTrace)
+	// /metrics stays outside the route wrapper: scrapes must not skew the
+	// pnp_http_* families they read, and the path is unversioned by
+	// convention (Prometheus scrapers expect exactly /metrics).
+	mux.Handle("/metrics", s.tele.tel.Handler())
 
 	// Legacy pre-versioning aliases: same handlers, same bodies, plus
 	// deprecation headers pointing at the successor route.
@@ -163,7 +173,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/", s.metrics.wrap("(unmatched)", func(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, api.Errorf(api.CodeNotFound, "no route %s %s", r.Method, r.URL.Path))
 	}))
-	return withRequestID(withDeadline(mux))
+	return telemetry.WithRequestID(s.tele.rec, withDeadline(mux))
 }
 
 // Shutdown stops the server gracefully: the job store drains (queued
@@ -223,10 +233,11 @@ func (s *Server) newServingBatcher(entry *Entry) *Batcher {
 		b = NewBatcher(entry.Model, s.maxBatch, s.maxWait)
 	}
 	b.Meta = entry.Meta
+	b.obs = s.tele.batch
 	return b
 }
 
-func (s *Server) batcherFor(key Key) (*Batcher, error) {
+func (s *Server) batcherFor(ctx context.Context, key Key) (*Batcher, error) {
 	id := key.ID()
 	s.mu.Lock()
 	if s.closed {
@@ -241,8 +252,9 @@ func (s *Server) batcherFor(key Key) (*Batcher, error) {
 
 	// Resolve outside the lock: Get may train for minutes, and other
 	// models must keep serving meanwhile. Registry single-flight already
-	// collapses duplicate resolves.
-	entry, err := s.reg.Get(key)
+	// collapses duplicate resolves. ctx rides along for its values (the
+	// trace ID crosses the peer-fetch hop); its cancellation does not.
+	entry, err := s.reg.GetContext(ctx, key)
 	if err != nil {
 		return nil, err
 	}
@@ -322,7 +334,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	b, err := s.batcherFor(key)
+	b, err := s.batcherFor(r.Context(), key)
 	if err != nil {
 		// The key already validated, so resolve failures are server-side
 		// (or the model is genuinely absent and untrainable).
@@ -383,7 +395,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	c := s.canaries[key.ID()]
 	s.mu.Unlock()
 	if c != nil {
-		c.enqueue(canarySample{g: g, extras: req.Counters, curPicks: picks})
+		c.enqueue(canarySample{
+			g: g, extras: req.Counters, curPicks: picks,
+			tid: telemetry.TraceID(r.Context()),
+		})
 	}
 	s.served.Add(1)
 	writeJSON(w, http.StatusOK, resp)

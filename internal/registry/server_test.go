@@ -364,7 +364,7 @@ func TestServerBatcherLRUBounded(t *testing.T) {
 	}
 	batchers := make([]*Batcher, len(keys))
 	for i, k := range keys {
-		b, err := srv.batcherFor(k)
+		b, err := srv.batcherFor(context.Background(), k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -409,7 +409,7 @@ func TestServerClosedRefusesNewBatchers(t *testing.T) {
 	srv := NewServer(reg, c.Vocab, ServerConfig{MaxBatch: 4, MaxWait: time.Millisecond})
 	srv.Close()
 	key := Key{Machine: "haswell", Scenario: ScenarioFull, Objective: ObjectiveTime}
-	if _, err := srv.batcherFor(key); err != ErrClosed {
+	if _, err := srv.batcherFor(context.Background(), key); err != ErrClosed {
 		t.Fatalf("batcherFor on a closed server = %v, want ErrClosed", err)
 	}
 }

@@ -133,6 +133,7 @@ func (ts *tuneSession) run(ctx context.Context) (*api.TuneResponse, *api.ErrorIn
 		// Deadline propagation into the engine: once the request budget is
 		// spent, measured runs stop consuming (simulated) machine time.
 		runner.Bind(ctx)
+		runner.OnSample(func(measure.Sample) { ts.s.tele.measureRuns.Inc() })
 		if share = req.MeasureBudget / heads; share < 1 {
 			share = 1
 		}
@@ -178,6 +179,11 @@ func (ts *tuneSession) run(ctx context.Context) (*api.TuneResponse, *api.ErrorIn
 			return runner.Evaluator(t.Obj)
 		}
 	}
+	// Telemetry taps: per-strategy handles resolve once per session, the
+	// engine loop pays one atomic add per measurement.
+	sessionC := ts.s.tele.engineSessions.With(req.Strategy)
+	evalC := ts.s.tele.engineEvals.With(req.Strategy)
+	entry.Observe = func(int, float64) { evalC.Inc() }
 	resp := &api.TuneResponse{
 		RegionID:     req.RegionID,
 		Machine:      req.Machine,
@@ -187,6 +193,7 @@ func (ts *tuneSession) run(ctx context.Context) (*api.TuneResponse, *api.ErrorIn
 		ModelVersion: modelVersion,
 	}
 	session := func(obj autotune.Objective) autotune.Result {
+		sessionC.Inc()
 		task := autotune.Task{
 			Problem:  autotune.Problem{Obj: obj, Space: d.Space, Seed: ts.seed},
 			RegionID: req.RegionID,
@@ -319,7 +326,7 @@ func tuneHead(t autotune.Task) int {
 // tuning traffic batches with /v1/predict traffic on the shared model,
 // plus the serving model's version.
 func (s *Server) modelShortlists(ctx context.Context, key Key, rd *dataset.RegionData, k int) ([][]int, int, error) {
-	b, err := s.batcherFor(key)
+	b, err := s.batcherFor(ctx, key)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,0 +1,48 @@
+package telemetry_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"pnptuner/internal/loadgen"
+	"pnptuner/internal/telemetry"
+)
+
+// TestQuantileParityWithLoadgen feeds identical duration streams into
+// a telemetry histogram (atomic, server-side) and a loadgen histogram
+// (mutex-guarded, client-side) and requires bit-identical quantiles:
+// both use the same subBits=5 log-linear bucketing and the same
+// ceil(q·n) rank, so a p99 scraped from /metrics and a p99 in a
+// pnpload report describe the same latency the same way. This test is
+// in the external package because loadgen imports telemetry (for the
+// /metrics scrape parser) — the dependency only works this way around.
+func TestQuantileParityWithLoadgen(t *testing.T) {
+	reg := telemetry.New()
+	rng := rand.New(rand.NewSource(42))
+
+	for name, gen := range map[string]func() time.Duration{
+		"uniform":   func() time.Duration { return time.Duration(rng.Int63n(int64(5 * time.Second))) },
+		"lognormal": func() time.Duration { return time.Duration(1000 * (1 + rng.ExpFloat64()*1e6)) },
+		"tiny":      func() time.Duration { return time.Duration(rng.Int63n(40)) },
+	} {
+		th := reg.Histogram("parity_"+name, "Parity.", telemetry.Seconds, telemetry.DurationBuckets)
+		lh := &loadgen.Histogram{}
+		n := 1 + rng.Intn(3000)
+		for i := 0; i < n; i++ {
+			d := gen()
+			th.ObserveDuration(d)
+			lh.Record(d)
+		}
+		if th.Count() != lh.Count() {
+			t.Fatalf("%s: counts diverge (%d vs %d)", name, th.Count(), lh.Count())
+		}
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			got := time.Duration(th.Quantile(q))
+			want := lh.Quantile(q)
+			if got != want {
+				t.Errorf("%s: q=%v telemetry=%v loadgen=%v", name, q, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentMetrics hammers one registry from many goroutines —
+// counter increments, gauge stores, histogram observes — while other
+// goroutines scrape and read quantiles. Run under -race (CI's verify
+// job does), this is the data-race certification for the hot-path
+// atomics and the snapshot locking.
+func TestConcurrentMetrics(t *testing.T) {
+	const (
+		workers = 8
+		perG    = 2000
+	)
+	r := New()
+	c := r.CounterVec("race_total", "Total.", "op").With("x")
+	g := r.Gauge("race_depth", "Depth.")
+	h := r.Histogram("race_lat", "Lat.", Seconds, DurationBuckets)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(seed*1000 + uint64(i))
+			}
+		}(uint64(w))
+	}
+	// Concurrent readers: scrapes and quantiles must never race the
+	// writers.
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+				_ = h.Quantile(0.99)
+				_ = c.Value()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	if got := c.Value(); got != workers*perG {
+		t.Errorf("counter = %d, want %d", got, workers*perG)
+	}
+	if got := h.Count(); got != workers*perG {
+		t.Errorf("histogram count = %d, want %d", got, workers*perG)
+	}
+}
+
+// TestConcurrentRecorder races span recording, trace reads and FIFO
+// eviction across goroutines.
+func TestConcurrentRecorder(t *testing.T) {
+	rec := NewRecorder(16, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := string(rune('a' + (w+i)%32))
+				rec.Add(id, "span", time.Now(), 0, "k", "v")
+				rec.Get(id)
+				rec.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if rec.Len() > 16 {
+		t.Errorf("recorder retained %d traces, bound 16", rec.Len())
+	}
+}

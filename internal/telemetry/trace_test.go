@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRecorderSpans checks span accumulation, ordering by start time,
+// offsetting against the trace start, and the per-trace span cap.
+func TestRecorderSpans(t *testing.T) {
+	rec := NewRecorder(4, 3)
+	base := time.Now()
+	// Recorded out of order: the inner span first (as real handlers do
+	// — the root middleware records last).
+	rec.Add("t1", "inner", base.Add(10*time.Millisecond), 5*time.Millisecond, "k", "v")
+	rec.Add("t1", "root", base, 20*time.Millisecond)
+
+	tr, ok := rec.Get("t1")
+	if !ok {
+		t.Fatalf("trace t1 missing")
+	}
+	if len(tr.Spans) != 2 || tr.Spans[0].Name != "root" || tr.Spans[1].Name != "inner" {
+		t.Fatalf("spans = %+v, want root then inner", tr.Spans)
+	}
+	if tr.Spans[0].StartNs != 0 {
+		t.Errorf("root offset = %d, want 0", tr.Spans[0].StartNs)
+	}
+	if tr.Spans[1].StartNs != (10 * time.Millisecond).Nanoseconds() {
+		t.Errorf("inner offset = %d", tr.Spans[1].StartNs)
+	}
+	if tr.Spans[1].Attrs["k"] != "v" {
+		t.Errorf("attrs = %v", tr.Spans[1].Attrs)
+	}
+
+	// Past the span cap, spans drop but are counted.
+	rec.Add("t1", "extra1", base, 0)
+	rec.Add("t1", "extra2", base, 0)
+	tr, _ = rec.Get("t1")
+	if len(tr.Spans) != 3 || tr.Dropped != 1 {
+		t.Errorf("after overflow: %d spans, %d dropped (want 3, 1)", len(tr.Spans), tr.Dropped)
+	}
+}
+
+// TestRecorderEviction checks the FIFO trace bound.
+func TestRecorderEviction(t *testing.T) {
+	rec := NewRecorder(2, 8)
+	now := time.Now()
+	for i := 0; i < 5; i++ {
+		rec.Add(fmt.Sprintf("t%d", i), "s", now, time.Millisecond)
+	}
+	if rec.Len() != 2 {
+		t.Fatalf("retained %d traces, want 2", rec.Len())
+	}
+	if _, ok := rec.Get("t0"); ok {
+		t.Errorf("oldest trace survived eviction")
+	}
+	if _, ok := rec.Get("t4"); !ok {
+		t.Errorf("newest trace evicted")
+	}
+}
+
+// TestWithRequestID covers the unified middleware: minting, echoing,
+// context injection, response exposure and root-span recording.
+func TestWithRequestID(t *testing.T) {
+	rec := NewRecorder(8, 8)
+	var seenCtx, seenHeader string
+	h := WithRequestID(rec, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seenCtx = TraceID(r.Context())
+		seenHeader = r.Header.Get(TraceHeader)
+		time.Sleep(time.Millisecond)
+		w.WriteHeader(http.StatusTeapot)
+	}))
+
+	// Incoming ID is echoed everywhere.
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(TraceHeader, "upstream-id")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if seenCtx != "upstream-id" || seenHeader != "upstream-id" {
+		t.Errorf("ctx=%q header=%q, want upstream-id in both", seenCtx, seenHeader)
+	}
+	if got := w.Header().Get(TraceHeader); got != "upstream-id" {
+		t.Errorf("response header = %q", got)
+	}
+	tr, ok := rec.Get("upstream-id")
+	if !ok || len(tr.Spans) != 1 {
+		t.Fatalf("root span not recorded: %+v ok=%v", tr, ok)
+	}
+	if tr.Spans[0].DurNs <= 0 {
+		t.Errorf("root span duration = %d, want > 0", tr.Spans[0].DurNs)
+	}
+	if tr.Spans[0].Attrs["status"] != "418" {
+		t.Errorf("status attr = %q", tr.Spans[0].Attrs["status"])
+	}
+
+	// Absent ID is minted and still lands on the response.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/x", nil))
+	minted := w.Header().Get(TraceHeader)
+	if minted == "" || minted == "upstream-id" {
+		t.Fatalf("minted ID = %q", minted)
+	}
+	if seenCtx != minted {
+		t.Errorf("ctx carried %q, response carried %q", seenCtx, minted)
+	}
+}
+
+// TestStartNoops verifies the nil-safety contract instrumented code
+// leans on: nil recorders and untraced contexts produce working no-op
+// closures, nil metric handles absorb operations.
+func TestStartNoops(t *testing.T) {
+	var rec *Recorder
+	rec.Start(context.Background(), "x")("k", "v") // must not panic
+	rec.Add("id", "x", time.Now(), 0)
+	if _, ok := rec.Get("id"); ok {
+		t.Errorf("nil recorder returned a trace")
+	}
+
+	live := NewRecorder(2, 2)
+	live.Start(context.Background(), "x")() // untraced ctx: no span
+	if live.Len() != 0 {
+		t.Errorf("untraced Start recorded a span")
+	}
+	end := live.Start(WithTraceID(context.Background(), "tid"), "x")
+	end("result", "ok")
+	tr, _ := live.Get("tid")
+	if len(tr.Spans) != 1 || tr.Spans[0].Attrs["result"] != "ok" {
+		t.Errorf("traced Start: %+v", tr)
+	}
+
+	var c *Counter
+	c.Inc()
+	var g *Gauge
+	g.Set(3)
+	var h *Histogram
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Errorf("nil handles reported values")
+	}
+}

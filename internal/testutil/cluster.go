@@ -309,8 +309,8 @@ func (r *Replica) countingTrainer() registry.TrainFunc {
 // fetchFromPeers resolves a registry miss by asking every peer replica
 // for the model's blob before falling back to training — the
 // production -peers wiring, in-process.
-func (r *Replica) fetchFromPeers(k registry.Key) ([]byte, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+func (r *Replica) fetchFromPeers(ctx context.Context, k registry.Key) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
 	for _, peer := range r.peers() {
 		if peer == "" || peer == r.URL {
